@@ -1,0 +1,301 @@
+"""Shared infrastructure for the paper-reproduction benches.
+
+Every bench regenerates one table or figure of the paper.  Because the
+substrate is a NumPy CPU simulator rather than the authors' GPU testbed, the
+benches run a *scaled-down profile* by default: the same architectures-shape
+(a small CNN with the VGG-style block/FC structure, or width-scaled VGG /
+ResNet / WRN), synthetic CIFAR-like data, few epochs.  The profile can be
+raised via the ``REPRO_BENCH_PROFILE`` environment variable:
+
+* ``tiny``  (default) — minutes on a laptop CPU; orderings/shape only.
+* ``small`` — width-scaled VGG16/ResNet18 at 32x32, more data and epochs.
+* ``paper`` — full-width models, 60 epochs, paper attack steps (only
+  meaningful on substantial hardware; provided for completeness).
+
+Trained models are cached per (method, profile) within a pytest session so
+different benches can share baselines.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core import IBRAR, IBRARConfig, MILoss
+from repro.data import ArrayDataset, DataLoader, SyntheticImageDataset, synthetic_cifar10
+from repro.data.synthetic import make_dataset, synthetic_svhn
+from repro.models import SmallCNN, VGG16, ResNet18, WideResNet28x10, ImageClassifier
+from repro.nn.optim import SGD, StepLR
+from repro.training import (
+    CrossEntropyLoss,
+    LossStrategy,
+    MARTLoss,
+    PGDAdversarialLoss,
+    TRADESLoss,
+    Trainer,
+)
+
+__all__ = [
+    "BenchProfile",
+    "get_profile",
+    "bench_dataset",
+    "bench_model",
+    "train_model",
+    "train_ibrar",
+    "get_or_train",
+    "paper_rows_header",
+]
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Scale knobs for a bench run."""
+
+    name: str
+    image_size: int
+    n_train: int
+    n_test: int
+    eval_examples: int
+    epochs: int
+    batch_size: int
+    attack_steps: int
+    cw_steps: int
+    at_steps: int          # inner PGD steps for adversarial training
+    lr: float
+    model_kind: str        # "smallcnn" | "vgg16" | ...
+    width_multiplier: float
+
+
+_PROFILES: Dict[str, BenchProfile] = {
+    "tiny": BenchProfile(
+        name="tiny",
+        image_size=16,
+        n_train=300,
+        n_test=120,
+        eval_examples=60,
+        epochs=3,
+        batch_size=50,
+        attack_steps=5,
+        cw_steps=15,
+        at_steps=3,
+        lr=0.05,
+        model_kind="smallcnn",
+        width_multiplier=1.0,
+    ),
+    "small": BenchProfile(
+        name="small",
+        image_size=32,
+        n_train=2000,
+        n_test=500,
+        eval_examples=200,
+        epochs=10,
+        batch_size=100,
+        attack_steps=10,
+        cw_steps=50,
+        at_steps=7,
+        lr=0.01,
+        model_kind="vgg16",
+        width_multiplier=0.25,
+    ),
+    "paper": BenchProfile(
+        name="paper",
+        image_size=32,
+        n_train=50000,
+        n_test=10000,
+        eval_examples=10000,
+        epochs=60,
+        batch_size=100,
+        attack_steps=10,
+        cw_steps=200,
+        at_steps=10,
+        lr=0.01,
+        model_kind="vgg16",
+        width_multiplier=1.0,
+    ),
+}
+
+
+def get_profile() -> BenchProfile:
+    """Read the active profile from ``REPRO_BENCH_PROFILE`` (default: tiny)."""
+    name = os.environ.get("REPRO_BENCH_PROFILE", "tiny").lower()
+    if name not in _PROFILES:
+        raise KeyError(f"unknown bench profile '{name}'; choose from {sorted(_PROFILES)}")
+    return _PROFILES[name]
+
+
+# --------------------------------------------------------------------------- #
+# datasets and models
+# --------------------------------------------------------------------------- #
+_DATASET_CACHE: Dict[Tuple[str, str], SyntheticImageDataset] = {}
+_MODEL_CACHE: Dict[Tuple[str, str], ImageClassifier] = {}
+
+
+def bench_dataset(kind: str = "cifar10", seed: int = 0) -> SyntheticImageDataset:
+    """Synthetic dataset for the active profile, cached per (kind, profile)."""
+    profile = get_profile()
+    key = (kind, profile.name)
+    if key not in _DATASET_CACHE:
+        if kind == "cifar10":
+            ds = synthetic_cifar10(profile.n_train, profile.n_test, image_size=profile.image_size, seed=seed)
+        elif kind == "svhn":
+            ds = synthetic_svhn(profile.n_train, profile.n_test, image_size=profile.image_size, seed=seed)
+        elif kind == "cifar100":
+            ds = make_dataset(
+                num_classes=20 if profile.name == "tiny" else 100,
+                image_size=profile.image_size,
+                n_train=profile.n_train,
+                n_test=profile.n_test,
+                seed=seed,
+                name="synthetic-cifar100",
+            )
+        elif kind == "tiny-imagenet":
+            ds = make_dataset(
+                num_classes=20 if profile.name == "tiny" else 200,
+                image_size=max(profile.image_size, 16),
+                n_train=profile.n_train,
+                n_test=profile.n_test,
+                seed=seed,
+                name="synthetic-tiny-imagenet",
+            )
+        else:
+            raise KeyError(f"unknown bench dataset '{kind}'")
+        _DATASET_CACHE[key] = ds
+    return _DATASET_CACHE[key]
+
+
+def bench_model(num_classes: int = 10, seed: int = 0, kind: Optional[str] = None) -> ImageClassifier:
+    """Fresh model of the profile's architecture kind."""
+    profile = get_profile()
+    kind = kind or profile.model_kind
+    if kind == "smallcnn":
+        return SmallCNN(
+            num_classes=num_classes,
+            image_size=profile.image_size,
+            base_channels=8,
+            hidden_dim=32,
+            seed=seed,
+        )
+    # The tiny profile's width_multiplier refers to its default (SmallCNN)
+    # model; when a bench explicitly requests one of the paper architectures
+    # under the tiny profile, scale it down so the run stays CPU-tractable.
+    scaled_width = 0.125 if profile.name == "tiny" else profile.width_multiplier
+    if kind == "vgg16":
+        return VGG16(
+            num_classes=num_classes,
+            image_size=profile.image_size,
+            width_multiplier=scaled_width,
+            seed=seed,
+        )
+    if kind == "resnet18":
+        return ResNet18(num_classes=num_classes, width_multiplier=scaled_width, seed=seed)
+    if kind == "wrn28-10":
+        wrn_width = 0.05 if profile.name == "tiny" else max(profile.width_multiplier * 0.2, 0.05)
+        return WideResNet28x10(num_classes=num_classes, width_multiplier=wrn_width, seed=seed)
+    raise KeyError(f"unknown model kind '{kind}'")
+
+
+def robust_layers_for(model: ImageClassifier) -> Tuple[str, ...]:
+    """The 'last conv block + two FC layers'-style robust-layer preset for a model."""
+    names = model.hidden_layer_names
+    return tuple(names[-3:]) if len(names) >= 3 else tuple(names)
+
+
+# --------------------------------------------------------------------------- #
+# training helpers
+# --------------------------------------------------------------------------- #
+def _loader(dataset: SyntheticImageDataset, profile: BenchProfile, seed: int = 0) -> DataLoader:
+    return DataLoader(
+        ArrayDataset(dataset.x_train, dataset.y_train),
+        batch_size=profile.batch_size,
+        shuffle=True,
+        drop_last=True,
+        seed=seed,
+    )
+
+
+def train_model(
+    strategy: LossStrategy,
+    dataset: SyntheticImageDataset,
+    num_classes: int = 10,
+    seed: int = 0,
+    epochs: Optional[int] = None,
+    model: Optional[ImageClassifier] = None,
+) -> ImageClassifier:
+    """Train a fresh bench model with an arbitrary loss strategy."""
+    profile = get_profile()
+    model = model or bench_model(num_classes=num_classes, seed=seed)
+    optimizer = SGD(model.parameters(), lr=profile.lr, momentum=0.9, weight_decay=1e-3)
+    trainer = Trainer(model, strategy, optimizer=optimizer, scheduler=StepLR(optimizer, step_size=20, gamma=0.2))
+    trainer.fit(_loader(dataset, profile, seed), epochs=epochs or profile.epochs)
+    model.eval()
+    return model
+
+
+def train_ibrar(
+    dataset: SyntheticImageDataset,
+    config: IBRARConfig,
+    base_loss: Optional[LossStrategy] = None,
+    num_classes: int = 10,
+    seed: int = 0,
+    epochs: Optional[int] = None,
+) -> ImageClassifier:
+    """Train a fresh bench model with the IB-RAR pipeline (Algorithm 1)."""
+    profile = get_profile()
+    model = bench_model(num_classes=num_classes, seed=seed)
+    # Same optimizer hyperparameters as train_model() so the ± IB-RAR
+    # comparison isolates the defense, not the weight decay.
+    ibrar = IBRAR(
+        model, config, base_loss=base_loss, lr=profile.lr, weight_decay=1e-3, step_size=20, gamma=0.2
+    )
+    ibrar.fit(
+        dataset.x_train,
+        dataset.y_train,
+        epochs=epochs or profile.epochs,
+        batch_size=profile.batch_size,
+        seed=seed,
+    )
+    model.eval()
+    return model
+
+
+_TRAINED_CACHE: Dict[str, ImageClassifier] = {}
+
+
+def get_or_train(key: str, builder: Callable[[], ImageClassifier]) -> ImageClassifier:
+    """Session-level cache of trained models keyed by method name + profile."""
+    profile = get_profile()
+    cache_key = f"{profile.name}:{key}"
+    if cache_key not in _TRAINED_CACHE:
+        _TRAINED_CACHE[cache_key] = builder()
+    return _TRAINED_CACHE[cache_key]
+
+
+def default_ibrar_config(model: ImageClassifier, robust_only: bool = True, **overrides) -> IBRARConfig:
+    """IB-RAR config with tiny-profile-appropriate regularizer weights."""
+    layers = robust_layers_for(model) if robust_only else None
+    params = dict(alpha=0.05, beta=0.01, layers=layers, mask_fraction=0.1)
+    params.update(overrides)
+    return IBRARConfig(**params)
+
+
+def adversarial_strategies() -> Dict[str, Callable[[], LossStrategy]]:
+    """Factories for the three adversarial-training benchmarks with profile steps."""
+    profile = get_profile()
+    return {
+        "PGD": lambda: PGDAdversarialLoss(steps=profile.at_steps),
+        "TRADES": lambda: TRADESLoss(beta=6.0, steps=profile.at_steps),
+        "MART": lambda: MARTLoss(beta=5.0, steps=profile.at_steps),
+    }
+
+
+def paper_rows_header(title: str) -> str:
+    """Banner printed above every reproduced table/figure."""
+    profile = get_profile()
+    return (
+        f"\n{'=' * 78}\n{title}\n"
+        f"(profile: {profile.name} — synthetic data, scaled-down models; "
+        f"compare shapes/orderings, not absolute numbers)\n{'=' * 78}"
+    )

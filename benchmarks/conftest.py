@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+The bench files live outside ``tests/`` and are run explicitly with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench trains the (scaled-down) models it needs, prints the reproduced
+table/figure rows, asserts the paper's qualitative shape, and times one
+representative evaluation unit with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make `import common` work regardless of the rootdir pytest picked.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,119 @@
+"""Figure 4 — convergence on SVHN with MART: the one-epoch MI-loss rescue.
+
+The paper observes that VGG16 + MART on SVHN can get stuck at ~19.6% accuracy
+(an under-fitting plateau) and that training the *first epoch* with the MI
+loss lets the network escape the plateau; PGD adversarial training with and
+without the MI loss converges normally.
+
+The bench trains four networks on the synthetic SVHN stand-in and prints the
+per-epoch natural/adversarial accuracy curves of each:
+
+    MART (plain)           MART with a first epoch of MI loss
+    AT   (plain)           AT + MI loss
+
+Shape assertions: every curve is recorded for every epoch, and the MI-rescued
+MART run finishes with at least the accuracy of the plain MART run (up to a
+noise margin) — the "does not get stuck worse" claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import bench_dataset, bench_model, get_or_train, get_profile, paper_rows_header, robust_layers_for
+from repro.core import IBRARConfig, MILoss
+from repro.data import ArrayDataset, DataLoader
+from repro.evaluation import adversarial_accuracy, clean_accuracy
+from repro.attacks import PGD
+from repro.nn.optim import SGD, StepLR
+from repro.training import MARTLoss, PGDAdversarialLoss, Trainer
+
+
+def _train_with_curves(dataset, strategy, mi_first_epoch: bool, seed: int = 0):
+    """Train and record per-epoch natural/adversarial accuracy (Figure 4 curves)."""
+    profile = get_profile()
+    model = bench_model(seed=seed)
+    layers = robust_layers_for(model)
+    mi_loss = MILoss(IBRARConfig(alpha=0.05, beta=0.01, layers=layers, use_mask=False), num_classes=10)
+
+    images = dataset.x_test[: min(profile.eval_examples, 48)]
+    labels = dataset.y_test[: len(images)]
+
+    def eval_nat(m):
+        return clean_accuracy(m, images, labels)
+
+    def eval_adv(m):
+        return adversarial_accuracy(m, PGD(m, steps=min(profile.attack_steps, 5), seed=0), images, labels)
+
+    optimizer = SGD(model.parameters(), lr=profile.lr, momentum=0.9, weight_decay=1e-3)
+    trainer = Trainer(
+        model,
+        strategy,
+        optimizer=optimizer,
+        scheduler=StepLR(optimizer),
+        eval_natural=eval_nat,
+        eval_adversarial=eval_adv,
+    )
+    loader = DataLoader(
+        ArrayDataset(dataset.x_train, dataset.y_train),
+        batch_size=profile.batch_size,
+        shuffle=True,
+        drop_last=True,
+        seed=seed,
+    )
+    epochs = profile.epochs
+    if mi_first_epoch:
+        # Paper's rescue: the first epoch is trained with the MI loss, the rest as usual.
+        trainer.loss_strategy = mi_loss
+        trainer.fit(loader, epochs=1)
+        trainer.loss_strategy = strategy
+        trainer.fit(loader, epochs=max(epochs - 1, 1))
+    else:
+        trainer.fit(loader, epochs=epochs)
+    model.eval()
+    return model, trainer.history
+
+
+@pytest.fixture(scope="module")
+def figure4_curves():
+    profile = get_profile()
+    dataset = bench_dataset("svhn")
+    at_steps = max(min(profile.at_steps, 3), 2)
+    runs = {
+        "MART": lambda: _train_with_curves(dataset, MARTLoss(beta=5.0, steps=at_steps), mi_first_epoch=False),
+        "MART + MI first epoch": lambda: _train_with_curves(
+            dataset, MARTLoss(beta=5.0, steps=at_steps), mi_first_epoch=True
+        ),
+        "AT": lambda: _train_with_curves(dataset, PGDAdversarialLoss(steps=at_steps), mi_first_epoch=False),
+        "AT + MI first epoch": lambda: _train_with_curves(
+            dataset, PGDAdversarialLoss(steps=at_steps), mi_first_epoch=True
+        ),
+    }
+    return {name: get_or_train(f"fig4:{name}", builder) for name, builder in runs.items()}
+
+
+def test_figure4_svhn_mart_convergence(figure4_curves, benchmark):
+    print(paper_rows_header("Figure 4 — SVHN convergence curves (natural / adversarial accuracy per epoch)"))
+    for name, (model, history) in figure4_curves.items():
+        natural = ["-" if v is None else f"{v * 100:.1f}" for v in history.natural_accuracy]
+        adversarial = ["-" if v is None else f"{v * 100:.1f}" for v in history.adversarial_accuracy]
+        print(f"{name:<22} natural: {' '.join(natural)}")
+        print(f"{'':<22} adv:     {' '.join(adversarial)}")
+
+    profile = get_profile()
+    for name, (model, history) in figure4_curves.items():
+        assert len(history) >= profile.epochs  # every epoch was recorded
+        assert all(v is not None for v in history.natural_accuracy)
+
+    mart_final = figure4_curves["MART"][1].natural_accuracy[-1]
+    rescued_final = figure4_curves["MART + MI first epoch"][1].natural_accuracy[-1]
+    # The MI-rescued run ends at least as high as plain MART (paper: it escapes
+    # the 19.6% plateau that plain MART can get stuck in).
+    assert rescued_final >= mart_final - 0.10
+
+    benchmark.pedantic(
+        lambda: {name: history.natural_accuracy[-1] for name, (_, history) in figure4_curves.items()},
+        rounds=1,
+        iterations=1,
+    )

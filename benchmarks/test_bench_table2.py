@@ -1,0 +1,142 @@
+"""Table 2 — adversarial-training benchmarks ± IB-RAR on ResNet-18 and WRN-28-10.
+
+Paper rows: CIFAR-10 with ResNet-18 (left half) and CIFAR-100 with
+WideResNet-28-10 (right half), same six methods and five attacks as Table 1.
+The headline shape is the same as Table 1 — adding IB-RAR does not hurt, and
+for MART/WRN it helps substantially.
+
+The tiny profile trains width-scaled ResNet-18 on a subset (the WRN/CIFAR-100
+half uses a 20-class synthetic stand-in to stay CPU-tractable); the "small" /
+"paper" profiles raise widths, data and epochs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import (
+    bench_dataset,
+    bench_model,
+    default_ibrar_config,
+    get_or_train,
+    get_profile,
+    paper_rows_header,
+    robust_layers_for,
+)
+from repro.core import IBRAR, IBRARConfig
+from repro.data import ArrayDataset, DataLoader
+from repro.evaluation import evaluate_robustness, format_table, paper_attack_suite
+from repro.nn.optim import SGD, StepLR
+from repro.training import MARTLoss, PGDAdversarialLoss, TRADESLoss, Trainer
+
+
+def _train(model, strategy, dataset, epochs, batch_size, lr):
+    optimizer = SGD(model.parameters(), lr=lr, momentum=0.9, weight_decay=1e-3)
+    trainer = Trainer(model, strategy, optimizer=optimizer, scheduler=StepLR(optimizer))
+    loader = DataLoader(
+        ArrayDataset(dataset.x_train, dataset.y_train),
+        batch_size=batch_size,
+        shuffle=True,
+        drop_last=True,
+        seed=0,
+    )
+    trainer.fit(loader, epochs=epochs)
+    model.eval()
+    return model
+
+
+def _train_ibrar(model, strategy, dataset, epochs, batch_size, lr):
+    # ResNet-scale models use the paper's much smaller regularizer weights
+    # (Figure 6b selects alpha=5e-4, beta=5e-5 for ResNet-18).
+    config = IBRARConfig(alpha=5e-3, beta=1e-3, layers=robust_layers_for(model), mask_fraction=0.1)
+    ibrar = IBRAR(model, config, base_loss=strategy, lr=lr, weight_decay=1e-3)
+    ibrar.fit(dataset.x_train, dataset.y_train, epochs=epochs, batch_size=batch_size, seed=0)
+    model.eval()
+    return model
+
+
+def _half_table(model_kind: str, dataset_kind: str, num_classes: int, methods=("PGD", "TRADES", "MART"), attack_names=None):
+    """One half of Table 2: adversarial-training benchmarks ± IB-RAR for one (model, dataset)."""
+    profile = get_profile()
+    dataset = bench_dataset(dataset_kind)
+    if profile.name == "tiny":
+        dataset = dataset.subset(200, 80)
+        epochs, at_steps, batch_size = 2, 2, 50
+    else:
+        epochs, at_steps, batch_size = profile.epochs, profile.at_steps, profile.batch_size
+    num_classes = dataset.num_classes
+    images = dataset.x_test[: min(profile.eval_examples, 48)]
+    labels = dataset.y_test[: len(images)]
+
+    strategies = {
+        "PGD": lambda: PGDAdversarialLoss(steps=at_steps),
+        "TRADES": lambda: TRADESLoss(beta=6.0, steps=at_steps),
+        "MART": lambda: MARTLoss(beta=5.0, steps=at_steps),
+    }
+    strategies = {name: strategies[name] for name in methods}
+    suite_kwargs = dict(pgd_steps=profile.attack_steps, cw_steps=min(profile.cw_steps, 10))
+
+    def make_suite(model):
+        suite = paper_attack_suite(model, **suite_kwargs)
+        if attack_names is not None:
+            suite = {name: suite[name] for name in attack_names}
+        return suite
+
+    reports = []
+    for name, factory in strategies.items():
+        base = get_or_train(
+            f"table2:{model_kind}:{dataset_kind}:{name}",
+            lambda f=factory: _train(
+                bench_model(num_classes=num_classes, seed=0, kind=model_kind),
+                f(), dataset, epochs, batch_size, profile.lr,
+            ),
+        )
+        ours = get_or_train(
+            f"table2:{model_kind}:{dataset_kind}:{name}:ibrar",
+            lambda f=factory: _train_ibrar(
+                bench_model(num_classes=num_classes, seed=0, kind=model_kind),
+                f(), dataset, epochs, batch_size, profile.lr,
+            ),
+        )
+        reports.append(evaluate_robustness(base, images, labels, make_suite(base), name))
+        reports.append(
+            evaluate_robustness(ours, images, labels, make_suite(ours), f"{name} (IB-RAR)")
+        )
+    return reports
+
+
+@pytest.fixture(scope="module")
+def resnet_reports():
+    return _half_table("resnet18", "cifar10", 10)
+
+
+def test_table2_resnet18_cifar10(resnet_reports, benchmark):
+    print(paper_rows_header("Table 2 (left) — CIFAR-10 by ResNet-18: benchmarks ± IB-RAR"))
+    print(format_table(resnet_reports))
+    by_name = {r.method: r for r in resnet_reports}
+    for method in ("PGD", "TRADES", "MART"):
+        ours = by_name[f"{method} (IB-RAR)"]
+        base = by_name[method]
+        # Tiny-profile noise margin (2 epochs, 48 evaluation examples).
+        assert ours.mean_adversarial() >= base.mean_adversarial() - 0.20
+    benchmark.pedantic(lambda: [r.mean_adversarial() for r in resnet_reports], rounds=1, iterations=1)
+
+
+def test_table2_wideresnet_cifar100(benchmark):
+    profile = get_profile()
+    if profile.name == "tiny":
+        # The WRN-28-10 half is expensive; the tiny profile runs a single
+        # representative pair (MART vs MART+IB-RAR, the pair the paper
+        # highlights as the largest improvement) under a reduced attack suite.
+        reports = _half_table(
+            "wrn28-10", "cifar100", 100, methods=("MART",), attack_names=("pgd", "fgsm", "nifgsm")
+        )
+    else:
+        reports = _half_table("wrn28-10", "cifar100", 100)
+    print(paper_rows_header("Table 2 (right) — CIFAR-100 by WRN-28-10: benchmarks ± IB-RAR"))
+    print(format_table(reports))
+    assert len(reports) >= 2
+    base, ours = reports[-2], reports[-1]
+    assert ours.mean_adversarial() >= base.mean_adversarial() - 0.12
+    benchmark.pedantic(lambda: ours.mean_adversarial(), rounds=1, iterations=1)

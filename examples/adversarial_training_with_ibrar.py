@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Scenario: harden an adversarially-trained model with IB-RAR (Tables 1-2 workflow).
+
+The paper's headline use case is combining IB-RAR with existing adversarial
+training (Eq. 2): keep PGD-AT / TRADES / MART exactly as they are, add the two
+HSIC regularizers to the loss and the channel mask to the last conv block.
+
+This example trains TRADES with and without IB-RAR on a synthetic CIFAR-10
+stand-in and reports natural accuracy plus robustness under PGD, FGSM and
+NIFGSM — the workflow a practitioner would follow to decide whether to adopt
+the defense.
+
+Run with:  python examples/adversarial_training_with_ibrar.py
+"""
+
+from __future__ import annotations
+
+from repro.core import IBRAR, IBRARConfig
+from repro.data import ArrayDataset, DataLoader, synthetic_cifar10
+from repro.evaluation import evaluate_robustness, format_table
+from repro.attacks import FGSM, NIFGSM, PGD
+from repro.models import SmallCNN
+from repro.nn.optim import SGD, StepLR
+from repro.training import TRADESLoss, Trainer
+from repro.utils import get_logger, log_section
+
+LOGGER = get_logger("adversarial-training")
+
+IMAGE_SIZE = 16
+EPOCHS = 3
+BATCH_SIZE = 50
+TRADES_BETA = 6.0
+INNER_STEPS = 3
+
+
+def attack_suite(model):
+    # A stronger budget than the training-time eps (16/255 instead of 8/255)
+    # so the comparison stays informative on the easy synthetic task.
+    eps = 16.0 / 255.0
+    return {
+        "pgd": PGD(model, eps=eps, alpha=eps / 4, steps=10, seed=0),
+        "fgsm": FGSM(model, eps=eps),
+        "nifgsm": NIFGSM(model, eps=eps, alpha=eps / 4, steps=10),
+    }
+
+
+def train_trades(dataset) -> SmallCNN:
+    model = SmallCNN(num_classes=10, image_size=IMAGE_SIZE, seed=0)
+    strategy = TRADESLoss(beta=TRADES_BETA, steps=INNER_STEPS)
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-3)
+    trainer = Trainer(model, strategy, optimizer=optimizer, scheduler=StepLR(optimizer))
+    loader = DataLoader(
+        ArrayDataset(dataset.x_train, dataset.y_train),
+        batch_size=BATCH_SIZE,
+        shuffle=True,
+        drop_last=True,
+        seed=0,
+    )
+    trainer.fit(loader, epochs=EPOCHS)
+    model.eval()
+    return model
+
+
+def train_trades_ibrar(dataset) -> SmallCNN:
+    model = SmallCNN(num_classes=10, image_size=IMAGE_SIZE, seed=0)
+    config = IBRARConfig(
+        alpha=0.05,
+        beta=0.01,
+        layers=("conv_block2", "fc1", "fc2"),
+        mask_fraction=0.1,
+        # The paper computes the MI terms on clean inputs even when the CE
+        # term uses adversarial examples (Eq. 2); flip this to True to study
+        # the "MI on adversarial inputs" variant discussed in Section 3.1.1.
+        mi_on_adversarial=False,
+    )
+    ibrar = IBRAR(model, config, base_loss=TRADESLoss(beta=TRADES_BETA, steps=INNER_STEPS), lr=0.05)
+    ibrar.fit(dataset.x_train, dataset.y_train, epochs=EPOCHS, batch_size=BATCH_SIZE)
+    model.eval()
+    return model
+
+
+def main() -> None:
+    with log_section("dataset", LOGGER):
+        dataset = synthetic_cifar10(n_train=400, n_test=160, image_size=IMAGE_SIZE, seed=1)
+    with log_section("train TRADES", LOGGER):
+        trades = train_trades(dataset)
+    with log_section("train TRADES (IB-RAR)", LOGGER):
+        trades_ibrar = train_trades_ibrar(dataset)
+
+    images, labels = dataset.x_test[:80], dataset.y_test[:80]
+    with log_section("evaluate", LOGGER):
+        reports = [
+            evaluate_robustness(trades, images, labels, attack_suite(trades), "TRADES"),
+            evaluate_robustness(trades_ibrar, images, labels, attack_suite(trades_ibrar), "TRADES (IB-RAR)"),
+        ]
+    print()
+    print(format_table(reports, attack_order=("pgd", "fgsm", "nifgsm")))
+    delta = reports[1].mean_adversarial() - reports[0].mean_adversarial()
+    print(f"\nmean adversarial-accuracy delta (IB-RAR - TRADES): {delta * 100:+.2f} percentage points")
+
+
+if __name__ == "__main__":
+    main()

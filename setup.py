@@ -1,0 +1,4 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package (offline env)."""
+from setuptools import setup
+
+setup()

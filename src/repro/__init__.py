@@ -1,0 +1,47 @@
+"""repro — a full reproduction of IB-RAR (DSN 2023).
+
+IB-RAR ("Information Bottleneck as Regularizer for Adversarial Robustness",
+Xu, Perin & Picek) improves adversarial robustness by adding HSIC-based
+information-bottleneck regularizers to the training loss (Eq. 1/2) and by
+masking low-MI feature channels of the last convolutional block (Eq. 3).
+
+Because this environment has neither PyTorch nor the original datasets, the
+package also ships the full substrate the method needs: a NumPy autograd
+engine (:mod:`repro.nn`), the paper's model zoo (:mod:`repro.models`),
+synthetic CIFAR-like datasets (:mod:`repro.data`), the attack suite
+(:mod:`repro.attacks`), the adversarial-training benchmarks
+(:mod:`repro.training`) and the IB baselines VIB / HBaR (:mod:`repro.ib`).
+
+Quickstart::
+
+    from repro.core import IBRAR, IBRARConfig
+    from repro.models import SmallCNN
+    from repro.data import synthetic_cifar10
+
+    data = synthetic_cifar10(n_train=256, n_test=128, image_size=16)
+    model = SmallCNN(num_classes=10, image_size=16)
+    result = IBRAR(model, IBRARConfig(alpha=0.1, beta=0.01)).fit(
+        data.x_train, data.y_train, epochs=3, batch_size=32
+    )
+"""
+
+from . import analysis, attacks, core, data, evaluation, ib, models, nn, training, utils
+from .core import IBRAR, IBRARConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "models",
+    "data",
+    "ib",
+    "attacks",
+    "training",
+    "core",
+    "analysis",
+    "evaluation",
+    "utils",
+    "IBRAR",
+    "IBRARConfig",
+    "__version__",
+]

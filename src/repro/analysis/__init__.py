@@ -1,0 +1,17 @@
+"""Analysis tools: t-SNE (Figure 3), confusion tendency (Table 5), information plane (Figure 5)."""
+
+from .confusion import TendencyRow, classification_tendency, confusion_counts, format_tendency_table
+from .information_plane import InformationPlanePoint, InformationPlaneRecorder
+from .tsne import TSNEResult, cluster_separation, tsne
+
+__all__ = [
+    "tsne",
+    "TSNEResult",
+    "cluster_separation",
+    "confusion_counts",
+    "classification_tendency",
+    "TendencyRow",
+    "format_tendency_table",
+    "InformationPlaneRecorder",
+    "InformationPlanePoint",
+]

@@ -1,0 +1,86 @@
+"""Adversarial classification-tendency analysis (Table 5 of the paper).
+
+For every target (ground-truth) class, count how often adversarial examples
+of that class are predicted as each other class, and report the top-k most
+frequent predictions.  The paper uses this to show that similar classes
+(car/truck, cat/dog) absorb most adversarial misclassifications, supporting
+the shared-features discussion in Section 3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.base import ImageClassifier
+from ..nn import Tensor, no_grad
+
+__all__ = ["confusion_counts", "classification_tendency", "TendencyRow", "format_tendency_table"]
+
+
+def confusion_counts(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Confusion matrix ``M[target, predicted]`` from integer arrays."""
+    predictions = np.asarray(predictions).reshape(-1)
+    labels = np.asarray(labels).reshape(-1)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same length")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+@dataclass
+class TendencyRow:
+    """Top-k predicted classes (excluding the target itself) for one target class."""
+
+    target_class: str
+    predictions: List[Tuple[str, int]]
+
+
+def classification_tendency(
+    model: ImageClassifier,
+    attack,
+    images: np.ndarray,
+    labels: np.ndarray,
+    class_names: Optional[Sequence[str]] = None,
+    top_k: int = 4,
+    batch_size: int = 64,
+) -> List[TendencyRow]:
+    """Generate adversarial examples and tabulate the misclassification tendency."""
+    labels = np.asarray(labels).reshape(-1)
+    num_classes = model.num_classes
+    names = list(class_names) if class_names else [f"class_{i}" for i in range(num_classes)]
+    all_predictions = []
+    for start in range(0, len(images), batch_size):
+        batch = images[start : start + batch_size]
+        batch_labels = labels[start : start + batch_size]
+        adversarial = attack.attack(batch, batch_labels)
+        with no_grad():
+            all_predictions.append(model.predict(Tensor(adversarial)))
+    predictions = np.concatenate(all_predictions)
+    matrix = confusion_counts(predictions, labels, num_classes)
+
+    rows: List[TendencyRow] = []
+    for target in range(num_classes):
+        counts = matrix[target].copy()
+        counts[target] = -1  # exclude correct predictions from the tendency ranking
+        order = np.argsort(counts)[::-1][:top_k]
+        rows.append(
+            TendencyRow(
+                target_class=names[target],
+                predictions=[(names[j], int(matrix[target, j])) for j in order],
+            )
+        )
+    return rows
+
+
+def format_tendency_table(rows: Sequence[TendencyRow]) -> str:
+    """Render the Table 5 layout: ``target : class-count class-count ...``."""
+    lines = []
+    width = max(len(row.target_class) for row in rows)
+    for row in rows:
+        cells = " ".join(f"{name}-{count}" for name, count in row.predictions)
+        lines.append(f"{row.target_class.ljust(width)} : {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""White-box adversarial attacks used by the paper's evaluation.
+
+PGD, FGSM, CW, FAB and NIFGSM (the Tables 1-2 attack suite) plus the
+adaptive IB-aware attack of Section A.2.  All attacks share the
+``attack(images, labels)`` interface defined by :class:`Attack`.
+"""
+
+from .adaptive import AdaptiveIBAttack, make_ib_loss_fn
+from .base import Attack
+from .cw import CW
+from .deepfool import DeepFool
+from .fab import FAB
+from .fgsm import FGSM
+from .mifgsm import MIFGSM
+from .nifgsm import NIFGSM
+from .pgd import PGD
+
+__all__ = [
+    "Attack",
+    "FGSM",
+    "PGD",
+    "CW",
+    "FAB",
+    "NIFGSM",
+    "MIFGSM",
+    "DeepFool",
+    "AdaptiveIBAttack",
+    "make_ib_loss_fn",
+    "ATTACK_REGISTRY",
+    "build_attack",
+]
+
+ATTACK_REGISTRY = {
+    "fgsm": FGSM,
+    "pgd": PGD,
+    "cw": CW,
+    "fab": FAB,
+    "nifgsm": NIFGSM,
+    "mifgsm": MIFGSM,
+    "deepfool": DeepFool,
+    "adaptive-ib": AdaptiveIBAttack,
+}
+
+
+def build_attack(name: str, model, **kwargs) -> Attack:
+    """Instantiate an attack by name with the paper's defaults."""
+    key = name.lower()
+    if key not in ATTACK_REGISTRY:
+        raise KeyError(f"unknown attack '{name}'; available: {sorted(ATTACK_REGISTRY)}")
+    return ATTACK_REGISTRY[key](model, **kwargs)

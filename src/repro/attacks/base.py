@@ -1,0 +1,118 @@
+"""Common infrastructure for white-box adversarial attacks.
+
+Every attack follows the Torchattacks convention the paper uses: it is
+constructed with a model and its hyperparameters and exposes
+``attack(images, labels) -> adversarial_images`` on NumPy arrays.  Images are
+assumed to live in ``[0, 1]`` (the paper's eps = 8/255 and step = 2/255 are
+expressed in that range).  Gradients are obtained from the autograd engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..nn import Tensor
+from ..nn import functional as F
+from ..models.base import ImageClassifier
+
+__all__ = ["Attack", "LossFn"]
+
+# A loss function receives (model, x_tensor, labels) and returns a scalar Tensor.
+LossFn = Callable[[ImageClassifier, Tensor, np.ndarray], Tensor]
+
+
+def _default_loss(model: ImageClassifier, x: Tensor, labels: np.ndarray) -> Tensor:
+    return F.cross_entropy(model.forward(x), labels)
+
+
+class Attack:
+    """Base class for white-box attacks.
+
+    Parameters
+    ----------
+    model:
+        The classifier under attack.  It is switched to ``eval`` mode for the
+        duration of the attack and restored afterwards.
+    eps:
+        Maximum L_inf perturbation (paper default 8/255).
+    clip_min, clip_max:
+        Valid input range.
+    loss_fn:
+        Loss whose gradient drives the attack; defaults to cross-entropy.
+        The adaptive attack of Section A.2 passes the full IB-RAR loss here.
+    """
+
+    name = "attack"
+
+    def __init__(
+        self,
+        model: ImageClassifier,
+        eps: float = 8.0 / 255.0,
+        clip_min: float = 0.0,
+        clip_max: float = 1.0,
+        loss_fn: Optional[LossFn] = None,
+    ) -> None:
+        if eps < 0:
+            raise ValueError("eps must be non-negative")
+        self.model = model
+        self.eps = eps
+        self.clip_min = clip_min
+        self.clip_max = clip_max
+        self.loss_fn = loss_fn or _default_loss
+
+    # -- helpers ---------------------------------------------------------------
+    def _input_gradient(self, images: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Gradient of the attack loss with respect to the input batch."""
+        x = Tensor(images, requires_grad=True)
+        loss = self.loss_fn(self.model, x, labels)
+        loss.backward()
+        if x.grad is None:
+            raise RuntimeError("attack loss produced no input gradient")
+        return x.grad, float(loss.item())
+
+    def _logits_and_gradients_per_class(
+        self, images: np.ndarray, class_indices: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Logit values and input gradients of one selected logit per example.
+
+        Used by the decision-boundary attacks (FAB).  ``class_indices`` picks,
+        for each example, the logit whose gradient is needed.
+        """
+        x = Tensor(images, requires_grad=True)
+        logits = self.model.forward(x)
+        n = images.shape[0]
+        mask = np.zeros_like(logits.data)
+        mask[np.arange(n), class_indices] = 1.0
+        selected = (logits * Tensor(mask)).sum()
+        selected.backward()
+        return logits.data.copy(), x.grad.copy()
+
+    def _project(self, adversarial: np.ndarray, original: np.ndarray) -> np.ndarray:
+        """Project onto the L_inf ball around ``original`` and the valid range."""
+        delta = np.clip(adversarial - original, -self.eps, self.eps)
+        return np.clip(original + delta, self.clip_min, self.clip_max)
+
+    # -- public API --------------------------------------------------------------
+    def attack(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Return adversarial versions of ``images`` (same shape/dtype)."""
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if len(images) != len(labels):
+            raise ValueError("images and labels must have the same batch size")
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            adversarial = self._generate(images, labels)
+        finally:
+            self.model.train(was_training)
+        return adversarial
+
+    __call__ = attack
+
+    def _generate(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(eps={self.eps:.4f})"

@@ -1,0 +1,20 @@
+"""Fast Gradient Sign Method (Goodfellow et al., 2015)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Attack
+
+__all__ = ["FGSM"]
+
+
+class FGSM(Attack):
+    """Single-step L_inf attack: ``x_adv = clip(x + eps * sign(grad))``."""
+
+    name = "fgsm"
+
+    def _generate(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        gradient, _ = self._input_gradient(images, labels)
+        adversarial = images + self.eps * np.sign(gradient)
+        return self._project(adversarial, images)

@@ -1,0 +1,53 @@
+"""Momentum Iterative FGSM (Dong et al., 2018).
+
+Not part of the paper's headline attack suite, but NIFGSM (which the paper
+does use) is the Nesterov extension of this attack, and robustness studies
+routinely report both.  Provided as an extension so downstream users can
+evaluate IB-RAR under the full momentum-attack family.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..models.base import ImageClassifier
+from .base import Attack, LossFn
+
+__all__ = ["MIFGSM"]
+
+
+class MIFGSM(Attack):
+    """Momentum iterative FGSM (L_inf) with L1-normalized gradient accumulation."""
+
+    name = "mifgsm"
+
+    def __init__(
+        self,
+        model: ImageClassifier,
+        eps: float = 8.0 / 255.0,
+        alpha: float = 2.0 / 255.0,
+        steps: int = 10,
+        decay: float = 1.0,
+        clip_min: float = 0.0,
+        clip_max: float = 1.0,
+        loss_fn: Optional[LossFn] = None,
+    ) -> None:
+        super().__init__(model, eps=eps, clip_min=clip_min, clip_max=clip_max, loss_fn=loss_fn)
+        if steps < 1:
+            raise ValueError("MIFGSM needs at least one step")
+        self.alpha = alpha
+        self.steps = steps
+        self.decay = decay
+
+    def _generate(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        adversarial = images.copy()
+        momentum = np.zeros_like(images)
+        for _ in range(self.steps):
+            gradient, _ = self._input_gradient(adversarial, labels)
+            l1 = np.abs(gradient).sum(axis=tuple(range(1, gradient.ndim)), keepdims=True)
+            momentum = self.decay * momentum + gradient / np.maximum(l1, 1e-12)
+            adversarial = adversarial + self.alpha * np.sign(momentum)
+            adversarial = self._project(adversarial, images)
+        return adversarial

@@ -1,0 +1,34 @@
+"""IB-RAR core: the paper's contribution.
+
+* :class:`IBRARConfig` — hyperparameters (alpha, beta, layers, mask fraction).
+* :class:`MILoss` / :class:`AdversarialMILoss` — Eq. (1) / Eq. (2) losses.
+* :class:`FeatureChannelMask` — Eq. (3) channel mask.
+* :class:`RobustLayerSelector` — the Section 2.2 robust-layer procedure.
+* :class:`IBRAR` — the end-to-end trainer (Algorithm 1).
+"""
+
+from .config import IBRARConfig, PAPER_RESNET18_CONFIG, PAPER_VGG16_CONFIG
+from .ibrar import IBRAR, IBRARResult
+from .losses import AdversarialMILoss, MILoss, mi_regularizer_terms
+from .mask import FeatureChannelMask, compute_channel_mask
+from .robust_layers import (
+    PAPER_VGG16_ROBUST_LAYERS,
+    LayerRobustness,
+    RobustLayerSelector,
+)
+
+__all__ = [
+    "IBRARConfig",
+    "PAPER_VGG16_CONFIG",
+    "PAPER_RESNET18_CONFIG",
+    "MILoss",
+    "AdversarialMILoss",
+    "mi_regularizer_terms",
+    "FeatureChannelMask",
+    "compute_channel_mask",
+    "RobustLayerSelector",
+    "LayerRobustness",
+    "PAPER_VGG16_ROBUST_LAYERS",
+    "IBRAR",
+    "IBRARResult",
+]

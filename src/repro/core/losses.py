@@ -1,0 +1,147 @@
+"""The IB-RAR mutual-information loss (Eq. 1 and Eq. 2 of the paper).
+
+``MILoss`` implements
+
+    L = L_base + alpha * sum_l I(X, T_l) - beta * sum_l I(Y, T_l)
+
+where ``I`` is estimated with HSIC (Gaussian kernel on activations, linear
+kernel on one-hot labels) and the sum ranges over a configurable set of
+hidden layers (all layers, or the paper's *robust layers*).
+
+``L_base`` is pluggable:
+
+* plain cross-entropy on clean inputs  -> Eq. (1);
+* an adversarial-training strategy (PGD-AT, TRADES, MART from
+  :mod:`repro.training.adversarial`) -> Eq. (2), "method (IB-RAR)" in
+  Tables 1-2.
+
+The MI terms are computed on **clean** inputs by default; the paper remarks
+that using adversarial inputs (``I(X + delta, T_l)``) helps specifically
+against PGD but hurts other attacks, and this is available via
+``mi_on_adversarial=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..nn import Tensor
+from ..nn import functional as F
+from ..ib.hsic import gaussian_kernel, hsic, linear_kernel, normalized_hsic
+from ..models.base import ImageClassifier
+from ..training.adversarial import CrossEntropyLoss, LossStrategy
+from .config import IBRARConfig
+
+__all__ = ["MILoss", "AdversarialMILoss", "mi_regularizer_terms"]
+
+
+def mi_regularizer_terms(
+    inputs: Tensor,
+    labels: np.ndarray,
+    hidden: Mapping[str, Tensor],
+    num_classes: int,
+    layers: Optional[Sequence[str]] = None,
+    normalized: bool = True,
+    sigma: Optional[float] = None,
+) -> tuple[Tensor, Tensor]:
+    """Return ``(sum_l I(X, T_l), sum_l I(Y, T_l))`` as differentiable tensors."""
+    selected = list(layers) if layers is not None else list(hidden.keys())
+    if not selected:
+        raise ValueError("at least one hidden layer must be selected for the MI loss")
+    estimator = normalized_hsic if normalized else hsic
+    input_kernel = gaussian_kernel(inputs.detach(), sigma=sigma)
+    label_kernel = linear_kernel(Tensor(F.one_hot(labels, num_classes)))
+    sum_xt: Optional[Tensor] = None
+    sum_yt: Optional[Tensor] = None
+    for name in selected:
+        if name not in hidden:
+            raise KeyError(f"layer '{name}' not found among hidden representations {list(hidden)}")
+        layer_kernel = gaussian_kernel(hidden[name], sigma=sigma)
+        term_x = estimator(layer_kernel, input_kernel)
+        term_y = estimator(layer_kernel, label_kernel)
+        sum_xt = term_x if sum_xt is None else sum_xt + term_x
+        sum_yt = term_y if sum_yt is None else sum_yt + term_y
+    return sum_xt, sum_yt
+
+
+class MILoss:
+    """Eq. (1): base loss plus the two HSIC regularizers.
+
+    Parameters
+    ----------
+    config:
+        :class:`IBRARConfig` with ``alpha``, ``beta``, ``layers`` etc.
+    num_classes:
+        Number of classes (for the label kernel).
+    base_loss:
+        The ``L_CE``-like component; defaults to plain cross-entropy on clean
+        inputs.  Pass an adversarial-training strategy for Eq. (2) — see
+        :class:`AdversarialMILoss` for the convenience wrapper.
+    """
+
+    name = "ib-rar-mi"
+
+    def __init__(
+        self,
+        config: IBRARConfig,
+        num_classes: int,
+        base_loss: Optional[LossStrategy] = None,
+    ) -> None:
+        self.config = config
+        self.num_classes = num_classes
+        self.base_loss = base_loss or CrossEntropyLoss()
+        self.last_components: Dict[str, float] = {}
+
+    def _mi_inputs(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Choose which inputs the MI terms see (clean by default, Eq. 2 note)."""
+        if not self.config.mi_on_adversarial:
+            return images
+        generate = getattr(self.base_loss, "generate", None)
+        if generate is None:
+            return images
+        return generate(model, images, labels)
+
+    def __call__(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> Tensor:
+        base = self.base_loss(model, images, labels)
+        mi_images = self._mi_inputs(model, images, labels)
+        inputs = Tensor(mi_images)
+        logits, hidden = model.forward_with_hidden(inputs)
+        del logits  # the base strategy already produced the classification term
+        sum_xt, sum_yt = mi_regularizer_terms(
+            inputs,
+            labels,
+            hidden,
+            num_classes=self.num_classes,
+            layers=self.config.layers,
+            normalized=self.config.normalized_hsic,
+            sigma=self.config.sigma,
+        )
+        total = base + sum_xt * self.config.alpha - sum_yt * self.config.beta
+        self.last_components = {
+            "base": float(base.item()),
+            "hsic_x": float(sum_xt.item()),
+            "hsic_y": float(sum_yt.item()),
+            "total": float(total.item()),
+        }
+        return total
+
+
+class AdversarialMILoss(MILoss):
+    """Eq. (2): an adversarial-training benchmark combined with the MI terms.
+
+    Equivalent to ``MILoss(config, num_classes, base_loss=strategy)`` but kept
+    as a named class because it is the exact object the Tables 1-2 rows
+    "PGD/TRADES/MART (IB-RAR)" are produced with.
+    """
+
+    name = "ib-rar-adversarial"
+
+    def __init__(
+        self,
+        config: IBRARConfig,
+        num_classes: int,
+        adversarial_strategy: LossStrategy,
+    ) -> None:
+        super().__init__(config, num_classes, base_loss=adversarial_strategy)

@@ -1,0 +1,107 @@
+"""Removing unnecessary feature channels (Eq. 3 of the paper).
+
+After (or while) training with the MI loss, the feature channels produced by
+the **last convolutional block** are scored by their mutual information with
+the labels.  Channels whose MI falls below a threshold — chosen so that the
+lowest 5 % of channels are eliminated — are zeroed by a binary mask that is
+installed on the model and applied on every subsequent forward pass:
+
+    T_last = T_last * mask,   mask_c = 1 if I(f_c, Y) >= thr else 0.
+
+The paper stresses that the mask only helps when the network was trained
+with the MI loss (row (5) vs row (6) of Table 4): the IB regularizer is what
+makes unnecessary channels *distinguishable* by their MI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+from ..nn import Tensor, no_grad
+from ..ib.mi import channel_label_mi
+from ..models.base import ImageClassifier
+
+__all__ = ["FeatureChannelMask", "compute_channel_mask"]
+
+
+def compute_channel_mask(
+    scores: np.ndarray,
+    fraction: float = 0.05,
+    min_keep: int = 1,
+) -> np.ndarray:
+    """Binary mask keeping channels whose score reaches the removal threshold.
+
+    ``fraction`` of the channels (those with the lowest scores) are removed.
+    The threshold is the maximum score among that lowest group, exactly as
+    described in Section 2.3; ties at the threshold are kept.
+    """
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    num_channels = scores.shape[0]
+    if num_channels == 0:
+        raise ValueError("cannot mask an empty channel set")
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must lie in [0, 1)")
+    num_remove = int(np.floor(fraction * num_channels))
+    num_remove = min(num_remove, num_channels - min_keep)
+    if num_remove <= 0:
+        return np.ones(num_channels)
+    order = np.argsort(scores, kind="stable")
+    lowest = order[:num_remove]
+    threshold = scores[lowest].max()
+    mask = (scores > threshold).astype(np.float64)
+    # Guarantee we never remove more than requested when scores tie heavily.
+    if mask.sum() < min_keep:
+        mask = np.zeros(num_channels)
+        mask[order[-min_keep:]] = 1.0
+    return mask
+
+
+@dataclass
+class FeatureChannelMask:
+    """Computes and installs the Eq. (3) mask on an :class:`ImageClassifier`.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of channels to remove (paper default 0.05).
+    method:
+        Channel-MI scoring method, ``"histogram"`` (default) or ``"hsic"``.
+    max_batch:
+        Cap on how many examples are used to estimate channel MI (keeps the
+        estimate cheap on large training sets).
+    """
+
+    fraction: float = 0.05
+    method: Literal["histogram", "hsic"] = "histogram"
+    max_batch: int = 512
+
+    def scores(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Per-channel MI scores of the last convolutional block's output."""
+        images = np.asarray(images)[: self.max_batch]
+        labels = np.asarray(labels).reshape(-1)[: self.max_batch]
+        was_training = model.training
+        previous_mask = model.channel_mask
+        model.eval()
+        # Score the unmasked representation so the mask can recover channels.
+        model.set_channel_mask(None)
+        try:
+            with no_grad():
+                _, hidden = model.forward_with_hidden(Tensor(images))
+                features = hidden[model.last_conv_name].data
+        finally:
+            model.set_channel_mask(previous_mask)
+            model.train(was_training)
+        return channel_label_mi(features, labels, model.num_classes, method=self.method)
+
+    def compute(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Return the binary channel mask for ``model`` on the given batch."""
+        return compute_channel_mask(self.scores(model, images, labels), self.fraction)
+
+    def apply(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Compute the mask and install it on the model; returns the mask."""
+        mask = self.compute(model, images, labels)
+        model.set_channel_mask(mask)
+        return mask

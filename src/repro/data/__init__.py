@@ -1,0 +1,46 @@
+"""Datasets, loaders and transforms.
+
+Because the environment is offline, the CIFAR-10 / CIFAR-100 / SVHN /
+Tiny ImageNet datasets used by the paper are replaced with class-structured
+synthetic equivalents (see :mod:`repro.data.synthetic` and DESIGN.md for the
+substitution rationale).
+"""
+
+from .loaders import ArrayDataset, DataLoader
+from .synthetic import (
+    CIFAR10_CLASS_NAMES,
+    DATASET_REGISTRY,
+    SyntheticImageDataset,
+    make_dataset,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_svhn,
+    synthetic_tiny_imagenet,
+)
+from .transforms import (
+    add_gaussian_noise,
+    compose,
+    normalize,
+    random_crop,
+    random_horizontal_flip,
+    standard_cifar_augmentation,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "SyntheticImageDataset",
+    "make_dataset",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "synthetic_svhn",
+    "synthetic_tiny_imagenet",
+    "DATASET_REGISTRY",
+    "CIFAR10_CLASS_NAMES",
+    "random_horizontal_flip",
+    "random_crop",
+    "normalize",
+    "add_gaussian_noise",
+    "compose",
+    "standard_cifar_augmentation",
+]

@@ -1,0 +1,97 @@
+"""Mini-batch iteration over (images, labels) arrays.
+
+``DataLoader`` mirrors the small part of ``torch.utils.data.DataLoader`` the
+training loops need: shuffling per epoch, optional transforms applied per
+batch, and drop-last semantics.  Batches are plain ``(numpy images, numpy
+labels)`` tuples; the trainer wraps images into :class:`repro.nn.Tensor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DataLoader", "ArrayDataset"]
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class ArrayDataset:
+    """A simple dataset over parallel image/label arrays."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(images) != len(labels):
+            raise ValueError(f"images ({len(images)}) and labels ({len(labels)}) differ in length")
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.images[index], self.labels[index]
+
+
+class DataLoader:
+    """Iterate over a dataset in shuffled mini-batches.
+
+    Parameters
+    ----------
+    dataset:
+        An :class:`ArrayDataset` or any object with ``images`` / ``labels``
+        arrays.
+    batch_size:
+        Mini-batch size (the paper uses 100).
+    shuffle:
+        Reshuffle example order at the start of every epoch.
+    transform:
+        Optional callable ``(batch_images, rng) -> batch_images`` applied to
+        each batch (data augmentation).
+    drop_last:
+        Drop the final incomplete batch.  HSIC estimates are more stable on
+        equally sized batches, so the trainer enables this by default.
+    seed:
+        Seed for the shuffling / augmentation RNG.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 100,
+        shuffle: bool = True,
+        transform: Optional[Transform] = None,
+        drop_last: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset if isinstance(dataset, ArrayDataset) else ArrayDataset(dataset.images, dataset.labels)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.transform = transform
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            images = self.dataset.images[idx]
+            labels = self.dataset.labels[idx]
+            if self.transform is not None:
+                images = self.transform(images, self._rng)
+            yield images, labels

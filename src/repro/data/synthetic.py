@@ -1,0 +1,268 @@
+"""Synthetic stand-ins for the paper's image datasets.
+
+The paper evaluates on CIFAR-10, CIFAR-100, SVHN and Tiny ImageNet.  None of
+these can be downloaded in this offline environment, so we generate
+class-structured synthetic image datasets with the same tensor shapes and
+class counts.  The generators are designed to preserve the properties the
+paper's mechanisms depend on:
+
+* **class-conditional signal** — each class has a smooth spatial prototype
+  (random low-frequency pattern), so a classifier can learn the task and an
+  attacker has a decision boundary to push examples across;
+* **shared features between similar classes** — classes are arranged on a
+  ring and neighbouring classes share a fraction of their prototype.  This
+  reproduces the "cats look like dogs" structure behind the confusion
+  tendency analysis (Table 5) and the shared-feature discussion in §3.3;
+* **nuisance noise** — per-example additive noise and a class-independent
+  distractor pattern give the ``I(X, T)`` compression term something to
+  remove, which is what the information-plane experiment (Figure 5) shows.
+
+Images are float arrays in ``[0, 1]`` with shape ``(N, 3, size, size)``,
+exactly like normalized CIFAR tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SyntheticImageDataset",
+    "make_dataset",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "synthetic_svhn",
+    "synthetic_tiny_imagenet",
+    "DATASET_REGISTRY",
+    "CIFAR10_CLASS_NAMES",
+]
+
+# CIFAR-10 class names, used by the Table 5 confusion-tendency bench.
+CIFAR10_CLASS_NAMES = [
+    "plane", "car", "bird", "cat", "deer", "dog", "frog", "horse", "ship", "truck",
+]
+
+
+@dataclass
+class SyntheticImageDataset:
+    """A train/test split of synthetic images.
+
+    Attributes
+    ----------
+    x_train, x_test:
+        Float arrays of shape ``(N, channels, size, size)`` in ``[0, 1]``.
+    y_train, y_test:
+        Integer label arrays.
+    num_classes:
+        Number of classes.
+    class_names:
+        Human-readable class names (defaults to ``class_0`` ...).
+    prototypes:
+        The underlying class prototypes, kept for analysis / debugging.
+    """
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    num_classes: int
+    image_size: int
+    channels: int = 3
+    name: str = "synthetic"
+    class_names: Tuple[str, ...] = ()
+    prototypes: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if not self.class_names:
+            self.class_names = tuple(f"class_{i}" for i in range(self.num_classes))
+
+    def __len__(self) -> int:
+        return len(self.x_train)
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int]:
+        return (self.channels, self.image_size, self.image_size)
+
+    def subset(self, n_train: int, n_test: Optional[int] = None) -> "SyntheticImageDataset":
+        """Return a smaller copy with the first ``n_train`` / ``n_test`` examples."""
+        n_test = n_test if n_test is not None else min(n_train, len(self.x_test))
+        return SyntheticImageDataset(
+            x_train=self.x_train[:n_train],
+            y_train=self.y_train[:n_train],
+            x_test=self.x_test[:n_test],
+            y_test=self.y_test[:n_test],
+            num_classes=self.num_classes,
+            image_size=self.image_size,
+            channels=self.channels,
+            name=self.name,
+            class_names=self.class_names,
+            prototypes=self.prototypes,
+        )
+
+
+def _smooth_random_field(rng: np.random.Generator, channels: int, size: int, smoothness: int = 4) -> np.ndarray:
+    """Generate a smooth random pattern by upsampling low-resolution noise."""
+    low = max(2, size // smoothness)
+    coarse = rng.normal(size=(channels, low, low))
+    # Bilinear-ish upsampling with np.kron then a light box blur.
+    factor = size // low
+    up = np.kron(coarse, np.ones((1, factor, factor)))
+    if up.shape[1] < size:
+        pad = size - up.shape[1]
+        up = np.pad(up, ((0, 0), (0, pad), (0, pad)), mode="edge")
+    up = up[:, :size, :size]
+    kernel = np.ones((3, 3)) / 9.0
+    blurred = np.empty_like(up)
+    padded = np.pad(up, ((0, 0), (1, 1), (1, 1)), mode="edge")
+    for c in range(channels):
+        acc = np.zeros((size, size))
+        for di in range(3):
+            for dj in range(3):
+                acc += kernel[di, dj] * padded[c, di : di + size, dj : dj + size]
+        blurred[c] = acc
+    return blurred
+
+
+def make_dataset(
+    num_classes: int,
+    image_size: int,
+    n_train: int,
+    n_test: int,
+    channels: int = 3,
+    signal_strength: float = 1.2,
+    noise_level: float = 0.35,
+    shared_feature_fraction: float = 0.35,
+    distractor_strength: float = 0.5,
+    seed: int = 0,
+    name: str = "synthetic",
+    class_names: Optional[Tuple[str, ...]] = None,
+) -> SyntheticImageDataset:
+    """Generate a class-structured synthetic image dataset.
+
+    Each class ``c`` has a prototype ``P_c``.  Neighbouring classes on the
+    class ring share ``shared_feature_fraction`` of their prototype (a common
+    component blended in), creating the cross-class similarity structure the
+    paper discusses.  An example of class ``c`` is::
+
+        x = clip(0.5 + s * P_c + d * D_i + n * eps, 0, 1)
+
+    where ``D_i`` is a per-example distractor pattern (class-independent
+    "nuisance" content that carries information about X but not about Y) and
+    ``eps`` is white noise.
+    """
+    if num_classes < 2:
+        raise ValueError("need at least two classes")
+    if n_train <= 0 or n_test <= 0:
+        raise ValueError("n_train and n_test must be positive")
+    rng = np.random.default_rng(seed)
+
+    # Independent prototype fields plus a shared component between ring neighbours.
+    base = np.stack([_smooth_random_field(rng, channels, image_size) for _ in range(num_classes)])
+    shared = np.stack([_smooth_random_field(rng, channels, image_size) for _ in range(num_classes)])
+    prototypes = np.empty_like(base)
+    for c in range(num_classes):
+        neighbour = (c + 1) % num_classes
+        common = 0.5 * (shared[c] + shared[neighbour])
+        prototypes[c] = (1.0 - shared_feature_fraction) * base[c] + shared_feature_fraction * common
+    # Normalize prototypes to unit RMS so signal_strength is meaningful.
+    rms = np.sqrt((prototypes ** 2).mean(axis=(1, 2, 3), keepdims=True))
+    prototypes = prototypes / np.maximum(rms, 1e-8)
+
+    def _generate(n: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, num_classes, size=n)
+        images = np.empty((n, channels, image_size, image_size))
+        for i in range(n):
+            distractor = _smooth_random_field(rng, channels, image_size, smoothness=2)
+            noise = rng.normal(size=(channels, image_size, image_size))
+            img = (
+                0.5
+                + 0.18 * signal_strength * prototypes[labels[i]]
+                + 0.10 * distractor_strength * distractor
+                + 0.10 * noise_level * noise
+            )
+            images[i] = np.clip(img, 0.0, 1.0)
+        return images, labels
+
+    x_train, y_train = _generate(n_train)
+    x_test, y_test = _generate(n_test)
+    return SyntheticImageDataset(
+        x_train=x_train,
+        y_train=y_train,
+        x_test=x_test,
+        y_test=y_test,
+        num_classes=num_classes,
+        image_size=image_size,
+        channels=channels,
+        name=name,
+        class_names=tuple(class_names) if class_names else (),
+        prototypes=prototypes,
+    )
+
+
+def synthetic_cifar10(n_train: int = 512, n_test: int = 256, image_size: int = 32, seed: int = 0) -> SyntheticImageDataset:
+    """CIFAR-10 stand-in: 10 classes, 3x32x32 images (size configurable)."""
+    return make_dataset(
+        num_classes=10,
+        image_size=image_size,
+        n_train=n_train,
+        n_test=n_test,
+        seed=seed,
+        name="synthetic-cifar10",
+        class_names=tuple(CIFAR10_CLASS_NAMES),
+    )
+
+
+def synthetic_cifar100(n_train: int = 512, n_test: int = 256, image_size: int = 32, seed: int = 0) -> SyntheticImageDataset:
+    """CIFAR-100 stand-in: 100 classes, 3x32x32 images."""
+    return make_dataset(
+        num_classes=100,
+        image_size=image_size,
+        n_train=n_train,
+        n_test=n_test,
+        seed=seed,
+        name="synthetic-cifar100",
+    )
+
+
+def synthetic_svhn(n_train: int = 512, n_test: int = 256, image_size: int = 32, seed: int = 0) -> SyntheticImageDataset:
+    """SVHN stand-in: 10 classes (digits), 3x32x32 images, higher noise.
+
+    SVHN digits have cluttered backgrounds, which is approximated with a
+    stronger distractor component; this is the dataset where the paper's
+    convergence experiment (Figure 4) lives.
+    """
+    return make_dataset(
+        num_classes=10,
+        image_size=image_size,
+        n_train=n_train,
+        n_test=n_test,
+        distractor_strength=0.9,
+        noise_level=0.45,
+        seed=seed,
+        name="synthetic-svhn",
+        class_names=tuple(str(d) for d in range(10)),
+    )
+
+
+def synthetic_tiny_imagenet(
+    n_train: int = 512, n_test: int = 256, image_size: int = 64, num_classes: int = 200, seed: int = 0
+) -> SyntheticImageDataset:
+    """Tiny ImageNet stand-in: 200 classes, 3x64x64 images by default."""
+    return make_dataset(
+        num_classes=num_classes,
+        image_size=image_size,
+        n_train=n_train,
+        n_test=n_test,
+        seed=seed,
+        name="synthetic-tiny-imagenet",
+    )
+
+
+DATASET_REGISTRY = {
+    "cifar10": synthetic_cifar10,
+    "cifar100": synthetic_cifar100,
+    "svhn": synthetic_svhn,
+    "tiny-imagenet": synthetic_tiny_imagenet,
+}

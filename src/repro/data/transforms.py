@@ -1,0 +1,89 @@
+"""Data-augmentation transforms for NCHW image batches.
+
+The paper's training recipe uses the standard CIFAR augmentation (random
+crop with 4-pixel padding and random horizontal flip).  Transforms here are
+pure functions of ``(batch, rng)`` so they compose with
+:class:`repro.data.DataLoader`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "random_horizontal_flip",
+    "random_crop",
+    "normalize",
+    "add_gaussian_noise",
+    "compose",
+    "standard_cifar_augmentation",
+]
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def random_horizontal_flip(p: float = 0.5) -> Transform:
+    """Flip each image left-right with probability ``p``."""
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = batch.copy()
+        flips = rng.random(len(batch)) < p
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+    return apply
+
+
+def random_crop(padding: int = 4) -> Transform:
+    """Pad by ``padding`` pixels (reflect) and crop back to the original size."""
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, c, h, w = batch.shape
+        padded = np.pad(batch, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="reflect")
+        out = np.empty_like(batch)
+        offsets_h = rng.integers(0, 2 * padding + 1, size=n)
+        offsets_w = rng.integers(0, 2 * padding + 1, size=n)
+        for i in range(n):
+            oh, ow = offsets_h[i], offsets_w[i]
+            out[i] = padded[i, :, oh : oh + h, ow : ow + w]
+        return out
+
+    return apply
+
+
+def normalize(mean: Sequence[float], std: Sequence[float]) -> Transform:
+    """Channel-wise normalization ``(x - mean) / std``."""
+    mean_arr = np.asarray(mean, dtype=np.float64).reshape(1, -1, 1, 1)
+    std_arr = np.asarray(std, dtype=np.float64).reshape(1, -1, 1, 1)
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (batch - mean_arr) / std_arr
+
+    return apply
+
+
+def add_gaussian_noise(sigma: float = 0.01) -> Transform:
+    """Add white Gaussian noise (used by robustness ablation benches)."""
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.clip(batch + rng.normal(0.0, sigma, size=batch.shape), 0.0, 1.0)
+
+    return apply
+
+
+def compose(*transforms: Transform) -> Transform:
+    """Chain transforms left to right."""
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in transforms:
+            batch = transform(batch, rng)
+        return batch
+
+    return apply
+
+
+def standard_cifar_augmentation(padding: int = 4, flip_p: float = 0.5) -> Transform:
+    """The augmentation pipeline used for CIFAR training in the paper."""
+    return compose(random_crop(padding), random_horizontal_flip(flip_p))

@@ -1,0 +1,22 @@
+"""Evaluation harness: clean/adversarial accuracy and multi-attack reports."""
+
+from .metrics import accuracy, adversarial_accuracy, attack_success_rate, clean_accuracy
+from .robustness import (
+    PAPER_ATTACK_ORDER,
+    RobustnessReport,
+    evaluate_robustness,
+    format_table,
+    paper_attack_suite,
+)
+
+__all__ = [
+    "accuracy",
+    "clean_accuracy",
+    "adversarial_accuracy",
+    "attack_success_rate",
+    "RobustnessReport",
+    "evaluate_robustness",
+    "paper_attack_suite",
+    "format_table",
+    "PAPER_ATTACK_ORDER",
+]

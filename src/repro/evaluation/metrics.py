@@ -1,0 +1,87 @@
+"""Accuracy metrics for clean and adversarial evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import Tensor, no_grad
+from ..models.base import ImageClassifier
+
+__all__ = ["accuracy", "clean_accuracy", "adversarial_accuracy", "attack_success_rate"]
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of matching entries between two integer arrays."""
+    predictions = np.asarray(predictions).reshape(-1)
+    labels = np.asarray(labels).reshape(-1)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same length")
+    if predictions.size == 0:
+        return 0.0
+    return float((predictions == labels).mean())
+
+
+def _batched_predict(model: ImageClassifier, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    outputs = []
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                outputs.append(model.predict(Tensor(images[start : start + batch_size])))
+    finally:
+        model.train(was_training)
+    return np.concatenate(outputs) if outputs else np.empty(0, dtype=np.int64)
+
+
+def clean_accuracy(model: ImageClassifier, images: np.ndarray, labels: np.ndarray, batch_size: int = 128) -> float:
+    """Top-1 accuracy on unperturbed inputs ("Natural" columns in Tables 1-2)."""
+    return accuracy(_batched_predict(model, images, batch_size), labels)
+
+
+def adversarial_accuracy(
+    model: ImageClassifier,
+    attack,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 64,
+) -> float:
+    """Top-1 accuracy after perturbing ``images`` with ``attack``."""
+    correct = 0
+    total = 0
+    labels = np.asarray(labels).reshape(-1)
+    for start in range(0, len(images), batch_size):
+        batch = images[start : start + batch_size]
+        batch_labels = labels[start : start + batch_size]
+        adversarial = attack.attack(batch, batch_labels)
+        predictions = _batched_predict(model, adversarial, batch_size)
+        correct += int((predictions == batch_labels).sum())
+        total += len(batch_labels)
+    return correct / max(total, 1)
+
+
+def attack_success_rate(
+    model: ImageClassifier,
+    attack,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 64,
+) -> float:
+    """Fraction of originally-correct examples the attack flips."""
+    labels = np.asarray(labels).reshape(-1)
+    clean_predictions = _batched_predict(model, images, batch_size)
+    correct_mask = clean_predictions == labels
+    if not correct_mask.any():
+        return 0.0
+    eligible_images = images[correct_mask]
+    eligible_labels = labels[correct_mask]
+    flipped = 0
+    for start in range(0, len(eligible_images), batch_size):
+        batch = eligible_images[start : start + batch_size]
+        batch_labels = eligible_labels[start : start + batch_size]
+        adversarial = attack.attack(batch, batch_labels)
+        predictions = _batched_predict(model, adversarial, batch_size)
+        flipped += int((predictions != batch_labels).sum())
+    return flipped / int(correct_mask.sum())

@@ -1,0 +1,30 @@
+"""Information-bottleneck machinery: HSIC, MI estimators, VIB and HBaR baselines."""
+
+from .hbar import HBaRLoss
+from .hsic import (
+    gaussian_kernel,
+    hsic,
+    hsic_xy_labels,
+    linear_kernel,
+    median_bandwidth,
+    normalized_hsic,
+    pairwise_squared_distances,
+)
+from .mi import binned_mutual_information, channel_label_mi, discrete_mutual_information
+from .vib import VIBClassifier, vib_loss
+
+__all__ = [
+    "gaussian_kernel",
+    "linear_kernel",
+    "median_bandwidth",
+    "pairwise_squared_distances",
+    "hsic",
+    "normalized_hsic",
+    "hsic_xy_labels",
+    "binned_mutual_information",
+    "channel_label_mi",
+    "discrete_mutual_information",
+    "VIBClassifier",
+    "vib_loss",
+    "HBaRLoss",
+]

@@ -1,0 +1,40 @@
+"""Model zoo: the architectures used in the IB-RAR paper.
+
+* :class:`VGG16` (CIFAR-10, SVHN, Tiny ImageNet experiments)
+* :class:`ResNet18` (CIFAR-10 experiments)
+* :class:`WideResNet28x10` (CIFAR-100 experiments)
+* :class:`SmallCNN` / :class:`MLP` (CPU-fast stand-ins with the same interface)
+
+Every model derives from :class:`ImageClassifier`, which exposes hidden
+representations for the IB regularizers and supports the Eq. (3) channel mask.
+"""
+
+from .base import ImageClassifier
+from .registry import MODEL_REGISTRY, available_models, build_model
+from .resnet import BasicBlock, ResNet, ResNet18, ResNet34, resnet18
+from .small import MLP, SmallCNN
+from .vgg import VGG, VGG11, VGG13, VGG16, vgg16
+from .wide_resnet import WideBasicBlock, WideResNet, WideResNet28x10, wide_resnet28_10
+
+__all__ = [
+    "ImageClassifier",
+    "VGG",
+    "VGG11",
+    "VGG13",
+    "VGG16",
+    "vgg16",
+    "ResNet",
+    "ResNet18",
+    "ResNet34",
+    "resnet18",
+    "BasicBlock",
+    "WideResNet",
+    "WideResNet28x10",
+    "wide_resnet28_10",
+    "WideBasicBlock",
+    "SmallCNN",
+    "MLP",
+    "MODEL_REGISTRY",
+    "build_model",
+    "available_models",
+]

@@ -1,0 +1,103 @@
+"""Common interface for the image classifiers used in the paper.
+
+Every model in the zoo is an :class:`ImageClassifier`: a module that, in
+addition to producing logits, can expose its intermediate representations
+``T_l`` (needed by the IB regularizers of Eq. 1/2) and accept a channel mask
+applied to the output of its **last convolutional block** (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import Module, Tensor
+
+__all__ = ["ImageClassifier", "HiddenRepresentations"]
+
+HiddenRepresentations = "OrderedDict[str, Tensor]"
+
+
+class ImageClassifier(Module):
+    """Base class for classifiers that expose hidden representations.
+
+    Subclasses must implement :meth:`forward_with_hidden` which returns
+    ``(logits, hidden)`` where ``hidden`` is an ordered mapping from layer
+    name (e.g. ``"conv_block5"``, ``"fc1"``) to the layer's output tensor.
+    The ordinary :meth:`forward` simply discards the hidden outputs.
+
+    Attributes
+    ----------
+    num_classes:
+        Number of output classes.
+    channel_mask:
+        Optional binary vector of length ``last_conv_channels``.  When set
+        (via :meth:`set_channel_mask`) the output of the last convolutional
+        block is multiplied channel-wise by this mask on every forward pass,
+        implementing Eq. (3) of the paper.
+    """
+
+    #: name of the hidden entry holding the last convolutional block output
+    last_conv_name: str = "conv_block5"
+
+    def __init__(self, num_classes: int) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+        self.channel_mask: Optional[np.ndarray] = None
+
+    # -- mask management -------------------------------------------------------
+    @property
+    def last_conv_channels(self) -> int:
+        """Number of channels produced by the last convolutional block."""
+        raise NotImplementedError
+
+    def set_channel_mask(self, mask: Optional[np.ndarray]) -> None:
+        """Install (or clear, with ``None``) the Eq. (3) feature-channel mask."""
+        if mask is not None:
+            mask = np.asarray(mask, dtype=np.float64).reshape(-1)
+            if mask.shape[0] != self.last_conv_channels:
+                raise ValueError(
+                    f"mask has {mask.shape[0]} entries but the last conv block has "
+                    f"{self.last_conv_channels} channels"
+                )
+        self.channel_mask = mask
+
+    def _apply_channel_mask(self, features: Tensor) -> Tensor:
+        """Multiply an NCHW (or NC) tensor channel-wise by the installed mask."""
+        if self.channel_mask is None:
+            return features
+        if features.ndim == 4:
+            mask = self.channel_mask.reshape(1, -1, 1, 1)
+        else:
+            mask = self.channel_mask.reshape(1, -1)
+        return features * Tensor(mask)
+
+    # -- forward interface -------------------------------------------------------
+    def forward_with_hidden(self, x: Tensor) -> Tuple[Tensor, "OrderedDict[str, Tensor]"]:
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        logits, _ = self.forward_with_hidden(x)
+        return logits
+
+    # -- convenience -------------------------------------------------------------
+    @property
+    def hidden_layer_names(self) -> List[str]:
+        """Names of the hidden representations, in forward order."""
+        raise NotImplementedError
+
+    def features(self, x: Tensor, layer: Optional[str] = None) -> Tensor:
+        """Return the representation of ``layer`` (default: penultimate layer)."""
+        _, hidden = self.forward_with_hidden(x)
+        if layer is None:
+            layer = self.hidden_layer_names[-1]
+        if layer not in hidden:
+            raise KeyError(f"unknown layer '{layer}'; available: {list(hidden)}")
+        return hidden[layer]
+
+    def predict(self, x: Tensor) -> np.ndarray:
+        """Return hard class predictions as an integer array."""
+        logits = self.forward(x)
+        return np.argmax(logits.data, axis=1)

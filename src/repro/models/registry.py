@@ -1,0 +1,48 @@
+"""Model registry: build any paper architecture by name.
+
+The benches and examples refer to models by the names used in the paper
+("vgg16", "resnet18", "wrn28-10", ...).  The registry maps those names to
+factories and applies the dataset-appropriate defaults (class counts and
+input sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import ImageClassifier
+from .resnet import ResNet18, ResNet34
+from .small import MLP, SmallCNN
+from .vgg import VGG11, VGG13, VGG16
+from .wide_resnet import WideResNet28x10
+
+__all__ = ["MODEL_REGISTRY", "build_model", "available_models"]
+
+MODEL_REGISTRY: Dict[str, Callable[..., ImageClassifier]] = {
+    "vgg11": VGG11,
+    "vgg13": VGG13,
+    "vgg16": VGG16,
+    "resnet18": ResNet18,
+    "resnet34": ResNet34,
+    "wrn28-10": WideResNet28x10,
+    "wideresnet28-10": WideResNet28x10,
+    "smallcnn": SmallCNN,
+    "mlp": MLP,
+}
+
+
+def available_models() -> List[str]:
+    """Return the sorted list of model names accepted by :func:`build_model`."""
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(name: str, num_classes: int = 10, **kwargs) -> ImageClassifier:
+    """Instantiate a model by its registry name.
+
+    Extra keyword arguments (``width_multiplier``, ``image_size``, ``seed``,
+    ...) are forwarded to the model constructor.
+    """
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model '{name}'; available: {available_models()}")
+    return MODEL_REGISTRY[key](num_classes=num_classes, **kwargs)

@@ -1,0 +1,128 @@
+"""ResNet-18/34 (He et al., 2016) with hidden-layer capture.
+
+Used by the paper for CIFAR-10 (Table 2, Table 4, Figure 6b).  The CIFAR
+variant follows the standard recipe: a 3x3 stem convolution (no max-pool)
+followed by four residual stages and a global-average-pool classifier.
+The four stage outputs plus the pooled feature vector are exposed as hidden
+representations for the IB regularizers; the output of ``layer4`` (the last
+convolutional stage) is the target of the Eq. (3) channel mask.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import BatchNorm2d, Conv2d, Identity, Linear, Module, Sequential, Tensor
+from ..nn import functional as F
+from .base import ImageClassifier
+
+__all__ = ["BasicBlock", "ResNet", "ResNet18", "ResNet34", "resnet18"]
+
+
+class BasicBlock(Module):
+    """Standard two-convolution residual block with an optional projection."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut_conv = Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng)
+            self.shortcut_bn = BatchNorm2d(out_channels)
+            self._has_projection = True
+        else:
+            self._has_projection = False
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        if self._has_projection:
+            shortcut = self.shortcut_bn(self.shortcut_conv(x))
+        else:
+            shortcut = x
+        return (out + shortcut).relu()
+
+
+class ResNet(ImageClassifier):
+    """CIFAR-style ResNet built from :class:`BasicBlock` stages.
+
+    Parameters mirror :class:`repro.models.vgg.VGG`: ``width_multiplier``
+    scales channel counts to keep CPU runs tractable while preserving the
+    residual topology.
+    """
+
+    last_conv_name = "layer4"
+
+    def __init__(
+        self,
+        blocks_per_stage: List[int],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width_multiplier: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_classes)
+        rng = np.random.default_rng(seed)
+        widths = [max(4, int(round(w * width_multiplier))) for w in (64, 128, 256, 512)]
+        self.widths = widths
+        self.blocks_per_stage = list(blocks_per_stage)
+
+        self.conv1 = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(widths[0])
+
+        in_ch = widths[0]
+        stages: List[Sequential] = []
+        for stage_index, (width, count) in enumerate(zip(widths, blocks_per_stage)):
+            stride = 1 if stage_index == 0 else 2
+            blocks: List[Module] = []
+            for block_index in range(count):
+                block_stride = stride if block_index == 0 else 1
+                blocks.append(BasicBlock(in_ch, width, block_stride, rng))
+                in_ch = width
+            stages.append(Sequential(*blocks))
+        self.layer1, self.layer2, self.layer3, self.layer4 = stages
+        self._last_conv_channels = widths[-1]
+        self.fc = Linear(widths[-1], num_classes, rng=rng)
+
+    @property
+    def last_conv_channels(self) -> int:
+        return self._last_conv_channels
+
+    @property
+    def hidden_layer_names(self) -> List[str]:
+        return ["layer1", "layer2", "layer3", "layer4", "pool"]
+
+    def forward_with_hidden(self, x: Tensor) -> Tuple[Tensor, "OrderedDict[str, Tensor]"]:
+        hidden: "OrderedDict[str, Tensor]" = OrderedDict()
+        h = self.bn1(self.conv1(x)).relu()
+        for name in ["layer1", "layer2", "layer3", "layer4"]:
+            h = getattr(self, name)(h)
+            if name == self.last_conv_name:
+                h = self._apply_channel_mask(h)
+            hidden[name] = h
+        pooled = F.global_avg_pool2d(h)
+        hidden["pool"] = pooled
+        logits = self.fc(pooled)
+        return logits, hidden
+
+
+class ResNet18(ResNet):
+    def __init__(self, **kwargs) -> None:
+        super().__init__(blocks_per_stage=[2, 2, 2, 2], **kwargs)
+
+
+class ResNet34(ResNet):
+    def __init__(self, **kwargs) -> None:
+        super().__init__(blocks_per_stage=[3, 4, 6, 3], **kwargs)
+
+
+def resnet18(num_classes: int = 10, **kwargs) -> ResNet18:
+    """Factory matching the paper's CIFAR-10 ResNet-18 configuration."""
+    return ResNet18(num_classes=num_classes, **kwargs)

@@ -1,0 +1,138 @@
+"""Small reference models used by tests, examples, and fast benches.
+
+``SmallCNN`` keeps the *shape* of the paper's pipeline (a convolutional
+feature extractor whose last block can be channel-masked, followed by two
+fully connected layers whose outputs feed the IB regularizers) at a size
+that trains in seconds on a CPU.  ``MLP`` is a plain fully connected
+classifier used by unit tests of the training loop and attack code.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Tuple
+
+import numpy as np
+
+from ..nn import BatchNorm2d, Conv2d, Linear, MaxPool2d, Module, ReLU, Sequential, Tensor
+from ..nn import functional as F
+from .base import ImageClassifier
+
+__all__ = ["SmallCNN", "MLP"]
+
+
+class SmallCNN(ImageClassifier):
+    """Two-conv-block CNN with the same hidden-layer interface as VGG.
+
+    Hidden layers: ``conv_block1``, ``conv_block2`` (last conv, maskable),
+    ``fc1``, ``fc2``.  Default input is 3x32x32 (CIFAR-shaped).
+    """
+
+    last_conv_name = "conv_block2"
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        base_channels: int = 8,
+        hidden_dim: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_classes)
+        if image_size % 4 != 0:
+            raise ValueError("image_size must be divisible by 4")
+        rng = np.random.default_rng(seed)
+        self.image_size = image_size
+        c1, c2 = base_channels, base_channels * 2
+        self.conv_block1 = Sequential(
+            Conv2d(in_channels, c1, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(c1),
+            ReLU(),
+            MaxPool2d(2, 2),
+        )
+        self.conv_block2 = Sequential(
+            Conv2d(c1, c2, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(c2),
+            ReLU(),
+            MaxPool2d(2, 2),
+        )
+        self._last_conv_channels = c2
+        spatial = image_size // 4
+        self.fc1 = Linear(c2 * spatial * spatial, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.fc3 = Linear(hidden_dim, num_classes, rng=rng)
+        self.hidden_dim = hidden_dim
+
+    @property
+    def last_conv_channels(self) -> int:
+        return self._last_conv_channels
+
+    @property
+    def hidden_layer_names(self) -> List[str]:
+        return ["conv_block1", "conv_block2", "fc1", "fc2"]
+
+    def forward_with_hidden(self, x: Tensor) -> Tuple[Tensor, "OrderedDict[str, Tensor]"]:
+        hidden: "OrderedDict[str, Tensor]" = OrderedDict()
+        h = self.conv_block1(x)
+        hidden["conv_block1"] = h
+        h = self.conv_block2(h)
+        h = self._apply_channel_mask(h)
+        hidden["conv_block2"] = h
+        h = h.flatten(start_dim=1)
+        h = self.fc1(h).relu()
+        hidden["fc1"] = h
+        h = self.fc2(h).relu()
+        hidden["fc2"] = h
+        logits = self.fc3(h)
+        return logits, hidden
+
+
+class MLP(ImageClassifier):
+    """Fully connected classifier over flattened inputs.
+
+    Hidden layers: ``fc1`` ... ``fc{n}``.  There is no convolutional block,
+    so the Eq. (3) mask applies to the first hidden layer's units instead
+    (the masking mechanics are identical: zero out low-MI feature channels).
+    """
+
+    last_conv_name = "fc1"
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int = 10,
+        hidden_dims: Tuple[int, ...] = (64, 32),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_classes)
+        rng = np.random.default_rng(seed)
+        self.input_dim = input_dim
+        self.hidden_dims = tuple(hidden_dims)
+        dims = [input_dim, *hidden_dims]
+        self._layers: List[Linear] = []
+        for index, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:]), start=1):
+            layer = Linear(d_in, d_out, rng=rng)
+            setattr(self, f"fc{index}", layer)
+            self._layers.append(layer)
+        self.head = Linear(dims[-1], num_classes, rng=rng)
+        self._last_conv_channels = hidden_dims[0]
+
+    @property
+    def last_conv_channels(self) -> int:
+        return self._last_conv_channels
+
+    @property
+    def hidden_layer_names(self) -> List[str]:
+        return [f"fc{i}" for i in range(1, len(self._layers) + 1)]
+
+    def forward_with_hidden(self, x: Tensor) -> Tuple[Tensor, "OrderedDict[str, Tensor]"]:
+        hidden: "OrderedDict[str, Tensor]" = OrderedDict()
+        h = x if x.ndim == 2 else x.flatten(start_dim=1)
+        for index, layer in enumerate(self._layers, start=1):
+            h = layer(h).relu()
+            if index == 1:
+                h = self._apply_channel_mask(h)
+            hidden[f"fc{index}"] = h
+        logits = self.head(h)
+        return logits, hidden

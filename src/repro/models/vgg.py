@@ -1,0 +1,202 @@
+"""VGG networks (Simonyan & Zisserman, 2014) with hidden-layer capture.
+
+The paper's main experiments (Tables 1, 3, 4; Figures 2-6) use VGG16 on
+CIFAR-10 / Tiny ImageNet / SVHN.  The implementation keeps the reference
+topology — five convolutional blocks followed by three fully connected
+layers — and exposes every block output as a hidden representation for the
+IB regularizers.  A ``width_multiplier`` scales the channel counts so the
+CPU-only benches stay tractable while preserving the architecture shape.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import BatchNorm2d, Conv2d, Dropout, Linear, MaxPool2d, Module, ReLU, Sequential, Tensor
+from ..nn import functional as F
+from .base import ImageClassifier
+
+__all__ = ["VGG", "VGG11", "VGG13", "VGG16", "vgg16"]
+
+# Standard VGG configurations: numbers are conv output channels, "M" is maxpool.
+_VGG_CONFIGS: Dict[str, List] = {
+    "VGG11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "VGG13": [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "VGG16": [
+        64, 64, "M",
+        128, 128, "M",
+        256, 256, 256, "M",
+        512, 512, 512, "M",
+        512, 512, 512, "M",
+    ],
+}
+
+
+class _ConvBlock(Module):
+    """A VGG convolutional block: (conv-bn-relu)* followed by max-pool."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels_list: List[int],
+        batch_norm: bool,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        layers: List[Module] = []
+        current = in_channels
+        for out_channels in out_channels_list:
+            layers.append(Conv2d(current, out_channels, 3, padding=1, bias=not batch_norm, rng=rng))
+            if batch_norm:
+                layers.append(BatchNorm2d(out_channels))
+            layers.append(ReLU())
+            current = out_channels
+        layers.append(MaxPool2d(2, 2))
+        self.block = Sequential(*layers)
+        self.out_channels = current
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.block(x)
+
+
+class VGG(ImageClassifier):
+    """VGG network organised into five blocks plus a three-layer classifier.
+
+    Parameters
+    ----------
+    config:
+        One of ``"VGG11"``, ``"VGG13"``, ``"VGG16"``.
+    num_classes:
+        Output dimensionality (10 for CIFAR-10/SVHN, 100 for CIFAR-100,
+        200 for Tiny ImageNet).
+    in_channels:
+        Input channels (3 for RGB images).
+    image_size:
+        Spatial size of the (square) input.  32 for CIFAR, 64 for Tiny
+        ImageNet.  Must be divisible by 32 so five max-pools are valid.
+    width_multiplier:
+        Scales every channel count; 1.0 reproduces the reference widths,
+        smaller values give CPU-sized models with the same topology.
+    hidden_dim:
+        Width of the two fully connected hidden layers (512 in the paper's
+        CIFAR variant of VGG16).
+    batch_norm:
+        Whether to insert BatchNorm after each convolution (the paper's
+        training recipe uses it).
+    """
+
+    last_conv_name = "conv_block5"
+
+    def __init__(
+        self,
+        config: str = "VGG16",
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        width_multiplier: float = 1.0,
+        hidden_dim: int = 512,
+        batch_norm: bool = True,
+        dropout: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_classes)
+        if config not in _VGG_CONFIGS:
+            raise ValueError(f"unknown VGG config '{config}'")
+        if image_size % 32 != 0:
+            raise ValueError("image_size must be divisible by 32 for five max-pool stages")
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.image_size = image_size
+        self.width_multiplier = width_multiplier
+
+        # Split the flat config into the five blocks delimited by "M".
+        block_channels: List[List[int]] = []
+        current: List[int] = []
+        for entry in _VGG_CONFIGS[config]:
+            if entry == "M":
+                block_channels.append(current)
+                current = []
+            else:
+                scaled = max(4, int(round(entry * width_multiplier)))
+                current.append(scaled)
+        if len(block_channels) != 5:
+            raise RuntimeError("VGG config must contain exactly five pooling stages")
+
+        in_ch = in_channels
+        blocks: List[_ConvBlock] = []
+        for channels in block_channels:
+            block = _ConvBlock(in_ch, channels, batch_norm, rng)
+            blocks.append(block)
+            in_ch = block.out_channels
+        self.conv_block1, self.conv_block2, self.conv_block3, self.conv_block4, self.conv_block5 = blocks
+        self._last_conv_channels = blocks[-1].out_channels
+
+        spatial = image_size // 32
+        feature_dim = self._last_conv_channels * spatial * spatial
+        hidden_dim = max(8, int(round(hidden_dim * width_multiplier))) if width_multiplier != 1.0 else hidden_dim
+        self.fc1 = Linear(feature_dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.fc3 = Linear(hidden_dim, num_classes, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+        self.hidden_dim = hidden_dim
+
+    # -- ImageClassifier interface -------------------------------------------
+    @property
+    def last_conv_channels(self) -> int:
+        return self._last_conv_channels
+
+    @property
+    def hidden_layer_names(self) -> List[str]:
+        return [
+            "conv_block1",
+            "conv_block2",
+            "conv_block3",
+            "conv_block4",
+            "conv_block5",
+            "fc1",
+            "fc2",
+        ]
+
+    def forward_with_hidden(self, x: Tensor) -> Tuple[Tensor, "OrderedDict[str, Tensor]"]:
+        hidden: "OrderedDict[str, Tensor]" = OrderedDict()
+        h = x
+        for name in ["conv_block1", "conv_block2", "conv_block3", "conv_block4", "conv_block5"]:
+            block: _ConvBlock = getattr(self, name)
+            h = block(h)
+            if name == self.last_conv_name:
+                h = self._apply_channel_mask(h)
+            hidden[name] = h
+        h = h.flatten(start_dim=1)
+        h = self.fc1(h).relu()
+        if self.dropout is not None:
+            h = self.dropout(h)
+        hidden["fc1"] = h
+        h = self.fc2(h).relu()
+        if self.dropout is not None:
+            h = self.dropout(h)
+        hidden["fc2"] = h
+        logits = self.fc3(h)
+        return logits, hidden
+
+
+class VGG11(VGG):
+    def __init__(self, **kwargs) -> None:
+        super().__init__(config="VGG11", **kwargs)
+
+
+class VGG13(VGG):
+    def __init__(self, **kwargs) -> None:
+        super().__init__(config="VGG13", **kwargs)
+
+
+class VGG16(VGG):
+    def __init__(self, **kwargs) -> None:
+        super().__init__(config="VGG16", **kwargs)
+
+
+def vgg16(num_classes: int = 10, **kwargs) -> VGG16:
+    """Factory matching the paper's default VGG16 configuration."""
+    return VGG16(num_classes=num_classes, **kwargs)

@@ -1,0 +1,121 @@
+"""Wide ResNet (Zagoruyko & Komodakis, 2016) with hidden-layer capture.
+
+The paper uses WideResNet-28-10 for CIFAR-100 (Table 2, right half).  The
+depth/width parametrization follows the original paper: depth ``d`` means
+``(d - 4) / 6`` blocks per stage, and the widen factor multiplies the base
+widths (16, 32, 64).  Pre-activation residual blocks are used, as in the
+reference implementation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Tuple
+
+import numpy as np
+
+from ..nn import BatchNorm2d, Conv2d, Linear, Module, Sequential, Tensor
+from ..nn import functional as F
+from .base import ImageClassifier
+
+__all__ = ["WideBasicBlock", "WideResNet", "WideResNet28x10", "wide_resnet28_10"]
+
+
+class WideBasicBlock(Module):
+    """Pre-activation residual block used by Wide ResNet."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.bn1 = BatchNorm2d(in_channels)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng)
+            self._has_projection = True
+        else:
+            self._has_projection = False
+
+    def forward(self, x: Tensor) -> Tensor:
+        pre = self.bn1(x).relu()
+        out = self.conv1(pre)
+        out = self.conv2(self.bn2(out).relu())
+        shortcut = self.shortcut(pre) if self._has_projection else x
+        return out + shortcut
+
+
+class WideResNet(ImageClassifier):
+    """WRN-d-k: depth ``d`` and widen factor ``k`` over three stages."""
+
+    last_conv_name = "stage3"
+
+    def __init__(
+        self,
+        depth: int = 28,
+        widen_factor: int = 10,
+        num_classes: int = 100,
+        in_channels: int = 3,
+        width_multiplier: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_classes)
+        if (depth - 4) % 6 != 0:
+            raise ValueError("WideResNet depth must satisfy depth = 6n + 4")
+        rng = np.random.default_rng(seed)
+        blocks_per_stage = (depth - 4) // 6
+        base_widths = [16, 16 * widen_factor, 32 * widen_factor, 64 * widen_factor]
+        widths = [max(4, int(round(w * width_multiplier))) for w in base_widths]
+        self.depth = depth
+        self.widen_factor = widen_factor
+        self.widths = widths
+
+        self.conv1 = Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng)
+
+        in_ch = widths[0]
+        stages: List[Sequential] = []
+        for stage_index, width in enumerate(widths[1:]):
+            stride = 1 if stage_index == 0 else 2
+            blocks: List[Module] = []
+            for block_index in range(blocks_per_stage):
+                block_stride = stride if block_index == 0 else 1
+                blocks.append(WideBasicBlock(in_ch, width, block_stride, rng))
+                in_ch = width
+            stages.append(Sequential(*blocks))
+        self.stage1, self.stage2, self.stage3 = stages
+        self.bn_final = BatchNorm2d(widths[-1])
+        self._last_conv_channels = widths[-1]
+        self.fc = Linear(widths[-1], num_classes, rng=rng)
+
+    @property
+    def last_conv_channels(self) -> int:
+        return self._last_conv_channels
+
+    @property
+    def hidden_layer_names(self) -> List[str]:
+        return ["stage1", "stage2", "stage3", "pool"]
+
+    def forward_with_hidden(self, x: Tensor) -> Tuple[Tensor, "OrderedDict[str, Tensor]"]:
+        hidden: "OrderedDict[str, Tensor]" = OrderedDict()
+        h = self.conv1(x)
+        for name in ["stage1", "stage2", "stage3"]:
+            h = getattr(self, name)(h)
+            if name == self.last_conv_name:
+                h = self._apply_channel_mask(h)
+            hidden[name] = h
+        h = self.bn_final(h).relu()
+        pooled = F.global_avg_pool2d(h)
+        hidden["pool"] = pooled
+        logits = self.fc(pooled)
+        return logits, hidden
+
+
+class WideResNet28x10(WideResNet):
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("depth", 28)
+        kwargs.setdefault("widen_factor", 10)
+        super().__init__(**kwargs)
+
+
+def wide_resnet28_10(num_classes: int = 100, **kwargs) -> WideResNet28x10:
+    """Factory matching the paper's CIFAR-100 WRN-28-10 configuration."""
+    return WideResNet28x10(num_classes=num_classes, **kwargs)

@@ -1,0 +1,59 @@
+"""NumPy neural-network substrate (autograd, layers, optimizers).
+
+This package replaces PyTorch for the IB-RAR reproduction.  The public
+surface mirrors a small subset of ``torch`` / ``torch.nn``:
+
+* :class:`repro.nn.Tensor` with reverse-mode autodiff and :func:`no_grad`
+* layers in :mod:`repro.nn.modules` (``Linear``, ``Conv2d``, ``BatchNorm2d`` ...)
+* differentiable ops in :mod:`repro.nn.functional`
+* optimizers and schedulers in :mod:`repro.nn.optim`
+"""
+
+from . import functional, init, optim
+from .modules import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from .optim import SGD, Adam, CosineAnnealingLR, MultiStepLR, StepLR
+from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "stack",
+    "concatenate",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "init",
+    "optim",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+]

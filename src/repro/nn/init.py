@@ -1,0 +1,72 @@
+"""Weight initialization schemes used by the model zoo.
+
+Kaiming (He) initialization is the PyTorch default for convolutional and
+linear layers in the VGG / ResNet reference implementations, so it is what we
+use here.  All initializers take an explicit ``numpy.random.Generator`` to
+keep runs reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+    "zeros",
+    "ones",
+    "fan_in_and_fan_out",
+]
+
+
+def fan_in_and_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for linear (out, in) or conv (out, in, k, k) weights."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:
+        out_channels, in_channels, kh, kw = shape
+        receptive = kh * kw
+        return in_channels * receptive, out_channels * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He normal initialization (suitable for ReLU networks)."""
+    fan_in, _ = fan_in_and_fan_out(shape)
+    std = gain / math.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He uniform initialization."""
+    fan_in, _ = fan_in_and_fan_out(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal initialization."""
+    fan_in, fan_out = fan_in_and_fan_out(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform initialization."""
+    fan_in, fan_out = fan_in_and_fan_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

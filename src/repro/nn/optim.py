@@ -1,0 +1,165 @@
+"""Optimizers and learning-rate schedulers.
+
+The paper trains every network with SGD (weight decay 1e-2) and a StepLR
+schedule (lr 0.01, step 20, gamma 0.2); both are implemented here along with
+Adam and a couple of extra schedulers useful for the extension benches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .modules import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "MultiStepLR", "CosineAnnealingLR"]
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and a learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and decoupled L2 weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                if self.nesterov:
+                    grad = grad + self.momentum * velocity
+                else:
+                    grad = velocity
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (used by some extension experiments and the VIB encoder)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class _Scheduler:
+    """Base learning-rate scheduler driving an :class:`Optimizer`."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+
+class StepLR(_Scheduler):
+    """Decay the learning rate by ``gamma`` every ``step_size`` epochs.
+
+    The paper uses ``StepLR(lr=0.01, step_size=20, gamma=0.2)``.
+    """
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 20, gamma: float = 0.2) -> None:
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class MultiStepLR(_Scheduler):
+    """Decay the learning rate by ``gamma`` at each milestone epoch."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Iterable[int], gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        passed = sum(1 for m in self.milestones if self.epoch >= m)
+        return self.base_lr * self.gamma ** passed
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine annealing from the base learning rate down to ``eta_min``."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        self.t_max = max(t_max, 1)
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + np.cos(np.pi * progress))

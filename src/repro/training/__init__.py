@@ -1,0 +1,27 @@
+"""Training loops and adversarial-training benchmark losses (PGD-AT, TRADES, MART)."""
+
+from .adversarial import (
+    ADVERSARIAL_TRAINING_REGISTRY,
+    CrossEntropyLoss,
+    LossStrategy,
+    MARTLoss,
+    PGDAdversarialLoss,
+    TRADESLoss,
+    build_training_loss,
+)
+from .history import EpochRecord, TrainingHistory
+from .trainer import Trainer, evaluate_accuracy
+
+__all__ = [
+    "Trainer",
+    "evaluate_accuracy",
+    "TrainingHistory",
+    "EpochRecord",
+    "LossStrategy",
+    "CrossEntropyLoss",
+    "PGDAdversarialLoss",
+    "TRADESLoss",
+    "MARTLoss",
+    "ADVERSARIAL_TRAINING_REGISTRY",
+    "build_training_loss",
+]

@@ -1,0 +1,73 @@
+"""Training history containers.
+
+The convergence experiments (Figure 2d, Figure 4) need per-epoch natural and
+adversarial accuracy curves; :class:`TrainingHistory` records them along with
+the loss so every bench and example can report the same series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["EpochRecord", "TrainingHistory"]
+
+
+@dataclass
+class EpochRecord:
+    """Metrics for one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    learning_rate: float
+    natural_accuracy: Optional[float] = None
+    adversarial_accuracy: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class TrainingHistory:
+    """Sequence of :class:`EpochRecord` with convenience accessors."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def train_loss(self) -> List[float]:
+        return [r.train_loss for r in self.records]
+
+    @property
+    def train_accuracy(self) -> List[float]:
+        return [r.train_accuracy for r in self.records]
+
+    @property
+    def natural_accuracy(self) -> List[Optional[float]]:
+        return [r.natural_accuracy for r in self.records]
+
+    @property
+    def adversarial_accuracy(self) -> List[Optional[float]]:
+        return [r.adversarial_accuracy for r in self.records]
+
+    def final(self) -> EpochRecord:
+        if not self.records:
+            raise IndexError("history is empty")
+        return self.records[-1]
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Plain-dict view used by the benches when printing series."""
+        return {
+            "epoch": [r.epoch for r in self.records],
+            "train_loss": self.train_loss,
+            "train_accuracy": self.train_accuracy,
+            "natural_accuracy": [r.natural_accuracy for r in self.records],
+            "adversarial_accuracy": [r.adversarial_accuracy for r in self.records],
+        }

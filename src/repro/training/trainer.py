@@ -1,0 +1,133 @@
+"""Generic training loop shared by every experiment in the reproduction.
+
+The :class:`Trainer` follows Algorithm 1 of the paper: iterate mini-batches,
+compute the configured loss strategy (plain CE, an adversarial-training loss,
+or an IB-RAR wrapped loss from :mod:`repro.core`), back-propagate, and step
+SGD + StepLR.  Optional per-epoch evaluation records the natural and
+adversarial accuracy curves used by Figures 2d and 4.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..nn import Tensor, no_grad
+from ..nn.optim import Optimizer, SGD, StepLR, _Scheduler
+from ..data.loaders import DataLoader
+from ..models.base import ImageClassifier
+from .adversarial import CrossEntropyLoss, LossStrategy
+from .history import EpochRecord, TrainingHistory
+
+__all__ = ["Trainer", "evaluate_accuracy"]
+
+
+def evaluate_accuracy(model: ImageClassifier, images: np.ndarray, labels: np.ndarray, batch_size: int = 128) -> float:
+    """Top-1 accuracy of ``model`` on an array of images (no gradients)."""
+    labels = np.asarray(labels).reshape(-1)
+    correct = 0
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                batch = images[start : start + batch_size]
+                batch_labels = labels[start : start + batch_size]
+                predictions = model.predict(Tensor(batch))
+                correct += int((predictions == batch_labels).sum())
+    finally:
+        model.train(was_training)
+    return correct / max(len(labels), 1)
+
+
+class Trainer:
+    """Mini-batch trainer with optional per-epoch evaluation hooks.
+
+    Parameters
+    ----------
+    model:
+        The classifier to optimize.
+    loss_strategy:
+        Callable ``(model, images, labels) -> Tensor`` computing the training
+        loss for one batch; defaults to plain cross-entropy.
+    optimizer:
+        Defaults to the paper's SGD (lr 0.01, momentum 0.9, weight decay 1e-2).
+    scheduler:
+        Defaults to the paper's StepLR (step 20, gamma 0.2).
+    eval_natural / eval_adversarial:
+        Optional callables ``(model) -> float`` run at the end of every epoch;
+        their results populate the corresponding history columns.
+    epoch_callback:
+        Optional hook ``(trainer, record) -> None`` invoked after each epoch
+        (used by the IB-RAR trainer to refresh the Eq. (3) mask and by the
+        convergence-rescue experiment to switch loss strategies).
+    """
+
+    def __init__(
+        self,
+        model: ImageClassifier,
+        loss_strategy: Optional[LossStrategy] = None,
+        optimizer: Optional[Optimizer] = None,
+        scheduler: Optional[_Scheduler] = None,
+        eval_natural: Optional[Callable[[ImageClassifier], float]] = None,
+        eval_adversarial: Optional[Callable[[ImageClassifier], float]] = None,
+        epoch_callback: Optional[Callable[["Trainer", EpochRecord], None]] = None,
+        verbose: bool = False,
+    ) -> None:
+        self.model = model
+        self.loss_strategy = loss_strategy or CrossEntropyLoss()
+        self.optimizer = optimizer or SGD(model.parameters(), lr=0.01, momentum=0.9, weight_decay=1e-2)
+        self.scheduler = scheduler or StepLR(self.optimizer, step_size=20, gamma=0.2)
+        self.eval_natural = eval_natural
+        self.eval_adversarial = eval_adversarial
+        self.epoch_callback = epoch_callback
+        self.verbose = verbose
+        self.history = TrainingHistory()
+
+    def train_epoch(self, loader: DataLoader) -> tuple[float, float]:
+        """Run one epoch; returns (mean loss, training accuracy)."""
+        self.model.train()
+        total_loss = 0.0
+        total_correct = 0
+        total_examples = 0
+        for images, labels in loader:
+            loss = self.loss_strategy(self.model, images, labels)
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            total_loss += float(loss.item()) * len(labels)
+            with no_grad():
+                predictions = self.model.predict(Tensor(images))
+            total_correct += int((predictions == labels).sum())
+            total_examples += len(labels)
+        if total_examples == 0:
+            raise RuntimeError("the data loader produced no batches")
+        return total_loss / total_examples, total_correct / total_examples
+
+    def fit(self, loader: DataLoader, epochs: int) -> TrainingHistory:
+        """Train for ``epochs`` epochs, recording history."""
+        for epoch in range(1, epochs + 1):
+            train_loss, train_accuracy = self.train_epoch(loader)
+            natural = self.eval_natural(self.model) if self.eval_natural else None
+            adversarial = self.eval_adversarial(self.model) if self.eval_adversarial else None
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=train_loss,
+                train_accuracy=train_accuracy,
+                learning_rate=self.optimizer.lr,
+                natural_accuracy=natural,
+                adversarial_accuracy=adversarial,
+            )
+            self.history.append(record)
+            if self.epoch_callback is not None:
+                self.epoch_callback(self, record)
+            self.scheduler.step()
+            if self.verbose:
+                parts = [f"epoch {epoch:3d}", f"loss {train_loss:.4f}", f"train acc {train_accuracy:.3f}"]
+                if natural is not None:
+                    parts.append(f"nat {natural:.3f}")
+                if adversarial is not None:
+                    parts.append(f"adv {adversarial:.3f}")
+                print("  ".join(parts))
+        return self.history

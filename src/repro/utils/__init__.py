@@ -1,0 +1,17 @@
+"""Shared utilities: seeding, logging, checkpoint serialization."""
+
+from .logging import Timer, get_logger, log_section
+from .rng import derive_seeds, generator, seed_everything
+from .serialization import load_checkpoint, load_state_into, save_checkpoint
+
+__all__ = [
+    "seed_everything",
+    "derive_seeds",
+    "generator",
+    "get_logger",
+    "log_section",
+    "Timer",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_state_into",
+]

@@ -1,0 +1,51 @@
+"""Lightweight experiment logging used by examples and benches."""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["get_logger", "log_section", "Timer"]
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger writing to stderr (idempotent)."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger
+
+
+@contextmanager
+def log_section(title: str, logger: Optional[logging.Logger] = None) -> Iterator[None]:
+    """Log the start/end (with wall time) of an experiment section."""
+    logger = logger or get_logger()
+    logger.info("=== %s ===", title)
+    start = time.perf_counter()
+    yield
+    logger.info("=== %s done in %.2fs ===", title, time.perf_counter() - start)
+
+
+class Timer:
+    """Simple wall-clock timer usable as a context manager."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None

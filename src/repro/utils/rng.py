@@ -1,0 +1,41 @@
+"""Deterministic seeding helpers.
+
+All stochastic components (weight init, data generation, loaders, attacks)
+take explicit seeds or ``numpy.random.Generator`` objects; these helpers
+provide a single place to derive them from one experiment seed so runs are
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["seed_everything", "derive_seeds", "generator"]
+
+
+def seed_everything(seed: int) -> None:
+    """Seed NumPy's legacy global RNG (some third-party code may rely on it)."""
+    np.random.seed(seed)
+
+
+def generator(seed: int) -> np.random.Generator:
+    """Return a fresh :class:`numpy.random.Generator` for the given seed."""
+    return np.random.default_rng(seed)
+
+
+def derive_seeds(base_seed: int, *names: str) -> Dict[str, int]:
+    """Derive stable per-component seeds from a base seed and component names.
+
+    Example::
+
+        seeds = derive_seeds(0, "model", "data", "attack")
+        model = VGG16(seed=seeds["model"])
+    """
+    seeds: Dict[str, int] = {}
+    sequence = np.random.SeedSequence(base_seed)
+    children = sequence.spawn(len(names))
+    for name, child in zip(names, children):
+        seeds[name] = int(child.generate_state(1)[0] % (2 ** 31 - 1))
+    return seeds

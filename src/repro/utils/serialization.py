@@ -1,0 +1,56 @@
+"""Saving and loading model checkpoints as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from ..nn import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "load_state_into"]
+
+PathLike = Union[str, Path]
+
+
+def save_checkpoint(model: Module, path: PathLike, metadata: Optional[Dict[str, Any]] = None) -> Path:
+    """Serialize a model's state dict (plus optional JSON metadata) to ``path``.
+
+    The archive stores every parameter/buffer under its dotted name and the
+    metadata dict (if any) under the reserved key ``__metadata__``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    arrays: Dict[str, np.ndarray] = {key: np.asarray(value) for key, value in state.items()}
+    if metadata is not None:
+        arrays["__metadata__"] = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_checkpoint(path: PathLike) -> tuple[Dict[str, np.ndarray], Optional[Dict[str, Any]]]:
+    """Load ``(state_dict, metadata)`` from an ``.npz`` checkpoint."""
+    path = Path(path)
+    if not path.exists():
+        # np.savez appends .npz if missing; mirror that behaviour on load.
+        alternative = path.with_suffix(path.suffix + ".npz")
+        if alternative.exists():
+            path = alternative
+        else:
+            raise FileNotFoundError(path)
+    with np.load(path, allow_pickle=False) as archive:
+        state = {key: archive[key] for key in archive.files if key != "__metadata__"}
+        metadata = None
+        if "__metadata__" in archive.files:
+            metadata = json.loads(archive["__metadata__"].tobytes().decode("utf-8"))
+    return state, metadata
+
+
+def load_state_into(model: Module, path: PathLike) -> Optional[Dict[str, Any]]:
+    """Load a checkpoint into ``model`` in place; returns the stored metadata."""
+    state, metadata = load_checkpoint(path)
+    model.load_state_dict(state)
+    return metadata

@@ -1,0 +1,146 @@
+"""Tests for t-SNE, confusion tendency and the information-plane recorder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    InformationPlaneRecorder,
+    classification_tendency,
+    cluster_separation,
+    confusion_counts,
+    format_tendency_table,
+    tsne,
+)
+from repro.attacks import FGSM
+
+
+class TestTSNE:
+    def _blobs(self, n_per_class=20, separation=8.0, seed=0):
+        rng = np.random.default_rng(seed)
+        centers = np.array([[0, 0], [separation, 0], [0, separation]])
+        points = np.concatenate([rng.normal(c, 0.5, size=(n_per_class, 2)) for c in centers])
+        labels = np.repeat(np.arange(3), n_per_class)
+        # Lift into higher dimension so t-SNE has something to do.
+        lift = rng.normal(size=(2, 10))
+        return points @ lift, labels
+
+    def test_embedding_shape(self):
+        features, _ = self._blobs()
+        result = tsne(features, num_iterations=60, seed=0)
+        assert result.embedding.shape == (60, 2)
+        assert np.isfinite(result.embedding).all()
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 4)))
+
+    def test_well_separated_blobs_stay_separated(self):
+        features, labels = self._blobs(separation=12.0)
+        result = tsne(features, num_iterations=120, seed=0)
+        separated = cluster_separation(result.embedding, labels)
+        mixed_features, mixed_labels = self._blobs(separation=0.0, seed=1)
+        mixed = cluster_separation(
+            tsne(mixed_features, num_iterations=120, seed=0).embedding, mixed_labels
+        )
+        assert separated > mixed
+
+    def test_deterministic_given_seed(self):
+        features, _ = self._blobs()
+        a = tsne(features, num_iterations=40, seed=3).embedding
+        b = tsne(features, num_iterations=40, seed=3).embedding
+        np.testing.assert_allclose(a, b)
+
+    def test_kl_divergence_finite(self):
+        features, _ = self._blobs()
+        assert np.isfinite(tsne(features, num_iterations=40, seed=0).kl_divergence)
+
+    def test_cluster_separation_requires_two_classes(self):
+        with pytest.raises(ValueError):
+            cluster_separation(np.zeros((10, 2)), np.zeros(10))
+
+    def test_cluster_separation_monotone_in_distance(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(40, 2))
+        labels = np.repeat([0, 1], 20)
+        near = base.copy()
+        near[20:] += 1.0
+        far = base.copy()
+        far[20:] += 10.0
+        assert cluster_separation(far, labels) > cluster_separation(near, labels)
+
+
+class TestConfusion:
+    def test_confusion_counts(self):
+        predictions = np.array([0, 1, 1, 2])
+        labels = np.array([0, 1, 2, 2])
+        matrix = confusion_counts(predictions, labels, 3)
+        assert matrix[0, 0] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.zeros(3), np.zeros(4), 2)
+
+    def test_classification_tendency_rows(self, trained_small_cnn, tiny_dataset):
+        rows = classification_tendency(
+            trained_small_cnn,
+            FGSM(trained_small_cnn),
+            tiny_dataset.x_test[:40],
+            tiny_dataset.y_test[:40],
+            class_names=tiny_dataset.class_names,
+            top_k=3,
+        )
+        assert len(rows) == 10
+        assert all(len(row.predictions) == 3 for row in rows)
+        # The target class itself is excluded from the tendency ranking.
+        for row in rows:
+            predicted_names = [name for name, _ in row.predictions]
+            assert row.target_class not in predicted_names or all(
+                count == 0 for name, count in row.predictions if name == row.target_class
+            )
+
+    def test_format_tendency_table(self):
+        from repro.analysis import TendencyRow
+
+        rows = [TendencyRow("cat", [("dog", 10), ("frog", 3)])]
+        text = format_tendency_table(rows)
+        assert "cat" in text and "dog-10" in text
+
+
+class TestInformationPlane:
+    def test_recording_produces_points(self, trained_small_cnn, tiny_dataset):
+        recorder = InformationPlaneRecorder(
+            layer="fc1",
+            images=tiny_dataset.x_test[:32],
+            labels=tiny_dataset.y_test[:32],
+            num_bins=10,
+        )
+        point = recorder.record(trained_small_cnn, step=0)
+        assert np.isfinite(point.i_xt) and np.isfinite(point.i_ty)
+        assert len(recorder.points) == 1
+
+    def test_trajectory_shape(self, trained_small_cnn, tiny_dataset):
+        recorder = InformationPlaneRecorder(
+            layer="fc2", images=tiny_dataset.x_test[:16], labels=tiny_dataset.y_test[:16]
+        )
+        recorder.record(trained_small_cnn, step=0)
+        recorder.record(trained_small_cnn, step=1)
+        assert recorder.trajectory.shape == (2, 3)
+
+    def test_compression_zero_with_fewer_than_two_points(self, trained_small_cnn, tiny_dataset):
+        recorder = InformationPlaneRecorder(
+            layer="fc1", images=tiny_dataset.x_test[:16], labels=tiny_dataset.y_test[:16]
+        )
+        assert recorder.compression() == 0.0
+
+    def test_model_mode_restored(self, trained_small_cnn, tiny_dataset):
+        recorder = InformationPlaneRecorder(
+            layer="fc1", images=tiny_dataset.x_test[:16], labels=tiny_dataset.y_test[:16]
+        )
+        trained_small_cnn.eval()
+        recorder.record(trained_small_cnn, step=0)
+        assert not trained_small_cnn.training

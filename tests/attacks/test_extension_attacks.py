@@ -1,0 +1,58 @@
+"""Tests for the extension attacks (MIFGSM, DeepFool) beyond the paper's suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import ATTACK_REGISTRY, MIFGSM, DeepFool, build_attack
+from repro.evaluation import clean_accuracy
+
+EPS = 8.0 / 255.0
+
+
+def linf(a, b):
+    return np.abs(a - b).reshape(len(a), -1).max(axis=1)
+
+
+class TestMIFGSM:
+    def test_registered(self):
+        assert "mifgsm" in ATTACK_REGISTRY
+
+    def test_respects_eps_and_range(self, trained_small_cnn, tiny_dataset):
+        images, labels = tiny_dataset.x_test[:16], tiny_dataset.y_test[:16]
+        adv = MIFGSM(trained_small_cnn, eps=EPS, steps=5).attack(images, labels)
+        assert (linf(adv, images) <= EPS + 1e-10).all()
+        assert adv.min() >= 0.0 and adv.max() <= 1.0
+
+    def test_reduces_accuracy(self, trained_small_cnn, tiny_dataset):
+        images, labels = tiny_dataset.x_test[:24], tiny_dataset.y_test[:24]
+        clean = clean_accuracy(trained_small_cnn, images, labels)
+        adv = MIFGSM(trained_small_cnn, eps=EPS, steps=10).attack(images, labels)
+        assert clean_accuracy(trained_small_cnn, adv, labels) <= clean
+
+    def test_invalid_steps(self, trained_small_cnn):
+        with pytest.raises(ValueError):
+            MIFGSM(trained_small_cnn, steps=0)
+
+
+class TestDeepFool:
+    def test_registered_and_buildable(self, trained_small_cnn):
+        attack = build_attack("deepfool", trained_small_cnn, steps=2)
+        assert isinstance(attack, DeepFool)
+
+    def test_respects_eps_projection(self, trained_small_cnn, tiny_dataset):
+        images, labels = tiny_dataset.x_test[:8], tiny_dataset.y_test[:8]
+        adv = DeepFool(trained_small_cnn, eps=EPS, steps=3).attack(images, labels)
+        assert (linf(adv, images) <= EPS + 1e-10).all()
+        assert adv.shape == images.shape
+
+    def test_reduces_accuracy(self, trained_small_cnn, tiny_dataset):
+        images, labels = tiny_dataset.x_test[:16], tiny_dataset.y_test[:16]
+        clean = clean_accuracy(trained_small_cnn, images, labels)
+        adv = DeepFool(trained_small_cnn, eps=EPS, steps=5).attack(images, labels)
+        assert clean_accuracy(trained_small_cnn, adv, labels) <= clean
+
+    def test_invalid_steps(self, trained_small_cnn):
+        with pytest.raises(ValueError):
+            DeepFool(trained_small_cnn, steps=0)

@@ -1,0 +1,63 @@
+"""Shared fixtures: tiny datasets and models that keep the suite fast on CPU."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_cifar10
+from repro.models import MLP, SmallCNN
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 16x16, 10-class synthetic CIFAR-like dataset (session-scoped, read-only)."""
+    return synthetic_cifar10(n_train=160, n_test=80, image_size=16, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_images(tiny_dataset):
+    return tiny_dataset.x_test[:16]
+
+
+@pytest.fixture(scope="session")
+def tiny_labels(tiny_dataset):
+    return tiny_dataset.y_test[:16]
+
+
+@pytest.fixture()
+def small_cnn():
+    """A fresh small CNN per test (stateful: training / masks mutate it)."""
+    return SmallCNN(num_classes=10, image_size=16, base_channels=4, hidden_dim=16, seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_small_cnn(tiny_dataset):
+    """A small CNN trained for a couple of epochs with plain CE (shared, do not mutate)."""
+    from repro.data import ArrayDataset, DataLoader
+    from repro.nn.optim import SGD, StepLR
+    from repro.training import CrossEntropyLoss, Trainer
+
+    model = SmallCNN(num_classes=10, image_size=16, base_channels=4, hidden_dim=16, seed=1)
+    loader = DataLoader(
+        ArrayDataset(tiny_dataset.x_train, tiny_dataset.y_train),
+        batch_size=40,
+        shuffle=True,
+        drop_last=True,
+        seed=0,
+    )
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    trainer = Trainer(model, CrossEntropyLoss(), optimizer=optimizer, scheduler=StepLR(optimizer))
+    trainer.fit(loader, epochs=3)
+    model.eval()
+    return model
+
+
+@pytest.fixture()
+def small_mlp():
+    return MLP(input_dim=12, num_classes=3, hidden_dims=(16, 8), seed=0)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,208 @@
+"""Tests for synthetic datasets, loaders and transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    add_gaussian_noise,
+    compose,
+    make_dataset,
+    normalize,
+    random_crop,
+    random_horizontal_flip,
+    standard_cifar_augmentation,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_svhn,
+    synthetic_tiny_imagenet,
+)
+from repro.data.synthetic import CIFAR10_CLASS_NAMES, DATASET_REGISTRY
+
+
+class TestSyntheticDatasets:
+    def test_cifar10_shapes_and_range(self):
+        ds = synthetic_cifar10(n_train=64, n_test=32, image_size=32, seed=0)
+        assert ds.x_train.shape == (64, 3, 32, 32)
+        assert ds.x_test.shape == (32, 3, 32, 32)
+        assert ds.num_classes == 10
+        assert ds.x_train.min() >= 0.0 and ds.x_train.max() <= 1.0
+
+    def test_cifar10_class_names(self):
+        ds = synthetic_cifar10(n_train=16, n_test=8, seed=0)
+        assert list(ds.class_names) == CIFAR10_CLASS_NAMES
+
+    def test_cifar100_has_100_classes(self):
+        ds = synthetic_cifar100(n_train=32, n_test=16, seed=0)
+        assert ds.num_classes == 100
+
+    def test_svhn_digit_names(self):
+        ds = synthetic_svhn(n_train=16, n_test=8, seed=0)
+        assert ds.class_names[3] == "3"
+
+    def test_tiny_imagenet_default_size(self):
+        ds = synthetic_tiny_imagenet(n_train=8, n_test=4, seed=0)
+        assert ds.image_size == 64
+        assert ds.num_classes == 200
+
+    def test_reproducible_given_seed(self):
+        a = synthetic_cifar10(n_train=16, n_test=8, seed=3)
+        b = synthetic_cifar10(n_train=16, n_test=8, seed=3)
+        np.testing.assert_allclose(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_cifar10(n_train=16, n_test=8, seed=0)
+        b = synthetic_cifar10(n_train=16, n_test=8, seed=1)
+        assert not np.allclose(a.x_train, b.x_train)
+
+    def test_labels_cover_multiple_classes(self):
+        ds = synthetic_cifar10(n_train=200, n_test=10, seed=0)
+        assert len(np.unique(ds.y_train)) >= 8
+
+    def test_class_signal_is_learnable(self):
+        # Per-class mean images should be closer to their own prototype
+        # direction than to other classes' (nearest-centroid accuracy >> chance).
+        ds = synthetic_cifar10(n_train=400, n_test=200, seed=0)
+        centroids = np.stack([
+            ds.x_train[ds.y_train == c].mean(axis=0).reshape(-1) for c in range(10)
+        ])
+        test_flat = ds.x_test.reshape(len(ds.x_test), -1)
+        distances = ((test_flat[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        predictions = distances.argmin(axis=1)
+        accuracy = (predictions == ds.y_test).mean()
+        assert accuracy > 0.5  # chance is 0.1
+
+    def test_subset(self):
+        ds = synthetic_cifar10(n_train=64, n_test=32, seed=0)
+        sub = ds.subset(10, 5)
+        assert len(sub.x_train) == 10 and len(sub.x_test) == 5
+        assert sub.num_classes == ds.num_classes
+
+    def test_input_shape_property(self):
+        ds = synthetic_cifar10(n_train=4, n_test=2, image_size=16, seed=0)
+        assert ds.input_shape == (3, 16, 16)
+
+    def test_make_dataset_validation(self):
+        with pytest.raises(ValueError):
+            make_dataset(num_classes=1, image_size=8, n_train=4, n_test=4)
+        with pytest.raises(ValueError):
+            make_dataset(num_classes=3, image_size=8, n_train=0, n_test=4)
+
+    def test_registry_contains_all_paper_datasets(self):
+        assert set(DATASET_REGISTRY) == {"cifar10", "cifar100", "svhn", "tiny-imagenet"}
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), classes=st.integers(2, 12))
+    def test_property_labels_in_range(self, seed, classes):
+        ds = make_dataset(num_classes=classes, image_size=8, n_train=20, n_test=10, seed=seed)
+        assert ds.y_train.min() >= 0 and ds.y_train.max() < classes
+        assert ds.x_train.min() >= 0.0 and ds.x_train.max() <= 1.0
+
+
+class TestArrayDatasetAndLoader:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((4, 3)), np.zeros(5))
+
+    def test_indexing(self):
+        ds = ArrayDataset(np.arange(12).reshape(4, 3), np.arange(4))
+        image, label = ds[2]
+        assert label == 2
+
+    def test_loader_batch_shapes(self):
+        ds = ArrayDataset(np.zeros((10, 3, 4, 4)), np.zeros(10))
+        loader = DataLoader(ds, batch_size=4, shuffle=False)
+        batches = list(loader)
+        assert [len(b[1]) for b in batches] == [4, 4, 2]
+
+    def test_drop_last(self):
+        ds = ArrayDataset(np.zeros((10, 2)), np.zeros(10))
+        loader = DataLoader(ds, batch_size=4, drop_last=True, shuffle=False)
+        assert len(loader) == 2
+        assert all(len(labels) == 4 for _, labels in loader)
+
+    def test_len_without_drop_last(self):
+        ds = ArrayDataset(np.zeros((10, 2)), np.zeros(10))
+        assert len(DataLoader(ds, batch_size=4)) == 3
+
+    def test_shuffle_changes_order_but_not_content(self):
+        images = np.arange(20).reshape(20, 1).astype(float)
+        ds = ArrayDataset(images, np.arange(20))
+        loader = DataLoader(ds, batch_size=20, shuffle=True, seed=0)
+        (batch_images, batch_labels), = list(loader)
+        assert not np.array_equal(batch_labels, np.arange(20))
+        assert sorted(batch_labels.tolist()) == list(range(20))
+
+    def test_no_shuffle_preserves_order(self):
+        ds = ArrayDataset(np.zeros((6, 1)), np.arange(6))
+        loader = DataLoader(ds, batch_size=3, shuffle=False)
+        labels = np.concatenate([l for _, l in loader])
+        np.testing.assert_array_equal(labels, np.arange(6))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(ArrayDataset(np.zeros((2, 1)), np.zeros(2)), batch_size=0)
+
+    def test_transform_is_applied(self):
+        ds = ArrayDataset(np.ones((4, 3, 8, 8)), np.zeros(4))
+        loader = DataLoader(ds, batch_size=2, transform=lambda batch, rng: batch * 0.0)
+        for images, _ in loader:
+            assert np.allclose(images, 0.0)
+
+    def test_epochs_reshuffle_differently(self):
+        ds = ArrayDataset(np.zeros((16, 1)), np.arange(16))
+        loader = DataLoader(ds, batch_size=16, shuffle=True, seed=0)
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1].copy()
+        assert not np.array_equal(first, second)
+
+
+class TestTransforms:
+    def test_flip_preserves_shape_and_content_multiset(self):
+        rng = np.random.default_rng(0)
+        batch = rng.random((4, 3, 8, 8))
+        flipped = random_horizontal_flip(p=1.0)(batch, rng)
+        assert flipped.shape == batch.shape
+        np.testing.assert_allclose(flipped, batch[:, :, :, ::-1])
+
+    def test_flip_probability_zero_is_identity(self):
+        rng = np.random.default_rng(0)
+        batch = rng.random((4, 3, 8, 8))
+        np.testing.assert_allclose(random_horizontal_flip(p=0.0)(batch, rng), batch)
+
+    def test_random_crop_shape(self):
+        rng = np.random.default_rng(0)
+        batch = rng.random((4, 3, 16, 16))
+        out = random_crop(padding=2)(batch, rng)
+        assert out.shape == batch.shape
+
+    def test_normalize(self):
+        rng = np.random.default_rng(0)
+        batch = np.ones((2, 3, 4, 4))
+        out = normalize([1.0, 1.0, 1.0], [2.0, 2.0, 2.0])(batch, rng)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_gaussian_noise_stays_in_range(self):
+        rng = np.random.default_rng(0)
+        batch = rng.random((4, 3, 8, 8))
+        out = add_gaussian_noise(0.1)(batch, rng)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_compose_order(self):
+        rng = np.random.default_rng(0)
+        double = lambda b, r: b * 2
+        add_one = lambda b, r: b + 1
+        out = compose(double, add_one)(np.ones((1, 1, 2, 2)), rng)
+        np.testing.assert_allclose(out, 3.0)
+
+    def test_standard_cifar_augmentation_runs(self):
+        rng = np.random.default_rng(0)
+        batch = rng.random((4, 3, 32, 32))
+        out = standard_cifar_augmentation()(batch, rng)
+        assert out.shape == batch.shape

@@ -1,0 +1,146 @@
+"""Tests for HSIC estimators — the MI surrogate behind Eq. (1)/(2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ib import (
+    gaussian_kernel,
+    hsic,
+    hsic_xy_labels,
+    linear_kernel,
+    median_bandwidth,
+    normalized_hsic,
+    pairwise_squared_distances,
+)
+from repro.nn import Tensor
+
+
+class TestKernels:
+    def test_pairwise_distances_match_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(6, 4))
+        distances = pairwise_squared_distances(Tensor(x)).data
+        expected = ((x[:, None] - x[None]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(distances, expected, atol=1e-9)
+
+    def test_pairwise_distances_nonnegative_diagonal_zero(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(5, 3)) * 100
+        distances = pairwise_squared_distances(Tensor(x)).data
+        assert (distances >= 0).all()
+        np.testing.assert_allclose(np.diag(distances), 0.0, atol=1e-6)
+
+    def test_gaussian_kernel_properties(self):
+        rng = np.random.default_rng(2)
+        k = gaussian_kernel(Tensor(rng.normal(size=(8, 5))), sigma=1.0).data
+        np.testing.assert_allclose(np.diag(k), 1.0, atol=1e-10)
+        np.testing.assert_allclose(k, k.T, atol=1e-12)
+        assert (k > 0).all() and (k <= 1.0 + 1e-12).all()
+
+    def test_gaussian_kernel_flattens_images(self):
+        x = Tensor(np.random.default_rng(0).random((4, 3, 5, 5)))
+        assert gaussian_kernel(x, sigma=1.0).shape == (4, 4)
+
+    def test_median_bandwidth_positive(self):
+        x = np.random.default_rng(0).normal(size=(10, 3))
+        assert median_bandwidth(x) > 0
+
+    def test_median_bandwidth_single_point(self):
+        assert median_bandwidth(np.zeros((1, 3))) == 1.0
+
+    def test_linear_kernel_is_gram_matrix(self):
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        np.testing.assert_allclose(linear_kernel(Tensor(x)).data, x @ x.T, atol=1e-10)
+
+    def test_gaussian_kernel_gradient_flows(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(6, 4)), requires_grad=True)
+        gaussian_kernel(x, sigma=1.0).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+
+class TestHSIC:
+    def test_requires_matching_shapes(self):
+        with pytest.raises(ValueError):
+            hsic(Tensor(np.eye(3)), Tensor(np.eye(4)))
+
+    def test_requires_batch_of_two(self):
+        with pytest.raises(ValueError):
+            hsic(Tensor(np.eye(1)), Tensor(np.eye(1)))
+
+    def test_self_hsic_positive(self):
+        x = np.random.default_rng(0).normal(size=(16, 4))
+        k = gaussian_kernel(Tensor(x), sigma=1.0)
+        assert hsic(k, k).item() > 0
+
+    def test_independent_variables_have_small_hsic(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 2))
+        y = rng.normal(size=(64, 2))
+        kx, ky = gaussian_kernel(Tensor(x), 1.0), gaussian_kernel(Tensor(y), 1.0)
+        independent = normalized_hsic(kx, ky).item()
+        dependent = normalized_hsic(kx, gaussian_kernel(Tensor(x * 2 + 0.01 * rng.normal(size=x.shape)), 1.0)).item()
+        assert dependent > independent * 3
+
+    def test_hsic_symmetry(self):
+        rng = np.random.default_rng(1)
+        kx = gaussian_kernel(Tensor(rng.normal(size=(10, 3))), 1.0)
+        ky = gaussian_kernel(Tensor(rng.normal(size=(10, 3))), 1.0)
+        assert hsic(kx, ky).item() == pytest.approx(hsic(ky, kx).item(), rel=1e-10)
+
+    def test_normalized_hsic_bounded(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            kx = gaussian_kernel(Tensor(rng.normal(size=(12, 4))), 1.0)
+            ky = gaussian_kernel(Tensor(rng.normal(size=(12, 4))), 1.0)
+            value = normalized_hsic(kx, ky).item()
+            assert -1e-6 <= value <= 1.0 + 1e-6
+
+    def test_normalized_hsic_self_is_one(self):
+        k = gaussian_kernel(Tensor(np.random.default_rng(0).normal(size=(10, 3))), 1.0)
+        assert normalized_hsic(k, k).item() == pytest.approx(1.0, abs=1e-6)
+
+    def test_hsic_differentiable_end_to_end(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(8, 4)), requires_grad=True)
+        y = Tensor(np.random.default_rng(1).normal(size=(8, 4)))
+        normalized_hsic(gaussian_kernel(x, 1.0), gaussian_kernel(y, 1.0)).backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+
+    def test_hsic_with_labels_detects_class_structure(self):
+        rng = np.random.default_rng(0)
+        labels = np.repeat(np.arange(4), 8)
+        # Features aligned with the labels vs pure noise.
+        aligned = labels[:, None] + 0.05 * rng.normal(size=(32, 1))
+        noise = rng.normal(size=(32, 1))
+        aligned_score = hsic_xy_labels(Tensor(aligned), labels, 4).item()
+        noise_score = hsic_xy_labels(Tensor(noise), labels, 4).item()
+        assert aligned_score > noise_score * 2
+
+    def test_hsic_xy_labels_unnormalized(self):
+        labels = np.array([0, 1, 0, 1])
+        features = Tensor(np.random.default_rng(0).normal(size=(4, 3)))
+        value = hsic_xy_labels(features, labels, 2, normalized=False).item()
+        assert np.isfinite(value)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_hsic_nonnegative_for_gaussian_kernels(self, seed):
+        # With PSD kernels the biased HSIC estimate is non-negative.
+        rng = np.random.default_rng(seed)
+        kx = gaussian_kernel(Tensor(rng.normal(size=(10, 3))), 1.0)
+        ky = gaussian_kernel(Tensor(rng.normal(size=(10, 2))), 1.0)
+        assert hsic(kx, ky).item() >= -1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), scale=st.floats(0.5, 10.0))
+    def test_property_normalized_hsic_scale_invariant(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(12, 3))
+        y = rng.normal(size=(12, 3))
+        base = normalized_hsic(gaussian_kernel(Tensor(x)), gaussian_kernel(Tensor(y))).item()
+        scaled = normalized_hsic(gaussian_kernel(Tensor(x * scale)), gaussian_kernel(Tensor(y))).item()
+        # Median-heuristic bandwidth adapts to the scale, so nHSIC is stable.
+        assert scaled == pytest.approx(base, abs=0.05)

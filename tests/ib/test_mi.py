@@ -1,0 +1,129 @@
+"""Tests for MI estimators: binning (Figure 5) and channel scoring (Eq. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ib import binned_mutual_information, channel_label_mi, discrete_mutual_information
+
+
+class TestDiscreteMI:
+    def test_identical_variables_give_entropy(self):
+        codes = np.array([0, 0, 1, 1, 2, 2])
+        mi = discrete_mutual_information(codes, codes)
+        assert mi == pytest.approx(np.log(3), abs=1e-9)
+
+    def test_independent_variables_give_zero(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert discrete_mutual_information(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 100)
+        b = rng.integers(0, 3, 100)
+        assert discrete_mutual_information(a, b) == pytest.approx(
+            discrete_mutual_information(b, a), abs=1e-12
+        )
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = rng.integers(0, 5, 50)
+            b = rng.integers(0, 5, 50)
+            assert discrete_mutual_information(a, b) >= -1e-12
+
+    def test_empty_input(self):
+        assert discrete_mutual_information(np.array([]), np.array([])) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            discrete_mutual_information(np.array([1, 2]), np.array([1]))
+
+    def test_bounded_by_min_entropy(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 2, 200)   # at most log(2) entropy
+        b = rng.integers(0, 10, 200)
+        assert discrete_mutual_information(a, b) <= np.log(2) + 1e-9
+
+
+class TestBinnedMI:
+    def test_returns_pair_of_floats(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.random((32, 3, 4, 4))
+        activations = rng.random((32, 8))
+        labels = rng.integers(0, 4, 32)
+        i_xt, i_ty = binned_mutual_information(inputs, activations, labels)
+        assert np.isfinite(i_xt) and np.isfinite(i_ty)
+        assert i_xt >= 0 and i_ty >= 0
+
+    def test_label_aligned_activations_have_higher_ity(self):
+        rng = np.random.default_rng(1)
+        labels = np.repeat(np.arange(4), 16)
+        inputs = rng.random((64, 6))
+        aligned = labels[:, None] + 0.01 * rng.normal(size=(64, 1))
+        random = rng.normal(size=(64, 1))
+        _, ity_aligned = binned_mutual_information(inputs, aligned, labels, num_bins=8)
+        _, ity_random = binned_mutual_information(inputs, random, labels, num_bins=8)
+        assert ity_aligned > ity_random
+
+    def test_constant_activations_have_zero_mi(self):
+        inputs = np.random.default_rng(0).random((16, 4))
+        activations = np.ones((16, 3))
+        labels = np.arange(16) % 2
+        i_xt, i_ty = binned_mutual_information(inputs, activations, labels)
+        assert i_xt == pytest.approx(0.0, abs=1e-9)
+        assert i_ty == pytest.approx(0.0, abs=1e-9)
+
+
+class TestChannelLabelMI:
+    def _make_features(self, n=64, informative_channel=0, num_channels=6, seed=0):
+        """Feature maps where one channel tracks the label and the rest are noise."""
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 4, n)
+        features = rng.normal(size=(n, num_channels, 3, 3)) * 0.1
+        features[:, informative_channel] += labels[:, None, None] * 1.0
+        return features, labels
+
+    def test_informative_channel_scores_highest(self):
+        features, labels = self._make_features(informative_channel=2)
+        scores = channel_label_mi(features, labels, num_classes=4)
+        assert scores.argmax() == 2
+
+    def test_hsic_method_agrees_on_top_channel(self):
+        features, labels = self._make_features(informative_channel=4)
+        hist_scores = channel_label_mi(features, labels, 4, method="histogram")
+        hsic_scores = channel_label_mi(features, labels, 4, method="hsic")
+        assert hist_scores.argmax() == hsic_scores.argmax() == 4
+
+    def test_accepts_2d_features(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, 32)
+        features = rng.normal(size=(32, 5))
+        scores = channel_label_mi(features, labels, 3)
+        assert scores.shape == (5,)
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ValueError):
+            channel_label_mi(np.zeros((4, 3, 2)), np.zeros(4), 2)
+
+    def test_batch_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            channel_label_mi(np.zeros((4, 3, 2, 2)), np.zeros(5), 2)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            channel_label_mi(np.zeros((4, 3, 2, 2)), np.zeros(4), 2, method="nope")
+
+    def test_constant_channel_scores_zero(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 32)
+        features = rng.normal(size=(32, 3, 2, 2))
+        features[:, 1] = 7.0
+        scores = channel_label_mi(features, labels, 2)
+        assert scores[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_scores_nonnegative(self):
+        features, labels = self._make_features()
+        assert (channel_label_mi(features, labels, 4) >= 0).all()

@@ -1,0 +1,224 @@
+"""Tests for the model zoo: architecture shapes, hidden capture, masking, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MLP,
+    VGG11,
+    VGG16,
+    ResNet18,
+    ResNet34,
+    SmallCNN,
+    WideResNet28x10,
+    available_models,
+    build_model,
+)
+from repro.nn import Tensor
+
+
+def tiny_batch(n=2, channels=3, size=32, seed=0):
+    return Tensor(np.random.default_rng(seed).random((n, channels, size, size)))
+
+
+class TestVGG:
+    def test_forward_shape(self):
+        model = VGG16(num_classes=10, width_multiplier=0.125, seed=0)
+        logits = model(tiny_batch())
+        assert logits.shape == (2, 10)
+
+    def test_hidden_layer_names_and_shapes(self):
+        model = VGG16(num_classes=10, width_multiplier=0.125, seed=0)
+        logits, hidden = model.forward_with_hidden(tiny_batch())
+        assert list(hidden) == model.hidden_layer_names
+        # Five pooling stages: 32 -> 1 spatial.
+        assert hidden["conv_block5"].shape[2:] == (1, 1)
+        assert hidden["fc1"].ndim == 2
+
+    def test_width_multiplier_scales_channels(self):
+        narrow = VGG16(width_multiplier=0.125, seed=0)
+        wide = VGG16(width_multiplier=0.25, seed=0)
+        assert wide.last_conv_channels > narrow.last_conv_channels
+
+    def test_full_width_matches_reference_channels(self):
+        model = VGG16(width_multiplier=1.0, seed=0)
+        assert model.last_conv_channels == 512
+
+    def test_vgg11_has_fewer_parameters_than_vgg16(self):
+        small = VGG11(width_multiplier=0.125, seed=0)
+        big = VGG16(width_multiplier=0.125, seed=0)
+        assert small.num_parameters() < big.num_parameters()
+
+    def test_invalid_image_size_raises(self):
+        with pytest.raises(ValueError):
+            VGG16(image_size=30)
+
+    def test_invalid_config_raises(self):
+        from repro.models.vgg import VGG
+
+        with pytest.raises(ValueError):
+            VGG(config="VGG99")
+
+    def test_tiny_imagenet_input_size(self):
+        model = VGG16(num_classes=200, width_multiplier=0.0625, image_size=64, seed=0)
+        logits = model(tiny_batch(size=64))
+        assert logits.shape == (2, 200)
+
+    def test_channel_mask_zeroes_channels(self):
+        model = VGG16(num_classes=10, width_multiplier=0.125, seed=0)
+        mask = np.ones(model.last_conv_channels)
+        mask[0] = 0.0
+        model.set_channel_mask(mask)
+        _, hidden = model.forward_with_hidden(tiny_batch())
+        assert np.allclose(hidden["conv_block5"].data[:, 0], 0.0)
+
+    def test_channel_mask_wrong_size_raises(self):
+        model = VGG16(num_classes=10, width_multiplier=0.125, seed=0)
+        with pytest.raises(ValueError):
+            model.set_channel_mask(np.ones(3))
+
+    def test_mask_can_be_cleared(self):
+        model = VGG16(num_classes=10, width_multiplier=0.125, seed=0)
+        model.set_channel_mask(np.zeros(model.last_conv_channels))
+        model.set_channel_mask(None)
+        assert model.channel_mask is None
+
+
+class TestResNet:
+    def test_forward_shape(self):
+        model = ResNet18(num_classes=10, width_multiplier=0.125, seed=0)
+        assert model(tiny_batch()).shape == (2, 10)
+
+    def test_hidden_layers(self):
+        model = ResNet18(num_classes=10, width_multiplier=0.125, seed=0)
+        _, hidden = model.forward_with_hidden(tiny_batch())
+        assert list(hidden) == ["layer1", "layer2", "layer3", "layer4", "pool"]
+        assert hidden["pool"].ndim == 2
+
+    def test_spatial_downsampling(self):
+        model = ResNet18(num_classes=10, width_multiplier=0.125, seed=0)
+        _, hidden = model.forward_with_hidden(tiny_batch(size=32))
+        assert hidden["layer1"].shape[2] == 32
+        assert hidden["layer4"].shape[2] == 4
+
+    def test_resnet34_is_deeper(self):
+        r18 = ResNet18(width_multiplier=0.125, seed=0)
+        r34 = ResNet34(width_multiplier=0.125, seed=0)
+        assert r34.num_parameters() > r18.num_parameters()
+
+    def test_mask_applies_to_layer4(self):
+        model = ResNet18(num_classes=10, width_multiplier=0.125, seed=0)
+        mask = np.ones(model.last_conv_channels)
+        mask[:2] = 0
+        model.set_channel_mask(mask)
+        _, hidden = model.forward_with_hidden(tiny_batch())
+        assert np.allclose(hidden["layer4"].data[:, :2], 0.0)
+
+    def test_gradient_flows_to_input(self):
+        model = ResNet18(num_classes=10, width_multiplier=0.125, seed=0)
+        x = Tensor(np.random.default_rng(0).random((1, 3, 32, 32)), requires_grad=True)
+        model(x).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+
+class TestWideResNet:
+    def test_forward_shape(self):
+        model = WideResNet28x10(num_classes=100, width_multiplier=0.05, seed=0)
+        assert model(tiny_batch()).shape == (2, 100)
+
+    def test_depth_constraint(self):
+        from repro.models.wide_resnet import WideResNet
+
+        with pytest.raises(ValueError):
+            WideResNet(depth=27)
+
+    def test_hidden_layers(self):
+        model = WideResNet28x10(num_classes=100, width_multiplier=0.05, seed=0)
+        _, hidden = model.forward_with_hidden(tiny_batch())
+        assert list(hidden) == ["stage1", "stage2", "stage3", "pool"]
+
+    def test_widen_factor_increases_channels(self):
+        thin = WideResNet28x10(widen_factor=1, width_multiplier=0.25, seed=0)
+        wide = WideResNet28x10(widen_factor=2, width_multiplier=0.25, seed=0)
+        assert wide.last_conv_channels > thin.last_conv_channels
+
+
+class TestSmallModels:
+    def test_smallcnn_forward(self):
+        model = SmallCNN(num_classes=10, image_size=16, seed=0)
+        assert model(tiny_batch(size=16)).shape == (2, 10)
+
+    def test_smallcnn_invalid_size(self):
+        with pytest.raises(ValueError):
+            SmallCNN(image_size=10)
+
+    def test_smallcnn_hidden_layers(self):
+        model = SmallCNN(num_classes=10, image_size=16, seed=0)
+        _, hidden = model.forward_with_hidden(tiny_batch(size=16))
+        assert list(hidden) == ["conv_block1", "conv_block2", "fc1", "fc2"]
+
+    def test_mlp_forward_flattens(self):
+        model = MLP(input_dim=3 * 8 * 8, num_classes=5, seed=0)
+        assert model(tiny_batch(size=8)).shape == (2, 5)
+
+    def test_mlp_hidden_names(self):
+        model = MLP(input_dim=12, num_classes=3, hidden_dims=(8, 4), seed=0)
+        assert model.hidden_layer_names == ["fc1", "fc2"]
+
+    def test_mlp_mask_applies_to_first_hidden(self):
+        model = MLP(input_dim=12, num_classes=3, hidden_dims=(8, 4), seed=0)
+        mask = np.ones(8)
+        mask[0] = 0
+        model.set_channel_mask(mask)
+        _, hidden = model.forward_with_hidden(Tensor(np.random.default_rng(0).random((4, 12))))
+        assert np.allclose(hidden["fc1"].data[:, 0], 0.0)
+
+    def test_predict_returns_integer_classes(self):
+        model = SmallCNN(num_classes=10, image_size=16, seed=0)
+        predictions = model.predict(tiny_batch(size=16))
+        assert predictions.shape == (2,)
+        assert predictions.dtype.kind in "iu"
+
+    def test_features_accessor(self):
+        model = SmallCNN(num_classes=10, image_size=16, seed=0)
+        features = model.features(tiny_batch(size=16))
+        assert features.shape[0] == 2
+
+    def test_features_unknown_layer_raises(self):
+        model = SmallCNN(num_classes=10, image_size=16, seed=0)
+        with pytest.raises(KeyError):
+            model.features(tiny_batch(size=16), layer="nope")
+
+
+class TestRegistry:
+    def test_available_models_sorted(self):
+        models = available_models()
+        assert models == sorted(models)
+        assert "vgg16" in models and "resnet18" in models
+
+    def test_build_model_by_name(self):
+        model = build_model("smallcnn", num_classes=10, image_size=16, seed=0)
+        assert isinstance(model, SmallCNN)
+
+    def test_build_model_case_insensitive(self):
+        model = build_model("VGG16", num_classes=10, width_multiplier=0.125, seed=0)
+        assert isinstance(model, VGG16)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_deterministic_init_given_seed(self):
+        a = SmallCNN(num_classes=10, image_size=16, seed=5)
+        b = SmallCNN(num_classes=10, image_size=16, seed=5)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_state_dict_roundtrip_through_registry_model(self):
+        a = build_model("smallcnn", num_classes=10, image_size=16, seed=0)
+        b = build_model("smallcnn", num_classes=10, image_size=16, seed=99)
+        b.load_state_dict(a.state_dict())
+        x = tiny_batch(size=16)
+        np.testing.assert_allclose(a(x).data, b(x).data)

@@ -1,0 +1,281 @@
+"""Tests for differentiable ops: conv, pooling, batch-norm, losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn(x)
+        flat[i] = original - eps
+        down = fn(x)
+        flat[i] = original
+        grad.reshape(-1)[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_rows_sum_to_one(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 5)))
+        probs = F.softmax(logits, axis=1).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), atol=1e-10)
+        assert (probs >= 0).all()
+
+    def test_log_softmax_is_log_of_softmax(self):
+        logits = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        np.testing.assert_allclose(
+            F.log_softmax(logits).data, np.log(F.softmax(logits).data), atol=1e-10
+        )
+
+    def test_softmax_shift_invariance(self):
+        logits = np.random.default_rng(2).normal(size=(2, 6))
+        a = F.softmax(Tensor(logits)).data
+        b = F.softmax(Tensor(logits + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_cross_entropy_matches_manual(self):
+        logits = np.array([[2.0, 0.0, -1.0], [0.5, 0.5, 0.5]])
+        labels = np.array([0, 2])
+        expected = -np.log(np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True))
+        expected = expected[np.arange(2), labels].mean()
+        assert F.cross_entropy(Tensor(logits), labels).item() == pytest.approx(expected)
+
+    def test_cross_entropy_gradient_is_probs_minus_onehot(self):
+        logits = np.random.default_rng(3).normal(size=(4, 3))
+        labels = np.array([0, 1, 2, 1])
+        t = Tensor(logits.copy(), requires_grad=True)
+        F.cross_entropy(t, labels).backward()
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        expected = (probs - F.one_hot(labels, 3)) / 4
+        np.testing.assert_allclose(t.grad, expected, atol=1e-8)
+
+    def test_cross_entropy_reductions(self):
+        logits = Tensor(np.zeros((2, 2)))
+        labels = np.array([0, 1])
+        none = F.cross_entropy(logits, labels, reduction="none")
+        assert none.shape == (2,)
+        assert F.cross_entropy(logits, labels, reduction="sum").item() == pytest.approx(
+            none.data.sum()
+        )
+
+    def test_kl_div_zero_for_identical_logits(self):
+        logits = Tensor(np.random.default_rng(4).normal(size=(3, 5)))
+        assert F.kl_div_with_logits(logits, logits).item() == pytest.approx(0.0, abs=1e-10)
+
+    def test_kl_div_positive_for_different_logits(self):
+        p = Tensor(np.array([[2.0, 0.0]]))
+        q = Tensor(np.array([[0.0, 2.0]]))
+        assert F.kl_div_with_logits(p, q).item() > 0
+
+    def test_mse_loss(self):
+        prediction = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        target = np.array([0.0, 0.0])
+        loss = F.mse_loss(prediction, Tensor(target))
+        assert loss.item() == pytest.approx(2.5)
+        loss.backward()
+        np.testing.assert_allclose(prediction.grad, [1.0, 2.0])
+
+    def test_nll_loss_reduction_sum(self):
+        log_probs = Tensor(np.log(np.full((2, 2), 0.5)))
+        labels = np.array([0, 1])
+        assert F.nll_loss(log_probs, labels, reduction="sum").item() == pytest.approx(
+            2 * np.log(2)
+        )
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        x = Tensor(np.zeros((2, 3, 8, 8)))
+        w = Tensor(np.zeros((5, 3, 3, 3)))
+        out = F.conv2d(x, w, stride=1, padding=1)
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_stride_and_padding_shapes(self):
+        x = Tensor(np.zeros((1, 1, 7, 7)))
+        w = Tensor(np.zeros((1, 1, 3, 3)))
+        assert F.conv2d(x, w, stride=2, padding=0).shape == (1, 1, 3, 3)
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (1, 1, 4, 4)
+
+    def test_identity_kernel(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 1, 5, 5))
+        kernel = np.zeros((1, 1, 3, 3))
+        kernel[0, 0, 1, 1] = 1.0
+        out = F.conv2d(Tensor(x), Tensor(kernel), padding=1)
+        np.testing.assert_allclose(out.data, x, atol=1e-12)
+
+    def test_matches_naive_convolution(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1).data
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros((1, 3, 5, 5))
+        for oc in range(3):
+            for i in range(5):
+                for j in range(5):
+                    naive[0, oc, i, j] = (padded[0, :, i : i + 3, j : j + 3] * w[oc]).sum()
+        np.testing.assert_allclose(out, naive, atol=1e-10)
+
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(2, 2, 3, 3))
+        b = rng.normal(size=2)
+
+        def loss_fn(arr):
+            return float(F.conv2d(Tensor(arr), Tensor(w), Tensor(b), padding=1).data.sum())
+
+        t = Tensor(x.copy(), requires_grad=True)
+        F.conv2d(t, Tensor(w), Tensor(b), padding=1).sum().backward()
+        np.testing.assert_allclose(t.grad, numeric_gradient(loss_fn, x.copy()), atol=1e-5)
+
+    def test_weight_and_bias_gradient_match_numeric(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 1, 4, 4))
+        w = rng.normal(size=(2, 1, 3, 3))
+        b = rng.normal(size=2)
+        tw = Tensor(w.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        F.conv2d(Tensor(x), tw, tb, stride=1, padding=0).sum().backward()
+
+        def loss_w(arr):
+            return float(F.conv2d(Tensor(x), Tensor(arr), Tensor(b)).data.sum())
+
+        def loss_b(arr):
+            return float(F.conv2d(Tensor(x), Tensor(w), Tensor(arr)).data.sum())
+
+        np.testing.assert_allclose(tw.grad, numeric_gradient(loss_w, w.copy()), atol=1e-5)
+        np.testing.assert_allclose(tb.grad, numeric_gradient(loss_b, b.copy()), atol=1e-5)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((1, 2, 3, 3))))
+
+    def test_rectangular_kernel_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 1, 4, 4))), Tensor(np.zeros((1, 1, 3, 2))))
+
+    def test_im2col_col2im_adjoint(self):
+        # col2im is the adjoint of im2col: <im2col(x), c> == <x, col2im(c)>.
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(1, 2, 6, 6))
+        cols, oh, ow = F.im2col(x, kernel=3, stride=1, padding=1)
+        c = rng.normal(size=cols.shape)
+        lhs = float((cols * c).sum())
+        back = F.col2im(c, x.shape, kernel=3, stride=1, padding=1, out_h=oh, out_w=ow)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_gradient_goes_to_max(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        t = Tensor(x, requires_grad=True)
+        F.max_pool2d(t, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(t.grad[0, 0], expected)
+
+    def test_avg_pool_values_and_grad(self):
+        x = np.ones((1, 1, 4, 4))
+        t = Tensor(x, requires_grad=True)
+        out = F.avg_pool2d(t, 2)
+        np.testing.assert_allclose(out.data, np.ones((1, 1, 2, 2)))
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_global_avg_pool(self):
+        x = np.arange(8.0).reshape(1, 2, 2, 2)
+        out = F.global_avg_pool2d(Tensor(x)).data
+        np.testing.assert_allclose(out, [[1.5, 5.5]])
+
+    def test_max_pool_stride(self):
+        x = Tensor(np.zeros((1, 1, 6, 6)))
+        assert F.max_pool2d(x, kernel=2, stride=3).shape == (1, 1, 2, 2)
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(3.0, 2.0, size=(8, 4, 5, 5))
+        gamma = Tensor(np.ones(4), requires_grad=True)
+        beta = Tensor(np.zeros(4), requires_grad=True)
+        running_mean = np.zeros(4)
+        running_var = np.ones(4)
+        out = F.batch_norm2d(Tensor(x), gamma, beta, running_mean, running_var, training=True)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), np.zeros(4), atol=1e-8)
+        np.testing.assert_allclose(out.data.var(axis=(0, 2, 3)), np.ones(4), atol=1e-3)
+
+    def test_running_stats_updated(self):
+        x = np.full((4, 2, 3, 3), 5.0)
+        running_mean = np.zeros(2)
+        running_var = np.ones(2)
+        F.batch_norm2d(
+            Tensor(x), Tensor(np.ones(2)), Tensor(np.zeros(2)), running_mean, running_var, training=True
+        )
+        assert (running_mean > 0).all()
+
+    def test_eval_uses_running_stats(self):
+        x = np.full((2, 1, 2, 2), 4.0)
+        running_mean = np.array([4.0])
+        running_var = np.array([1.0])
+        out = F.batch_norm2d(
+            Tensor(x), Tensor(np.ones(1)), Tensor(np.zeros(1)), running_mean, running_var, training=False
+        )
+        np.testing.assert_allclose(out.data, np.zeros_like(x), atol=1e-6)
+
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(3, 2, 2, 2))
+        gamma = np.array([1.5, 0.5])
+        beta = np.array([0.1, -0.2])
+
+        def loss_fn(arr):
+            out = F.batch_norm2d(
+                Tensor(arr), Tensor(gamma), Tensor(beta), np.zeros(2), np.ones(2), training=True
+            )
+            return float((out.data ** 2).sum())
+
+        t = Tensor(x.copy(), requires_grad=True)
+        out = F.batch_norm2d(t, Tensor(gamma), Tensor(beta), np.zeros(2), np.ones(2), training=True)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(t.grad, numeric_gradient(loss_fn, x.copy()), atol=1e-4)
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, p=0.5, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_training_zeroes_and_scales(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((100, 100)))
+        out = F.dropout(x, p=0.5, training=True, rng=rng).data
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        nonzero = out[out != 0]
+        np.testing.assert_allclose(nonzero, np.full_like(nonzero, 2.0))
+
+    def test_zero_probability_is_identity(self):
+        x = Tensor(np.ones((3, 3)))
+        np.testing.assert_allclose(F.dropout(x, p=0.0, training=True).data, x.data)

@@ -1,0 +1,60 @@
+"""Tests for weight initializers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_linear_fan(self):
+        fan_in, fan_out = init.fan_in_and_fan_out((3, 7))
+        assert (fan_in, fan_out) == (7, 3)
+
+    def test_conv_fan(self):
+        fan_in, fan_out = init.fan_in_and_fan_out((8, 4, 3, 3))
+        assert fan_in == 4 * 9
+        assert fan_out == 8 * 9
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            init.fan_in_and_fan_out((2, 3, 4))
+
+
+class TestDistributions:
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_normal((256, 128), rng)
+        expected_std = math.sqrt(2.0) / math.sqrt(128)
+        assert abs(w.std() - expected_std) / expected_std < 0.1
+
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform((64, 32), rng)
+        bound = math.sqrt(2.0) * math.sqrt(3.0 / 32)
+        assert np.abs(w).max() <= bound + 1e-12
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_normal((200, 100), rng)
+        expected_std = math.sqrt(2.0 / 300)
+        assert abs(w.std() - expected_std) / expected_std < 0.15
+
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((64, 32), rng)
+        bound = math.sqrt(6.0 / 96)
+        assert np.abs(w).max() <= bound + 1e-12
+
+    def test_zeros_and_ones(self):
+        assert init.zeros((3, 3)).sum() == 0
+        assert init.ones((2, 2)).sum() == 4
+
+    def test_deterministic_given_seed(self):
+        a = init.kaiming_normal((4, 4), np.random.default_rng(7))
+        b = init.kaiming_normal((4, 4), np.random.default_rng(7))
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,135 @@
+"""Tests for optimizers and LR schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, MultiStepLR, StepLR
+
+
+def make_param(value=5.0):
+    return Parameter(np.array([value]))
+
+
+def quadratic_grad(param):
+    # d/dx (x^2 / 2) = x
+    param.grad = param.data.copy()
+
+
+class TestSGD:
+    def test_requires_nonempty_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_requires_positive_lr(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.0)
+
+    def test_plain_sgd_step(self):
+        p = make_param(2.0)
+        optimizer = SGD([p], lr=0.5, momentum=0.0)
+        p.grad = np.array([1.0])
+        optimizer.step()
+        np.testing.assert_allclose(p.data, [1.5])
+
+    def test_skips_parameters_without_grad(self):
+        p = make_param(2.0)
+        optimizer = SGD([p], lr=0.5)
+        optimizer.step()
+        np.testing.assert_allclose(p.data, [2.0])
+
+    def test_zero_grad(self):
+        p = make_param()
+        p.grad = np.array([1.0])
+        SGD([p], lr=0.1).zero_grad()
+        assert p.grad is None
+
+    def test_weight_decay_shrinks_weights(self):
+        p = make_param(1.0)
+        optimizer = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        optimizer.step()
+        assert p.data[0] < 1.0
+
+    def test_momentum_accelerates(self):
+        p_plain, p_momentum = make_param(5.0), make_param(5.0)
+        plain = SGD([p_plain], lr=0.01, momentum=0.0)
+        momentum = SGD([p_momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            quadratic_grad(p_plain)
+            quadratic_grad(p_momentum)
+            plain.step()
+            momentum.step()
+        assert abs(p_momentum.data[0]) < abs(p_plain.data[0])
+
+    def test_converges_on_quadratic(self):
+        p = make_param(10.0)
+        optimizer = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(200):
+            quadratic_grad(p)
+            optimizer.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_nesterov_variant_runs(self):
+        p = make_param(3.0)
+        optimizer = SGD([p], lr=0.1, momentum=0.9, nesterov=True)
+        for _ in range(100):
+            quadratic_grad(p)
+            optimizer.step()
+        assert abs(p.data[0]) < 0.5
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = make_param(4.0)
+        optimizer = Adam([p], lr=0.1)
+        for _ in range(300):
+            quadratic_grad(p)
+            optimizer.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_weight_decay(self):
+        p = make_param(1.0)
+        optimizer = Adam([p], lr=0.01, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        optimizer.step()
+        assert p.data[0] < 1.0
+
+
+class TestSchedulers:
+    def test_steplr_matches_paper_schedule(self):
+        # Paper: lr 0.01, step_size 20, gamma 0.2.
+        p = make_param()
+        optimizer = SGD([p], lr=0.01)
+        scheduler = StepLR(optimizer, step_size=20, gamma=0.2)
+        lrs = []
+        for _ in range(60):
+            lrs.append(optimizer.lr)
+            scheduler.step()
+        assert lrs[0] == pytest.approx(0.01)
+        assert lrs[20] == pytest.approx(0.002)
+        assert lrs[40] == pytest.approx(0.0004)
+
+    def test_multistep(self):
+        p = make_param()
+        optimizer = SGD([p], lr=1.0)
+        scheduler = MultiStepLR(optimizer, milestones=[2, 4], gamma=0.1)
+        values = []
+        for _ in range(5):
+            scheduler.step()
+            values.append(optimizer.lr)
+        assert values[-1] == pytest.approx(0.01)
+        assert values[0] == pytest.approx(1.0)
+
+    def test_cosine_annealing_monotone_decrease(self):
+        p = make_param()
+        optimizer = SGD([p], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.0)
+        previous = optimizer.lr
+        for _ in range(10):
+            scheduler.step()
+            assert optimizer.lr <= previous + 1e-12
+            previous = optimizer.lr
+        assert optimizer.lr == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,312 @@
+"""Unit and property-based tests for the autograd Tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, as_tensor, concatenate, no_grad, stack
+from repro.nn.tensor import _unbroadcast
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn(x)
+        flat[i] = original - eps
+        down = fn(x)
+        flat[i] = original
+        grad.reshape(-1)[i] = (up - down) / (2 * eps)
+    return grad
+
+
+small_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=4),
+    elements=st.floats(min_value=-3, max_value=3, allow_nan=False, width=32),
+)
+
+
+class TestBasics:
+    def test_creation_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert not t.requires_grad
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_breaks_graph(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_backward_on_non_scalar_requires_grad_arg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 3
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+    def test_backward_without_requires_grad_raises(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+
+class TestArithmeticGradients:
+    def test_add_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = Tensor([3.0, 4.0], requires_grad=True)
+        (x + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+        np.testing.assert_allclose(y.grad, [1.0, 1.0])
+
+    def test_mul_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = Tensor([3.0, 4.0], requires_grad=True)
+        (x * y).sum().backward()
+        np.testing.assert_allclose(x.grad, [3.0, 4.0])
+        np.testing.assert_allclose(y.grad, [1.0, 2.0])
+
+    def test_sub_and_neg(self):
+        x = Tensor([5.0], requires_grad=True)
+        y = Tensor([2.0], requires_grad=True)
+        (x - y).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+        np.testing.assert_allclose(y.grad, [-1.0])
+
+    def test_div_grad(self):
+        x = Tensor([6.0], requires_grad=True)
+        y = Tensor([3.0], requires_grad=True)
+        (x / y).sum().backward()
+        np.testing.assert_allclose(x.grad, [1 / 3])
+        np.testing.assert_allclose(y.grad, [-6 / 9])
+
+    def test_pow_grad(self):
+        x = Tensor([2.0, 3.0], requires_grad=True)
+        (x ** 3).sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0, 27.0])
+
+    def test_radd_rmul_with_scalars(self):
+        x = Tensor([2.0], requires_grad=True)
+        (1.0 + x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0])
+
+    def test_rsub_rtruediv(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = 4.0 - x
+        np.testing.assert_allclose(y.data, [2.0])
+        z = 8.0 / x
+        np.testing.assert_allclose(z.data, [4.0])
+
+    def test_matmul_grad_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        (ta @ tb).sum().backward()
+        grad_a = numeric_gradient(lambda arr: float((arr @ b).sum()), a.copy())
+        grad_b = numeric_gradient(lambda arr: float((a @ arr).sum()), b.copy())
+        np.testing.assert_allclose(ta.grad, grad_a, atol=1e-5)
+        np.testing.assert_allclose(tb.grad, grad_b, atol=1e-5)
+
+    def test_broadcast_add_grad(self):
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        bias = Tensor(np.ones(4), requires_grad=True)
+        (x + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, [3.0] * 4)
+
+    def test_broadcast_mul_grad_keepdim_axis(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        scale = Tensor(np.full((2, 1), 2.0), requires_grad=True)
+        (x * scale).sum().backward()
+        np.testing.assert_allclose(scale.grad, [[3.0], [3.0]])
+
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2 + x * 3
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "op, derivative",
+        [
+            ("exp", lambda v: np.exp(v)),
+            ("log", lambda v: 1.0 / v),
+            ("sqrt", lambda v: 0.5 / np.sqrt(v)),
+            ("tanh", lambda v: 1 - np.tanh(v) ** 2),
+            ("sigmoid", lambda v: (1 / (1 + np.exp(-v))) * (1 - 1 / (1 + np.exp(-v)))),
+        ],
+    )
+    def test_unary_gradients(self, op, derivative):
+        values = np.array([0.5, 1.5, 2.0])
+        x = Tensor(values.copy(), requires_grad=True)
+        getattr(x, op)().sum().backward()
+        np.testing.assert_allclose(x.grad, derivative(values), atol=1e-8)
+
+    def test_relu_grad(self):
+        x = Tensor([-1.0, 0.5, 2.0], requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0])
+
+    def test_abs_grad(self):
+        x = Tensor([-2.0, 3.0], requires_grad=True)
+        x.abs().sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0, 1.0])
+
+    def test_clip_grad_masks_outside(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_grad_routing(self):
+        x = Tensor([1.0, 5.0], requires_grad=True)
+        y = Tensor([2.0, 3.0], requires_grad=True)
+        x.maximum(y).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+        np.testing.assert_allclose(y.grad, [1.0, 0.0])
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = x.sum(axis=1, keepdims=True)
+        assert y.shape == (2, 1)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_mean_grad(self):
+        x = Tensor(np.ones((2, 4)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 4), 1 / 8))
+
+    def test_var_matches_numpy(self):
+        values = np.random.default_rng(0).normal(size=(5, 3))
+        np.testing.assert_allclose(Tensor(values).var().item(), values.var(), atol=1e-10)
+
+    def test_max_grad_goes_to_argmax(self):
+        x = Tensor([[1.0, 3.0], [2.0, 0.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_min_matches_numpy(self):
+        values = np.array([[1.0, -2.0], [0.5, 3.0]])
+        np.testing.assert_allclose(Tensor(values).min(axis=0).data, values.min(axis=0))
+
+    def test_reshape_roundtrip_grad(self):
+        x = Tensor(np.arange(12.0), requires_grad=True)
+        (x.reshape(3, 4) * 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(12, 2.0))
+
+    def test_flatten(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.flatten().shape == (2, 12)
+
+    def test_transpose_grad(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x.transpose().sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_transpose_with_axes(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.transpose((2, 0, 1)).shape == (4, 2, 3)
+
+    def test_getitem_grad_scatters(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        x[1:3].sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_pad2d_grad(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        padded = x.pad2d(1)
+        assert padded.shape == (1, 1, 4, 4)
+        padded.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 2, 2)))
+
+    def test_stack_and_concatenate_grads(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        stack([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        a.zero_grad(), b.zero_grad()
+        concatenate([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        from repro.nn import is_grad_enabled
+
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestUnbroadcast:
+    def test_unbroadcast_leading_dims(self):
+        grad = np.ones((3, 2, 4))
+        np.testing.assert_allclose(_unbroadcast(grad, (2, 4)), np.full((2, 4), 3.0))
+
+    def test_unbroadcast_singleton_dims(self):
+        grad = np.ones((2, 4))
+        np.testing.assert_allclose(_unbroadcast(grad, (2, 1)), np.full((2, 1), 4.0))
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(small_arrays)
+    def test_sum_gradient_is_ones(self, values):
+        x = Tensor(values.astype(np.float64), requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(values))
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_arrays)
+    def test_elementwise_square_gradient(self, values):
+        values = values.astype(np.float64)
+        x = Tensor(values.copy(), requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * values, atol=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_arrays, small_arrays)
+    def test_addition_is_commutative(self, a, b):
+        if a.shape != b.shape:
+            return
+        left = (Tensor(a) + Tensor(b)).data
+        right = (Tensor(b) + Tensor(a)).data
+        np.testing.assert_allclose(left, right)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_arrays)
+    def test_exp_log_roundtrip(self, values):
+        positive = np.abs(values.astype(np.float64)) + 0.5
+        x = Tensor(positive)
+        np.testing.assert_allclose(x.exp().log().data, positive, atol=1e-8)

@@ -1,0 +1,98 @@
+"""Tests for seeding, logging and checkpoint serialization."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.models import SmallCNN
+from repro.nn import Tensor
+from repro.utils import (
+    Timer,
+    derive_seeds,
+    generator,
+    get_logger,
+    load_checkpoint,
+    load_state_into,
+    log_section,
+    save_checkpoint,
+    seed_everything,
+)
+
+
+class TestRng:
+    def test_seed_everything_reproducible(self):
+        seed_everything(5)
+        a = np.random.rand(3)
+        seed_everything(5)
+        b = np.random.rand(3)
+        np.testing.assert_allclose(a, b)
+
+    def test_generator_independent_of_global(self):
+        g1 = generator(0)
+        g2 = generator(0)
+        np.testing.assert_allclose(g1.random(4), g2.random(4))
+
+    def test_derive_seeds_stable_and_distinct(self):
+        seeds_a = derive_seeds(0, "model", "data", "attack")
+        seeds_b = derive_seeds(0, "model", "data", "attack")
+        assert seeds_a == seeds_b
+        assert len(set(seeds_a.values())) == 3
+
+    def test_derive_seeds_differ_across_base(self):
+        assert derive_seeds(0, "model") != derive_seeds(1, "model")
+
+
+class TestLogging:
+    def test_get_logger_idempotent(self):
+        a = get_logger("repro-test")
+        b = get_logger("repro-test")
+        assert a is b
+        assert len(a.handlers) == 1
+
+    def test_log_section_runs(self, caplog):
+        logger = get_logger("repro-test-section")
+        logger.propagate = True
+        with caplog.at_level(logging.INFO, logger="repro-test-section"):
+            with log_section("unit", logger=logger):
+                pass
+        assert any("unit" in message for message in caplog.messages)
+
+    def test_timer_measures_elapsed(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.elapsed >= 0.0
+
+
+class TestSerialization:
+    def test_checkpoint_roundtrip(self, tmp_path):
+        model = SmallCNN(num_classes=10, image_size=16, seed=0)
+        path = save_checkpoint(model, tmp_path / "model.npz", metadata={"epoch": 3})
+        fresh = SmallCNN(num_classes=10, image_size=16, seed=99)
+        metadata = load_state_into(fresh, path)
+        assert metadata == {"epoch": 3}
+        x = Tensor(np.random.default_rng(0).random((2, 3, 16, 16)))
+        np.testing.assert_allclose(model(x).data, fresh(x).data)
+
+    def test_checkpoint_without_metadata(self, tmp_path):
+        model = SmallCNN(num_classes=10, image_size=16, seed=0)
+        path = save_checkpoint(model, tmp_path / "plain.npz")
+        _, metadata = load_checkpoint(path)
+        assert metadata is None
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_suffix_appended_automatically(self, tmp_path):
+        model = SmallCNN(num_classes=10, image_size=16, seed=0)
+        save_checkpoint(model, tmp_path / "model")  # np.savez adds .npz
+        state, _ = load_checkpoint(tmp_path / "model")
+        assert any("weight" in key for key in state)
+
+    def test_creates_parent_directories(self, tmp_path):
+        model = SmallCNN(num_classes=10, image_size=16, seed=0)
+        path = save_checkpoint(model, tmp_path / "nested" / "dir" / "model.npz")
+        assert path.exists()
