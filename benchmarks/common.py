@@ -18,13 +18,16 @@ different benches can share baselines.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.attacks import AttackSpec
 from repro.core import IBRAR, IBRARConfig, MILoss
+from repro.evaluation import RobustnessReport, paper_attack_suite_specs
 from repro.data import ArrayDataset, DataLoader, SyntheticImageDataset, synthetic_cifar10
 from repro.data.synthetic import make_dataset, synthetic_svhn
 from repro.models import SmallCNN, VGG16, ResNet18, WideResNet28x10, ImageClassifier
@@ -43,10 +46,12 @@ __all__ = [
     "get_profile",
     "bench_dataset",
     "bench_model",
+    "bench_suite_specs",
     "train_model",
     "train_ibrar",
     "get_or_train",
     "paper_rows_header",
+    "record_bench_timings",
 ]
 
 
@@ -279,6 +284,40 @@ def default_ibrar_config(model: ImageClassifier, robust_only: bool = True, **ove
     params = dict(alpha=0.05, beta=0.01, layers=layers, mask_fraction=0.1)
     params.update(overrides)
     return IBRARConfig(**params)
+
+
+def bench_suite_specs(cw_steps_cap: Optional[int] = None, **overrides) -> List[AttackSpec]:
+    """The paper attack suite at the active profile's step counts, as specs.
+
+    Specs are model-free: one suite serves every model of a table, and the
+    engine batches / early-exits the evaluation.  ``cw_steps_cap`` mirrors the
+    per-bench reductions of the expensive CW optimization.
+    """
+    profile = get_profile()
+    params = dict(pgd_steps=profile.attack_steps, cw_steps=profile.cw_steps)
+    if cw_steps_cap is not None:
+        params["cw_steps"] = min(params["cw_steps"], cw_steps_cap)
+    params.update(overrides)
+    return paper_attack_suite_specs(**params)
+
+
+def record_bench_timings(label: str, reports: List[RobustnessReport]) -> None:
+    """Append engine telemetry to ``REPRO_BENCH_TIMINGS`` (a JSON-lines file).
+
+    The CI quick-bench job sets the environment variable and uploads the file
+    as an artifact; locally the call is a no-op unless the variable is set.
+    """
+    path = os.environ.get("REPRO_BENCH_TIMINGS")
+    if not path:
+        return
+    with open(path, "a", encoding="utf-8") as handle:
+        for report in reports:
+            if report.result is None:
+                continue
+            entry = {"bench": label, "profile": get_profile().name}
+            entry.update(report.result.as_dict())
+            entry.pop("telemetry", None)
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
 
 
 def adversarial_strategies() -> Dict[str, Callable[[], LossStrategy]]:

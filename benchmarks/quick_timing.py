@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quick engine benchmark: legacy loop vs early-exit vs cascade, as JSON.
+
+Trains a tiny CNN on synthetic CIFAR-like data and times the paper's attack
+suite under three evaluation strategies:
+
+* ``legacy``    — the engine with early exit off (one attack after another
+  over every example; identical to the pre-engine per-attack loop);
+* ``early_exit`` — clean-misclassified examples dropped from attack batches;
+* ``cascade``   — additionally drop examples fooled by an earlier attack
+  (worst-case/AutoAttack-style evaluation).
+
+Writes a JSON report (accuracies, wall time, forward-pass counts) to the path
+given as the first argument (default: ``bench-timings.json``).  The CI
+quick-bench job uploads this as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.attacks import AttackEngine, paper_suite_specs
+from repro.data import ArrayDataset, DataLoader, synthetic_cifar10
+from repro.models import SmallCNN
+from repro.nn.optim import SGD, StepLR
+from repro.training import CrossEntropyLoss, Trainer
+
+
+def main() -> None:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "bench-timings.json"
+    dataset = synthetic_cifar10(n_train=300, n_test=120, image_size=16, seed=0)
+    model = SmallCNN(num_classes=10, image_size=16, seed=0)
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-3)
+    trainer = Trainer(model, CrossEntropyLoss(), optimizer=optimizer, scheduler=StepLR(optimizer))
+    loader = DataLoader(
+        ArrayDataset(dataset.x_train, dataset.y_train),
+        batch_size=50,
+        shuffle=True,
+        drop_last=True,
+        seed=0,
+    )
+    trainer.fit(loader, epochs=3)
+    model.eval()
+
+    suite = paper_suite_specs(pgd_steps=5, cw_steps=10)
+    images, labels = dataset.x_test[:96], dataset.y_test[:96]
+    modes = {
+        "legacy": dict(early_exit=False),
+        "early_exit": dict(early_exit=True),
+        "cascade": dict(cascade=True),
+    }
+    report = {"suite": [spec.as_dict() for spec in suite], "eval_examples": len(images), "modes": {}}
+    for mode_name, engine_kwargs in modes.items():
+        engine = AttackEngine(suite, **engine_kwargs)
+        start = time.perf_counter()
+        result = engine.run(model, images, labels, method_name=mode_name)
+        elapsed = time.perf_counter() - start
+        entry = result.as_dict()
+        entry["wall_seconds"] = round(elapsed, 4)
+        report["modes"][mode_name] = entry
+        print(
+            f"{mode_name:>10}: {elapsed:6.2f}s  "
+            f"{result.total_forward_examples:7d} forward-examples  "
+            f"worst-case {result.worst_case * 100:.2f}%"
+        )
+
+    legacy = report["modes"]["legacy"]
+    fast = report["modes"]["early_exit"]
+    report["speedup_early_exit"] = round(legacy["wall_seconds"] / max(fast["wall_seconds"], 1e-9), 3)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"wrote {output_path} (early-exit speedup: {report['speedup_early_exit']}x)")
+
+
+if __name__ == "__main__":
+    main()

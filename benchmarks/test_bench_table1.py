@@ -21,14 +21,16 @@ from common import (
     adversarial_strategies,
     bench_dataset,
     bench_model,
+    bench_suite_specs,
     default_ibrar_config,
     get_or_train,
     get_profile,
     paper_rows_header,
+    record_bench_timings,
     train_ibrar,
     train_model,
 )
-from repro.evaluation import evaluate_robustness, format_table, paper_attack_suite
+from repro.evaluation import evaluate_robustness, format_table
 
 
 def _reports():
@@ -37,6 +39,9 @@ def _reports():
     images = dataset.x_test[: profile.eval_examples]
     labels = dataset.y_test[: profile.eval_examples]
 
+    # One model-free spec suite serves every row of the table; the engine
+    # shares the clean pass and early-exits already-misclassified examples.
+    suite = bench_suite_specs()
     reports = []
     for method_name, strategy_factory in adversarial_strategies().items():
         baseline = get_or_train(
@@ -50,21 +55,15 @@ def _reports():
                 dataset, default_ibrar_config(p), base_loss=f(), seed=0
             ),
         )
-        suite_kwargs = dict(pgd_steps=profile.attack_steps, cw_steps=profile.cw_steps)
         reports.append(
-            evaluate_robustness(
-                baseline, images, labels,
-                attacks=paper_attack_suite(baseline, **suite_kwargs),
-                method_name=method_name,
-            )
+            evaluate_robustness(baseline, images, labels, attacks=suite, method_name=method_name)
         )
         reports.append(
             evaluate_robustness(
-                ibrar_model, images, labels,
-                attacks=paper_attack_suite(ibrar_model, **suite_kwargs),
-                method_name=f"{method_name} (IB-RAR)",
+                ibrar_model, images, labels, attacks=suite, method_name=f"{method_name} (IB-RAR)"
             )
         )
+    record_bench_timings("table1", reports)
     return reports
 
 
@@ -94,12 +93,11 @@ def test_table1_adversarial_training_with_ibrar(table1_reports, benchmark):
     profile = get_profile()
     dataset = bench_dataset("cifar10")
     model = get_or_train("table1:PGD", lambda: None)
-    from repro.attacks import PGD
-    from repro.evaluation import adversarial_accuracy
+    from repro.attacks import AttackEngine, AttackSpec
 
-    attack = PGD(model, steps=profile.attack_steps)
+    engine = AttackEngine([AttackSpec("pgd", dict(steps=profile.attack_steps))])
     benchmark.pedantic(
-        lambda: adversarial_accuracy(model, attack, dataset.x_test[:20], dataset.y_test[:20]),
+        lambda: engine.run(model, dataset.x_test[:20], dataset.y_test[:20]),
         rounds=1,
         iterations=1,
     )

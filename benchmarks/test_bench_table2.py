@@ -18,15 +18,17 @@ import pytest
 from common import (
     bench_dataset,
     bench_model,
+    bench_suite_specs,
     default_ibrar_config,
     get_or_train,
     get_profile,
     paper_rows_header,
+    record_bench_timings,
     robust_layers_for,
 )
 from repro.core import IBRAR, IBRARConfig
 from repro.data import ArrayDataset, DataLoader
-from repro.evaluation import evaluate_robustness, format_table, paper_attack_suite
+from repro.evaluation import evaluate_robustness, format_table
 from repro.nn.optim import SGD, StepLR
 from repro.training import MARTLoss, PGDAdversarialLoss, TRADESLoss, Trainer
 
@@ -75,13 +77,13 @@ def _half_table(model_kind: str, dataset_kind: str, num_classes: int, methods=("
         "MART": lambda: MARTLoss(beta=5.0, steps=at_steps),
     }
     strategies = {name: strategies[name] for name in methods}
-    suite_kwargs = dict(pgd_steps=profile.attack_steps, cw_steps=min(profile.cw_steps, 10))
-
-    def make_suite(model):
-        suite = paper_attack_suite(model, **suite_kwargs)
-        if attack_names is not None:
-            suite = {name: suite[name] for name in attack_names}
-        return suite
+    # One model-free spec suite for the whole half-table.
+    suite = bench_suite_specs(cw_steps_cap=10)
+    if attack_names is not None:
+        unknown = set(attack_names) - {spec.name for spec in suite}
+        if unknown:
+            raise KeyError(f"unknown attack name(s) {sorted(unknown)} in attack_names")
+        suite = [spec for spec in suite if spec.name in attack_names]
 
     reports = []
     for name, factory in strategies.items():
@@ -99,10 +101,11 @@ def _half_table(model_kind: str, dataset_kind: str, num_classes: int, methods=("
                 f(), dataset, epochs, batch_size, profile.lr,
             ),
         )
-        reports.append(evaluate_robustness(base, images, labels, make_suite(base), name))
+        reports.append(evaluate_robustness(base, images, labels, suite, name))
         reports.append(
-            evaluate_robustness(ours, images, labels, make_suite(ours), f"{name} (IB-RAR)")
+            evaluate_robustness(ours, images, labels, suite, f"{name} (IB-RAR)")
         )
+    record_bench_timings(f"table2:{model_kind}:{dataset_kind}", reports)
     return reports
 
 

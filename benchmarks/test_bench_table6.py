@@ -26,8 +26,7 @@ from common import (
     train_ibrar,
     train_model,
 )
-from repro.attacks import AdaptiveIBAttack, PGD
-from repro.evaluation import adversarial_accuracy, clean_accuracy
+from repro.attacks import AttackEngine, AttackSpec
 from repro.training import PGDAdversarialLoss
 
 
@@ -62,25 +61,23 @@ def test_table6_adaptive_attack(table6_setup, benchmark):
     steps_short = profile.attack_steps
     steps_long = min(profile.attack_steps * 4, 100)
 
+    # One model-free suite (standard PGD and the adaptive Eq. (1) attack at
+    # both step budgets) evaluated by the engine against every model row.
+    config_kwargs = dict(alpha_ib=0.05, beta_ib=0.01)
+    suite = {
+        f"PGD {steps_short}": AttackSpec("pgd", dict(steps=steps_short, seed=0)),
+        f"AD PGD{steps_short}": AttackSpec("adaptive-ib", dict(steps=steps_short, seed=0, **config_kwargs)),
+        f"PGD {steps_long}": AttackSpec("pgd", dict(steps=steps_long, seed=0)),
+        f"AD PGD{steps_long}": AttackSpec("adaptive-ib", dict(steps=steps_long, seed=0, **config_kwargs)),
+    }
+    engine = AttackEngine(suite)
+
     def evaluate():
         rows = {}
         for name, model in models.items():
-            config_kwargs = dict(alpha_ib=0.05, beta_ib=0.01)
-            rows[name] = {
-                f"PGD {steps_short}": adversarial_accuracy(
-                    model, PGD(model, steps=steps_short, seed=0), images, labels
-                ),
-                f"AD PGD{steps_short}": adversarial_accuracy(
-                    model, AdaptiveIBAttack(model, steps=steps_short, seed=0, **config_kwargs), images, labels
-                ),
-                f"PGD {steps_long}": adversarial_accuracy(
-                    model, PGD(model, steps=steps_long, seed=0), images, labels
-                ),
-                f"AD PGD{steps_long}": adversarial_accuracy(
-                    model, AdaptiveIBAttack(model, steps=steps_long, seed=0, **config_kwargs), images, labels
-                ),
-                "clean": clean_accuracy(model, images, labels),
-            }
+            result = engine.run(model, images, labels, method_name=name)
+            rows[name] = dict(result.adversarial)
+            rows[name]["clean"] = result.natural
         return rows
 
     rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.attacks import format_telemetry
 from repro.core import IBRAR, IBRARConfig
 from repro.data import ArrayDataset, DataLoader, synthetic_cifar10
-from repro.evaluation import evaluate_robustness, format_table, paper_attack_suite
+from repro.evaluation import evaluate_robustness, format_table, paper_attack_suite_specs
 from repro.models import SmallCNN
 from repro.nn.optim import SGD, StepLR
 from repro.training import CrossEntropyLoss, Trainer
@@ -84,19 +85,22 @@ def main() -> None:
     images = dataset.x_test[:EVAL_EXAMPLES]
     labels = dataset.y_test[:EVAL_EXAMPLES]
     with log_section("evaluate under the paper's attack suite", LOGGER):
+        # The suite is a list of model-free specs: build it once, evaluate
+        # every model with it.  The engine computes the clean pass once and
+        # drops already-misclassified examples from every attack batch.
+        suite = paper_attack_suite_specs(pgd_steps=5, cw_steps=15)
         reports = [
-            evaluate_robustness(
-                baseline, images, labels, paper_attack_suite(baseline, pgd_steps=5, cw_steps=15), "CE"
-            ),
-            evaluate_robustness(
-                defended, images, labels, paper_attack_suite(defended, pgd_steps=5, cw_steps=15), "IB-RAR"
-            ),
+            evaluate_robustness(baseline, images, labels, suite, "CE"),
+            evaluate_robustness(defended, images, labels, suite, "IB-RAR"),
         ]
 
     print()
     print(format_table(reports))
     delta = reports[1].mean_adversarial() - reports[0].mean_adversarial()
     print(f"\nmean adversarial-accuracy delta (IB-RAR - CE): {delta * 100:+.2f} percentage points")
+
+    print("\nengine telemetry for the IB-RAR run (early-exit batching):")
+    print(format_telemetry(reports[1].result))
 
 
 if __name__ == "__main__":

@@ -16,10 +16,9 @@ Run with:  python examples/robust_layer_selection.py
 
 from __future__ import annotations
 
-from repro.attacks import PGD
+from repro.attacks import AttackEngine, AttackSpec
 from repro.core import IBRAR, IBRARConfig, RobustLayerSelector
 from repro.data import synthetic_cifar10
-from repro.evaluation import adversarial_accuracy, clean_accuracy
 from repro.models import SmallCNN
 from repro.utils import get_logger, log_section
 
@@ -75,10 +74,13 @@ def main() -> None:
         all_model = train_final(dataset, None)
 
     images, labels = dataset.x_test[:96], dataset.y_test[:96]
+    engine = AttackEngine([AttackSpec("pgd", dict(steps=5, seed=0))])
     for name, model in (("Rob. layers", rob_model), ("All layers", all_model)):
-        adv = adversarial_accuracy(model, PGD(model, steps=5, seed=0), images, labels)
-        nat = clean_accuracy(model, images, labels)
-        print(f"{name:<12} adv acc {adv * 100:6.2f}   test acc {nat * 100:6.2f}")
+        result = engine.run(model, images, labels, method_name=name)
+        print(
+            f"{name:<12} adv acc {result.adversarial['pgd'] * 100:6.2f}   "
+            f"test acc {result.natural * 100:6.2f}"
+        )
 
 
 if __name__ == "__main__":

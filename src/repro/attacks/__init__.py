@@ -1,12 +1,28 @@
 """White-box adversarial attacks used by the paper's evaluation.
 
-PGD, FGSM, CW, FAB and NIFGSM (the Tables 1-2 attack suite) plus the
-adaptive IB-aware attack of Section A.2.  All attacks share the
+PGD, FGSM, CW, FAB and NIFGSM (the Tables 1-2 attack suite), the adaptive
+IB-aware attack of Section A.2, the MIFGSM/DeepFool extensions, and the
+worst-case :class:`EnsembleAttack` composition.  All attacks share the
 ``attack(images, labels)`` interface defined by :class:`Attack`.
+
+The composable layer lives in :mod:`repro.attacks.engine`:
+
+* an attack *configuration* is an :class:`AttackSpec` — registry name plus
+  hyperparameters, no model.  ``spec.build(model)`` instantiates it against
+  any classifier, and ``attack.spec()`` round-trips a constructed attack
+  back through ``ATTACK_REGISTRY``;
+* suites are lists of specs, reusable across every model in a table row;
+* :class:`AttackEngine` runs a suite against one model with batched
+  early-exit (the clean forward pass is shared, already-misclassified
+  examples are dropped from attack batches) and per-attack telemetry.
+
+Use :func:`build_attack` to construct attacks by name; it validates
+hyperparameter names against the attack's constructor and raises
+:class:`AttackConfigError` (instead of a bare ``TypeError``) on a mismatch.
 """
 
 from .adaptive import AdaptiveIBAttack, make_ib_loss_fn
-from .base import Attack
+from .base import Attack, AttackConfigError
 from .cw import CW
 from .deepfool import DeepFool
 from .fab import FAB
@@ -17,6 +33,7 @@ from .pgd import PGD
 
 __all__ = [
     "Attack",
+    "AttackConfigError",
     "FGSM",
     "PGD",
     "CW",
@@ -25,9 +42,19 @@ __all__ = [
     "MIFGSM",
     "DeepFool",
     "AdaptiveIBAttack",
+    "EnsembleAttack",
     "make_ib_loss_fn",
     "ATTACK_REGISTRY",
+    "AttackSpec",
+    "AttackEngine",
+    "AttackTelemetry",
+    "EngineResult",
+    "ForwardPassCounter",
+    "available_attacks",
     "build_attack",
+    "format_telemetry",
+    "normalize_suite",
+    "paper_suite_specs",
 ]
 
 ATTACK_REGISTRY = {
@@ -42,9 +69,49 @@ ATTACK_REGISTRY = {
 }
 
 
-def build_attack(name: str, model, **kwargs) -> Attack:
-    """Instantiate an attack by name with the paper's defaults."""
+def available_attacks() -> list:
+    """Return the sorted list of attack names accepted by :func:`build_attack`."""
+    return sorted(ATTACK_REGISTRY)
+
+
+def build_attack(name: str, model, strict: bool = True, **kwargs) -> Attack:
+    """Instantiate an attack by name with the paper's defaults.
+
+    Hyperparameter names are validated against the attack's constructor:
+    unknown ones raise :class:`AttackConfigError` naming the attack and the
+    accepted hyperparameters (e.g. passing ``eps`` to the L2 ``CW`` attack).
+    With ``strict=False`` unknown hyperparameters are silently dropped
+    instead, which lets shared suite defaults fan out across heterogeneous
+    attacks.
+    """
     key = name.lower()
     if key not in ATTACK_REGISTRY:
-        raise KeyError(f"unknown attack '{name}'; available: {sorted(ATTACK_REGISTRY)}")
-    return ATTACK_REGISTRY[key](model, **kwargs)
+        raise KeyError(f"unknown attack '{name}'; available: {available_attacks()}")
+    attack_cls = ATTACK_REGISTRY[key]
+    accepted = attack_cls.accepted_hyperparameters()
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        if strict:
+            raise AttackConfigError(
+                f"attack '{key}' ({attack_cls.__name__}) does not accept "
+                f"hyperparameter(s) {unknown}; accepted: {sorted(accepted)}"
+            )
+        kwargs = {k: v for k, v in kwargs.items() if k in accepted}
+    return attack_cls(model, **kwargs)
+
+
+# The engine imports build_attack lazily, and EnsembleAttack builds its
+# sub-attacks through the registry, so it is imported (and registered) last.
+from .engine import (  # noqa: E402
+    AttackEngine,
+    AttackSpec,
+    AttackTelemetry,
+    EngineResult,
+    EnsembleAttack,
+    ForwardPassCounter,
+    format_telemetry,
+    normalize_suite,
+    paper_suite_specs,
+)
+
+ATTACK_REGISTRY["ensemble"] = EnsembleAttack

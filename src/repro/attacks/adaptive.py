@@ -97,4 +97,5 @@ class AdaptiveIBAttack(PGD):
         )
         self.alpha_ib = alpha_ib
         self.beta_ib = beta_ib
-        self.layers = list(layers) if layers is not None else None
+        self.layers = tuple(layers) if layers is not None else None
+        self.sigma = sigma

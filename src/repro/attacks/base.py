@@ -9,7 +9,8 @@ expressed in that range).  Gradients are obtained from the autograd engine.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+import inspect
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -17,7 +18,16 @@ from ..nn import Tensor
 from ..nn import functional as F
 from ..models.base import ImageClassifier
 
-__all__ = ["Attack", "LossFn"]
+__all__ = ["Attack", "AttackConfigError", "LossFn"]
+
+
+class AttackConfigError(TypeError):
+    """Raised when an attack is configured with hyperparameters it does not accept.
+
+    Subclasses :class:`TypeError` (what a bad constructor call would raise)
+    but carries an actionable message naming the attack and the accepted
+    hyperparameters.
+    """
 
 # A loss function receives (model, x_tensor, labels) and returns a scalar Tensor.
 LossFn = Callable[[ImageClassifier, Tensor, np.ndarray], Tensor]
@@ -45,6 +55,11 @@ class Attack:
     """
 
     name = "attack"
+
+    #: constructor parameters that are *not* part of the serializable spec
+    #: (``loss_fn`` is an arbitrary callable; attacks that need a custom loss,
+    #: like the adaptive IB attack, rebuild it from their own hyperparameters).
+    spec_exclude: Tuple[str, ...] = ("loss_fn",)
 
     def __init__(
         self,
@@ -113,6 +128,46 @@ class Attack:
 
     def _generate(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    # -- spec support -------------------------------------------------------------
+    @classmethod
+    def accepted_hyperparameters(cls) -> Tuple[str, ...]:
+        """Constructor parameter names (excluding ``self`` and ``model``)."""
+        signature = inspect.signature(cls.__init__)
+        names = []
+        for name, parameter in signature.parameters.items():
+            if name in ("self", "model"):
+                continue
+            if parameter.kind in (parameter.VAR_POSITIONAL, parameter.VAR_KEYWORD):
+                continue
+            names.append(name)
+        return tuple(names)
+
+    def hyperparameters(self) -> Dict[str, Any]:
+        """The constructor hyperparameters of this attack, read back from it.
+
+        Every attack stores each constructor argument under the same name, so
+        the spec round-trip ``AttackSpec.from_attack(a).build(model)`` yields
+        an attack with identical hyperparameters.  Parameters listed in
+        ``spec_exclude`` (non-serializable callables) are omitted.
+        """
+        params: Dict[str, Any] = {}
+        for name in self.accepted_hyperparameters():
+            if name in self.spec_exclude:
+                continue
+            if not hasattr(self, name):
+                raise AttributeError(
+                    f"{type(self).__name__} does not store its '{name}' hyperparameter; "
+                    "store it in __init__ (or add it to spec_exclude) to support specs"
+                )
+            params[name] = getattr(self, name)
+        return params
+
+    def spec(self):
+        """Return the model-free :class:`~repro.attacks.engine.AttackSpec`."""
+        from .engine import AttackSpec
+
+        return AttackSpec.from_attack(self)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(eps={self.eps:.4f})"

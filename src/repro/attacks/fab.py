@@ -53,6 +53,7 @@ class FAB(Attack):
         self.steps = steps
         self.eta = eta
         self.beta = beta
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
 
     def _logits_and_full_jacobian(self, images: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

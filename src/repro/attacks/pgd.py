@@ -40,6 +40,7 @@ class PGD(Attack):
         self.alpha = alpha
         self.steps = steps
         self.random_start = random_start
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
 
     def _generate(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:

@@ -103,12 +103,25 @@ class MILoss:
             return images
         return generate(model, images, labels)
 
-    def __call__(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> Tensor:
-        base = self.base_loss(model, images, labels)
-        mi_images = self._mi_inputs(model, images, labels)
-        inputs = Tensor(mi_images)
-        logits, hidden = model.forward_with_hidden(inputs)
-        del logits  # the base strategy already produced the classification term
+    def loss_and_logits(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> tuple:
+        """Return ``(loss, clean logits or None)``.
+
+        When the base loss is plain CE on clean inputs (Eq. 1) the MI terms
+        and the classification term share a single ``forward_with_hidden``
+        pass — previously the hottest path of IB-RAR training ran the same
+        clean forward twice per batch.  Adversarial base strategies (Eq. 2)
+        keep their own forward passes and return ``None`` for the logits.
+        """
+        fused = isinstance(self.base_loss, CrossEntropyLoss) and not self.config.mi_on_adversarial
+        if fused:
+            inputs = Tensor(images)
+            logits, hidden = model.forward_with_hidden(inputs)
+            base = F.cross_entropy(logits, labels)
+        else:
+            logits = None
+            base = self.base_loss(model, images, labels)
+            inputs = Tensor(self._mi_inputs(model, images, labels))
+            _, hidden = model.forward_with_hidden(inputs)
         sum_xt, sum_yt = mi_regularizer_terms(
             inputs,
             labels,
@@ -125,7 +138,10 @@ class MILoss:
             "hsic_y": float(sum_yt.item()),
             "total": float(total.item()),
         }
-        return total
+        return total, logits
+
+    def __call__(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> Tensor:
+        return self.loss_and_logits(model, images, labels)[0]
 
 
 class AdversarialMILoss(MILoss):

@@ -6,8 +6,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..nn import Tensor, no_grad
-from ..models.base import ImageClassifier
+from ..models.base import ImageClassifier, predict_batched as _batched_predict
 
 __all__ = ["accuracy", "clean_accuracy", "adversarial_accuracy", "attack_success_rate"]
 
@@ -21,19 +20,6 @@ def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
     if predictions.size == 0:
         return 0.0
     return float((predictions == labels).mean())
-
-
-def _batched_predict(model: ImageClassifier, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
-    outputs = []
-    was_training = model.training
-    model.eval()
-    try:
-        with no_grad():
-            for start in range(0, len(images), batch_size):
-                outputs.append(model.predict(Tensor(images[start : start + batch_size])))
-    finally:
-        model.train(was_training)
-    return np.concatenate(outputs) if outputs else np.empty(0, dtype=np.int64)
 
 
 def clean_accuracy(model: ImageClassifier, images: np.ndarray, labels: np.ndarray, batch_size: int = 128) -> float:

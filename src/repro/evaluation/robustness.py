@@ -3,45 +3,64 @@
 Produces the row format of Tables 1-2: natural accuracy plus adversarial
 accuracy under each attack in the paper's suite (PGD, CW, FGSM, FAB, NIFGSM),
 for one or many trained models.
+
+Since the engine redesign this module is a thin veneer over
+:mod:`repro.attacks.engine`:
+
+* the paper's suite is a list of model-free :class:`AttackSpec` objects
+  (:func:`paper_attack_suite_specs`) — build it once and reuse it for every
+  model in a table row;
+* :func:`evaluate_robustness` feeds the suite through an
+  :class:`~repro.attacks.engine.AttackEngine`, which computes the clean
+  forward pass once, drops already-misclassified examples from every attack
+  batch (*early exit* — strictly fewer forward passes; accuracies identical
+  for deterministic attacks, statistically equivalent for random-start
+  ones), and records per-attack timing / forward-pass telemetry on the
+  returned report;
+* :func:`paper_attack_suite` remains as a compatibility shim that binds the
+  spec suite to one model, for callers that still want ``Attack`` instances.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from ..attacks import CW, FAB, FGSM, NIFGSM, PGD, Attack
+from ..attacks import Attack, AttackSpec, paper_suite_specs
+from ..attacks.engine import AttackEngine, EngineResult, SuiteLike
 from ..models.base import ImageClassifier
-from .metrics import adversarial_accuracy, clean_accuracy
 
-__all__ = ["RobustnessReport", "evaluate_robustness", "paper_attack_suite", "format_table"]
+__all__ = [
+    "RobustnessReport",
+    "evaluate_robustness",
+    "paper_attack_suite",
+    "paper_attack_suite_specs",
+    "format_table",
+]
 
 # Attack order used in the paper's tables.
 PAPER_ATTACK_ORDER = ("pgd", "cw", "fgsm", "fab", "nifgsm")
 
 
-def paper_attack_suite(
-    model: ImageClassifier,
-    eps: float = 8.0 / 255.0,
-    alpha: float = 2.0 / 255.0,
-    pgd_steps: int = 10,
-    cw_steps: int = 20,
-    seed: int = 0,
-) -> Dict[str, Attack]:
-    """The five evaluation attacks of Tables 1-2 with the paper's parameters.
+# The suite defaults (eps = 8/255, alpha = 2/255, pgd_steps = 10, cw_steps = 20,
+# seed = 0) are defined once, in repro.attacks.engine.paper_suite_specs.
+paper_attack_suite_specs = paper_suite_specs
 
-    ``cw_steps`` defaults to 20 (the paper uses 200); benches raise it when a
-    longer optimization is affordable.
+
+def paper_attack_suite(model: ImageClassifier, **suite_kwargs) -> Dict[str, Attack]:
+    """Compatibility shim: the paper suite bound to one model.
+
+    Accepts the :func:`paper_attack_suite_specs` keyword arguments (``eps``,
+    ``alpha``, ``pgd_steps``, ``cw_steps``, ``seed``).  New code should
+    prefer the spec suite, which does not bind a model and is reusable
+    across a whole table.
     """
-    return {
-        "pgd": PGD(model, eps=eps, alpha=alpha, steps=pgd_steps, seed=seed),
-        "cw": CW(model, steps=cw_steps),
-        "fgsm": FGSM(model, eps=eps),
-        "fab": FAB(model, eps=eps, steps=pgd_steps, seed=seed),
-        "nifgsm": NIFGSM(model, eps=eps, alpha=alpha, steps=pgd_steps),
-    }
+    return OrderedDict(
+        (spec.name, spec.build(model)) for spec in paper_attack_suite_specs(**suite_kwargs)
+    )
 
 
 @dataclass
@@ -51,6 +70,10 @@ class RobustnessReport:
     method: str
     natural: float
     adversarial: Dict[str, float] = field(default_factory=dict)
+    #: worst-case (ensemble) accuracy: fraction of examples no attack fooled.
+    worst_case: Optional[float] = None
+    #: full engine output (telemetry, per-example survivors) when available.
+    result: Optional[EngineResult] = field(default=None, repr=False, compare=False)
 
     def as_row(self) -> Dict[str, float]:
         row = {"method": self.method, "natural": round(self.natural * 100, 2)}
@@ -67,17 +90,30 @@ def evaluate_robustness(
     model: ImageClassifier,
     images: np.ndarray,
     labels: np.ndarray,
-    attacks: Optional[Mapping[str, Attack]] = None,
+    attacks: SuiteLike = None,
     method_name: str = "model",
     batch_size: int = 64,
+    early_exit: bool = True,
+    cascade: bool = False,
+    engine: Optional[AttackEngine] = None,
 ) -> RobustnessReport:
-    """Evaluate one model against a suite of attacks (defaults to the paper's)."""
-    attacks = dict(attacks) if attacks is not None else paper_attack_suite(model)
-    natural = clean_accuracy(model, images, labels, batch_size=batch_size)
-    adversarial: Dict[str, float] = {}
-    for name, attack in attacks.items():
-        adversarial[name] = adversarial_accuracy(model, attack, images, labels, batch_size=batch_size)
-    return RobustnessReport(method=method_name, natural=natural, adversarial=adversarial)
+    """Evaluate one model against a suite of attacks (defaults to the paper's).
+
+    ``attacks`` accepts the same shapes as the engine: a list of
+    :class:`AttackSpec` (preferred — model-free and reusable), a mapping of
+    name to spec, or a legacy mapping of name to pre-built ``Attack``.  Pass
+    ``engine`` to reuse a fully configured :class:`AttackEngine` instead.
+    """
+    if engine is None:
+        engine = AttackEngine(attacks, batch_size=batch_size, early_exit=early_exit, cascade=cascade)
+    result = engine.run(model, images, labels, method_name=method_name)
+    return RobustnessReport(
+        method=method_name,
+        natural=result.natural,
+        adversarial=dict(result.adversarial),
+        worst_case=result.worst_case,
+        result=result,
+    )
 
 
 def format_table(reports: Sequence[RobustnessReport], attack_order: Iterable[str] = PAPER_ATTACK_ORDER) -> str:

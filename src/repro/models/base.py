@@ -13,9 +13,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..nn import Module, Tensor
+from ..nn import Module, Tensor, no_grad
 
-__all__ = ["ImageClassifier", "HiddenRepresentations"]
+__all__ = ["ImageClassifier", "HiddenRepresentations", "predict_batched"]
 
 HiddenRepresentations = "OrderedDict[str, Tensor]"
 
@@ -101,3 +101,21 @@ class ImageClassifier(Module):
         """Return hard class predictions as an integer array."""
         logits = self.forward(x)
         return np.argmax(logits.data, axis=1)
+
+
+def predict_batched(model: "ImageClassifier", images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Hard predictions in eval mode, batched, without building a graph.
+
+    Shared by the evaluation metrics and the attack engine; the model's
+    train/eval mode is restored afterwards.
+    """
+    outputs = []
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                outputs.append(model.predict(Tensor(images[start : start + batch_size])))
+    finally:
+        model.train(was_training)
+    return np.concatenate(outputs) if outputs else np.empty(0, dtype=np.int64)

@@ -50,9 +50,17 @@ class CrossEntropyLoss:
 
     name = "ce"
 
-    def __call__(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> Tensor:
+    def loss_and_logits(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> tuple:
+        """Return ``(loss, clean logits)`` from a single forward pass.
+
+        The trainer reuses the logits for the training-accuracy metric, so
+        plain-CE epochs run one forward pass per batch instead of two.
+        """
         logits = model.forward(Tensor(images))
-        return F.cross_entropy(logits, labels)
+        return F.cross_entropy(logits, labels), logits
+
+    def __call__(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> Tensor:
+        return self.loss_and_logits(model, images, labels)[0]
 
 
 class PGDAdversarialLoss:

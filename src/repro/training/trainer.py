@@ -85,6 +85,21 @@ class Trainer:
         self.verbose = verbose
         self.history = TrainingHistory()
 
+    def _batch_loss(self, images: np.ndarray, labels: np.ndarray):
+        """Compute the training loss, reusing the strategy's logits when it shares them.
+
+        Strategies whose classification term is computed on the clean inputs
+        (plain CE, and the fused IB-RAR CE path) expose ``loss_and_logits``;
+        the logits they already computed double as the training-accuracy
+        predictions.  Adversarial strategies (whose logits describe perturbed
+        inputs) return ``None`` and the trainer falls back to an extra
+        forward pass.
+        """
+        loss_and_logits = getattr(self.loss_strategy, "loss_and_logits", None)
+        if loss_and_logits is not None:
+            return loss_and_logits(self.model, images, labels)
+        return self.loss_strategy(self.model, images, labels), None
+
     def train_epoch(self, loader: DataLoader) -> tuple[float, float]:
         """Run one epoch; returns (mean loss, training accuracy)."""
         self.model.train()
@@ -92,13 +107,18 @@ class Trainer:
         total_correct = 0
         total_examples = 0
         for images, labels in loader:
-            loss = self.loss_strategy(self.model, images, labels)
+            loss, logits = self._batch_loss(images, labels)
             self.optimizer.zero_grad()
             loss.backward()
+            # Training accuracy is measured on the pre-update weights for
+            # every strategy (shared logits or the fallback pass alike).
+            if logits is not None:
+                predictions = np.argmax(logits.data, axis=1)
+            else:
+                with no_grad():
+                    predictions = self.model.predict(Tensor(images))
             self.optimizer.step()
             total_loss += float(loss.item()) * len(labels)
-            with no_grad():
-                predictions = self.model.predict(Tensor(images))
             total_correct += int((predictions == labels).sum())
             total_examples += len(labels)
         if total_examples == 0:

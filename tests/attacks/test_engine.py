@@ -1,0 +1,290 @@
+"""Tests for the composable attack engine: specs, registry hygiene, early exit.
+
+Covers the redesign's contracts:
+
+* every registry entry round-trips through ``AttackSpec`` (same
+  hyperparameters after ``from_attack(a).build(model)``);
+* ``build_attack`` rejects (or, non-strict, filters) hyperparameters an
+  attack does not accept, with an actionable error;
+* the engine with early exit produces **byte-identical** accuracy numbers to
+  the legacy per-attack loop while issuing strictly fewer forward passes;
+* the worst-case ensemble keeps the per-example strongest perturbation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    ATTACK_REGISTRY,
+    AttackConfigError,
+    AttackEngine,
+    AttackSpec,
+    EnsembleAttack,
+    ForwardPassCounter,
+    available_attacks,
+    build_attack,
+    paper_suite_specs,
+)
+from repro.attacks.engine import format_telemetry, normalize_suite
+from repro.evaluation import adversarial_accuracy, clean_accuracy
+from repro.nn import Tensor
+
+# Small step counts so every registry entry stays fast; build_attack with
+# strict=False drops the ones an attack does not accept (e.g. steps for FGSM).
+SMALL_PARAMS = dict(steps=2, seed=1)
+
+# A deterministic suite (no random starts) so early-exit on/off comparisons
+# are exact: every attack below perturbs each example independently of the
+# rest of its batch.
+DETERMINISTIC_SUITE = [
+    AttackSpec("fgsm"),
+    AttackSpec("pgd", dict(steps=3, random_start=False)),
+    AttackSpec("nifgsm", dict(steps=2)),
+    AttackSpec("cw", dict(steps=5)),
+]
+
+
+@pytest.fixture(scope="module")
+def eval_batch(tiny_dataset):
+    return tiny_dataset.x_test[:48], tiny_dataset.y_test[:48]
+
+
+class TestAttackSpec:
+    @pytest.mark.parametrize("name", sorted(ATTACK_REGISTRY))
+    def test_registry_round_trip(self, name, trained_small_cnn):
+        attack = build_attack(name, trained_small_cnn, strict=False, **SMALL_PARAMS)
+        spec = AttackSpec.from_attack(attack)
+        assert spec.name == name
+        rebuilt = spec.build(trained_small_cnn)
+        assert type(rebuilt) is type(attack)
+        assert rebuilt.hyperparameters() == attack.hyperparameters()
+        assert rebuilt.spec() == spec
+
+    @pytest.mark.parametrize("name", sorted(ATTACK_REGISTRY))
+    def test_json_round_trip(self, name, trained_small_cnn):
+        spec = build_attack(name, trained_small_cnn, strict=False, **SMALL_PARAMS).spec()
+        assert AttackSpec.from_json(spec.to_json()) == spec
+
+    def test_specs_are_hashable_and_comparable(self):
+        a = AttackSpec("pgd", dict(steps=3, eps=0.03))
+        b = AttackSpec("PGD", dict(eps=0.03, steps=3))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != AttackSpec("pgd", dict(steps=4, eps=0.03))
+
+    def test_with_params(self):
+        spec = AttackSpec("pgd", dict(steps=3))
+        assert spec.with_params(steps=7).get("steps") == 7
+        assert spec.get("steps") == 3  # original is frozen
+
+    def test_build_applies_overrides(self, trained_small_cnn):
+        attack = AttackSpec("pgd", dict(steps=3)).build(trained_small_cnn, steps=5)
+        assert attack.steps == 5
+
+    def test_spec_reusable_across_models(self, trained_small_cnn, small_cnn):
+        spec = AttackSpec("fgsm", dict(eps=0.05))
+        a = spec.build(trained_small_cnn)
+        b = spec.build(small_cnn)
+        assert a.model is trained_small_cnn and b.model is small_cnn
+        assert a.eps == b.eps == 0.05
+
+
+class TestRegistryHygiene:
+    def test_available_attacks_sorted_and_complete(self):
+        names = available_attacks()
+        assert names == sorted(names)
+        assert set(names) == set(ATTACK_REGISTRY)
+        assert "ensemble" in names
+
+    def test_unknown_kwarg_raises_config_error(self, trained_small_cnn):
+        with pytest.raises(AttackConfigError) as excinfo:
+            build_attack("cw", trained_small_cnn, eps=0.1)
+        message = str(excinfo.value)
+        assert "cw" in message and "eps" in message and "accepted" in message
+
+    def test_config_error_is_a_type_error(self, trained_small_cnn):
+        with pytest.raises(TypeError):
+            build_attack("fgsm", trained_small_cnn, steps=3)
+
+    def test_non_strict_filters_unknown_kwargs(self, trained_small_cnn):
+        attack = build_attack("cw", trained_small_cnn, strict=False, eps=0.1, steps=4)
+        assert attack.steps == 4
+
+    def test_unknown_attack_raises_key_error(self, trained_small_cnn):
+        with pytest.raises(KeyError):
+            build_attack("unknown", trained_small_cnn)
+
+
+class TestForwardPassCounter:
+    def test_counts_and_restores(self, trained_small_cnn, eval_batch):
+        images, _ = eval_batch
+        counter = ForwardPassCounter(trained_small_cnn)
+        with counter:
+            trained_small_cnn.forward(Tensor(images[:8]))
+            trained_small_cnn.forward(Tensor(images[:4]))
+        assert counter.calls == 2
+        assert counter.examples == 12
+        assert "forward_with_hidden" not in trained_small_cnn.__dict__
+        trained_small_cnn.forward(Tensor(images[:2]))
+        assert counter.calls == 2  # uninstalled after the with-block
+
+    def test_nested_distinct_counters_restore_outer(self, trained_small_cnn, eval_batch):
+        images, labels = eval_batch
+        outer = ForwardPassCounter(trained_small_cnn)
+        with outer:
+            # The engine installs its own internal counter; exiting it must
+            # restore the outer counter's wrapper, not uninstall it.
+            AttackEngine([AttackSpec("fgsm")]).run(trained_small_cnn, images[:8], labels[:8])
+            calls_inside = outer.calls
+            trained_small_cnn.forward(Tensor(images[:4]))
+            assert outer.calls == calls_inside + 1
+        assert "forward_with_hidden" not in trained_small_cnn.__dict__
+
+
+class TestEngineEarlyExit:
+    def test_identical_accuracies_with_strictly_fewer_forwards(
+        self, trained_small_cnn, eval_batch
+    ):
+        """The acceptance criterion: engine(early_exit) == legacy loop, cheaper."""
+        images, labels = eval_batch
+        model = trained_small_cnn
+
+        # Legacy per-attack loop, with its forward passes counted.
+        legacy_counter = ForwardPassCounter(model)
+        with legacy_counter:
+            legacy_natural = clean_accuracy(model, images, labels, batch_size=64)
+            legacy = {
+                spec.name: adversarial_accuracy(
+                    model, spec.build(model), images, labels, batch_size=64
+                )
+                for spec in DETERMINISTIC_SUITE
+            }
+
+        result_off = AttackEngine(DETERMINISTIC_SUITE, early_exit=False).run(model, images, labels)
+        result_on = AttackEngine(DETERMINISTIC_SUITE, early_exit=True).run(model, images, labels)
+
+        # The model must misclassify something clean, else early exit is vacuous.
+        assert result_on.natural < 1.0
+        assert result_on.natural == result_off.natural == legacy_natural
+        assert dict(result_off.adversarial) == legacy
+        assert dict(result_on.adversarial) == legacy
+
+        skipped = sum(t.examples_skipped for t in result_on.telemetry)
+        assert skipped > 0
+        assert result_on.total_forward_examples < result_off.total_forward_examples
+        assert result_on.total_forward_examples < legacy_counter.examples
+
+    def test_worst_case_bounded_by_each_attack(self, trained_small_cnn, eval_batch):
+        images, labels = eval_batch
+        result = AttackEngine(DETERMINISTIC_SUITE).run(trained_small_cnn, images, labels)
+        assert result.worst_case <= min(result.adversarial.values())
+        assert result.worst_case <= result.natural
+        assert result.survivors is not None and result.survivors.mean() == result.worst_case
+
+    def test_cascade_matches_worst_case_with_fewer_forwards(
+        self, trained_small_cnn, eval_batch
+    ):
+        images, labels = eval_batch
+        plain = AttackEngine(DETERMINISTIC_SUITE, early_exit=True).run(
+            trained_small_cnn, images, labels
+        )
+        cascade = AttackEngine(DETERMINISTIC_SUITE, cascade=True).run(
+            trained_small_cnn, images, labels
+        )
+        assert cascade.worst_case == plain.worst_case
+        # Cumulative accuracies decrease monotonically along the cascade.
+        values = list(cascade.adversarial.values())
+        assert all(b <= a for a, b in zip(values, values[1:]))
+        assert cascade.total_forward_examples <= plain.total_forward_examples
+
+    def test_telemetry_records_every_attack_and_formats(self, trained_small_cnn, eval_batch):
+        images, labels = eval_batch
+        result = AttackEngine(DETERMINISTIC_SUITE).run(trained_small_cnn, images, labels)
+        names = [t.name for t in result.telemetry]
+        assert names == ["clean"] + [s.name for s in DETERMINISTIC_SUITE]
+        assert all(t.forward_calls > 0 for t in result.telemetry)
+        assert all(t.seconds >= 0 for t in result.telemetry)
+        text = format_telemetry(result)
+        assert "worst-case" in text and "clean" in text
+        payload = result.as_dict()
+        assert payload["total_forward_examples"] == result.total_forward_examples
+
+    def test_accepts_prebuilt_attacks_and_mappings(self, trained_small_cnn, eval_batch):
+        images, labels = eval_batch
+        suite = {"fgsm": AttackSpec("fgsm").build(trained_small_cnn)}
+        result = AttackEngine(suite).run(trained_small_cnn, images, labels)
+        assert set(result.adversarial) == {"fgsm"}
+
+    def test_rejects_attack_bound_to_other_model(self, trained_small_cnn, small_cnn, eval_batch):
+        images, labels = eval_batch
+        foreign = AttackSpec("fgsm").build(small_cnn)
+        with pytest.raises(AttackConfigError):
+            AttackEngine({"fgsm": foreign}).run(trained_small_cnn, images, labels)
+
+    def test_mapping_values_are_coerced_like_sequence_entries(self, trained_small_cnn, eval_batch):
+        images, labels = eval_batch
+        suite = {"my-fgsm": {"name": "fgsm", "params": {"eps": 0.02}}, "pgd": "pgd"}
+        result = AttackEngine(suite).run(trained_small_cnn, images[:16], labels[:16])
+        assert set(result.adversarial) == {"my-fgsm", "pgd"}
+
+    def test_normalize_suite_disambiguates_duplicates(self):
+        suite = normalize_suite([AttackSpec("pgd", dict(steps=1)), AttackSpec("pgd", dict(steps=2))])
+        assert list(suite) == ["pgd", "pgd#2"]
+
+    def test_engine_validates_inputs(self, trained_small_cnn, eval_batch):
+        images, labels = eval_batch
+        with pytest.raises(ValueError):
+            AttackEngine(DETERMINISTIC_SUITE, batch_size=0)
+        with pytest.raises(ValueError):
+            AttackEngine(DETERMINISTIC_SUITE).run(trained_small_cnn, images[:4], labels[:3])
+
+
+class TestEnsembleAttack:
+    def test_registered(self):
+        assert ATTACK_REGISTRY["ensemble"] is EnsembleAttack
+
+    def test_default_suite_is_the_paper_suite(self, trained_small_cnn):
+        ensemble = EnsembleAttack(trained_small_cnn)
+        assert [s.name for s in ensemble.specs] == [s.name for s in paper_suite_specs()]
+
+    def test_at_least_as_strong_as_each_member(self, trained_small_cnn, eval_batch):
+        images, labels = eval_batch
+        specs = DETERMINISTIC_SUITE[:3]
+        individual = [
+            clean_accuracy(trained_small_cnn, spec.build(trained_small_cnn).attack(images, labels), labels)
+            for spec in specs
+        ]
+        ensemble = EnsembleAttack(trained_small_cnn, specs=specs)
+        ensemble_accuracy = clean_accuracy(trained_small_cnn, ensemble.attack(images, labels), labels)
+        assert ensemble_accuracy <= min(individual)
+
+    def test_spec_round_trip_with_nested_specs(self, trained_small_cnn):
+        ensemble = EnsembleAttack(trained_small_cnn, specs=DETERMINISTIC_SUITE, cascade=False)
+        spec = ensemble.spec()
+        rebuilt = spec.build(trained_small_cnn)
+        assert isinstance(rebuilt, EnsembleAttack)
+        assert rebuilt.specs == ensemble.specs
+        assert rebuilt.cascade is False
+        assert AttackSpec.from_json(spec.to_json()) == spec
+
+    def test_composes_with_adaptive_ib_attack(self, trained_small_cnn, eval_batch):
+        images, labels = eval_batch
+        ensemble = EnsembleAttack(
+            trained_small_cnn,
+            specs=[AttackSpec("adaptive-ib", dict(steps=2, seed=0)), AttackSpec("fgsm")],
+        )
+        adversarial = ensemble.attack(images[:12], labels[:12])
+        assert adversarial.shape == images[:12].shape
+        assert adversarial.min() >= 0.0 and adversarial.max() <= 1.0
+
+    def test_usable_through_the_engine(self, trained_small_cnn, eval_batch):
+        images, labels = eval_batch
+        suite = [AttackSpec("ensemble", dict(specs=(AttackSpec("fgsm"), AttackSpec("pgd", dict(steps=2, random_start=False)))))]
+        result = AttackEngine(suite).run(trained_small_cnn, images[:24], labels[:24])
+        assert "ensemble" in result.adversarial
+
+    def test_empty_specs_rejected(self, trained_small_cnn):
+        with pytest.raises(AttackConfigError):
+            EnsembleAttack(trained_small_cnn, specs=[])

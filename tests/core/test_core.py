@@ -156,6 +156,29 @@ class TestMILoss:
         loss = MILoss(config, num_classes=10, base_loss=CrossEntropyLoss())
         assert np.isfinite(loss(model, images, labels).item())
 
+    def test_fused_ce_path_uses_single_forward(self, tiny_dataset):
+        # Plain-CE IB-RAR (Eq. 1) shares one forward_with_hidden pass between
+        # the classification term and the MI terms, and hands the logits to
+        # the trainer for the training-accuracy metric.
+        from repro.attacks import ForwardPassCounter
+
+        model = fresh_model()
+        images, labels = tiny_dataset.x_train[:16], tiny_dataset.y_train[:16]
+        mi_loss = MILoss(IBRARConfig(alpha=0.1, beta=0.01), num_classes=10)
+        with ForwardPassCounter(model) as counter:
+            loss, logits = mi_loss.loss_and_logits(model, images, labels)
+        assert counter.calls == 1
+        assert logits is not None and logits.data.shape == (16, 10)
+        assert np.isfinite(loss.item())
+
+    def test_adversarial_base_returns_no_logits(self, tiny_dataset):
+        model = fresh_model()
+        images, labels = tiny_dataset.x_train[:16], tiny_dataset.y_train[:16]
+        mi_loss = MILoss(IBRARConfig(alpha=0.1, beta=0.01), num_classes=10, base_loss=PGDAdversarialLoss(steps=1))
+        loss, logits = mi_loss.loss_and_logits(model, images, labels)
+        assert logits is None
+        assert np.isfinite(loss.item())
+
 
 class TestChannelMask:
     def test_threshold_removes_requested_fraction(self):

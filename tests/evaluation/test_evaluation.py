@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.attacks import FGSM, PGD
+from repro.attacks import FGSM, PGD, AttackSpec
 from repro.evaluation import (
     PAPER_ATTACK_ORDER,
     RobustnessReport,
@@ -15,6 +15,7 @@ from repro.evaluation import (
     evaluate_robustness,
     format_table,
     paper_attack_suite,
+    paper_attack_suite_specs,
 )
 
 
@@ -81,6 +82,43 @@ class TestRobustnessReport:
         assert report.method == "CE"
         assert set(report.adversarial) == {"fgsm", "pgd"}
         assert all(0.0 <= v <= 1.0 for v in report.adversarial.values())
+
+    def test_paper_attack_suite_specs_match_shim(self, trained_small_cnn):
+        specs = paper_attack_suite_specs(pgd_steps=2, cw_steps=2)
+        shim = paper_attack_suite(trained_small_cnn, pgd_steps=2, cw_steps=2)
+        assert [s.name for s in specs] == list(shim)
+        # The shim is literally the spec suite bound to one model: every
+        # hyperparameter a spec pins is found on the built attack (a built
+        # attack's own spec additionally records the constructor defaults).
+        for spec in specs:
+            built = shim[spec.name]
+            assert all(getattr(built, key) == value for key, value in spec.params)
+
+    def test_evaluate_robustness_with_specs_records_engine_result(
+        self, trained_small_cnn, tiny_dataset
+    ):
+        suite = [AttackSpec("fgsm"), AttackSpec("pgd", dict(steps=2, random_start=False))]
+        report = evaluate_robustness(
+            trained_small_cnn,
+            tiny_dataset.x_test[:24],
+            tiny_dataset.y_test[:24],
+            attacks=suite,
+            method_name="CE",
+        )
+        assert set(report.adversarial) == {"fgsm", "pgd"}
+        assert report.worst_case is not None
+        assert report.worst_case <= min(report.adversarial.values())
+        assert report.result is not None
+        assert report.result.total_forward_calls > 0
+
+    def test_evaluate_robustness_early_exit_matches_off(self, trained_small_cnn, tiny_dataset):
+        suite = [AttackSpec("fgsm"), AttackSpec("pgd", dict(steps=2, random_start=False))]
+        images, labels = tiny_dataset.x_test[:32], tiny_dataset.y_test[:32]
+        fast = evaluate_robustness(trained_small_cnn, images, labels, suite, early_exit=True)
+        slow = evaluate_robustness(trained_small_cnn, images, labels, suite, early_exit=False)
+        assert fast.natural == slow.natural
+        assert fast.adversarial == slow.adversarial
+        assert fast.result.total_forward_examples < slow.result.total_forward_examples
 
     def test_format_table_layout(self):
         reports = [

@@ -120,6 +120,27 @@ class TestTrainer:
         value = evaluate_accuracy(trained_small_cnn, tiny_dataset.x_test, tiny_dataset.y_test, batch_size=8)
         assert 0.0 <= value <= 1.0
 
+    def test_ce_epoch_runs_one_forward_per_batch(self, tiny_dataset):
+        # Plain-CE strategies share their logits with the training-accuracy
+        # metric, so an epoch issues exactly one forward pass per batch.
+        from repro.attacks import ForwardPassCounter
+
+        model = fresh_model()
+        trainer = Trainer(model, CrossEntropyLoss())
+        loader = make_loader(tiny_dataset)
+        batches = sum(1 for _ in loader)
+        with ForwardPassCounter(model) as counter:
+            _, train_accuracy = trainer.train_epoch(loader)
+        assert counter.calls == batches
+        assert 0.0 <= train_accuracy <= 1.0
+
+    def test_adversarial_epoch_still_reports_accuracy(self, tiny_dataset):
+        # Strategies without shared clean logits fall back to the extra pass.
+        model = fresh_model()
+        trainer = Trainer(model, PGDAdversarialLoss(steps=1))
+        _, train_accuracy = trainer.train_epoch(make_loader(tiny_dataset))
+        assert 0.0 <= train_accuracy <= 1.0
+
 
 class TestAdversarialStrategies:
     def test_registry(self):
