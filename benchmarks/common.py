@@ -12,8 +12,20 @@ raised via the ``REPRO_BENCH_PROFILE`` environment variable:
 * ``paper`` — full-width models, 60 epochs, paper attack steps (only
   meaningful on substantial hardware; provided for completeness).
 
-Trained models are cached per (method, profile) within a pytest session so
-different benches can share baselines.
+Since the ``repro.experiments`` subsystem, a bench row is an
+:class:`~repro.experiments.ExperimentSpec` built by :func:`bench_experiment`
+and executed by :func:`run_experiments` / :func:`get_or_train` against a
+**persistent content-addressed artifact store** (``.repro-artifacts`` by
+default, override with ``REPRO_ARTIFACTS``).  A spec is trained at most once
+*ever* — across benches, pytest sessions, examples and CI — and two specs
+that share a training recipe (e.g. a Table 1 row re-evaluated by Table 6
+under a different suite) share one checkpoint.  ``REPRO_BENCH_WORKERS``
+fans grid cache misses out over processes.
+
+The legacy helpers (``train_model`` / ``train_ibrar`` with live strategy
+objects, ``get_or_train(key, builder)``) remain for benches whose losses
+have no declarative spec (VIB, HBaR); they now delegate to the experiment
+runner's training path but cache only within the pytest session.
 """
 
 from __future__ import annotations
@@ -21,32 +33,34 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.attacks import AttackSpec
-from repro.core import IBRAR, IBRARConfig, MILoss
+from repro.core import IBRARConfig
 from repro.evaluation import RobustnessReport, paper_attack_suite_specs
-from repro.data import ArrayDataset, DataLoader, SyntheticImageDataset, synthetic_cifar10
-from repro.data.synthetic import make_dataset, synthetic_svhn
-from repro.models import SmallCNN, VGG16, ResNet18, WideResNet28x10, ImageClassifier
-from repro.nn.optim import SGD, StepLR
-from repro.training import (
-    CrossEntropyLoss,
-    LossStrategy,
-    MARTLoss,
-    PGDAdversarialLoss,
-    TRADESLoss,
-    Trainer,
+from repro.data import SyntheticImageDataset, build_dataset
+from repro.experiments import (
+    ArtifactStore,
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    run_grid,
 )
+from repro.models import ImageClassifier, build_model
+from repro.training import LossSpec, LossStrategy, coerce_loss_spec
 
 __all__ = [
     "BenchProfile",
     "get_profile",
     "bench_dataset",
+    "bench_dataset_spec",
     "bench_model",
+    "bench_model_spec",
+    "bench_experiment",
+    "bench_store",
+    "bench_runner",
     "bench_suite_specs",
+    "run_experiments",
     "train_model",
     "train_ibrar",
     "get_or_train",
@@ -132,74 +146,107 @@ def get_profile() -> BenchProfile:
 
 
 # --------------------------------------------------------------------------- #
-# datasets and models
+# the shared store / runner
+# --------------------------------------------------------------------------- #
+_STORE: Optional[ArtifactStore] = None
+_RUNNER: Optional[ExperimentRunner] = None
+
+
+def bench_store() -> ArtifactStore:
+    """The artifact store shared by every bench (persistent across sessions)."""
+    global _STORE
+    if _STORE is None:
+        _STORE = ArtifactStore()
+    return _STORE
+
+
+def bench_runner() -> ExperimentRunner:
+    """The experiment runner shared by every bench."""
+    global _RUNNER
+    if _RUNNER is None:
+        _RUNNER = ExperimentRunner(store=bench_store())
+    return _RUNNER
+
+
+def bench_workers() -> int:
+    """Grid worker count from ``REPRO_BENCH_WORKERS`` (default: serial)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
+# --------------------------------------------------------------------------- #
+# declarative dataset / model / experiment builders
 # --------------------------------------------------------------------------- #
 _DATASET_CACHE: Dict[Tuple[str, str], SyntheticImageDataset] = {}
-_MODEL_CACHE: Dict[Tuple[str, str], ImageClassifier] = {}
 
 
-def bench_dataset(kind: str = "cifar10", seed: int = 0) -> SyntheticImageDataset:
-    """Synthetic dataset for the active profile, cached per (kind, profile)."""
+def bench_dataset_spec(kind: str = "cifar10", seed: int = 0, **overrides) -> Tuple[str, Dict[str, Any]]:
+    """The ``(registry name, params)`` pair describing a bench dataset.
+
+    ``overrides`` replace profile-derived sizes (e.g. the Table 2 tiny
+    profile shrinks ``n_train``/``n_test``).
+    """
     profile = get_profile()
-    key = (kind, profile.name)
+    base = dict(
+        n_train=profile.n_train, n_test=profile.n_test, image_size=profile.image_size, seed=seed
+    )
+    if kind in ("cifar10", "svhn"):
+        name, params = kind, base
+    elif kind == "cifar100":
+        name = "synthetic"
+        params = dict(
+            base, num_classes=20 if profile.name == "tiny" else 100, name="synthetic-cifar100"
+        )
+    elif kind == "tiny-imagenet":
+        name = "synthetic"
+        params = dict(
+            base,
+            num_classes=20 if profile.name == "tiny" else 200,
+            image_size=max(profile.image_size, 16),
+            name="synthetic-tiny-imagenet",
+        )
+    else:
+        raise KeyError(f"unknown bench dataset '{kind}'")
+    params.update(overrides)
+    return name, params
+
+
+def bench_dataset(kind: str = "cifar10", seed: int = 0, **overrides) -> SyntheticImageDataset:
+    """Synthetic dataset for the active profile, cached per (kind, params)."""
+    name, params = bench_dataset_spec(kind, seed=seed, **overrides)
+    key = (name, json.dumps(params, sort_keys=True))
     if key not in _DATASET_CACHE:
-        if kind == "cifar10":
-            ds = synthetic_cifar10(profile.n_train, profile.n_test, image_size=profile.image_size, seed=seed)
-        elif kind == "svhn":
-            ds = synthetic_svhn(profile.n_train, profile.n_test, image_size=profile.image_size, seed=seed)
-        elif kind == "cifar100":
-            ds = make_dataset(
-                num_classes=20 if profile.name == "tiny" else 100,
-                image_size=profile.image_size,
-                n_train=profile.n_train,
-                n_test=profile.n_test,
-                seed=seed,
-                name="synthetic-cifar100",
-            )
-        elif kind == "tiny-imagenet":
-            ds = make_dataset(
-                num_classes=20 if profile.name == "tiny" else 200,
-                image_size=max(profile.image_size, 16),
-                n_train=profile.n_train,
-                n_test=profile.n_test,
-                seed=seed,
-                name="synthetic-tiny-imagenet",
-            )
-        else:
-            raise KeyError(f"unknown bench dataset '{kind}'")
-        _DATASET_CACHE[key] = ds
+        _DATASET_CACHE[key] = build_dataset(name, **params)
     return _DATASET_CACHE[key]
 
 
-def bench_model(num_classes: int = 10, seed: int = 0, kind: Optional[str] = None) -> ImageClassifier:
-    """Fresh model of the profile's architecture kind."""
+def bench_model_spec(kind: Optional[str] = None, seed: int = 0) -> Tuple[str, Dict[str, Any]]:
+    """The ``(registry name, params)`` pair describing a bench model."""
     profile = get_profile()
     kind = kind or profile.model_kind
     if kind == "smallcnn":
-        return SmallCNN(
-            num_classes=num_classes,
-            image_size=profile.image_size,
-            base_channels=8,
-            hidden_dim=32,
-            seed=seed,
+        return "smallcnn", dict(
+            image_size=profile.image_size, base_channels=8, hidden_dim=32, seed=seed
         )
     # The tiny profile's width_multiplier refers to its default (SmallCNN)
     # model; when a bench explicitly requests one of the paper architectures
     # under the tiny profile, scale it down so the run stays CPU-tractable.
     scaled_width = 0.125 if profile.name == "tiny" else profile.width_multiplier
     if kind == "vgg16":
-        return VGG16(
-            num_classes=num_classes,
-            image_size=profile.image_size,
-            width_multiplier=scaled_width,
-            seed=seed,
+        return "vgg16", dict(
+            image_size=profile.image_size, width_multiplier=scaled_width, seed=seed
         )
     if kind == "resnet18":
-        return ResNet18(num_classes=num_classes, width_multiplier=scaled_width, seed=seed)
+        return "resnet18", dict(width_multiplier=scaled_width, seed=seed)
     if kind == "wrn28-10":
         wrn_width = 0.05 if profile.name == "tiny" else max(profile.width_multiplier * 0.2, 0.05)
-        return WideResNet28x10(num_classes=num_classes, width_multiplier=wrn_width, seed=seed)
+        return "wrn28-10", dict(width_multiplier=wrn_width, seed=seed)
     raise KeyError(f"unknown model kind '{kind}'")
+
+
+def bench_model(num_classes: int = 10, seed: int = 0, kind: Optional[str] = None) -> ImageClassifier:
+    """Fresh model of the profile's architecture kind."""
+    name, params = bench_model_spec(kind, seed=seed)
+    return build_model(name, num_classes=num_classes, **params)
 
 
 def robust_layers_for(model: ImageClassifier) -> Tuple[str, ...]:
@@ -208,17 +255,63 @@ def robust_layers_for(model: ImageClassifier) -> Tuple[str, ...]:
     return tuple(names[-3:]) if len(names) >= 3 else tuple(names)
 
 
+def bench_optimizer() -> Dict[str, float]:
+    """The benches' SGD + StepLR recipe at the active profile's learning rate."""
+    profile = get_profile()
+    return dict(lr=profile.lr, momentum=0.9, weight_decay=1e-3, step_size=20, gamma=0.2)
+
+
+def bench_experiment(
+    loss: Union[str, LossSpec, LossStrategy, Mapping[str, Any]],
+    dataset: str = "cifar10",
+    model_kind: Optional[str] = None,
+    ibrar: Optional[Union[IBRARConfig, Mapping[str, Any]]] = None,
+    seed: int = 0,
+    epochs: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    attacks: Optional[Sequence[AttackSpec]] = None,
+    eval_examples: Optional[int] = None,
+    name: str = "",
+    dataset_overrides: Optional[Mapping[str, Any]] = None,
+) -> ExperimentSpec:
+    """Build the :class:`ExperimentSpec` for one bench table row.
+
+    Everything defaults to the active profile; ``attacks`` defaults to the
+    paper suite at profile step counts (:func:`bench_suite_specs`).
+    """
+    profile = get_profile()
+    ds_name, ds_params = bench_dataset_spec(dataset, seed=seed, **(dataset_overrides or {}))
+    m_name, m_params = bench_model_spec(model_kind, seed=seed)
+    return ExperimentSpec(
+        dataset=ds_name,
+        dataset_params=ds_params,
+        model=m_name,
+        model_params=m_params,
+        loss=coerce_loss_spec(loss),
+        ibrar=ibrar,
+        optimizer=bench_optimizer(),
+        epochs=epochs or profile.epochs,
+        batch_size=batch_size or profile.batch_size,
+        seed=seed,
+        attacks=tuple(attacks) if attacks is not None else tuple(bench_suite_specs()),
+        eval_examples=eval_examples if eval_examples is not None else profile.eval_examples,
+        eval_batch_size=64,
+        name=name,
+    )
+
+
+def run_experiments(specs: Sequence[ExperimentSpec], workers: Optional[int] = None) -> List[ExperimentResult]:
+    """Run bench specs through the grid runner against the shared store."""
+    grid = run_grid(
+        specs, workers=workers if workers is not None else bench_workers(), runner=bench_runner()
+    )
+    return grid.results
+
+
 # --------------------------------------------------------------------------- #
 # training helpers
 # --------------------------------------------------------------------------- #
-def _loader(dataset: SyntheticImageDataset, profile: BenchProfile, seed: int = 0) -> DataLoader:
-    return DataLoader(
-        ArrayDataset(dataset.x_train, dataset.y_train),
-        batch_size=profile.batch_size,
-        shuffle=True,
-        drop_last=True,
-        seed=seed,
-    )
+_TRAINED_CACHE: Dict[str, ImageClassifier] = {}
 
 
 def train_model(
@@ -229,14 +322,23 @@ def train_model(
     epochs: Optional[int] = None,
     model: Optional[ImageClassifier] = None,
 ) -> ImageClassifier:
-    """Train a fresh bench model with an arbitrary loss strategy."""
-    profile = get_profile()
-    model = model or bench_model(num_classes=num_classes, seed=seed)
-    optimizer = SGD(model.parameters(), lr=profile.lr, momentum=0.9, weight_decay=1e-3)
-    trainer = Trainer(model, strategy, optimizer=optimizer, scheduler=StepLR(optimizer, step_size=20, gamma=0.2))
-    trainer.fit(_loader(dataset, profile, seed), epochs=epochs or profile.epochs)
-    model.eval()
-    return model
+    """Train a fresh bench model with an arbitrary (live) loss strategy.
+
+    Delegates to :meth:`ExperimentRunner.train` with strategy/model/dataset
+    overrides, so every bench trains through one code path; use spec-based
+    :func:`get_or_train` / :func:`run_experiments` when the loss is
+    declarative — those paths persist to the artifact store.
+    """
+    if num_classes != dataset.num_classes:
+        raise ValueError(
+            f"num_classes={num_classes} does not match the dataset's "
+            f"{dataset.num_classes} classes (the model is built from the dataset)"
+        )
+    spec = bench_experiment("ce", seed=seed, epochs=epochs, attacks=())
+    trained, _history, _timing = bench_runner().train(
+        spec, dataset=dataset, strategy=strategy, model=model
+    )
+    return trained
 
 
 def train_ibrar(
@@ -248,29 +350,36 @@ def train_ibrar(
     epochs: Optional[int] = None,
 ) -> ImageClassifier:
     """Train a fresh bench model with the IB-RAR pipeline (Algorithm 1)."""
-    profile = get_profile()
-    model = bench_model(num_classes=num_classes, seed=seed)
-    # Same optimizer hyperparameters as train_model() so the ± IB-RAR
-    # comparison isolates the defense, not the weight decay.
-    ibrar = IBRAR(
-        model, config, base_loss=base_loss, lr=profile.lr, weight_decay=1e-3, step_size=20, gamma=0.2
-    )
-    ibrar.fit(
-        dataset.x_train,
-        dataset.y_train,
-        epochs=epochs or profile.epochs,
-        batch_size=profile.batch_size,
-        seed=seed,
-    )
-    model.eval()
-    return model
+    if num_classes != dataset.num_classes:
+        raise ValueError(
+            f"num_classes={num_classes} does not match the dataset's "
+            f"{dataset.num_classes} classes (the model is built from the dataset)"
+        )
+    spec = bench_experiment("ce", ibrar=config, seed=seed, epochs=epochs, attacks=())
+    trained, _history, _timing = bench_runner().train(spec, dataset=dataset, strategy=base_loss)
+    return trained
 
 
-_TRAINED_CACHE: Dict[str, ImageClassifier] = {}
+def get_or_train(
+    key: Union[str, ExperimentSpec], builder: Optional[Callable[[], ImageClassifier]] = None
+) -> ImageClassifier:
+    """Trained model for a spec (persistent) or a legacy (key, builder) pair.
 
-
-def get_or_train(key: str, builder: Callable[[], ImageClassifier]) -> ImageClassifier:
-    """Session-level cache of trained models keyed by method name + profile."""
+    Passing an :class:`ExperimentSpec` resolves through the artifact store:
+    the checkpoint is loaded if any session ever trained this recipe,
+    trained-and-stored otherwise, and memoized in-process.  The legacy
+    ``(key, builder)`` form keeps a per-session cache for benches whose
+    losses have no declarative spec yet.
+    """
+    if isinstance(key, ExperimentSpec):
+        spec = key
+        cache_key = f"spec:{spec.training_hash}"
+        if cache_key not in _TRAINED_CACHE:
+            model, _from_cache, _history, _timing = bench_runner().trained_model(spec)
+            _TRAINED_CACHE[cache_key] = model
+        return _TRAINED_CACHE[cache_key]
+    if builder is None:
+        raise TypeError("legacy get_or_train(key, builder) needs a builder callable")
     profile = get_profile()
     cache_key = f"{profile.name}:{key}"
     if cache_key not in _TRAINED_CACHE:
@@ -320,14 +429,19 @@ def record_bench_timings(label: str, reports: List[RobustnessReport]) -> None:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
 
 
+def adversarial_loss_specs(at_steps: Optional[int] = None) -> Dict[str, LossSpec]:
+    """The three adversarial-training benchmarks as loss specs (profile steps)."""
+    steps = at_steps if at_steps is not None else get_profile().at_steps
+    return {
+        "PGD": LossSpec("pgd", dict(steps=steps)),
+        "TRADES": LossSpec("trades", dict(beta=6.0, steps=steps)),
+        "MART": LossSpec("mart", dict(beta=5.0, steps=steps)),
+    }
+
+
 def adversarial_strategies() -> Dict[str, Callable[[], LossStrategy]]:
     """Factories for the three adversarial-training benchmarks with profile steps."""
-    profile = get_profile()
-    return {
-        "PGD": lambda: PGDAdversarialLoss(steps=profile.at_steps),
-        "TRADES": lambda: TRADESLoss(beta=6.0, steps=profile.at_steps),
-        "MART": lambda: MARTLoss(beta=5.0, steps=profile.at_steps),
-    }
+    return {name: spec.build for name, spec in adversarial_loss_specs().items()}
 
 
 def paper_rows_header(title: str) -> str:

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quick grid benchmark: a 2-spec experiment grid through the parallel runner.
+
+Runs a tiny (CE vs PGD-AT) grid with 2 workers against a throwaway artifact
+store, then runs it a second time to demonstrate (and assert) the full cache
+hit, and writes two JSON artifacts next to the engine timing report:
+
+* the artifact-store **manifest** (what was trained/evaluated, by hash);
+* the grid **timing summary** of both invocations (wall time, worker count,
+  training forward passes — zero on the second pass).
+
+Usage:  python benchmarks/quick_grid.py [manifest.json] [timing.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+
+from repro.attacks import AttackSpec
+from repro.experiments import ArtifactStore, ExperimentSpec, run_grid
+
+
+def demo_specs() -> list:
+    shared = dict(
+        dataset="cifar10",
+        dataset_params=dict(n_train=200, n_test=80, image_size=12, seed=0),
+        model="smallcnn",
+        model_params=dict(image_size=12, base_channels=4, hidden_dim=16, seed=0),
+        optimizer=dict(lr=0.05, weight_decay=1e-3),
+        epochs=2,
+        batch_size=50,
+        attacks=[
+            AttackSpec("pgd", dict(steps=3, seed=0)),
+            AttackSpec("fgsm", dict()),
+        ],
+        eval_examples=40,
+        seed=0,
+    )
+    return [
+        ExperimentSpec(loss="ce", name="CE", **shared),
+        ExperimentSpec(loss={"name": "pgd", "params": {"steps": 2}}, name="PGD-AT", **shared),
+    ]
+
+
+def main() -> None:
+    manifest_path = sys.argv[1] if len(sys.argv) > 1 else "grid-manifest.json"
+    timing_path = sys.argv[2] if len(sys.argv) > 2 else "grid-timing.json"
+
+    store = ArtifactStore(tempfile.mkdtemp(prefix="repro-grid-"))
+    specs = demo_specs()
+
+    cold = run_grid(specs, workers=2, store=store)
+    warm = run_grid(specs, workers=2, store=store)
+    assert warm.computed == [] and warm.train_forward_examples == 0, "cache miss on rerun"
+    assert warm.report_json() == cold.report_json(), "cached reports diverged"
+
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(store.manifest(), handle, sort_keys=True, indent=2)
+    with open(timing_path, "w", encoding="utf-8") as handle:
+        json.dump({"cold": cold.summary(), "warm": warm.summary()}, handle, sort_keys=True, indent=2)
+
+    for result in cold.results:
+        report = result.report
+        adv = ", ".join(f"{k}={v * 100:.1f}%" for k, v in report["adversarial"].items())
+        print(f"{report['method']:>8}: natural={report['natural'] * 100:.1f}%  {adv}")
+    print(
+        f"cold: {cold.seconds:.2f}s ({len(cold.computed)} trained)   "
+        f"warm: {warm.seconds:.2f}s (all {warm.cached} from store, 0 training forwards)"
+    )
+    print(f"wrote {manifest_path} and {timing_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,12 @@ clean inputs and under PGD, CW, FGSM, FAB, NIFGSM.  The paper reports that
 IB-RAR improves the adversarial-accuracy average across attacks (by ~3% for
 VGG16/CIFAR-10) and usually also the natural accuracy.
 
+Since the ``repro.experiments`` migration every row is a declarative
+:class:`ExperimentSpec` executed by the grid runner against the persistent
+artifact store: a second pytest session (or the Table 6 bench, which shares
+the PGD-AT training recipe) reuses the stored checkpoints and reports
+instead of retraining.
+
 The tiny profile reproduces the *shape*: for each benchmark, the IB-RAR
 variant's mean adversarial accuracy should not fall below the baseline's by
 more than a noise margin, and the printed table has the same rows/columns.
@@ -18,58 +24,38 @@ import numpy as np
 import pytest
 
 from common import (
-    adversarial_strategies,
+    adversarial_loss_specs,
     bench_dataset,
+    bench_experiment,
     bench_model,
-    bench_suite_specs,
     default_ibrar_config,
-    get_or_train,
     get_profile,
     paper_rows_header,
     record_bench_timings,
-    train_ibrar,
-    train_model,
+    run_experiments,
 )
-from repro.evaluation import evaluate_robustness, format_table
+from repro.evaluation import format_table
 
 
-def _reports():
-    profile = get_profile()
-    dataset = bench_dataset("cifar10")
-    images = dataset.x_test[: profile.eval_examples]
-    labels = dataset.y_test[: profile.eval_examples]
-
-    # One model-free spec suite serves every row of the table; the engine
-    # shares the clean pass and early-exits already-misclassified examples.
-    suite = bench_suite_specs()
-    reports = []
-    for method_name, strategy_factory in adversarial_strategies().items():
-        baseline = get_or_train(
-            f"table1:{method_name}",
-            lambda f=strategy_factory: train_model(f(), dataset, seed=0),
+def table1_specs():
+    """One spec per table row: PGD / TRADES / MART, each ± IB-RAR."""
+    probe = bench_model(seed=0)
+    config = default_ibrar_config(probe)
+    specs = []
+    for method_name, loss in adversarial_loss_specs().items():
+        specs.append(bench_experiment(loss, seed=0, name=method_name))
+        specs.append(
+            bench_experiment(loss, ibrar=config, seed=0, name=f"{method_name} (IB-RAR)")
         )
-        probe = bench_model(seed=0)
-        ibrar_model = get_or_train(
-            f"table1:{method_name}:ibrar",
-            lambda f=strategy_factory, p=probe: train_ibrar(
-                dataset, default_ibrar_config(p), base_loss=f(), seed=0
-            ),
-        )
-        reports.append(
-            evaluate_robustness(baseline, images, labels, attacks=suite, method_name=method_name)
-        )
-        reports.append(
-            evaluate_robustness(
-                ibrar_model, images, labels, attacks=suite, method_name=f"{method_name} (IB-RAR)"
-            )
-        )
-    record_bench_timings("table1", reports)
-    return reports
+    return specs
 
 
 @pytest.fixture(scope="module")
 def table1_reports():
-    return _reports()
+    results = run_experiments(table1_specs())
+    reports = [result.robustness_report() for result in results]
+    record_bench_timings("table1", reports)
+    return reports
 
 
 def test_table1_adversarial_training_with_ibrar(table1_reports, benchmark):
@@ -89,12 +75,14 @@ def test_table1_adversarial_training_with_ibrar(table1_reports, benchmark):
         assert ours.mean_adversarial() >= base.mean_adversarial() - 0.15
     print(f"mean adversarial-accuracy delta (IB-RAR - baseline): {np.mean(margins) * 100:+.2f} pp")
 
-    # Benchmark one representative evaluation unit: a PGD sweep on the first model.
-    profile = get_profile()
-    dataset = bench_dataset("cifar10")
-    model = get_or_train("table1:PGD", lambda: None)
+    # Benchmark one representative evaluation unit: a PGD sweep on the first
+    # model, served from the artifact store (no retraining).
+    from common import get_or_train
     from repro.attacks import AttackEngine, AttackSpec
 
+    profile = get_profile()
+    dataset = bench_dataset("cifar10")
+    model = get_or_train(table1_specs()[0])
     engine = AttackEngine([AttackSpec("pgd", dict(steps=profile.attack_steps))])
     benchmark.pedantic(
         lambda: engine.run(model, dataset.x_test[:20], dataset.y_test[:20]),

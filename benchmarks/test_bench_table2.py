@@ -5,78 +5,48 @@ WideResNet-28-10 (right half), same six methods and five attacks as Table 1.
 The headline shape is the same as Table 1 — adding IB-RAR does not hurt, and
 for MART/WRN it helps substantially.
 
-The tiny profile trains width-scaled ResNet-18 on a subset (the WRN/CIFAR-100
-half uses a 20-class synthetic stand-in to stay CPU-tractable); the "small" /
-"paper" profiles raise widths, data and epochs.
+Each half-table is a list of :class:`ExperimentSpec` rows executed by the
+grid runner; trained checkpoints and reports persist in the artifact store
+across sessions.  The tiny profile trains width-scaled ResNet-18 on a
+shrunken dataset (the WRN/CIFAR-100 half uses a 20-class synthetic stand-in
+to stay CPU-tractable); the "small" / "paper" profiles raise widths, data
+and epochs.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from common import (
-    bench_dataset,
+    adversarial_loss_specs,
+    bench_experiment,
     bench_model,
     bench_suite_specs,
-    default_ibrar_config,
-    get_or_train,
     get_profile,
     paper_rows_header,
     record_bench_timings,
     robust_layers_for,
+    run_experiments,
 )
-from repro.core import IBRAR, IBRARConfig
-from repro.data import ArrayDataset, DataLoader
-from repro.evaluation import evaluate_robustness, format_table
-from repro.nn.optim import SGD, StepLR
-from repro.training import MARTLoss, PGDAdversarialLoss, TRADESLoss, Trainer
+from repro.core import IBRARConfig
+from repro.evaluation import format_table
 
 
-def _train(model, strategy, dataset, epochs, batch_size, lr):
-    optimizer = SGD(model.parameters(), lr=lr, momentum=0.9, weight_decay=1e-3)
-    trainer = Trainer(model, strategy, optimizer=optimizer, scheduler=StepLR(optimizer))
-    loader = DataLoader(
-        ArrayDataset(dataset.x_train, dataset.y_train),
-        batch_size=batch_size,
-        shuffle=True,
-        drop_last=True,
-        seed=0,
-    )
-    trainer.fit(loader, epochs=epochs)
-    model.eval()
-    return model
-
-
-def _train_ibrar(model, strategy, dataset, epochs, batch_size, lr):
-    # ResNet-scale models use the paper's much smaller regularizer weights
-    # (Figure 6b selects alpha=5e-4, beta=5e-5 for ResNet-18).
-    config = IBRARConfig(alpha=5e-3, beta=1e-3, layers=robust_layers_for(model), mask_fraction=0.1)
-    ibrar = IBRAR(model, config, base_loss=strategy, lr=lr, weight_decay=1e-3)
-    ibrar.fit(dataset.x_train, dataset.y_train, epochs=epochs, batch_size=batch_size, seed=0)
-    model.eval()
-    return model
-
-
-def _half_table(model_kind: str, dataset_kind: str, num_classes: int, methods=("PGD", "TRADES", "MART"), attack_names=None):
+def _half_table(model_kind: str, dataset_kind: str, methods=("PGD", "TRADES", "MART"), attack_names=None):
     """One half of Table 2: adversarial-training benchmarks ± IB-RAR for one (model, dataset)."""
     profile = get_profile()
-    dataset = bench_dataset(dataset_kind)
     if profile.name == "tiny":
-        dataset = dataset.subset(200, 80)
+        dataset_overrides = dict(n_train=200, n_test=80)
         epochs, at_steps, batch_size = 2, 2, 50
     else:
+        dataset_overrides = {}
         epochs, at_steps, batch_size = profile.epochs, profile.at_steps, profile.batch_size
-    num_classes = dataset.num_classes
-    images = dataset.x_test[: min(profile.eval_examples, 48)]
-    labels = dataset.y_test[: len(images)]
 
-    strategies = {
-        "PGD": lambda: PGDAdversarialLoss(steps=at_steps),
-        "TRADES": lambda: TRADESLoss(beta=6.0, steps=at_steps),
-        "MART": lambda: MARTLoss(beta=5.0, steps=at_steps),
-    }
-    strategies = {name: strategies[name] for name in methods}
+    # ResNet-scale models use the paper's much smaller regularizer weights
+    # (Figure 6b selects alpha=5e-4, beta=5e-5 for ResNet-18).
+    probe = bench_model(seed=0, kind=model_kind)
+    config = IBRARConfig(alpha=5e-3, beta=1e-3, layers=robust_layers_for(probe), mask_fraction=0.1)
+
     # One model-free spec suite for the whole half-table.
     suite = bench_suite_specs(cw_steps_cap=10)
     if attack_names is not None:
@@ -85,33 +55,31 @@ def _half_table(model_kind: str, dataset_kind: str, num_classes: int, methods=("
             raise KeyError(f"unknown attack name(s) {sorted(unknown)} in attack_names")
         suite = [spec for spec in suite if spec.name in attack_names]
 
-    reports = []
-    for name, factory in strategies.items():
-        base = get_or_train(
-            f"table2:{model_kind}:{dataset_kind}:{name}",
-            lambda f=factory: _train(
-                bench_model(num_classes=num_classes, seed=0, kind=model_kind),
-                f(), dataset, epochs, batch_size, profile.lr,
-            ),
+    losses = adversarial_loss_specs(at_steps=at_steps)
+    specs = []
+    for name in methods:
+        shared = dict(
+            dataset=dataset_kind,
+            model_kind=model_kind,
+            seed=0,
+            epochs=epochs,
+            batch_size=batch_size,
+            attacks=suite,
+            eval_examples=min(profile.eval_examples, 48),
+            dataset_overrides=dataset_overrides,
         )
-        ours = get_or_train(
-            f"table2:{model_kind}:{dataset_kind}:{name}:ibrar",
-            lambda f=factory: _train_ibrar(
-                bench_model(num_classes=num_classes, seed=0, kind=model_kind),
-                f(), dataset, epochs, batch_size, profile.lr,
-            ),
-        )
-        reports.append(evaluate_robustness(base, images, labels, suite, name))
-        reports.append(
-            evaluate_robustness(ours, images, labels, suite, f"{name} (IB-RAR)")
-        )
+        specs.append(bench_experiment(losses[name], name=name, **shared))
+        specs.append(bench_experiment(losses[name], ibrar=config, name=f"{name} (IB-RAR)", **shared))
+
+    results = run_experiments(specs)
+    reports = [result.robustness_report() for result in results]
     record_bench_timings(f"table2:{model_kind}:{dataset_kind}", reports)
     return reports
 
 
 @pytest.fixture(scope="module")
 def resnet_reports():
-    return _half_table("resnet18", "cifar10", 10)
+    return _half_table("resnet18", "cifar10")
 
 
 def test_table2_resnet18_cifar10(resnet_reports, benchmark):
@@ -133,10 +101,10 @@ def test_table2_wideresnet_cifar100(benchmark):
         # representative pair (MART vs MART+IB-RAR, the pair the paper
         # highlights as the largest improvement) under a reduced attack suite.
         reports = _half_table(
-            "wrn28-10", "cifar100", 100, methods=("MART",), attack_names=("pgd", "fgsm", "nifgsm")
+            "wrn28-10", "cifar100", methods=("MART",), attack_names=("pgd", "fgsm", "nifgsm")
         )
     else:
-        reports = _half_table("wrn28-10", "cifar100", 100)
+        reports = _half_table("wrn28-10", "cifar100")
     print(paper_rows_header("Table 2 (right) — CIFAR-100 by WRN-28-10: benchmarks ± IB-RAR"))
     print(format_table(reports))
     assert len(reports) >= 2

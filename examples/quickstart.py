@@ -1,28 +1,26 @@
 #!/usr/bin/env python3
 """Quickstart: train a classifier with IB-RAR and evaluate its robustness.
 
-This is the 2-minute tour of the public API:
+This is the 2-minute tour of the public API, expressed as *declarative
+experiments* (:mod:`repro.experiments`):
 
-1. build a synthetic CIFAR-10-like dataset (offline stand-in for CIFAR-10);
-2. train a small CNN with the IB-RAR defense (Eq. 1 loss + Eq. 3 channel mask);
-3. train the same architecture with plain cross-entropy as the baseline;
-4. evaluate both under the paper's attack suite and print a Table-1-style
-   comparison.
+1. describe two experiments as :class:`ExperimentSpec` objects — the same
+   synthetic CIFAR-10 stand-in and small CNN, trained once with plain
+   cross-entropy and once with the IB-RAR defense (Eq. 1 loss + Eq. 3
+   channel mask), both evaluated under the paper's attack suite;
+2. run them through the grid runner, which trains each spec **at most once
+   ever**: rerun this script and both models come straight from the
+   content-addressed artifact store (``.repro-artifacts``);
+3. print a Table-1-style comparison plus the attack-engine telemetry.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.attacks import format_telemetry
-from repro.core import IBRAR, IBRARConfig
-from repro.data import ArrayDataset, DataLoader, synthetic_cifar10
-from repro.evaluation import evaluate_robustness, format_table, paper_attack_suite_specs
-from repro.models import SmallCNN
-from repro.nn.optim import SGD, StepLR
-from repro.training import CrossEntropyLoss, Trainer
+from repro.evaluation import format_table, paper_attack_suite_specs
+from repro.experiments import ExperimentSpec, run_grid
 from repro.utils import get_logger, log_section
 
 LOGGER = get_logger("quickstart")
@@ -35,65 +33,52 @@ BATCH_SIZE = 50
 EVAL_EXAMPLES = 80
 
 
-def train_baseline(dataset) -> SmallCNN:
-    """Plain cross-entropy training (the undefended reference)."""
-    model = SmallCNN(num_classes=10, image_size=IMAGE_SIZE, seed=0)
-    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-3)
-    trainer = Trainer(model, CrossEntropyLoss(), optimizer=optimizer, scheduler=StepLR(optimizer))
-    loader = DataLoader(
-        ArrayDataset(dataset.x_train, dataset.y_train),
+def make_specs() -> list:
+    """The CE baseline and the IB-RAR variant as declarative experiments."""
+    shared = dict(
+        dataset="cifar10",
+        dataset_params=dict(n_train=N_TRAIN, n_test=N_TEST, image_size=IMAGE_SIZE, seed=0),
+        model="smallcnn",
+        model_params=dict(image_size=IMAGE_SIZE, seed=0),
+        optimizer=dict(lr=0.05, weight_decay=1e-3),
+        epochs=EPOCHS,
         batch_size=BATCH_SIZE,
-        shuffle=True,
-        drop_last=True,
+        # The suite is a list of model-free attack specs: build it once,
+        # evaluate every model with it.  The engine computes the clean pass
+        # once and drops already-misclassified examples from attack batches.
+        attacks=paper_attack_suite_specs(pgd_steps=5, cw_steps=15),
+        eval_examples=EVAL_EXAMPLES,
         seed=0,
     )
-    trainer.fit(loader, epochs=EPOCHS)
-    model.eval()
-    return model
-
-
-def train_ibrar(dataset) -> SmallCNN:
-    """IB-RAR training: MI regularizers on the robust layers plus the channel mask."""
-    model = SmallCNN(num_classes=10, image_size=IMAGE_SIZE, seed=0)
-    config = IBRARConfig(
-        alpha=0.05,                      # weight of + sum_l I(X, T_l)
-        beta=0.01,                       # weight of - sum_l I(Y, T_l)
-        layers=("conv_block2", "fc1", "fc2"),  # the robust layers of this architecture
-        mask_fraction=0.1,               # remove the lowest-MI 10% of channels
+    baseline = ExperimentSpec(loss="ce", name="CE", **shared)
+    defended = ExperimentSpec(
+        loss="ce",
+        name="IB-RAR",
+        ibrar=dict(
+            alpha=0.05,                            # weight of + sum_l I(X, T_l)
+            beta=0.01,                             # weight of - sum_l I(Y, T_l)
+            layers=["conv_block2", "fc1", "fc2"],  # the robust layers of this architecture
+            mask_fraction=0.1,                     # remove the lowest-MI 10% of channels
+        ),
+        **shared,
     )
-    result = IBRAR(model, config, lr=0.05).fit(
-        dataset.x_train, dataset.y_train, epochs=EPOCHS, batch_size=BATCH_SIZE
-    )
-    LOGGER.info(
-        "IB-RAR finished: final train acc %.3f, %d channels masked",
-        result.history.final().train_accuracy,
-        int(len(result.channel_mask) - result.channel_mask.sum()),
-    )
-    model.eval()
-    return model
+    return [baseline, defended]
 
 
 def main() -> None:
-    with log_section("dataset", LOGGER):
-        dataset = synthetic_cifar10(n_train=N_TRAIN, n_test=N_TEST, image_size=IMAGE_SIZE, seed=0)
+    specs = make_specs()
+    for spec in specs:
+        LOGGER.info("spec %s -> content hash %s", spec.label, spec.content_hash[:12])
 
-    with log_section("train: plain CE", LOGGER):
-        baseline = train_baseline(dataset)
-    with log_section("train: IB-RAR", LOGGER):
-        defended = train_ibrar(dataset)
+    with log_section("run the experiment grid (cached after the first run)", LOGGER):
+        grid = run_grid(specs, workers=2)
 
-    images = dataset.x_test[:EVAL_EXAMPLES]
-    labels = dataset.y_test[:EVAL_EXAMPLES]
-    with log_section("evaluate under the paper's attack suite", LOGGER):
-        # The suite is a list of model-free specs: build it once, evaluate
-        # every model with it.  The engine computes the clean pass once and
-        # drops already-misclassified examples from every attack batch.
-        suite = paper_attack_suite_specs(pgd_steps=5, cw_steps=15)
-        reports = [
-            evaluate_robustness(baseline, images, labels, suite, "CE"),
-            evaluate_robustness(defended, images, labels, suite, "IB-RAR"),
-        ]
+    LOGGER.info(
+        "%d spec(s): %d computed, %d served from the artifact store",
+        len(grid.results), len(grid.computed), grid.cached,
+    )
 
+    reports = grid.reports()
     print()
     print(format_table(reports))
     delta = reports[1].mean_adversarial() - reports[0].mean_adversarial()
@@ -101,6 +86,7 @@ def main() -> None:
 
     print("\nengine telemetry for the IB-RAR run (early-exit batching):")
     print(format_telemetry(reports[1].result))
+    print("\nrerun this script: both models now load from .repro-artifacts (zero training).")
 
 
 if __name__ == "__main__":

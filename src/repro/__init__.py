@@ -25,10 +25,10 @@ Quickstart::
     )
 """
 
-from . import analysis, attacks, core, data, evaluation, ib, models, nn, training, utils
+from . import analysis, attacks, core, data, evaluation, experiments, ib, models, nn, training, utils
 from .core import IBRAR, IBRARConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "nn",
@@ -40,6 +40,7 @@ __all__ = [
     "core",
     "analysis",
     "evaluation",
+    "experiments",
     "utils",
     "IBRAR",
     "IBRARConfig",

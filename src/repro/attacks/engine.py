@@ -280,6 +280,13 @@ class AttackTelemetry:
             "accuracy": self.accuracy,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AttackTelemetry":
+        return cls(**{k: data[k] for k in (
+            "name", "examples_attacked", "examples_skipped",
+            "forward_calls", "forward_examples", "seconds", "accuracy",
+        )})
+
 
 @dataclass
 class EngineResult:
@@ -329,6 +336,24 @@ class EngineResult:
 
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineResult":
+        """Rebuild a result from :meth:`as_dict` output.
+
+        The per-example ``survivors`` mask is not serialized, so it comes
+        back as ``None``; the aggregate ``total_*`` values are recomputed
+        from the revived telemetry.
+        """
+        return cls(
+            method=data["method"],
+            natural=data["natural"],
+            adversarial=OrderedDict(data.get("adversarial", {})),
+            worst_case=data["worst_case"],
+            telemetry=[AttackTelemetry.from_dict(t) for t in data.get("telemetry", [])],
+            early_exit=data.get("early_exit", True),
+            cascade=data.get("cascade", False),
+        )
 
 
 def format_telemetry(result: EngineResult) -> str:

@@ -6,7 +6,7 @@ described declaratively and printed alongside results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional, Sequence, Tuple
 
 __all__ = ["IBRARConfig", "PAPER_VGG16_CONFIG", "PAPER_RESNET18_CONFIG"]
@@ -71,6 +71,40 @@ class IBRARConfig:
     def coupled(cls, beta: float, ratio: float = 0.1, **kwargs) -> "IBRARConfig":
         """Build a config with the paper's ``alpha = ratio * beta`` coupling."""
         return cls(alpha=ratio * beta, beta=beta, **kwargs)
+
+    # -- serialization -----------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict of every hyperparameter (tuples become lists).
+
+        The output is stable under ``json.dumps(..., sort_keys=True)``, so
+        configs can be embedded in experiment specs and hashed
+        deterministically.
+        """
+        return {
+            "alpha": float(self.alpha),
+            "beta": float(self.beta),
+            "layers": list(self.layers) if self.layers is not None else None,
+            "mask_fraction": float(self.mask_fraction),
+            "mask_refresh_every": int(self.mask_refresh_every),
+            "use_mask": bool(self.use_mask),
+            "normalized_hsic": bool(self.normalized_hsic),
+            "sigma": float(self.sigma) if self.sigma is not None else None,
+            "mi_on_adversarial": bool(self.mi_on_adversarial),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IBRARConfig":
+        """Rebuild a config from :meth:`to_dict` output (strict on unknown keys)."""
+        accepted = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - accepted)
+        if unknown:
+            raise ValueError(
+                f"unknown IBRARConfig field(s) {unknown}; accepted: {sorted(accepted)}"
+            )
+        params = dict(data)
+        if params.get("layers") is not None:
+            params["layers"] = tuple(params["layers"])
+        return cls(**params)
 
 
 # Hyperparameters the paper selects on the Figure 6 sweeps.

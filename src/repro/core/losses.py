@@ -94,6 +94,16 @@ class MILoss:
         self.base_loss = base_loss or CrossEntropyLoss()
         self.last_components: Dict[str, float] = {}
 
+    def hyperparameters(self) -> Dict:
+        """Constructor arguments, JSON-ready (nested base loss as a spec dict)."""
+        from ..training.specs import LossSpec
+
+        return {
+            "config": self.config.to_dict(),
+            "num_classes": self.num_classes,
+            "base_loss": LossSpec.from_strategy(self.base_loss).as_dict(),
+        }
+
     def _mi_inputs(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         """Choose which inputs the MI terms see (clean by default, Eq. 2 note)."""
         if not self.config.mi_on_adversarial:
@@ -161,3 +171,12 @@ class AdversarialMILoss(MILoss):
         adversarial_strategy: LossStrategy,
     ) -> None:
         super().__init__(config, num_classes, base_loss=adversarial_strategy)
+
+    def hyperparameters(self) -> Dict:
+        from ..training.specs import LossSpec
+
+        return {
+            "config": self.config.to_dict(),
+            "num_classes": self.num_classes,
+            "adversarial_strategy": LossSpec.from_strategy(self.base_loss).as_dict(),
+        }

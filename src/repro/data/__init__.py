@@ -11,6 +11,8 @@ from .synthetic import (
     CIFAR10_CLASS_NAMES,
     DATASET_REGISTRY,
     SyntheticImageDataset,
+    available_datasets,
+    build_dataset,
     make_dataset,
     synthetic_cifar10,
     synthetic_cifar100,
@@ -37,6 +39,8 @@ __all__ = [
     "synthetic_tiny_imagenet",
     "DATASET_REGISTRY",
     "CIFAR10_CLASS_NAMES",
+    "available_datasets",
+    "build_dataset",
     "random_horizontal_flip",
     "random_crop",
     "normalize",

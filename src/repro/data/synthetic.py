@@ -265,4 +265,36 @@ DATASET_REGISTRY = {
     "cifar100": synthetic_cifar100,
     "svhn": synthetic_svhn,
     "tiny-imagenet": synthetic_tiny_imagenet,
+    # Fully parameterized generator (class count, noise levels, ...): the
+    # escape hatch for bench profiles that scale the class count down.
+    "synthetic": make_dataset,
 }
+
+
+def available_datasets() -> list:
+    """Sorted dataset names accepted by :func:`build_dataset`."""
+    return sorted(DATASET_REGISTRY)
+
+
+def build_dataset(kind: str, **kwargs) -> SyntheticImageDataset:
+    """Instantiate a dataset by registry name with validated kwargs.
+
+    The declarative counterpart of calling the generators directly, used by
+    experiment specs.  Unknown names or keyword arguments raise ``KeyError``
+    / ``TypeError`` messages listing the accepted values.  (The first
+    parameter is called ``kind`` because the fully parameterized
+    ``"synthetic"`` generator itself accepts a ``name`` keyword.)
+    """
+    import inspect
+
+    key = str(kind).lower()
+    if key not in DATASET_REGISTRY:
+        raise KeyError(f"unknown dataset '{kind}'; available: {available_datasets()}")
+    factory = DATASET_REGISTRY[key]
+    accepted = [p for p in inspect.signature(factory).parameters if p != "self"]
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        raise TypeError(
+            f"dataset '{key}' does not accept parameter(s) {unknown}; accepted: {sorted(accepted)}"
+        )
+    return factory(**kwargs)

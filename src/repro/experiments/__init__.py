@@ -1,0 +1,53 @@
+"""Declarative experiments: specs, a content-addressed store, a grid runner.
+
+The paper's results are grids — sweeps over (model x loss strategy x attack
+suite x seed).  This subsystem makes every grid cell a declarative,
+hashable :class:`ExperimentSpec`, trains each spec **at most once ever** via
+the content-addressed :class:`ArtifactStore`, and executes whole grids with
+:func:`run_grid` (multiprocessing fan-out, resumable, deterministic).
+
+Quickstart::
+
+    from repro.attacks import AttackSpec
+    from repro.experiments import ExperimentSpec, run_grid
+
+    specs = [
+        ExperimentSpec(
+            dataset="cifar10",
+            dataset_params={"n_train": 300, "n_test": 120, "image_size": 16, "seed": 0},
+            model="smallcnn",
+            model_params={"image_size": 16, "seed": 0},
+            loss=loss,
+            epochs=3,
+            attacks=[AttackSpec("pgd", dict(steps=5)), AttackSpec("fgsm")],
+            eval_examples=60,
+            name=loss,
+        )
+        for loss in ("ce", "pgd")
+    ]
+    grid = run_grid(specs, workers=2)
+    for report in grid.reports():
+        print(report.as_row())
+
+Rerunning the same grid performs zero training: every spec is served from
+the store (``.repro-artifacts`` by default; override with the
+``REPRO_ARTIFACTS`` environment variable).  The ``python -m
+repro.experiments`` CLI runs, inspects, lists and clears stored artifacts.
+"""
+
+from .runner import ExperimentResult, ExperimentRunner, GridResult, run_grid
+from .spec import DEFAULT_OPTIMIZER, ExperimentSpec, ExperimentSpecError, load_specs
+from .store import ArtifactStore, default_store_root
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_OPTIMIZER",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "ExperimentSpecError",
+    "GridResult",
+    "default_store_root",
+    "load_specs",
+    "run_grid",
+]

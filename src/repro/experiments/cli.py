@@ -1,0 +1,184 @@
+"""``python -m repro.experiments`` — run and inspect experiment grids.
+
+Subcommands
+-----------
+``run SPEC.json [...]``
+    Run one or more specs (each file holds a spec object or a list of spec
+    objects) through the grid runner.  ``--workers N`` fans cache misses out
+    over processes; completed specs are always served from the artifact
+    store.  ``--report`` / ``--timing`` write the deterministic grid report
+    and the timing/caching summary as JSON.
+``inspect SPEC.json | HASH``
+    Show a spec's hashes and cache status, or look a stored report up by
+    (a prefix of) its content hash.
+``list``
+    Print the artifact-store manifest (``--json`` for machine-readable).
+``clear``
+    Delete every stored artifact (``--yes`` to skip the prompt).
+
+All subcommands accept ``--store DIR`` (default: ``$REPRO_ARTIFACTS`` or
+``.repro-artifacts``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..evaluation.robustness import format_table
+from .runner import ExperimentRunner, run_grid
+from .spec import ExperimentSpec, load_specs
+from .store import ArtifactStore
+
+__all__ = ["main"]
+
+
+def _store(args: argparse.Namespace) -> ArtifactStore:
+    return ArtifactStore(args.store)
+
+
+def _load_spec_files(paths: List[str]) -> List[ExperimentSpec]:
+    specs: List[ExperimentSpec] = []
+    for path in paths:
+        text = Path(path).read_text(encoding="utf-8")
+        specs.extend(load_specs(text))
+    return specs
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    specs = _load_spec_files(args.specs)
+    if not specs:
+        print("no specs found", file=sys.stderr)
+        return 2
+    store = _store(args)
+    grid = run_grid(specs, workers=args.workers, store=store, force=args.force)
+    attack_order = []
+    for result in grid.results:
+        for name in result.report.get("adversarial", {}):
+            if name not in attack_order:
+                attack_order.append(name)
+    print(format_table(grid.reports(), attack_order=attack_order))
+    print(
+        f"\n{len(grid.results)} spec(s): {len(grid.computed)} computed, "
+        f"{grid.cached} from cache ({store.root}) in {grid.seconds:.2f}s "
+        f"with {grid.workers} worker(s)"
+    )
+    if args.report:
+        Path(args.report).write_text(grid.report_json(), encoding="utf-8")
+        print(f"grid report written to {args.report}")
+    if args.timing:
+        Path(args.timing).write_text(
+            json.dumps(grid.summary(), sort_keys=True, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"timing summary written to {args.timing}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    store = _store(args)
+    target = args.target
+    if Path(target).exists():
+        specs = _load_spec_files([target])
+        for spec in specs:
+            print(spec.to_json(indent=2))
+            print(f"content_hash:  {spec.content_hash}")
+            print(f"training_hash: {spec.training_hash}")
+            print(f"report cached:     {store.has_report(spec)}")
+            print(f"checkpoint cached: {store.has_model(spec)}")
+        return 0
+    record = store.find_report(target)
+    if record is None:
+        print(f"no stored report matches hash prefix '{target}'", file=sys.stderr)
+        return 1
+    print(json.dumps(record, sort_keys=True, indent=2))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    manifest = _store(args).manifest()
+    if args.json:
+        print(json.dumps(manifest, sort_keys=True, indent=2))
+        return 0
+    print(f"artifact store: {manifest['root']}")
+    print(f"models ({len(manifest['models'])}):")
+    for entry in manifest["models"]:
+        if entry.get("corrupt"):
+            print(f"  {entry['training_hash'][:12]}  <corrupt>")
+            continue
+        ibrar = " +ibrar" if entry.get("ibrar") else ""
+        print(
+            f"  {entry['training_hash'][:12]}  {entry.get('loss')}{ibrar} on "
+            f"{entry.get('model')}/{entry.get('dataset')}  "
+            f"epochs={entry.get('epochs')} seed={entry.get('seed')}"
+        )
+    print(f"reports ({len(manifest['reports'])}):")
+    for entry in manifest["reports"]:
+        if entry.get("corrupt"):
+            print(f"  {entry['content_hash'][:12]}  <corrupt>")
+            continue
+        natural = entry.get("natural")
+        shown = f"{natural * 100:.2f}%" if natural is not None else "-"
+        print(
+            f"  {entry['content_hash'][:12]}  {entry.get('name') or '(unnamed)'}  "
+            f"natural={shown}  attacks={','.join(entry.get('attacks', [])) or '-'}"
+        )
+    return 0
+
+
+def _cmd_clear(args: argparse.Namespace) -> int:
+    store = _store(args)
+    if not args.yes:
+        answer = input(f"delete every artifact under {store.root}? [y/N] ")
+        if answer.strip().lower() not in ("y", "yes"):
+            print("aborted")
+            return 1
+    count = store.clear()
+    print(f"removed {count} artifact(s) from {store.root}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run and inspect declarative experiment grids.",
+    )
+    store_help = "artifact store root (default: $REPRO_ARTIFACTS or .repro-artifacts)"
+    parser.add_argument("--store", default=None, help=store_help)
+    # ``--store`` is also accepted after the subcommand; SUPPRESS keeps the
+    # subparser from clobbering a value given before it.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--store", default=argparse.SUPPRESS, help=store_help)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser(
+        "run", parents=[common], help="run spec file(s) through the grid runner"
+    )
+    run_parser.add_argument("specs", nargs="+", help="JSON files (spec object or list)")
+    run_parser.add_argument("--workers", type=int, default=1, help="worker processes")
+    run_parser.add_argument("--force", action="store_true", help="recompute even if cached")
+    run_parser.add_argument("--report", default=None, help="write the grid report JSON here")
+    run_parser.add_argument("--timing", default=None, help="write the timing summary JSON here")
+    run_parser.set_defaults(func=_cmd_run)
+
+    inspect_parser = sub.add_parser(
+        "inspect", parents=[common], help="inspect a spec file or stored hash"
+    )
+    inspect_parser.add_argument("target", help="spec JSON path, or a content-hash prefix")
+    inspect_parser.set_defaults(func=_cmd_inspect)
+
+    list_parser = sub.add_parser("list", parents=[common], help="print the artifact-store manifest")
+    list_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    list_parser.set_defaults(func=_cmd_list)
+
+    clear_parser = sub.add_parser("clear", parents=[common], help="delete every stored artifact")
+    clear_parser.add_argument("--yes", action="store_true", help="do not prompt")
+    clear_parser.set_defaults(func=_cmd_clear)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

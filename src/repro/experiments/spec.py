@@ -1,0 +1,309 @@
+"""Declarative experiment specs with stable content hashes.
+
+An :class:`ExperimentSpec` is a frozen, JSON-serializable description of one
+full experiment: which dataset to synthesize, which model to build, which
+training loss (optionally wrapped by IB-RAR), the optimizer/schedule recipe,
+how long to train, and which attack suite to evaluate under.  It carries
+**no live objects** — datasets, models, losses and attacks are all referred
+to by their registry names — so a spec can be hashed, stored, diffed,
+shipped across process boundaries and rebuilt anywhere, mirroring
+:class:`repro.attacks.AttackSpec`.
+
+Two hashes matter:
+
+* :attr:`ExperimentSpec.training_hash` covers only the fields that influence
+  the trained weights (dataset, model, loss, IB-RAR config, optimizer,
+  epochs, batch size, seed).  Checkpoints are content-addressed by this
+  hash, so two specs that differ only in their *evaluation* (attack suite,
+  example count) share one trained model.
+* :attr:`ExperimentSpec.content_hash` additionally covers the evaluation
+  fields.  Robustness reports are addressed by this hash.
+
+The display ``name`` is excluded from both hashes: relabeling a table row
+never retrains a model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from ..attacks.engine import AttackSpec, coerce_spec
+from ..core.config import IBRARConfig
+from ..training.specs import LossSpec, coerce_loss_spec
+
+__all__ = ["ExperimentSpec", "ExperimentSpecError", "DEFAULT_OPTIMIZER", "load_specs"]
+
+
+class ExperimentSpecError(ValueError):
+    """Malformed experiment spec (bad field values or unknown keys)."""
+
+
+#: The paper's optimizer recipe: SGD + StepLR (Section 4 setup).
+DEFAULT_OPTIMIZER: Dict[str, float] = {
+    "lr": 0.01,
+    "momentum": 0.9,
+    "weight_decay": 1e-2,
+    "step_size": 20,
+    "gamma": 0.2,
+}
+
+_OPTIMIZER_KEYS = frozenset(DEFAULT_OPTIMIZER)
+
+
+def _canonical_json(value: Any, what: str) -> str:
+    """Normalize a mapping (or JSON object string) to canonical JSON."""
+    if value is None:
+        value = {}
+    if isinstance(value, str):
+        value = json.loads(value) if value else {}
+    if not isinstance(value, Mapping):
+        raise ExperimentSpecError(f"{what} must be a mapping, got {value!r}")
+    try:
+        return json.dumps(dict(value), sort_keys=True)
+    except TypeError as error:
+        raise ExperimentSpecError(f"{what} is not JSON-serializable: {error}") from None
+
+
+def _hash(payload: Dict[str, Any]) -> str:
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A frozen description of one (train -> evaluate) experiment.
+
+    Parameters
+    ----------
+    dataset:
+        Dataset registry name (``repro.data.DATASET_REGISTRY``).
+    model:
+        Model registry name (``repro.models.MODEL_REGISTRY``).
+    loss:
+        Base training loss: a :class:`~repro.training.LossSpec`, a registry
+        name string, a spec dict, or a constructed strategy.
+    ibrar:
+        ``None`` for plain training, or an :class:`IBRARConfig` (or its
+        ``to_dict()`` form) to wrap the base loss with the IB-RAR defense.
+    dataset_params / model_params:
+        Keyword arguments for the registry factories, JSON-canonicalized.
+    optimizer:
+        SGD + StepLR knobs (``lr``, ``momentum``, ``weight_decay``,
+        ``step_size``, ``gamma``); missing keys take the paper defaults.
+    epochs / batch_size / seed:
+        Training length, mini-batch size and the single base seed from which
+        every per-component seed is derived (:func:`repro.utils.derive_seeds`).
+    attacks:
+        Evaluation suite as :class:`~repro.attacks.AttackSpec` entries
+        (anything ``coerce_spec`` accepts).  Empty means natural-accuracy
+        evaluation only.
+    eval_examples:
+        How many test examples to evaluate on (``None`` = all).
+    eval_batch_size:
+        Attack/prediction batch size during evaluation.
+    name:
+        Display label for tables; **excluded** from both content hashes.
+    """
+
+    dataset: str
+    model: str
+    loss: Any = "ce"
+    ibrar: Any = None
+    dataset_params: Any = "{}"
+    model_params: Any = "{}"
+    optimizer: Any = "{}"
+    epochs: int = 10
+    batch_size: int = 100
+    seed: int = 0
+    attacks: Tuple[AttackSpec, ...] = ()
+    eval_examples: Optional[int] = None
+    eval_batch_size: int = 64
+    eval_early_exit: bool = True
+    eval_cascade: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dataset", str(self.dataset).lower())
+        object.__setattr__(self, "model", str(self.model).lower())
+        object.__setattr__(self, "loss", coerce_loss_spec(self.loss))
+        ibrar = self.ibrar
+        if isinstance(ibrar, IBRARConfig):
+            ibrar = ibrar.to_dict()
+        if ibrar is not None:
+            # Validate through the config class so bad fields fail at spec
+            # construction, not at training time in a worker process.
+            config = ibrar if isinstance(ibrar, Mapping) else json.loads(ibrar)
+            ibrar = _canonical_json(IBRARConfig.from_dict(dict(config)).to_dict(), "ibrar")
+        object.__setattr__(self, "ibrar", ibrar)
+        object.__setattr__(
+            self, "dataset_params", _canonical_json(self.dataset_params, "dataset_params")
+        )
+        object.__setattr__(self, "model_params", _canonical_json(self.model_params, "model_params"))
+        optimizer = json.loads(_canonical_json(self.optimizer, "optimizer"))
+        unknown = sorted(set(optimizer) - _OPTIMIZER_KEYS)
+        if unknown:
+            raise ExperimentSpecError(
+                f"unknown optimizer key(s) {unknown}; accepted: {sorted(_OPTIMIZER_KEYS)}"
+            )
+        merged = dict(DEFAULT_OPTIMIZER)
+        merged.update(optimizer)
+        object.__setattr__(self, "optimizer", json.dumps(merged, sort_keys=True))
+        if self.epochs < 1:
+            raise ExperimentSpecError("epochs must be at least 1")
+        if self.batch_size < 1 or self.eval_batch_size < 1:
+            raise ExperimentSpecError("batch sizes must be positive")
+        if self.eval_examples is not None and self.eval_examples < 1:
+            raise ExperimentSpecError("eval_examples must be positive (or None for all)")
+        attacks = self.attacks
+        if isinstance(attacks, (AttackSpec, str, Mapping)):
+            attacks = (attacks,)
+        object.__setattr__(self, "attacks", tuple(coerce_spec(a) for a in attacks))
+        object.__setattr__(self, "name", str(self.name))
+
+    # -- accessors ---------------------------------------------------------------
+    @property
+    def dataset_kwargs(self) -> Dict[str, Any]:
+        return json.loads(self.dataset_params)
+
+    @property
+    def model_kwargs(self) -> Dict[str, Any]:
+        return json.loads(self.model_params)
+
+    @property
+    def optimizer_kwargs(self) -> Dict[str, Any]:
+        return json.loads(self.optimizer)
+
+    @property
+    def ibrar_config(self) -> Optional[IBRARConfig]:
+        if self.ibrar is None:
+            return None
+        return IBRARConfig.from_dict(json.loads(self.ibrar))
+
+    @property
+    def label(self) -> str:
+        """Display name, falling back to a compact auto-generated one."""
+        if self.name:
+            return self.name
+        suffix = " (IB-RAR)" if self.ibrar is not None else ""
+        return f"{self.loss.name}/{self.model}/{self.dataset}{suffix}"
+
+    def with_(self, **updates: Any) -> "ExperimentSpec":
+        """Return a copy with some fields replaced (``dataclasses.replace``)."""
+        return replace(self, **updates)
+
+    # -- hashing -----------------------------------------------------------------
+    def training_dict(self) -> Dict[str, Any]:
+        """The fields that determine the trained weights, JSON-ready."""
+        return {
+            "dataset": {"name": self.dataset, "params": self.dataset_kwargs},
+            "model": {"name": self.model, "params": self.model_kwargs},
+            "loss": self.loss.as_dict(),
+            "ibrar": json.loads(self.ibrar) if self.ibrar is not None else None,
+            "optimizer": self.optimizer_kwargs,
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+        }
+
+    def eval_dict(self) -> Dict[str, Any]:
+        """The fields that determine the evaluation, JSON-ready."""
+        return {
+            "attacks": [a.as_dict() for a in self.attacks],
+            "examples": self.eval_examples,
+            "batch_size": self.eval_batch_size,
+            "early_exit": bool(self.eval_early_exit),
+            "cascade": bool(self.eval_cascade),
+        }
+
+    @property
+    def training_hash(self) -> str:
+        """Content hash of the training recipe (checkpoint address)."""
+        return _hash(self.training_dict())
+
+    @property
+    def content_hash(self) -> str:
+        """Content hash of the full experiment (report address)."""
+        return _hash({"train": self.training_dict(), "eval": self.eval_dict()})
+
+    # -- serialization -----------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        data = self.training_dict()
+        data["eval"] = self.eval_dict()
+        data["name"] = self.name
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        known = {"dataset", "model", "loss", "ibrar", "optimizer", "epochs", "batch_size", "seed", "eval", "name"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ExperimentSpecError(
+                f"unknown experiment spec key(s) {unknown}; accepted: {sorted(known)}"
+            )
+        for key in ("dataset", "model"):
+            if key not in data:
+                raise ExperimentSpecError(f"experiment spec dict needs a '{key}' key")
+
+        def _named(entry: Union[str, Mapping[str, Any]], what: str) -> Tuple[str, Dict[str, Any]]:
+            if isinstance(entry, str):
+                return entry, {}
+            if isinstance(entry, Mapping) and "name" in entry:
+                return entry["name"], dict(entry.get("params", {}))
+            raise ExperimentSpecError(f"{what} must be a name or a {{name, params}} dict: {entry!r}")
+
+        dataset, dataset_params = _named(data["dataset"], "dataset")
+        model, model_params = _named(data["model"], "model")
+        eval_section = dict(data.get("eval", {}))
+        eval_known = {"attacks", "examples", "batch_size", "early_exit", "cascade"}
+        eval_unknown = sorted(set(eval_section) - eval_known)
+        if eval_unknown:
+            raise ExperimentSpecError(
+                f"unknown eval key(s) {eval_unknown}; accepted: {sorted(eval_known)}"
+            )
+        return cls(
+            dataset=dataset,
+            model=model,
+            loss=data.get("loss", "ce"),
+            ibrar=data.get("ibrar"),
+            dataset_params=dataset_params,
+            model_params=model_params,
+            optimizer=data.get("optimizer", {}),
+            epochs=data.get("epochs", 10),
+            batch_size=data.get("batch_size", 100),
+            seed=data.get("seed", 0),
+            attacks=tuple(eval_section.get("attacks", ())),
+            eval_examples=eval_section.get("examples"),
+            eval_batch_size=eval_section.get("batch_size", 64),
+            eval_early_exit=eval_section.get("early_exit", True),
+            eval_cascade=eval_section.get("cascade", False),
+            name=data.get("name", ""),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:
+        ibrar = " +ibrar" if self.ibrar is not None else ""
+        return (
+            f"ExperimentSpec({self.label!r}: {self.loss.name}{ibrar} on "
+            f"{self.model}/{self.dataset}, epochs={self.epochs}, seed={self.seed}, "
+            f"attacks={len(self.attacks)}, hash={self.content_hash[:12]})"
+        )
+
+
+def load_specs(source: Union[str, Mapping[str, Any], Iterable]) -> Tuple[ExperimentSpec, ...]:
+    """Load one or many specs from a JSON text / dict / iterable of either."""
+    if isinstance(source, str):
+        source = json.loads(source)
+    if isinstance(source, Mapping):
+        return (ExperimentSpec.from_dict(source),)
+    return tuple(
+        entry if isinstance(entry, ExperimentSpec) else ExperimentSpec.from_dict(entry)
+        for entry in source
+    )

@@ -1,4 +1,4 @@
-"""Training loops and adversarial-training benchmark losses (PGD-AT, TRADES, MART)."""
+"""Training loops, adversarial-training benchmark losses, and loss specs."""
 
 from .adversarial import (
     ADVERSARIAL_TRAINING_REGISTRY,
@@ -10,6 +10,14 @@ from .adversarial import (
     build_training_loss,
 )
 from .history import EpochRecord, TrainingHistory
+from .specs import (
+    LOSS_REGISTRY,
+    LossConfigError,
+    LossSpec,
+    available_losses,
+    build_loss,
+    coerce_loss_spec,
+)
 from .trainer import Trainer, evaluate_accuracy
 
 __all__ = [
@@ -24,4 +32,10 @@ __all__ = [
     "MARTLoss",
     "ADVERSARIAL_TRAINING_REGISTRY",
     "build_training_loss",
+    "LOSS_REGISTRY",
+    "LossConfigError",
+    "LossSpec",
+    "available_losses",
+    "build_loss",
+    "coerce_loss_spec",
 ]

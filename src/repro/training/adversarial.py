@@ -44,11 +44,18 @@ class LossStrategy(Protocol):
     def __call__(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> Tensor:
         ...
 
+    def hyperparameters(self) -> dict:
+        """Constructor arguments, JSON-ready (for :class:`repro.training.LossSpec`)."""
+        ...
+
 
 class CrossEntropyLoss:
     """Plain CE training (the undefended baseline, row (1) of Table 4)."""
 
     name = "ce"
+
+    def hyperparameters(self) -> dict:
+        return {}
 
     def loss_and_logits(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> tuple:
         """Return ``(loss, clean logits)`` from a single forward pass.
@@ -85,6 +92,15 @@ class PGDAdversarialLoss:
         self.steps = steps
         self.random_start = random_start
         self.seed = seed
+
+    def hyperparameters(self) -> dict:
+        return {
+            "eps": self.eps,
+            "alpha": self.alpha,
+            "steps": self.steps,
+            "random_start": self.random_start,
+            "seed": self.seed,
+        }
 
     def generate(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         attack = PGD(
@@ -125,6 +141,15 @@ class TRADESLoss:
         self.alpha = alpha
         self.steps = steps
         self.seed = seed
+
+    def hyperparameters(self) -> dict:
+        return {
+            "beta": self.beta,
+            "eps": self.eps,
+            "alpha": self.alpha,
+            "steps": self.steps,
+            "seed": self.seed,
+        }
 
     def generate(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         """Inner maximization of the KL term via PGD."""
@@ -179,6 +204,15 @@ class MARTLoss:
         self.alpha = alpha
         self.steps = steps
         self.seed = seed
+
+    def hyperparameters(self) -> dict:
+        return {
+            "beta": self.beta,
+            "eps": self.eps,
+            "alpha": self.alpha,
+            "steps": self.steps,
+            "seed": self.seed,
+        }
 
     def generate(self, model: ImageClassifier, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         attack = PGD(

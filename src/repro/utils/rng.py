@@ -8,6 +8,7 @@ reproducible end to end.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict
 
 import numpy as np
@@ -28,14 +29,20 @@ def generator(seed: int) -> np.random.Generator:
 def derive_seeds(base_seed: int, *names: str) -> Dict[str, int]:
     """Derive stable per-component seeds from a base seed and component names.
 
+    Each seed depends on the *name* itself (hashed into the seed-sequence
+    entropy), not on the name's position in the call, so
+    ``derive_seeds(0, "data")["data"]`` equals the ``"data"`` entry of any
+    larger call and never collides with ``derive_seeds(0, "model")["model"]``.
+
     Example::
 
         seeds = derive_seeds(0, "model", "data", "attack")
         model = VGG16(seed=seeds["model"])
     """
     seeds: Dict[str, int] = {}
-    sequence = np.random.SeedSequence(base_seed)
-    children = sequence.spawn(len(names))
-    for name, child in zip(names, children):
-        seeds[name] = int(child.generate_state(1)[0] % (2 ** 31 - 1))
+    for name in names:
+        digest = hashlib.sha256(name.encode("utf-8")).digest()
+        entropy = int.from_bytes(digest[:8], "little")
+        sequence = np.random.SeedSequence([int(base_seed), entropy])
+        seeds[name] = int(sequence.generate_state(1)[0] % (2 ** 31 - 1))
     return seeds

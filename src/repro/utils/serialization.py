@@ -19,14 +19,19 @@ def save_checkpoint(model: Module, path: PathLike, metadata: Optional[Dict[str, 
     """Serialize a model's state dict (plus optional JSON metadata) to ``path``.
 
     The archive stores every parameter/buffer under its dotted name and the
-    metadata dict (if any) under the reserved key ``__metadata__``.
+    metadata dict (if any) under the reserved key ``__metadata__``.  Returns
+    the path actually written: ``np.savez`` appends ``.npz`` when the name
+    lacks it, so the returned path always carries the suffix and exists.
     """
     path = Path(path)
+    if not path.name.endswith(".npz"):
+        path = path.with_name(path.name + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
     state = model.state_dict()
     arrays: Dict[str, np.ndarray] = {key: np.asarray(value) for key, value in state.items()}
     if metadata is not None:
-        arrays["__metadata__"] = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+        encoded = json.dumps(metadata).encode("utf-8")
+        arrays["__metadata__"] = np.frombuffer(encoded, dtype=np.uint8).copy()
     np.savez_compressed(path, **arrays)
     return path
 
@@ -45,7 +50,10 @@ def load_checkpoint(path: PathLike) -> tuple[Dict[str, np.ndarray], Optional[Dic
         state = {key: archive[key] for key in archive.files if key != "__metadata__"}
         metadata = None
         if "__metadata__" in archive.files:
-            metadata = json.loads(archive["__metadata__"].tobytes().decode("utf-8"))
+            raw = archive["__metadata__"].tobytes().decode("utf-8")
+            # An empty payload (e.g. a zero-length array from an older writer)
+            # round-trips as an empty metadata dict rather than a JSON error.
+            metadata = json.loads(raw) if raw else {}
     return state, metadata
 
 

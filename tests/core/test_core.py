@@ -66,6 +66,30 @@ class TestConfig:
     def test_paper_robust_layers_constant(self):
         assert PAPER_VGG16_ROBUST_LAYERS == ("conv_block5", "fc1", "fc2")
 
+    def test_dict_round_trip(self):
+        config = IBRARConfig(
+            alpha=0.05, beta=0.01, layers=("fc1", "fc2"), mask_fraction=0.2, sigma=1.5
+        )
+        revived = IBRARConfig.from_dict(config.to_dict())
+        assert revived == config
+        assert revived.layers == ("fc1", "fc2")  # list in JSON, tuple revived
+
+    def test_dict_round_trip_with_defaults(self):
+        config = IBRARConfig()
+        assert IBRARConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_is_deterministic_json(self):
+        import json
+
+        config = IBRARConfig(layers=["fc2", "fc1"])
+        a = json.dumps(config.to_dict(), sort_keys=True)
+        b = json.dumps(IBRARConfig.from_dict(config.to_dict()).to_dict(), sort_keys=True)
+        assert a == b
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown IBRARConfig field"):
+            IBRARConfig.from_dict({"alpha": 1.0, "gamma": 2.0})
+
 
 class TestMIRegularizerTerms:
     def _forward(self, model, images):

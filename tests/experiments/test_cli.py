@@ -1,0 +1,61 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+from test_spec import tiny_spec
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "grid.json"
+    specs = [tiny_spec(name="a").as_dict(), tiny_spec(name="b", seed=1).as_dict()]
+    path.write_text(json.dumps(specs), encoding="utf-8")
+    return path
+
+
+def test_run_list_inspect_clear(tmp_path, spec_file, capsys):
+    store = str(tmp_path / "store")
+    report_path = tmp_path / "report.json"
+    timing_path = tmp_path / "timing.json"
+
+    assert main([
+        "--store", store, "run", str(spec_file),
+        "--report", str(report_path), "--timing", str(timing_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "2 computed, 0 from cache" in out
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    assert len(report) == 2 and {entry["name"] for entry in report} == {"a", "b"}
+    timing = json.loads(timing_path.read_text(encoding="utf-8"))
+    assert timing["computed"] == 2 and timing["train_forward_examples"] > 0
+
+    # Second run: everything from the store, and the report is byte-identical.
+    assert main(["--store", store, "run", str(spec_file), "--report", str(report_path)]) == 0
+    assert "0 computed, 2 from cache" in capsys.readouterr().out
+    assert json.loads(report_path.read_text(encoding="utf-8")) == report
+
+    assert main(["--store", store, "list", "--json"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert len(manifest["models"]) == 2 and len(manifest["reports"]) == 2
+
+    assert main(["--store", store, "inspect", str(spec_file)]) == 0
+    out = capsys.readouterr().out
+    assert "report cached:     True" in out
+
+    spec = tiny_spec(name="a")
+    assert main(["--store", store, "inspect", spec.content_hash[:12]]) == 0
+    assert spec.content_hash in capsys.readouterr().out
+
+    assert main(["--store", store, "clear", "--yes"]) == 0
+    assert "removed 4 artifact(s)" in capsys.readouterr().out
+
+
+def test_inspect_unknown_hash_fails(tmp_path, capsys):
+    assert main(["--store", str(tmp_path / "store"), "inspect", "deadbeef"]) == 1
+    assert "no stored report" in capsys.readouterr().err

@@ -44,6 +44,12 @@ class TestRng:
     def test_derive_seeds_differ_across_base(self):
         assert derive_seeds(0, "model") != derive_seeds(1, "model")
 
+    def test_derive_seeds_depend_on_name_not_position(self):
+        # Different components never share a seed...
+        assert derive_seeds(0, "data")["data"] != derive_seeds(0, "model")["model"]
+        # ...and a component's seed is the same however the call is grouped.
+        assert derive_seeds(0, "model", "data")["data"] == derive_seeds(0, "data")["data"]
+
 
 class TestLogging:
     def test_get_logger_idempotent(self):
@@ -91,6 +97,20 @@ class TestSerialization:
         save_checkpoint(model, tmp_path / "model")  # np.savez adds .npz
         state, _ = load_checkpoint(tmp_path / "model")
         assert any("weight" in key for key in state)
+
+    def test_returned_path_exists_even_without_suffix(self, tmp_path):
+        model = SmallCNN(num_classes=10, image_size=16, seed=0)
+        path = save_checkpoint(model, tmp_path / "model")  # no .npz given
+        assert path.name == "model.npz"
+        assert path.exists()
+        state, _ = load_checkpoint(path)
+        assert any("weight" in key for key in state)
+
+    def test_empty_metadata_dict_round_trips(self, tmp_path):
+        model = SmallCNN(num_classes=10, image_size=16, seed=0)
+        path = save_checkpoint(model, tmp_path / "empty.npz", metadata={})
+        _, metadata = load_checkpoint(path)
+        assert metadata == {}  # empty dict, not None and not an error
 
     def test_creates_parent_directories(self, tmp_path):
         model = SmallCNN(num_classes=10, image_size=16, seed=0)
