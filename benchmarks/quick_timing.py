@@ -1,18 +1,24 @@
 #!/usr/bin/env python3
-"""Quick engine benchmark: legacy loop vs early-exit vs cascade, as JSON.
+"""Quick engine benchmark: legacy vs early-exit vs cascade vs compiled, as JSON.
 
 Trains a tiny CNN on synthetic CIFAR-like data and times the paper's attack
-suite under three evaluation strategies:
+suite under four evaluation strategies:
 
 * ``legacy``    — the engine with early exit off (one attack after another
   over every example; identical to the pre-engine per-attack loop);
 * ``early_exit`` — clean-misclassified examples dropped from attack batches;
 * ``cascade``   — additionally drop examples fooled by an earlier attack
-  (worst-case/AutoAttack-style evaluation).
+  (worst-case/AutoAttack-style evaluation);
+* ``compiled``  — early exit plus ``compile=True``: predictions and the
+  PGD-family gradient loops replay a static, buffer-pooled execution plan
+  (:mod:`repro.compile`) instead of the dynamic autograd graph.
 
-Writes a JSON report (accuracies, wall time, forward-pass counts) to the path
-given as the first argument (default: ``bench-timings.json``).  The CI
-quick-bench job uploads this as an artifact.
+Writes a JSON report (accuracies, wall time, forward-pass counts, and the
+eager-vs-compiled speedup) to the path given as the first argument (default:
+``bench-timings.json``).  The CI quick-bench job uploads this as an artifact
+and *soft-fails* on compiled-path regressions: if the compiled mode is slower
+than eager early exit (< 1.0x) a GitHub warning annotation is emitted, but
+the exit code stays 0.
 """
 
 from __future__ import annotations
@@ -50,6 +56,7 @@ def main() -> None:
         "legacy": dict(early_exit=False),
         "early_exit": dict(early_exit=True),
         "cascade": dict(cascade=True),
+        "compiled": dict(early_exit=True, compile=True),
     }
     report = {"suite": [spec.as_dict() for spec in suite], "eval_examples": len(images), "modes": {}}
     for mode_name, engine_kwargs in modes.items():
@@ -68,10 +75,27 @@ def main() -> None:
 
     legacy = report["modes"]["legacy"]
     fast = report["modes"]["early_exit"]
+    compiled = report["modes"]["compiled"]
     report["speedup_early_exit"] = round(legacy["wall_seconds"] / max(fast["wall_seconds"], 1e-9), 3)
+    report["speedup_compiled"] = round(fast["wall_seconds"] / max(compiled["wall_seconds"], 1e-9), 3)
+    report["compiled_matches_eager"] = bool(
+        fast["adversarial"] == compiled["adversarial"] and fast["natural"] == compiled["natural"]
+    )
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
-    print(f"wrote {output_path} (early-exit speedup: {report['speedup_early_exit']}x)")
+    print(
+        f"wrote {output_path} (early-exit speedup: {report['speedup_early_exit']}x, "
+        f"compiled speedup: {report['speedup_compiled']}x, "
+        f"accuracies match: {report['compiled_matches_eager']})"
+    )
+    if not report["compiled_matches_eager"]:
+        print("::warning title=compiled-mismatch::compiled accuracies differ from eager early-exit")
+    if report["speedup_compiled"] < 1.0:
+        # Soft failure: annotate the CI run but keep the job green.
+        print(
+            "::warning title=compiled-regression::compiled path slower than eager "
+            f"({report['speedup_compiled']}x < 1.0x)"
+        )
 
 
 if __name__ == "__main__":

@@ -14,7 +14,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from ..nn import Tensor
+from ..nn import Tensor, get_default_dtype
 from ..nn import functional as F
 from ..models.base import ImageClassifier
 
@@ -76,10 +76,30 @@ class Attack:
         self.clip_min = clip_min
         self.clip_max = clip_max
         self.loss_fn = loss_fn or _default_loss
+        #: optional :class:`repro.compile.CompiledModel` driving the attack's
+        #: gradient queries through a static plan.  Installed via
+        #: :meth:`use_compiled` (the engine does this for ``compile=True``
+        #: runs); only honoured while the loss is the default cross-entropy,
+        #: since that is the loss the compiled plan fuses.
+        self._compiled = None
+
+    def use_compiled(self, compiled) -> "Attack":
+        """Route default-loss gradient queries through a compiled plan."""
+        self._compiled = compiled
+        return self
 
     # -- helpers ---------------------------------------------------------------
     def _input_gradient(self, images: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, float]:
-        """Gradient of the attack loss with respect to the input batch."""
+        """Gradient of the attack loss with respect to the input batch.
+
+        When a compiled plan is installed (and the attack drives the default
+        cross-entropy loss), the fused ``value_and_grad`` replays the static
+        plan instead of building an autograd graph; the returned gradient is
+        plan-owned, so consume it before the next compiled call.
+        """
+        if self._compiled is not None and self.loss_fn is _default_loss:
+            loss, gradient = self._compiled.value_and_grad(images, labels)
+            return gradient, loss
         x = Tensor(images, requires_grad=True)
         loss = self.loss_fn(self.model, x, labels)
         loss.backward()
@@ -112,7 +132,7 @@ class Attack:
     # -- public API --------------------------------------------------------------
     def attack(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         """Return adversarial versions of ``images`` (same shape/dtype)."""
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images, dtype=get_default_dtype())
         labels = np.asarray(labels, dtype=np.int64).reshape(-1)
         if len(images) != len(labels):
             raise ValueError("images and labels must have the same batch size")

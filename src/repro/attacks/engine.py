@@ -259,7 +259,14 @@ class ForwardPassCounter:
 
 @dataclass
 class AttackTelemetry:
-    """Per-attack accounting recorded by :class:`AttackEngine`."""
+    """Per-attack accounting recorded by :class:`AttackEngine`.
+
+    ``forward_calls`` / ``forward_examples`` count *eager* model passes
+    (including eager fallbacks inside a compiled run); the ``compiled_*``
+    fields count static-plan replays, and ``compiled_fallbacks`` how often a
+    compiled run had to fall back to eager (unseen shapes past the plan
+    budget, unsupported losses).
+    """
 
     name: str
     examples_attacked: int
@@ -268,6 +275,9 @@ class AttackTelemetry:
     forward_examples: int
     seconds: float
     accuracy: float
+    compiled_forward_calls: int = 0
+    compiled_grad_calls: int = 0
+    compiled_fallbacks: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -278,14 +288,20 @@ class AttackTelemetry:
             "forward_examples": self.forward_examples,
             "seconds": round(self.seconds, 6),
             "accuracy": self.accuracy,
+            "compiled_forward_calls": self.compiled_forward_calls,
+            "compiled_grad_calls": self.compiled_grad_calls,
+            "compiled_fallbacks": self.compiled_fallbacks,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "AttackTelemetry":
-        return cls(**{k: data[k] for k in (
+        kwargs = {k: data[k] for k in (
             "name", "examples_attacked", "examples_skipped",
             "forward_calls", "forward_examples", "seconds", "accuracy",
-        )})
+        )}
+        for key in ("compiled_forward_calls", "compiled_grad_calls", "compiled_fallbacks"):
+            kwargs[key] = data.get(key, 0)
+        return cls(**kwargs)
 
 
 @dataclass
@@ -299,6 +315,11 @@ class EngineResult:
     telemetry: List[AttackTelemetry] = field(default_factory=list)
     early_exit: bool = True
     cascade: bool = False
+    #: whether this run executed through a compiled plan (``compile=True``
+    #: and the model captured successfully).
+    compiled: bool = False
+    #: capture/planning failure message when ``compile=True`` fell back.
+    compile_error: Optional[str] = None
     #: per-example survival mask after the whole suite (clean-correct AND
     #: unfooled by every attack) — the worst-case ensemble outcome.
     survivors: Optional[np.ndarray] = field(default=None, repr=False)
@@ -328,6 +349,8 @@ class EngineResult:
             "worst_case": self.worst_case,
             "early_exit": self.early_exit,
             "cascade": self.cascade,
+            "compiled": self.compiled,
+            "compile_error": self.compile_error,
             "total_forward_calls": self.total_forward_calls,
             "total_forward_examples": self.total_forward_examples,
             "total_seconds": round(self.total_seconds, 6),
@@ -353,6 +376,8 @@ class EngineResult:
             telemetry=[AttackTelemetry.from_dict(t) for t in data.get("telemetry", [])],
             early_exit=data.get("early_exit", True),
             cascade=data.get("cascade", False),
+            compiled=data.get("compiled", False),
+            compile_error=data.get("compile_error"),
         )
 
 
@@ -446,6 +471,17 @@ class AttackEngine:
         accuracies then become cumulative ("accuracy after attacks so far"),
         ending at the worst-case ensemble accuracy; use this mode when only
         the worst-case number matters and speed does.
+    compile:
+        Capture the model into a static, buffer-pooled execution plan
+        (:mod:`repro.compile`) once per :meth:`run` and drive predictions and
+        the PGD-family gradient loop through it.  Falls back to eager
+        execution — per batch for unseen shapes, wholesale when the model
+        cannot be captured — so results are produced either way;
+        ``EngineResult.compiled`` / ``compile_error`` report what happened
+        and the telemetry counts compiled vs eager passes.
+    compile_options:
+        Extra keyword arguments for :func:`repro.compile.compile_model`
+        (``fold_bn``, ``max_plans``, ...).
     """
 
     def __init__(
@@ -454,6 +490,8 @@ class AttackEngine:
         batch_size: int = 64,
         early_exit: bool = True,
         cascade: bool = False,
+        compile: bool = False,
+        compile_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
@@ -461,6 +499,8 @@ class AttackEngine:
         self.batch_size = batch_size
         self.early_exit = bool(early_exit) or bool(cascade)
         self.cascade = bool(cascade)
+        self.compile = bool(compile)
+        self.compile_options = dict(compile_options or {})
 
     def _resolve(self, entry: Union[AttackSpec, Attack], model: ImageClassifier) -> Attack:
         if isinstance(entry, AttackSpec):
@@ -472,6 +512,21 @@ class AttackEngine:
             )
         return entry
 
+    def _compile_model(self, model: ImageClassifier, images: np.ndarray):
+        """Best-effort model capture; returns ``(compiled_or_None, error_or_None)``."""
+        if not self.compile or not len(images):
+            return None, None
+        from ..compile import CompileError, compile_model
+
+        was_training = model.training
+        model.eval()
+        try:
+            return compile_model(model, images[: self.batch_size], **self.compile_options), None
+        except CompileError as error:
+            return None, str(error)
+        finally:
+            model.train(was_training)
+
     def run(
         self,
         model: ImageClassifier,
@@ -480,18 +535,68 @@ class AttackEngine:
         method_name: str = "model",
     ) -> EngineResult:
         """Evaluate ``model`` on ``images`` under every attack in the suite."""
-        images = np.asarray(images, dtype=np.float64)
+        from ..nn import get_default_dtype
+
+        images = np.asarray(images, dtype=get_default_dtype())
         labels = np.asarray(labels, dtype=np.int64).reshape(-1)
         if len(images) != len(labels):
             raise ValueError("images and labels must have the same batch size")
         n = len(images)
+        compiled, compile_error = self._compile_model(model, images)
+
+        def predict(batch_images: np.ndarray) -> np.ndarray:
+            if compiled is None:
+                return _predict_batched(model, batch_images, self.batch_size)
+            parts = [
+                compiled.predict(batch_images[start : start + self.batch_size])
+                for start in range(0, len(batch_images), self.batch_size)
+            ]
+            return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+        def compiled_snapshot() -> Tuple[int, int, int]:
+            return compiled.stats.snapshot() if compiled is not None else (0, 0, 0)
+
         counter = ForwardPassCounter(model)
         telemetry: List[AttackTelemetry] = []
+        # Evaluation semantics are eval-mode everywhere (predictions and
+        # attacks both force it); pinning the mode for the whole run keeps
+        # the compiled fast path live between batches.
+        was_training = model.training
+        model.eval()
+        try:
+            return self._run_pinned(
+                model, images, labels, method_name, counter, telemetry,
+                compiled, compile_error, predict, compiled_snapshot, n,
+            )
+        finally:
+            model.train(was_training)
+            # Pre-built suite attacks outlive the run; never leave this
+            # run's plan (a weight snapshot) wired into them.
+            for entry in self.suite.values():
+                if isinstance(entry, Attack):
+                    entry.use_compiled(None)
+
+    def _run_pinned(
+        self,
+        model: ImageClassifier,
+        images: np.ndarray,
+        labels: np.ndarray,
+        method_name: str,
+        counter: ForwardPassCounter,
+        telemetry: List[AttackTelemetry],
+        compiled,
+        compile_error,
+        predict,
+        compiled_snapshot,
+        n: int,
+    ) -> EngineResult:
         with counter:
             start_time = time.perf_counter()
-            clean_predictions = _predict_batched(model, images, self.batch_size)
+            compiled_before = compiled_snapshot()
+            clean_predictions = predict(images)
             clean_correct = clean_predictions == labels
             natural = float(clean_correct.mean()) if n else 0.0
+            compiled_after = compiled_snapshot()
             telemetry.append(
                 AttackTelemetry(
                     name="clean",
@@ -501,6 +606,9 @@ class AttackEngine:
                     forward_examples=counter.examples,
                     seconds=time.perf_counter() - start_time,
                     accuracy=natural,
+                    compiled_forward_calls=compiled_after[0] - compiled_before[0],
+                    compiled_grad_calls=compiled_after[1] - compiled_before[1],
+                    compiled_fallbacks=compiled_after[2] - compiled_before[2],
                 )
             )
 
@@ -508,6 +616,10 @@ class AttackEngine:
             adversarial: "OrderedDict[str, float]" = OrderedDict()
             for name, entry in self.suite.items():
                 attack = self._resolve(entry, model)
+                # Always (re)install — None clears any plan a previous run
+                # left behind; run()'s finally clears pre-built attacks
+                # again once this run is over.
+                attack.use_compiled(compiled)
                 if self.cascade:
                     active = alive
                 elif self.early_exit:
@@ -517,16 +629,18 @@ class AttackEngine:
                 indices = np.flatnonzero(active)
                 survived = np.zeros(n, dtype=bool)
                 calls_before, examples_before = counter.snapshot()
+                compiled_before = compiled_snapshot()
                 attack_start = time.perf_counter()
                 for batch_start in range(0, len(indices), self.batch_size):
                     batch = indices[batch_start : batch_start + self.batch_size]
                     adversarial_batch = attack.attack(images[batch], labels[batch])
-                    predictions = _predict_batched(model, adversarial_batch, self.batch_size)
+                    predictions = predict(adversarial_batch)
                     survived[batch] = predictions == labels[batch]
                 alive = alive & survived
                 accuracy = float(alive.mean() if self.cascade else survived.mean()) if n else 0.0
                 adversarial[name] = accuracy
                 calls_after, examples_after = counter.snapshot()
+                compiled_after = compiled_snapshot()
                 telemetry.append(
                     AttackTelemetry(
                         name=name,
@@ -536,6 +650,9 @@ class AttackEngine:
                         forward_examples=examples_after - examples_before,
                         seconds=time.perf_counter() - attack_start,
                         accuracy=accuracy,
+                        compiled_forward_calls=compiled_after[0] - compiled_before[0],
+                        compiled_grad_calls=compiled_after[1] - compiled_before[1],
+                        compiled_fallbacks=compiled_after[2] - compiled_before[2],
                     )
                 )
         return EngineResult(
@@ -546,6 +663,8 @@ class AttackEngine:
             telemetry=telemetry,
             early_exit=self.early_exit,
             cascade=self.cascade,
+            compiled=compiled is not None,
+            compile_error=compile_error,
             survivors=alive,
         )
 
@@ -588,8 +707,11 @@ class EnsembleAttack(Attack):
 
     def _margins(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         """True-class margin per example (negative means misclassified)."""
-        with no_grad():
-            logits = self.model.forward(Tensor(images)).data
+        if self._compiled is not None:
+            logits = self._compiled(images)
+        else:
+            with no_grad():
+                logits = self.model.forward(Tensor(images)).data
         true_logit = logits[np.arange(len(labels)), labels]
         masked = logits.copy()
         masked[np.arange(len(labels)), labels] = -np.inf
@@ -606,6 +728,8 @@ class EnsembleAttack(Attack):
             else:
                 indices = np.arange(len(images))
             sub_attack = spec.build(self.model)
+            if self._compiled is not None:
+                sub_attack.use_compiled(self._compiled)
             candidates = sub_attack.attack(images[indices], labels[indices])
             margins = self._margins(candidates, labels[indices])
             improved = margins < best_margin[indices]

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Attack
+from ..compile.kernels import linf_step
 
 __all__ = ["FGSM"]
 
@@ -16,5 +17,6 @@ class FGSM(Attack):
 
     def _generate(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         gradient, _ = self._input_gradient(images, labels)
-        adversarial = images + self.eps * np.sign(gradient)
-        return self._project(adversarial, images)
+        return linf_step(
+            images, gradient, self.eps, images, self.eps, self.clip_min, self.clip_max
+        )

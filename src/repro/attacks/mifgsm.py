@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..compile.kernels import linf_step
 from ..models.base import ImageClassifier
 from .base import Attack, LossFn
 
@@ -44,10 +45,13 @@ class MIFGSM(Attack):
     def _generate(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         adversarial = images.copy()
         momentum = np.zeros_like(images)
-        for _ in range(self.steps):
+        buffers = (np.empty_like(images), np.empty_like(images))
+        for step in range(self.steps):
             gradient, _ = self._input_gradient(adversarial, labels)
             l1 = np.abs(gradient).sum(axis=tuple(range(1, gradient.ndim)), keepdims=True)
             momentum = self.decay * momentum + gradient / np.maximum(l1, 1e-12)
-            adversarial = adversarial + self.alpha * np.sign(momentum)
-            adversarial = self._project(adversarial, images)
+            adversarial = linf_step(
+                adversarial, momentum, self.alpha, images,
+                self.eps, self.clip_min, self.clip_max, out=buffers[step % 2],
+            )
         return adversarial

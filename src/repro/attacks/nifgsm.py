@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from .base import Attack, LossFn
+from ..compile.kernels import linf_step, lookahead_point
 from ..models.base import ImageClassifier
 
 __all__ = ["NIFGSM"]
@@ -44,12 +45,18 @@ class NIFGSM(Attack):
     def _generate(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         adversarial = images.copy()
         momentum = np.zeros_like(images)
-        for _ in range(self.steps):
-            lookahead = adversarial + self.alpha * self.decay * momentum
-            lookahead = np.clip(lookahead, self.clip_min, self.clip_max)
+        lookahead = np.empty_like(images)
+        buffers = (np.empty_like(images), np.empty_like(images))
+        for step in range(self.steps):
+            lookahead_point(
+                adversarial, momentum, self.alpha * self.decay,
+                self.clip_min, self.clip_max, out=lookahead,
+            )
             gradient, _ = self._input_gradient(lookahead, labels)
             l1 = np.abs(gradient).sum(axis=tuple(range(1, gradient.ndim)), keepdims=True)
             momentum = self.decay * momentum + gradient / np.maximum(l1, 1e-12)
-            adversarial = adversarial + self.alpha * np.sign(momentum)
-            adversarial = self._project(adversarial, images)
+            adversarial = linf_step(
+                adversarial, momentum, self.alpha, images,
+                self.eps, self.clip_min, self.clip_max, out=buffers[step % 2],
+            )
         return adversarial

@@ -12,6 +12,7 @@ from typing import Optional
 import numpy as np
 
 from .base import Attack, LossFn
+from ..compile.kernels import linf_step
 from ..models.base import ImageClassifier
 
 __all__ = ["PGD"]
@@ -48,8 +49,19 @@ class PGD(Attack):
         if self.random_start and self.eps > 0:
             adversarial = adversarial + self._rng.uniform(-self.eps, self.eps, size=images.shape)
             adversarial = np.clip(adversarial, self.clip_min, self.clip_max)
-        for _ in range(self.steps):
+        # The fused step writes into ping-pong buffers (the gradient may be a
+        # plan-owned array the next query overwrites, so it never aliases).
+        buffers = (np.empty_like(images), np.empty_like(images))
+        for step in range(self.steps):
             gradient, _ = self._input_gradient(adversarial, labels)
-            adversarial = adversarial + self.alpha * np.sign(gradient)
-            adversarial = self._project(adversarial, images)
+            adversarial = linf_step(
+                adversarial,
+                gradient,
+                self.alpha,
+                images,
+                self.eps,
+                self.clip_min,
+                self.clip_max,
+                out=buffers[step % 2],
+            )
         return adversarial

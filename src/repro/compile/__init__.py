@@ -1,0 +1,49 @@
+"""Static-graph capture, operator fusion, and buffer-pooled execution.
+
+The attack hot path — tens of forward+backward passes per batch for
+PGD/NIFGSM/CW — previously rebuilt the dynamic Python autograd graph and
+allocated fresh arrays on every step.  This subsystem traces a module's
+eval-mode forward **once** into a static :class:`~repro.compile.graph.Graph`,
+optimizes it (batch-norm folding into conv weights, affine/ReLU/elementwise
+fusion, constant folding, dead-node elimination) and replays it through a
+:class:`~repro.compile.pool.BufferPool` arena with ``out=``-style NumPy
+kernels, so steady-state iterations allocate nothing and never touch the
+autograd machinery.  The backward pass computes input gradients only —
+parameter gradients, which attacks always discard, are never materialized.
+
+Entry points:
+
+* ``model.compile(sample_input)`` / :func:`compile_model` — returns a
+  :class:`CompiledModel` with ``__call__`` (logits), ``predict`` and
+  ``value_and_grad(x, y)`` (fused cross-entropy), with automatic eager
+  fallback for unseen shapes, training mode, or uncompilable graphs.
+* ``AttackEngine(..., compile=True)`` / ``evaluate_robustness(...,
+  compile=True)`` / ``ExperimentSpec(eval_compile=True)`` — opt the
+  evaluation stack in; PGD-family attacks pick the compiled
+  ``value_and_grad`` up automatically and telemetry reports compiled vs
+  eager pass counts.
+* :mod:`repro.compile.kernels` — fused sign/step/project elementwise chains
+  shared by the FGSM/PGD/NIFGSM/MIFGSM update rules.
+"""
+
+from .graph import CompileError, Graph, Node, capture_forward
+from .executor import Plan
+from .kernels import linf_step, lookahead_point
+from .model import CompiledModel, CompiledStats, compile_model
+from .passes import optimize
+from .pool import BufferPool
+
+__all__ = [
+    "BufferPool",
+    "CompileError",
+    "CompiledModel",
+    "CompiledStats",
+    "Graph",
+    "Node",
+    "Plan",
+    "capture_forward",
+    "compile_model",
+    "linf_step",
+    "lookahead_point",
+    "optimize",
+]

@@ -1,0 +1,1105 @@
+"""Buffer-bound plan execution: ``out=`` kernels over a :class:`BufferPool`.
+
+A :class:`Plan` binds an optimized :class:`~repro.compile.graph.Graph` to
+pre-allocated buffers: every op output, gradient accumulator and scratch
+array (im2col columns, pooling argmax indices, ReLU masks) is allocated once
+at bind time, and replays write into those same arrays with ``out=``-style
+NumPy kernels.  Steady-state iterations therefore perform zero pool
+allocations — the property the attack hot path (tens of gradient steps per
+batch) is bought with.
+
+The backward pass computes the gradient **with respect to the input only**.
+Parameters are baked into the plan as constants, so the weight-gradient
+matmuls the eager engine performs on every attack step (and throws away)
+are never executed.  Losses are fused: :meth:`Plan.value_and_grad_ce`
+evaluates softmax cross-entropy and seeds the backward pass with the
+closed-form ``softmax(z) - onehot(y)`` gradient in scratch buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from .graph import CompileError, Graph, Node
+from .passes import bn_scale_shift
+from .pool import BufferPool
+
+__all__ = ["Plan"]
+
+
+def _patch_view(x: np.ndarray, kernel: int, stride: int, out_h: int, out_w: int) -> np.ndarray:
+    """(N, C, out_h, out_w, k, k) sliding-window view over an NCHW array."""
+    n, c = x.shape[:2]
+    s0, s1, s2, s3 = x.strides
+    return as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+    )
+
+
+def _reduction_spec(from_shape: Tuple[int, ...], to_shape: Tuple[int, ...]):
+    """Axes summing a ``from_shape`` gradient down to ``to_shape`` (broadcast inverse)."""
+    extra = len(from_shape) - len(to_shape)
+    axes = list(range(extra))
+    for index, size in enumerate(to_shape):
+        if size == 1 and from_shape[extra + index] != 1:
+            axes.append(extra + index)
+    kept = tuple(
+        1 if i in axes else from_shape[i] for i in range(len(from_shape))
+    )
+    return tuple(axes), kept
+
+
+class Plan:
+    """An executable, buffer-bound instance of an optimized graph.
+
+    One plan serves exactly one ``(input shape, dtype)`` signature; the
+    shape-dispatching cache lives in :class:`~repro.compile.CompiledModel`.
+    """
+
+    def __init__(self, graph: Graph, pool: Optional[BufferPool] = None) -> None:
+        self.graph = graph
+        self.pool = pool or BufferPool()
+        #: node id -> forward value (const arrays, bound buffers, or views).
+        self.values: Dict[int, np.ndarray] = {}
+        #: node id -> gradient accumulator, for nodes on the input-grad path.
+        self.grads: Dict[int, np.ndarray] = {}
+        self._forward_steps: List[Callable[[], None]] = []
+        self._backward_steps: List[Callable[[], None]] = []
+        self._grad_buffers: List[np.ndarray] = []
+        self._diff: Set[int] = graph.grad_path()
+        self._ce: Optional[dict] = None
+        self._bind()
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        return self.graph.input_node.shape
+
+    @property
+    def input_dtype(self) -> np.dtype:
+        return np.dtype(self.graph.input_node.dtype)
+
+    # ------------------------------------------------------------------ #
+    # binding
+    # ------------------------------------------------------------------ #
+    def _bind(self) -> None:
+        graph = self.graph
+        self._input = self.pool.empty(graph.input_node.shape, graph.input_node.dtype)
+        self.values[graph.input_id] = self._input
+        for node in graph.nodes:
+            if node.op == "input":
+                continue
+            if node.op == "const":
+                self.values[node.id] = np.ascontiguousarray(node.value)
+                continue
+            binder = _FORWARD.get(node.op)
+            if binder is None:
+                raise CompileError(f"op '{node.op}' has no compiled kernel")
+            step, out = binder(self, node)
+            self.values[node.id] = out
+            if step is not None:
+                self._forward_steps.append(step)
+
+        if graph.output_id not in self._diff:
+            # Forward-only plan: no gradient path from output to input.
+            self._backward_steps = []
+            self._grads_bound = False
+            return
+        # Dead-write elimination: a gradient buffer that receives exactly one
+        # contribution is written directly by its contributing kernel (via
+        # `_sink`), skipping both the zero-fill and the accumulate add.  The
+        # output seed counts as the output node's single contribution.
+        self._contributions: Dict[int, int] = {graph.output_id: 1}
+        for node in graph.nodes:
+            if node.id not in self._diff or node.op in ("input", "const", "detach"):
+                continue
+            for input_id in node.inputs:
+                if input_id in self._diff:
+                    self._contributions[input_id] = self._contributions.get(input_id, 0) + 1
+        self._fill_ids: Set[int] = set()
+        for node in graph.nodes:
+            if node.id in self._diff:
+                buffer = self.pool.empty(node.shape, node.dtype)
+                self.grads[node.id] = buffer
+                self._fill_ids.add(node.id)
+        self._fill_ids.discard(graph.output_id)  # seeded by copyto
+        for node in reversed(graph.nodes):
+            if node.id not in self._diff or node.op in ("input", "const", "detach"):
+                continue
+            binder = _BACKWARD.get(node.op)
+            if binder is None:
+                raise CompileError(f"op '{node.op}' has no compiled backward kernel")
+            step = binder(self, node)
+            if step is not None:
+                self._backward_steps.append(step)
+        self._grad_buffers = [self.grads[node_id] for node_id in self._fill_ids]
+        self._grads_bound = True
+
+    def _sink(self, target_id: int, supports_write: bool = True) -> Tuple[bool, np.ndarray]:
+        """``(write, buffer)`` for a kernel contributing a gradient to ``target_id``.
+
+        ``write=True`` means the caller is the buffer's only contributor and
+        may overwrite it (the buffer is then excluded from per-run zeroing);
+        kernels whose scatter pattern needs a zeroed base pass
+        ``supports_write=False``.
+        """
+        write = supports_write and self._contributions.get(target_id) == 1
+        if write:
+            self._fill_ids.discard(target_id)
+        return write, self.grads[target_id]
+
+    def _grad_target(self, node_id: int) -> Optional[np.ndarray]:
+        """The gradient accumulator of ``node_id`` (``None`` when off-path)."""
+        return self.grads.get(node_id)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Replay the forward pass; returns the (plan-owned) output array."""
+        np.copyto(self._input, x)
+        for step in self._forward_steps:
+            step()
+        return self.values[self.graph.output_id]
+
+    def backward(self, output_grad: np.ndarray) -> np.ndarray:
+        """Input gradient for the most recent :meth:`forward` call."""
+        if not self._grads_bound:
+            raise CompileError("this plan has no gradient path from output to input")
+        for buffer in self._grad_buffers:
+            buffer.fill(0)
+        np.copyto(self.grads[self.graph.output_id], output_grad)
+        for step in self._backward_steps:
+            step()
+        return self.grads[self.graph.input_id]
+
+    def value_and_grad_ce(self, x: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Fused softmax cross-entropy loss and its input gradient.
+
+        Runs the compiled forward, evaluates mean CE over ``labels`` in
+        scratch buffers and seeds the compiled backward with the closed-form
+        ``(softmax(z) - onehot(y)) / N`` logit gradient — no loss graph is
+        ever built.
+        """
+        logits = self.forward(x)
+        if logits.ndim != 2:
+            raise CompileError("value_and_grad_ce expects (N, classes) logits")
+        if self._ce is None:
+            n, k = logits.shape
+            self._ce = {
+                "max": self.pool.empty((n, 1), logits.dtype),
+                "p": self.pool.empty((n, k), logits.dtype),
+                "z": self.pool.empty((n, 1), logits.dtype),
+                "logz": self.pool.empty((n, 1), logits.dtype),
+                "picked": self.pool.empty((n,), logits.dtype),
+                "arange": np.arange(n),
+            }
+        ce = self._ce
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        max_b, p, z, logz, picked, arange = (
+            ce["max"], ce["p"], ce["z"], ce["logz"], ce["picked"], ce["arange"],
+        )
+        np.max(logits, axis=1, keepdims=True, out=max_b)
+        np.subtract(logits, max_b, out=p)
+        picked[...] = p[arange, labels]
+        np.exp(p, out=p)
+        np.sum(p, axis=1, keepdims=True, out=z)
+        np.log(z, out=logz)
+        loss = float(np.mean(logz) - np.mean(picked))
+        np.divide(p, z, out=p)
+        p[arange, labels] -= 1.0
+        p *= 1.0 / len(labels)
+        return loss, self.backward(p)
+
+
+# --------------------------------------------------------------------------- #
+# forward binders: node -> (step callable | None, output array)
+# --------------------------------------------------------------------------- #
+def _bind_conv2d(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    weight = plan.values[node.inputs[1]]
+    bias = plan.values[node.inputs[2]] if len(node.inputs) > 2 else None
+    stride, padding = node.meta["stride"], node.meta["padding"]
+    fuse_relu = node.meta.get("fuse_relu", False)
+    n, c, h, w = x.shape
+    oc = weight.shape[0]
+    kernel = weight.shape[2]
+    _, _, out_h, out_w = node.shape
+    dtype = node.dtype
+
+    w_t = np.ascontiguousarray(weight.reshape(oc, -1).T)
+
+    if padding:
+        padded = plan.pool.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype)
+        interior = padded[:, :, padding:-padding, padding:-padding]
+        source = padded
+    else:
+        interior = None
+        source = x
+    patches = _patch_view(source, kernel, stride, out_h, out_w).transpose(0, 2, 3, 1, 4, 5)
+    cols = plan.pool.empty((n * out_h * out_w, c * kernel * kernel), dtype)
+    cols6 = cols.reshape(n, out_h, out_w, c, kernel, kernel)
+    out2d = plan.pool.empty((n * out_h * out_w, oc), dtype)
+    # The NCHW output is a transpose view of the matmul result (same trick as
+    # the eager kernel) — consumers read it through its strides, so the
+    # materialization copy is never paid.
+    out = out2d.reshape(n, out_h, out_w, oc).transpose(0, 3, 1, 2)
+    if fuse_relu:
+        # Mask recorded on the contiguous 2-D layout; the backward kernel
+        # applies it to grad_mat (same layout) with fully contiguous ops.
+        mask2d = plan.pool.empty(out2d.shape, bool)
+        node.meta["_relu_mask2d"] = mask2d
+    else:
+        mask2d = None
+
+    def step() -> None:
+        if interior is not None:
+            interior[...] = x
+        cols6[...] = patches
+        np.matmul(cols, w_t, out=out2d)
+        if bias is not None:
+            np.add(out2d, bias, out=out2d)
+        if fuse_relu:
+            np.maximum(out2d, 0.0, out=out2d)
+            np.greater(out2d, 0.0, out=mask2d)
+
+    return step, out
+
+
+def _bind_affine(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    weight_t = np.ascontiguousarray(plan.values[node.inputs[1]])  # (in, out)
+    bias = plan.values[node.inputs[2]]
+    fuse_relu = node.meta.get("fuse_relu", False)
+    out = plan.pool.empty(node.shape, node.dtype)
+
+    def step() -> None:
+        np.matmul(x, weight_t, out=out)
+        np.add(out, bias, out=out)
+        if fuse_relu:
+            np.maximum(out, 0.0, out=out)
+
+    return step, out
+
+
+def _bind_matmul(plan: Plan, node: Node):
+    a = plan.values[node.inputs[0]]
+    b = plan.values[node.inputs[1]]
+    if a.ndim != 2 or b.ndim != 2:
+        raise CompileError("compiled matmul supports 2-D operands only")
+    fuse_relu = node.meta.get("fuse_relu", False)
+    out = plan.pool.empty(node.shape, node.dtype)
+
+    def step() -> None:
+        np.matmul(a, b, out=out)
+        if fuse_relu:
+            np.maximum(out, 0.0, out=out)
+
+    return step, out
+
+
+def _bind_binary(ufunc):
+    def bind(plan: Plan, node: Node):
+        a = plan.values[node.inputs[0]]
+        b = plan.values[node.inputs[1]]
+        fuse_relu = node.meta.get("fuse_relu", False)
+        out = plan.pool.empty(node.shape, node.dtype)
+
+        def step() -> None:
+            ufunc(a, b, out=out)
+            if fuse_relu:
+                np.maximum(out, 0.0, out=out)
+
+        return step, out
+
+    return bind
+
+
+def _bind_unary(compute: Callable[[np.ndarray, np.ndarray], None]):
+    def bind(plan: Plan, node: Node):
+        x = plan.values[node.inputs[0]]
+        out = plan.pool.empty(node.shape, node.dtype)
+        return (lambda: compute(x, out)), out
+
+    return bind
+
+
+def _bind_clip(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    low, high = node.meta["low"], node.meta["high"]
+    out = plan.pool.empty(node.shape, node.dtype)
+    return (lambda: np.clip(x, low, high, out=out)), out
+
+
+def _bind_pow(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    exponent = node.meta["exponent"]
+    out = plan.pool.empty(node.shape, node.dtype)
+    return (lambda: np.power(x, exponent, out=out)), out
+
+
+def _bind_batch_norm(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    gamma = plan.values[node.inputs[1]]
+    beta = plan.values[node.inputs[2]]
+    c = node.shape[1]
+    dtype = node.dtype
+    scale, shift = bn_scale_shift(
+        gamma, beta, node.meta["mean"], node.meta["var"], node.meta["eps"], dtype
+    )
+    scale_r = scale.reshape(1, c, 1, 1)
+    shift_r = shift.reshape(1, c, 1, 1)
+    node.meta["_scale"] = scale_r
+    fuse_relu = node.meta.get("fuse_relu", False)
+    out = plan.pool.empty(node.shape, dtype)
+
+    def step() -> None:
+        np.multiply(x, scale_r, out=out)
+        np.add(out, shift_r, out=out)
+        if fuse_relu:
+            np.maximum(out, 0.0, out=out)
+
+    return step, out
+
+
+def _bind_max_pool(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    kernel, stride = node.meta["kernel"], node.meta["stride"]
+    n, c, out_h, out_w = node.shape
+
+    if kernel == 2 and stride == 2:
+        # Specialized 2x2/stride-2 pool: a maximum tree over four strided
+        # window views — no patch materialization, no argmax pass.  The
+        # backward kernel re-derives the winner masks from the stored output
+        # with argmax (first-index) tie-breaking.
+        windows = [
+            x[:, :, ki : ki + 2 * out_h : 2, kj : kj + 2 * out_w : 2]
+            for ki in (0, 1)
+            for kj in (0, 1)
+        ]
+        node.meta["_windows"] = windows
+        scratch = plan.pool.empty(node.shape, node.dtype)
+        out = plan.pool.empty(node.shape, node.dtype)
+
+        def step() -> None:
+            np.maximum(windows[0], windows[1], out=out)
+            np.maximum(windows[2], windows[3], out=scratch)
+            np.maximum(out, scratch, out=out)
+
+        return step, out
+
+    patches = _patch_view(x, kernel, stride, out_h, out_w)
+    flat = plan.pool.empty((n, c, out_h, out_w, kernel * kernel), node.dtype)
+    flat6 = flat.reshape(n, c, out_h, out_w, kernel, kernel)
+    flat2 = flat.reshape(-1, kernel * kernel)
+    argmax = np.empty((n, c, out_h, out_w), dtype=np.intp)
+    plan.pool._register(argmax)
+    argmax_flat = argmax.reshape(-1)
+    rows = np.arange(n * c * out_h * out_w)
+    plan.pool._register(rows)
+    node.meta["_argmax"] = argmax
+    node.meta["_rows"] = rows
+    out = plan.pool.empty(node.shape, node.dtype)
+    out_flat = out.reshape(-1)
+
+    def step() -> None:
+        flat6[...] = patches
+        np.argmax(flat, axis=-1, out=argmax)
+        # Gather the winners through the argmax (cheaper than a second
+        # full reduction, and tie-breaking matches the eager kernel).
+        out_flat[...] = flat2[rows, argmax_flat]
+
+    return step, out
+
+
+def _bind_avg_pool(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    kernel, stride = node.meta["kernel"], node.meta["stride"]
+    n, c, out_h, out_w = node.shape
+    patches = _patch_view(x, kernel, stride, out_h, out_w)
+    out = plan.pool.empty(node.shape, node.dtype)
+    return (lambda: np.mean(patches, axis=(-1, -2), out=out)), out
+
+
+def _bind_sum(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    axis, keepdims = node.meta["axis"], node.meta["keepdims"]
+    out = plan.pool.empty(node.shape, node.dtype)
+    return (lambda: np.sum(x, axis=axis, keepdims=keepdims, out=out)), out
+
+
+def _bind_reshape(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    view = x.reshape(node.meta["shape"])
+    if np.shares_memory(view, x):
+        return None, view
+    # Non-contiguous source: materialize through a bound buffer instead.
+    out = plan.pool.empty(node.shape, node.dtype)
+    out_as_in = out.reshape(x.shape)
+    return (lambda: np.copyto(out_as_in, x)), out
+
+
+def _bind_transpose(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    return None, np.transpose(x, node.meta["axes"])
+
+
+def _bind_pad2d(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    padding = node.meta["padding"]
+    out = plan.pool.zeros(node.shape, node.dtype)
+    interior = out[..., padding:-padding, padding:-padding]
+    return (lambda: np.copyto(interior, x)), out
+
+
+def _bind_detach(plan: Plan, node: Node):
+    return None, plan.values[node.inputs[0]]
+
+
+def _bind_ew(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    out = plan.pool.empty(node.shape, node.dtype)
+    ops: List[Callable[[], None]] = []
+    for step in node.meta["steps"]:
+        kind = step["op"]
+        if kind in _EW_BINARY_UFUNC:
+            const = plan.values[step["const"]]
+            ops.append(_make_ew_binary(_EW_BINARY_UFUNC[kind], out, const))
+        elif kind == "neg":
+            ops.append(lambda out=out: np.negative(out, out=out))
+        elif kind == "relu":
+            mask = plan.pool.empty(node.shape, bool)
+            step["_mask"] = mask
+            ops.append(_make_ew_relu(out, mask))
+        elif kind == "clip":
+            mask = plan.pool.empty(node.shape, bool)
+            scratch_mask = plan.pool.empty(node.shape, bool)
+            step["_mask"] = mask
+            ops.append(_make_ew_clip(out, mask, scratch_mask, step["low"], step["high"]))
+        else:  # pragma: no cover - the pass only emits the kinds above
+            raise CompileError(f"unknown elementwise step '{kind}'")
+
+    def run() -> None:
+        np.copyto(out, x)
+        for op in ops:
+            op()
+
+    return run, out
+
+
+_EW_BINARY_UFUNC = {"add": np.add, "mul": np.multiply, "div": np.divide}
+
+
+def _make_ew_binary(ufunc, out, const):
+    return lambda: ufunc(out, const, out=out)
+
+
+def _make_ew_relu(out, mask):
+    def run() -> None:
+        np.maximum(out, 0.0, out=out)
+        np.greater(out, 0.0, out=mask)
+
+    return run
+
+
+def _make_ew_clip(out, mask, scratch_mask, low, high):
+    def run() -> None:
+        np.greater_equal(out, low, out=mask)
+        np.less_equal(out, high, out=scratch_mask)
+        np.logical_and(mask, scratch_mask, out=mask)
+        np.clip(out, low, high, out=out)
+
+    return run
+
+
+_FORWARD = {
+    "conv2d": _bind_conv2d,
+    "affine": _bind_affine,
+    "matmul": _bind_matmul,
+    "add": _bind_binary(np.add),
+    "mul": _bind_binary(np.multiply),
+    "div": _bind_binary(np.divide),
+    "maximum": _bind_binary(np.maximum),
+    "neg": _bind_unary(lambda x, out: np.negative(x, out=out)),
+    "relu": _bind_unary(lambda x, out: np.maximum(x, 0.0, out=out)),
+    "exp": _bind_unary(lambda x, out: np.exp(x, out=out)),
+    "log": _bind_unary(lambda x, out: np.log(x, out=out)),
+    "sqrt": _bind_unary(lambda x, out: np.sqrt(x, out=out)),
+    "abs": _bind_unary(lambda x, out: np.abs(x, out=out)),
+    "tanh": _bind_unary(lambda x, out: np.tanh(x, out=out)),
+    "sigmoid": _bind_unary(
+        lambda x, out: (
+            np.negative(x, out=out),
+            np.exp(out, out=out),
+            np.add(out, 1.0, out=out),
+            np.divide(1.0, out, out=out),
+        )
+    ),
+    "clip": _bind_clip,
+    "pow": _bind_pow,
+    "batch_norm2d": _bind_batch_norm,
+    "max_pool2d": _bind_max_pool,
+    "avg_pool2d": _bind_avg_pool,
+    "sum": _bind_sum,
+    "reshape": _bind_reshape,
+    "transpose": _bind_transpose,
+    "pad2d": _bind_pad2d,
+    "detach": _bind_detach,
+    "ew": _bind_ew,
+}
+
+
+# --------------------------------------------------------------------------- #
+# backward binders (input-gradient only; parameters are plan constants)
+# --------------------------------------------------------------------------- #
+def _relu_mask_step(plan: Plan, node: Node) -> Optional[Callable[[], None]]:
+    """In-place ``g *= (out > 0)`` for producers with a fused ReLU."""
+    if not node.meta.get("fuse_relu"):
+        return None
+    out = plan.values[node.id]
+    g = plan.grads[node.id]
+    mask = plan.pool.empty(node.shape, bool)
+
+    def run() -> None:
+        np.greater(out, 0.0, out=mask)
+        np.multiply(g, mask, out=g)
+
+    return run
+
+
+def _accumulate_into(plan: Plan, target_id: int, source: np.ndarray):
+    """A step sinking ``source`` (shaped like the node output) into a target grad.
+
+    Handles broadcast inverses: when the target is smaller than the node
+    output (a broadcast operand), the source is summed down into a bound
+    scratch buffer first.  Single-contribution targets are overwritten
+    instead of accumulated (see :meth:`Plan._sink`).
+    """
+    write, target = plan._sink(target_id)
+    if target.shape == source.shape:
+        if write:
+            return lambda: np.copyto(target, source)
+        return lambda: np.add(target, source, out=target)
+    axes, kept = _reduction_spec(source.shape, target.shape)
+    reduced = plan.pool.empty(kept, target.dtype)
+    reduced_view = reduced.reshape(target.shape)
+
+    def run() -> None:
+        np.sum(source, axis=tuple(axes), keepdims=True, out=reduced)
+        if write:
+            np.copyto(target, reduced_view)
+        else:
+            np.add(target, reduced_view, out=target)
+
+    return run
+
+
+def _back_conv2d(plan: Plan, node: Node):
+    x_id = node.inputs[0]
+    if x_id not in plan._diff:
+        # Unreachable for well-formed graphs (a conv is only on the gradient
+        # path through its input), kept as a safe default.
+        return _relu_mask_step(plan, node)
+    x_node = plan.graph.node(x_id)
+    stride, padding = node.meta["stride"], node.meta["padding"]
+    n, c, h, w = x_node.shape
+    _, oc, out_h, out_w = node.shape
+    weight = plan.values[node.inputs[1]]
+    kernel = weight.shape[2]
+    dtype = node.dtype
+    g = plan.grads[node.id]
+    write, gx = plan._sink(x_id)
+    mask2d = node.meta.get("_relu_mask2d")
+
+    grad_mat = plan.pool.empty((n * out_h * out_w, oc), dtype)
+    gm_nhwc = grad_mat.reshape(n, out_h, out_w, oc)
+    g_nhwc = g.transpose(0, 2, 3, 1)
+    grad_cols = plan.pool.empty((n * out_h * out_w, kernel * kernel * c), dtype)
+
+    # The col2im scatter is k*k strided slice-adds; pick the layout whose
+    # innermost contiguous run is longest.  Wide feature maps with few
+    # channels (stem convolutions) scatter fastest over NCHW rows; deep
+    # layers (channels >= spatial width) over NHWC channel vectors.
+    nhwc = c >= out_w
+    if nhwc:
+        w_mat = np.ascontiguousarray(weight.transpose(0, 2, 3, 1).reshape(oc, -1))
+        gc = grad_cols.reshape(n, out_h, out_w, kernel, kernel, c)
+        gpad = plan.pool.empty((n, h + 2 * padding, w + 2 * padding, c), dtype)
+        interior = gpad[:, padding : padding + h, padding : padding + w, :].transpose(0, 3, 1, 2)
+
+        def slice_of(target, ki: int, kj: int):
+            return target[:, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride, :]
+
+        def col_of(ki: int, kj: int):
+            return gc[:, :, :, ki, kj, :]
+
+    else:
+        w_mat = np.ascontiguousarray(weight.reshape(oc, -1))
+        gc = grad_cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
+        gpad = plan.pool.empty((n, c, h + 2 * padding, w + 2 * padding), dtype)
+        interior = gpad[:, :, padding : padding + h, padding : padding + w]
+
+        def slice_of(target, ki: int, kj: int):
+            return target[:, :, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride]
+
+        def col_of(ki: int, kj: int):
+            return gc[:, :, :, :, ki, kj]
+
+    def run() -> None:
+        gm_nhwc[...] = g_nhwc
+        if mask2d is not None:
+            np.multiply(grad_mat, mask2d, out=grad_mat)
+        np.matmul(grad_mat, w_mat, out=grad_cols)
+        gpad.fill(0)
+        for ki in range(kernel):
+            for kj in range(kernel):
+                slice_target = slice_of(gpad, ki, kj)
+                np.add(slice_target, col_of(ki, kj), out=slice_target)
+        if write:
+            np.copyto(gx, interior)
+        else:
+            np.add(gx, interior, out=gx)
+
+    return run
+
+
+def _back_affine(plan: Plan, node: Node):
+    x_id = node.inputs[0]
+    if x_id not in plan._diff:
+        return _relu_mask_step(plan, node)
+    weight = np.ascontiguousarray(plan.values[node.inputs[1]].T)  # (out, in)
+    g = plan.grads[node.id]
+    relu_step = _relu_mask_step(plan, node)
+    write, gx = plan._sink(x_id)
+    target = gx if write else plan.pool.empty(gx.shape, gx.dtype)
+
+    def run() -> None:
+        if relu_step is not None:
+            relu_step()
+        np.matmul(g, weight, out=target)
+        if not write:
+            np.add(gx, target, out=gx)
+
+    return run
+
+
+def _back_matmul(plan: Plan, node: Node):
+    a_id, b_id = node.inputs
+    a, b = plan.values[a_id], plan.values[b_id]
+    g = plan.grads[node.id]
+    relu_step = _relu_mask_step(plan, node)
+    steps: List[Callable[[], None]] = []
+    if a_id in plan._diff:
+        write_a, ga = plan._sink(a_id)
+        b_t = b.T  # static view
+        target_a = ga if write_a else plan.pool.empty(ga.shape, ga.dtype)
+        if write_a:
+            steps.append(lambda: np.matmul(g, b_t, out=target_a))
+        else:
+            steps.append(lambda: (np.matmul(g, b_t, out=target_a), np.add(ga, target_a, out=ga)))
+    if b_id in plan._diff:
+        write_b, gb = plan._sink(b_id)
+        a_t = a.T
+        target_b = gb if write_b else plan.pool.empty(gb.shape, gb.dtype)
+        if write_b:
+            steps.append(lambda: np.matmul(a_t, g, out=target_b))
+        else:
+            steps.append(lambda: (np.matmul(a_t, g, out=target_b), np.add(gb, target_b, out=gb)))
+
+    def run() -> None:
+        if relu_step is not None:
+            relu_step()
+        for step in steps:
+            step()
+
+    return run
+
+
+def _back_add(plan: Plan, node: Node):
+    g = plan.grads[node.id]
+    relu_step = _relu_mask_step(plan, node)
+    steps = [
+        _accumulate_into(plan, input_id, g)
+        for input_id in node.inputs
+        if input_id in plan._diff
+    ]
+
+    def run() -> None:
+        if relu_step is not None:
+            relu_step()
+        for step in steps:
+            step()
+
+    return run
+
+
+def _back_mul(plan: Plan, node: Node):
+    a_id, b_id = node.inputs
+    g = plan.grads[node.id]
+    scratch = plan.pool.empty(node.shape, node.dtype)
+    steps: List[Callable[[], None]] = []
+    for this_id, other_id in ((a_id, b_id), (b_id, a_id)):
+        if this_id not in plan._diff:
+            continue
+        other = plan.values[other_id]
+        accumulate = _accumulate_into(plan, this_id, scratch)
+        steps.append(
+            lambda other=other, accumulate=accumulate: (
+                np.multiply(g, other, out=scratch),
+                accumulate(),
+            )
+        )
+    return lambda: [step() for step in steps]
+
+
+def _back_div(plan: Plan, node: Node):
+    a_id, b_id = node.inputs
+    g = plan.grads[node.id]
+    out = plan.values[node.id]
+    b = plan.values[b_id]
+    scratch = plan.pool.empty(node.shape, node.dtype)
+    steps: List[Callable[[], None]] = []
+    if a_id in plan._diff:
+        accumulate = _accumulate_into(plan, a_id, scratch)
+        steps.append(lambda: (np.divide(g, b, out=scratch), accumulate()))
+    if b_id in plan._diff:
+        accumulate = _accumulate_into(plan, b_id, scratch)
+
+        def db() -> None:
+            # d(a/b)/db = -a / b^2 = -(a/b) / b = -out / b
+            np.multiply(g, out, out=scratch)
+            np.divide(scratch, b, out=scratch)
+            np.negative(scratch, out=scratch)
+            accumulate()
+
+        steps.append(db)
+    return lambda: [step() for step in steps]
+
+
+def _back_maximum(plan: Plan, node: Node):
+    a_id, b_id = node.inputs
+    a, b = plan.values[a_id], plan.values[b_id]
+    g = plan.grads[node.id]
+    mask = plan.pool.empty(node.shape, bool)
+    scratch = plan.pool.empty(node.shape, node.dtype)
+    steps: List[Callable[[], None]] = []
+    if a_id in plan._diff:
+        accumulate = _accumulate_into(plan, a_id, scratch)
+        steps.append(lambda: (np.greater_equal(a, b, out=mask), np.multiply(g, mask, out=scratch), accumulate()))
+    if b_id in plan._diff:
+        accumulate = _accumulate_into(plan, b_id, scratch)
+        steps.append(lambda: (np.less(a, b, out=mask), np.multiply(g, mask, out=scratch), accumulate()))
+    return lambda: [step() for step in steps]
+
+
+def _back_neg(plan: Plan, node: Node):
+    g = plan.grads[node.id]
+    write, gx = plan._sink(node.inputs[0])
+    if write:
+        return lambda: np.negative(g, out=gx)
+    return lambda: np.subtract(gx, g, out=gx)
+
+
+def _back_relu(plan: Plan, node: Node):
+    out = plan.values[node.id]
+    g = plan.grads[node.id]
+    write, gx = plan._sink(node.inputs[0])
+    mask = plan.pool.empty(node.shape, bool)
+    target = gx if write else plan.pool.empty(node.shape, node.dtype)
+
+    def run() -> None:
+        np.greater(out, 0.0, out=mask)
+        np.multiply(g, mask, out=target)
+        if not write:
+            np.add(gx, target, out=gx)
+
+    return run
+
+
+def _back_clip(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    low, high = node.meta["low"], node.meta["high"]
+    g = plan.grads[node.id]
+    write, gx = plan._sink(node.inputs[0])
+    mask = plan.pool.empty(node.shape, bool)
+    scratch_mask = plan.pool.empty(node.shape, bool)
+    target = gx if write else plan.pool.empty(node.shape, node.dtype)
+
+    def run() -> None:
+        np.greater_equal(x, low, out=mask)
+        np.less_equal(x, high, out=scratch_mask)
+        np.logical_and(mask, scratch_mask, out=mask)
+        np.multiply(g, mask, out=target)
+        if not write:
+            np.add(gx, target, out=gx)
+
+    return run
+
+
+def _back_pow(plan: Plan, node: Node):
+    x = plan.values[node.inputs[0]]
+    exponent = node.meta["exponent"]
+    g = plan.grads[node.id]
+    write, gx = plan._sink(node.inputs[0])
+    target = gx if write else plan.pool.empty(node.shape, node.dtype)
+
+    def run() -> None:
+        np.power(x, exponent - 1, out=target)
+        np.multiply(target, exponent, out=target)
+        np.multiply(target, g, out=target)
+        if not write:
+            np.add(gx, target, out=gx)
+
+    return run
+
+
+def _back_unary_from_out(factor: Callable[[np.ndarray, np.ndarray, np.ndarray], None]):
+    """Backward for unary ops whose derivative is a function of x and out."""
+
+    def bind(plan: Plan, node: Node):
+        x = plan.values[node.inputs[0]]
+        out = plan.values[node.id]
+        g = plan.grads[node.id]
+        write, gx = plan._sink(node.inputs[0])
+        target = gx if write else plan.pool.empty(node.shape, node.dtype)
+
+        def run() -> None:
+            factor(x, out, target)
+            np.multiply(target, g, out=target)
+            if not write:
+                np.add(gx, target, out=gx)
+
+        return run
+
+    return bind
+
+
+def _back_batch_norm(plan: Plan, node: Node):
+    x_id = node.inputs[0]
+    if x_id not in plan._diff:
+        return _relu_mask_step(plan, node)
+    g = plan.grads[node.id]
+    scale = node.meta["_scale"]
+    relu_step = _relu_mask_step(plan, node)
+    write, gx = plan._sink(x_id)
+    target = gx if write else plan.pool.empty(node.shape, node.dtype)
+
+    def run() -> None:
+        if relu_step is not None:
+            relu_step()
+        np.multiply(g, scale, out=target)
+        if not write:
+            np.add(gx, target, out=gx)
+
+    return run
+
+
+def _back_max_pool(plan: Plan, node: Node):
+    kernel, stride = node.meta["kernel"], node.meta["stride"]
+    n, c, out_h, out_w = node.shape
+    g = plan.grads[node.id]
+    _, gx = plan._sink(node.inputs[0], supports_write=False)
+
+    if kernel == 2 and stride == 2:
+        out = plan.values[node.id]
+        windows = node.meta["_windows"]
+        grad_windows = [
+            gx[:, :, ki : ki + 2 * out_h : 2, kj : kj + 2 * out_w : 2]
+            for ki in (0, 1)
+            for kj in (0, 1)
+        ]
+        mask = plan.pool.empty(node.shape, bool)
+        taken = plan.pool.empty(node.shape, bool)
+        free = plan.pool.empty(node.shape, bool)
+        scratch = plan.pool.empty(node.shape, node.dtype)
+
+        def run() -> None:
+            # First window equal to the max wins, matching argmax order.
+            taken.fill(False)
+            for window, grad_window in zip(windows, grad_windows):
+                np.equal(window, out, out=mask)
+                np.logical_not(taken, out=free)
+                np.logical_and(mask, free, out=mask)
+                np.multiply(g, mask, out=scratch)
+                np.add(grad_window, scratch, out=grad_window)
+                np.logical_or(taken, mask, out=taken)
+
+        return run
+
+    argmax = node.meta["_argmax"]
+
+    if stride >= kernel:
+        # Non-overlapping windows: scatter the grad to its argmax slot in a
+        # (n, c, oh, ow, k*k) buffer and add it through a disjoint patch view
+        # of gx — fully vectorized, no np.add.at.
+        flat_grad = plan.pool.empty((n, c, out_h, out_w, kernel * kernel), node.dtype)
+        fg2 = flat_grad.reshape(-1, kernel * kernel)
+        fg6 = flat_grad.reshape(n, c, out_h, out_w, kernel, kernel)
+        rows = node.meta["_rows"]
+        argmax_flat = argmax.reshape(-1)
+        g_flat = g.reshape(-1)
+        patch_target = _patch_view(gx, kernel, stride, out_h, out_w)
+
+        def run() -> None:
+            flat_grad.fill(0)
+            fg2[rows, argmax_flat] = g_flat
+            np.add(patch_target, fg6, out=patch_target)
+
+        return run
+
+    # Overlapping windows: fall back to an indexed scatter-add.
+    n_idx, c_idx, i_idx, j_idx = np.meshgrid(
+        np.arange(n), np.arange(c), np.arange(out_h), np.arange(out_w), indexing="ij"
+    )
+    rows_base = i_idx * stride
+    cols_base = j_idx * stride
+    ki = np.empty(argmax.shape, dtype=np.intp)
+    kj = np.empty(argmax.shape, dtype=np.intp)
+    for buffer in (n_idx, c_idx, rows_base, cols_base, ki, kj):
+        plan.pool._register(buffer)
+
+    def run() -> None:
+        np.floor_divide(argmax, kernel, out=ki)
+        np.remainder(argmax, kernel, out=kj)
+        np.add(ki, rows_base, out=ki)
+        np.add(kj, cols_base, out=kj)
+        np.add.at(gx, (n_idx, c_idx, ki, kj), g)
+
+    return run
+
+
+def _back_avg_pool(plan: Plan, node: Node):
+    kernel, stride = node.meta["kernel"], node.meta["stride"]
+    _, _, out_h, out_w = node.shape
+    g = plan.grads[node.id]
+    _, gx = plan._sink(node.inputs[0], supports_write=False)
+    scratch = plan.pool.empty(node.shape, node.dtype)
+    inverse_area = 1.0 / (kernel * kernel)
+
+    def run() -> None:
+        np.multiply(g, inverse_area, out=scratch)
+        for ki in range(kernel):
+            for kj in range(kernel):
+                gx[
+                    :, :, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride
+                ] += scratch
+
+    return run
+
+
+def _back_sum(plan: Plan, node: Node):
+    axis, keepdims = node.meta["axis"], node.meta["keepdims"]
+    g = plan.grads[node.id]
+    write, gx = plan._sink(node.inputs[0])
+    if axis is None or keepdims:
+        g_view = g
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        axes = tuple(a % gx.ndim for a in axes)
+        expanded = tuple(1 if i in axes else s for i, s in enumerate(gx.shape))
+        g_view = g.reshape(expanded)
+    if write:
+        return lambda: np.copyto(gx, g_view)  # broadcasts the reduced grad
+    return lambda: np.add(gx, g_view, out=gx)
+
+
+def _back_reshape(plan: Plan, node: Node):
+    g = plan.grads[node.id]
+    write, gx = plan._sink(node.inputs[0])
+    g_view = g.reshape(gx.shape)
+    if write:
+        return lambda: np.copyto(gx, g_view)
+    return lambda: np.add(gx, g_view, out=gx)
+
+
+def _back_transpose(plan: Plan, node: Node):
+    g = plan.grads[node.id]
+    write, gx = plan._sink(node.inputs[0])
+    axes = node.meta["axes"]
+    inverse = None if axes is None else np.argsort(axes)
+    g_view = np.transpose(g, inverse)
+    if write:
+        return lambda: np.copyto(gx, g_view)
+    return lambda: np.add(gx, g_view, out=gx)
+
+
+def _back_pad2d(plan: Plan, node: Node):
+    padding = node.meta["padding"]
+    g = plan.grads[node.id]
+    write, gx = plan._sink(node.inputs[0])
+    interior = g[..., padding:-padding, padding:-padding]
+    if write:
+        return lambda: np.copyto(gx, interior)
+    return lambda: np.add(gx, interior, out=gx)
+
+
+def _back_ew(plan: Plan, node: Node):
+    g = plan.grads[node.id]
+    write, gx = plan._sink(node.inputs[0])
+    scratch = gx if write else plan.pool.empty(node.shape, node.dtype)
+    reversed_steps = []
+    for step in reversed(node.meta["steps"]):
+        kind = step["op"]
+        if kind == "add":
+            continue
+        if kind == "mul":
+            const = plan.values[step["const"]]
+            reversed_steps.append(lambda const=const: np.multiply(scratch, const, out=scratch))
+        elif kind == "div":
+            const = plan.values[step["const"]]
+            reversed_steps.append(lambda const=const: np.divide(scratch, const, out=scratch))
+        elif kind == "neg":
+            reversed_steps.append(lambda: np.negative(scratch, out=scratch))
+        elif kind in ("relu", "clip"):
+            mask = step["_mask"]
+            reversed_steps.append(lambda mask=mask: np.multiply(scratch, mask, out=scratch))
+        else:  # mirror the forward binder: unknown kinds must fail at bind time
+            raise CompileError(f"elementwise step '{kind}' has no backward rule")
+
+    def run() -> None:
+        np.copyto(scratch, g)
+        for step in reversed_steps:
+            step()
+        if not write:
+            np.add(gx, scratch, out=gx)
+
+    return run
+
+
+_BACKWARD = {
+    "conv2d": _back_conv2d,
+    "affine": _back_affine,
+    "matmul": _back_matmul,
+    "add": _back_add,
+    "mul": _back_mul,
+    "div": _back_div,
+    "maximum": _back_maximum,
+    "neg": _back_neg,
+    "relu": _back_relu,
+    "clip": _back_clip,
+    "pow": _back_pow,
+    "exp": _back_unary_from_out(lambda x, out, s: np.copyto(s, out)),
+    "log": _back_unary_from_out(lambda x, out, s: np.divide(1.0, x, out=s)),
+    "sqrt": _back_unary_from_out(
+        lambda x, out, s: (np.maximum(out, 1e-12, out=s), np.divide(0.5, s, out=s))
+    ),
+    "abs": _back_unary_from_out(lambda x, out, s: np.sign(x, out=s)),
+    "tanh": _back_unary_from_out(
+        lambda x, out, s: (np.multiply(out, out, out=s), np.subtract(1.0, s, out=s))
+    ),
+    "sigmoid": _back_unary_from_out(
+        lambda x, out, s: (np.subtract(1.0, out, out=s), np.multiply(s, out, out=s))
+    ),
+    "batch_norm2d": _back_batch_norm,
+    "max_pool2d": _back_max_pool,
+    "avg_pool2d": _back_avg_pool,
+    "sum": _back_sum,
+    "reshape": _back_reshape,
+    "transpose": _back_transpose,
+    "pad2d": _back_pad2d,
+    "ew": _back_ew,
+}

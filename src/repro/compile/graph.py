@@ -1,0 +1,204 @@
+"""Static-graph IR and dynamic-graph capture.
+
+The eager engine (:mod:`repro.nn.tensor`) builds a fresh Python closure graph
+on every forward pass.  This module lifts one such pass into a static
+:class:`Graph`: a topologically ordered list of :class:`Node` records —
+``input``, ``const`` (parameters and literals, snapshotted), and primitive
+ops annotated with their static parameters (strides, axes, clip bounds).
+
+A captured graph has a *fixed input shape and dtype*; the plan built from it
+is replayed for inputs of exactly that signature, with callers falling back
+to eager execution for anything else (see :class:`repro.compile.CompiledModel`).
+Parameter values are snapshotted at capture time: a compiled plan is a frozen
+view of the weights, which is exactly what attack-time evaluation wants —
+recompile (one traced forward) after mutating the module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..nn.tensor import Tensor, get_default_dtype
+from ..nn import tensor as _tensor_mod
+
+__all__ = ["CompileError", "Node", "Graph", "capture_forward"]
+
+
+class CompileError(RuntimeError):
+    """Raised when a module's forward cannot be captured or planned.
+
+    Callers (the attack engine, :class:`~repro.compile.CompiledModel`) treat
+    this as "use the eager path", never as a hard failure.
+    """
+
+
+@dataclass
+class Node:
+    """One operation (or leaf) of a captured graph."""
+
+    id: int
+    op: str  # "input", "const", or a primitive op name ("conv2d", "add", ...)
+    inputs: Tuple[int, ...]
+    meta: dict = field(default_factory=dict)
+    shape: Tuple[int, ...] = ()
+    dtype: np.dtype = None
+    #: snapshotted value for "const" nodes (parameters, masks, literals).
+    value: Optional[np.ndarray] = None
+
+    def is_const(self) -> bool:
+        return self.op == "const"
+
+
+class Graph:
+    """A topologically ordered static graph with one input and one output."""
+
+    def __init__(self, nodes: List[Node], input_id: int, output_id: int) -> None:
+        self.nodes = nodes
+        self.input_id = input_id
+        self.output_id = output_id
+        self._by_id: Dict[int, Node] = {n.id: n for n in nodes}
+
+    def node(self, node_id: int) -> Node:
+        return self._by_id[node_id]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def input_node(self) -> Node:
+        return self._by_id[self.input_id]
+
+    @property
+    def output_node(self) -> Node:
+        return self._by_id[self.output_id]
+
+    def op_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.op] = counts.get(node.op, 0) + 1
+        return counts
+
+    def consumer_counts(self) -> Dict[int, int]:
+        """How many graph edges consume each node's output."""
+        counts: Dict[int, int] = {n.id: 0 for n in self.nodes}
+        for node in self.nodes:
+            for input_id in node.inputs:
+                counts[input_id] += 1
+        return counts
+
+    def grad_path(self) -> Set[int]:
+        """Ids of nodes through which a gradient flows from output to input.
+
+        The input node seeds the set; an op joins it when any of its inputs
+        is in it, except across ``detach`` (an explicit gradient stop).
+        """
+        path: Set[int] = {self.input_id}
+        for node in self.nodes:  # topo order: inputs precede consumers
+            if node.op in ("input", "const", "detach"):
+                continue
+            if any(i in path for i in node.inputs):
+                path.add(node.id)
+        return path
+
+    def rebuild(self) -> "Graph":
+        """Re-derive the id index and re-sort topologically (after passes)."""
+        order = _topo_sort(self._by_id, self.output_id, self.input_id)
+        return Graph(order, self.input_id, self.output_id)
+
+
+def _topo_sort(by_id: Dict[int, Node], output_id: int, input_id: int) -> List[Node]:
+    order: List[Node] = []
+    visited: Set[int] = set()
+    stack: List[Tuple[int, bool]] = [(output_id, False)]
+    while stack:
+        node_id, processed = stack.pop()
+        if processed:
+            order.append(by_id[node_id])
+            continue
+        if node_id in visited:
+            continue
+        visited.add(node_id)
+        stack.append((node_id, True))
+        for input_id_ in by_id[node_id].inputs:
+            if input_id_ not in visited:
+                stack.append((input_id_, False))
+    if input_id not in visited:
+        raise CompileError("the module's output does not depend on its input")
+    return order
+
+
+def capture_forward(module, sample_input) -> Graph:
+    """Run one eval-mode forward under tracing and lift it into a :class:`Graph`.
+
+    ``module`` is any :class:`repro.nn.Module` whose ``forward`` maps one
+    tensor to one tensor.  Training-mode graphs are rejected: batch-norm
+    statistics and dropout masks captured from one batch must not be baked
+    into a plan replayed on others.
+    """
+    arr = np.asarray(sample_input, dtype=get_default_dtype())
+    if module.training:
+        raise CompileError("compile() requires eval mode; call module.eval() first")
+    x = Tensor(arr, requires_grad=True)
+    with _tensor_mod.trace():
+        out = module.forward(x)
+    if not isinstance(out, Tensor):
+        raise CompileError(f"forward returned {type(out).__name__}, expected a Tensor")
+
+    nodes: List[Node] = []
+    ids: Dict[int, int] = {}  # id(tensor) -> node id
+    next_id = 0
+
+    def visit(tensor: Tensor) -> int:
+        nonlocal next_id
+        key = id(tensor)
+        if key in ids:
+            return ids[key]
+        parents = getattr(tensor, "_op_parents", None)
+        op = getattr(tensor, "_op", None)
+        if tensor is x:
+            node = Node(next_id, "input", (), {}, tensor.shape, tensor.dtype)
+        elif op is None or parents is None:
+            # Leaf constant: a parameter, a buffer-derived literal, or a
+            # value produced outside the traced region.  Snapshot it.
+            node = Node(
+                next_id,
+                "const",
+                (),
+                {},
+                tensor.shape,
+                tensor.dtype,
+                value=np.array(tensor.data, copy=True),
+            )
+        else:
+            if op == "batch_norm2d" and tensor._op_meta and tensor._op_meta["training"]:
+                raise CompileError("cannot capture a training-mode batch norm")
+            input_ids = tuple(visit(parent) for parent in parents)
+            node = Node(
+                next_id,
+                op,
+                input_ids,
+                dict(tensor._op_meta or {}),
+                tensor.shape,
+                tensor.dtype,
+            )
+        ids[key] = next_id
+        nodes.append(node)
+        next_id += 1
+        return node.id
+
+    # The walk recurses one frame per graph edge; deep models (ResNet-34 at
+    # full depth) can exceed the default limit, so raise it for the capture.
+    import sys
+
+    limit = sys.getrecursionlimit()
+    try:
+        sys.setrecursionlimit(max(limit, 10000))
+        output_id = visit(out)
+    finally:
+        sys.setrecursionlimit(limit)
+    if id(x) not in ids:
+        raise CompileError("the module's output does not depend on its input")
+    return Graph(nodes, ids[id(x)], output_id)

@@ -1,0 +1,67 @@
+"""Fused elementwise kernels for the attack hot path.
+
+The PGD-family update is a chain of five elementwise ops —
+``sign -> scale -> step -> eps-ball projection -> range clip`` — that the
+NumPy-expression form materializes one temporary at a time.  These kernels
+run the whole chain through a single output array (callers ping-pong two
+buffers across iterations), with operation order chosen to be **bitwise
+identical** to the unfused expressions the attacks previously used.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["linf_step", "lookahead_point"]
+
+
+def linf_step(
+    adversarial: np.ndarray,
+    direction: np.ndarray,
+    alpha: float,
+    original: np.ndarray,
+    eps: float,
+    clip_min: float,
+    clip_max: float,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One fused L_inf ascent step: ``clip(Π_eps(adv + alpha * sign(direction)))``.
+
+    Equivalent to::
+
+        candidate = adversarial + alpha * np.sign(direction)
+        delta = np.clip(candidate - original, -eps, eps)
+        return np.clip(original + delta, clip_min, clip_max)
+
+    but with every intermediate written into ``out`` (which must not alias
+    ``adversarial``, ``direction`` or ``original``).
+    """
+    if out is None:
+        out = np.empty_like(adversarial)
+    np.sign(direction, out=out)
+    out *= alpha
+    out += adversarial
+    np.subtract(out, original, out=out)
+    np.clip(out, -eps, eps, out=out)
+    out += original
+    np.clip(out, clip_min, clip_max, out=out)
+    return out
+
+
+def lookahead_point(
+    adversarial: np.ndarray,
+    momentum: np.ndarray,
+    scale: float,
+    clip_min: float,
+    clip_max: float,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Fused Nesterov look-ahead: ``clip(adv + scale * momentum)`` (NIFGSM)."""
+    if out is None:
+        out = np.empty_like(adversarial)
+    np.multiply(momentum, scale, out=out)
+    out += adversarial
+    np.clip(out, clip_min, clip_max, out=out)
+    return out

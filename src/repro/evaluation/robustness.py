@@ -95,6 +95,7 @@ def evaluate_robustness(
     batch_size: int = 64,
     early_exit: bool = True,
     cascade: bool = False,
+    compile: bool = False,
     engine: Optional[AttackEngine] = None,
 ) -> RobustnessReport:
     """Evaluate one model against a suite of attacks (defaults to the paper's).
@@ -103,9 +104,18 @@ def evaluate_robustness(
     :class:`AttackSpec` (preferred — model-free and reusable), a mapping of
     name to spec, or a legacy mapping of name to pre-built ``Attack``.  Pass
     ``engine`` to reuse a fully configured :class:`AttackEngine` instead.
+    ``compile=True`` runs predictions and the PGD-family gradient loops
+    through a static execution plan (:mod:`repro.compile`), falling back to
+    eager execution whenever the model or a batch shape cannot be planned.
     """
     if engine is None:
-        engine = AttackEngine(attacks, batch_size=batch_size, early_exit=early_exit, cascade=cascade)
+        engine = AttackEngine(
+            attacks,
+            batch_size=batch_size,
+            early_exit=early_exit,
+            cascade=cascade,
+            compile=compile,
+        )
     result = engine.run(model, images, labels, method_name=method_name)
     return RobustnessReport(
         method=method_name,

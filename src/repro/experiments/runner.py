@@ -230,6 +230,7 @@ class ExperimentRunner:
             batch_size=spec.eval_batch_size,
             early_exit=spec.eval_early_exit,
             cascade=spec.eval_cascade,
+            compile=spec.eval_compile,
         )
         return engine.run(model, images, labels, method_name=spec.label)
 

@@ -32,6 +32,7 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
 from ..attacks.engine import AttackSpec, coerce_spec
 from ..core.config import IBRARConfig
+from ..nn import get_default_dtype
 from ..training.specs import LossSpec, coerce_loss_spec
 
 __all__ = ["ExperimentSpec", "ExperimentSpecError", "DEFAULT_OPTIMIZER", "load_specs"]
@@ -103,6 +104,13 @@ class ExperimentSpec:
         How many test examples to evaluate on (``None`` = all).
     eval_batch_size:
         Attack/prediction batch size during evaluation.
+    eval_compile:
+        Run the evaluation through :mod:`repro.compile` static plans (with
+        automatic eager fallback).  When enabled it joins the content hash
+        (compiled and eager evaluations are separate cache entries, so a
+        cached eager report is never silently served for a compiled request
+        or vice versa); when disabled the key is omitted from the hashed
+        payload, so pre-existing specs keep their hashes and cached reports.
     name:
         Display label for tables; **excluded** from both content hashes.
     """
@@ -122,6 +130,7 @@ class ExperimentSpec:
     eval_batch_size: int = 64
     eval_early_exit: bool = True
     eval_cascade: bool = False
+    eval_compile: bool = False
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -196,7 +205,7 @@ class ExperimentSpec:
     # -- hashing -----------------------------------------------------------------
     def training_dict(self) -> Dict[str, Any]:
         """The fields that determine the trained weights, JSON-ready."""
-        return {
+        payload = {
             "dataset": {"name": self.dataset, "params": self.dataset_kwargs},
             "model": {"name": self.model, "params": self.model_kwargs},
             "loss": self.loss.as_dict(),
@@ -206,16 +215,28 @@ class ExperimentSpec:
             "batch_size": self.batch_size,
             "seed": self.seed,
         }
+        # The ambient default dtype (repro.nn.set_default_dtype) changes the
+        # trained weights, so it must separate cache entries; omitted for
+        # float64 so every pre-existing hash stays stable.
+        dtype = str(get_default_dtype())
+        if dtype != "float64":
+            payload["dtype"] = dtype
+        return payload
 
     def eval_dict(self) -> Dict[str, Any]:
         """The fields that determine the evaluation, JSON-ready."""
-        return {
+        payload = {
             "attacks": [a.as_dict() for a in self.attacks],
             "examples": self.eval_examples,
             "batch_size": self.eval_batch_size,
             "early_exit": bool(self.eval_early_exit),
             "cascade": bool(self.eval_cascade),
         }
+        # Omitted when False so every pre-existing spec (and its cached
+        # report in the artifact store) keeps its content hash.
+        if self.eval_compile:
+            payload["compile"] = True
+        return payload
 
     @property
     def training_hash(self) -> str:
@@ -256,7 +277,7 @@ class ExperimentSpec:
         dataset, dataset_params = _named(data["dataset"], "dataset")
         model, model_params = _named(data["model"], "model")
         eval_section = dict(data.get("eval", {}))
-        eval_known = {"attacks", "examples", "batch_size", "early_exit", "cascade"}
+        eval_known = {"attacks", "examples", "batch_size", "early_exit", "cascade", "compile"}
         eval_unknown = sorted(set(eval_section) - eval_known)
         if eval_unknown:
             raise ExperimentSpecError(
@@ -278,6 +299,7 @@ class ExperimentSpec:
             eval_batch_size=eval_section.get("batch_size", 64),
             eval_early_exit=eval_section.get("early_exit", True),
             eval_cascade=eval_section.get("cascade", False),
+            eval_compile=eval_section.get("compile", False),
             name=data.get("name", ""),
         )
 

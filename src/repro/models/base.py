@@ -97,8 +97,14 @@ class ImageClassifier(Module):
             raise KeyError(f"unknown layer '{layer}'; available: {list(hidden)}")
         return hidden[layer]
 
+    @no_grad()
     def predict(self, x: Tensor) -> np.ndarray:
-        """Return hard class predictions as an integer array."""
+        """Return hard class predictions as an integer array.
+
+        Decorated with :class:`~repro.nn.no_grad`: predictions are
+        forward-only, so no autograd graph is ever recorded for them (the
+        same convention every attack's forward-only pass follows).
+        """
         logits = self.forward(x)
         return np.argmax(logits.data, axis=1)
 

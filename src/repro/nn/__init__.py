@@ -26,7 +26,16 @@ from .modules import (
     Sequential,
 )
 from .optim import SGD, Adam, CosineAnnealingLR, MultiStepLR, StepLR
-from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+    stack,
+)
 
 __all__ = [
     "Tensor",
@@ -35,6 +44,8 @@ __all__ = [
     "concatenate",
     "no_grad",
     "is_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
     "functional",
     "init",
     "optim",

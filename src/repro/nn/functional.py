@@ -13,7 +13,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, as_tensor, get_default_dtype, is_tracing
 
 __all__ = [
     "linear",
@@ -65,7 +65,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
     """Return a float one-hot matrix of shape ``(len(labels), num_classes)``."""
     labels = np.asarray(labels, dtype=np.int64).reshape(-1)
-    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=get_default_dtype())
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out
 
@@ -225,7 +225,7 @@ def conv2d(
             x._accumulate(grad_x)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
-    return Tensor._make(out_data, parents, backward)
+    return Tensor._make(out_data, parents, backward, op="conv2d", meta={"stride": stride, "padding": padding})
 
 
 # --------------------------------------------------------------------------- #
@@ -267,7 +267,7 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tens
         np.add.at(grad_x, (n_idx, c_idx, rows, cols_), grad)
         x._accumulate(grad_x)
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, op="max_pool2d", meta={"kernel": kernel, "stride": stride})
 
 
 def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tensor:
@@ -305,7 +305,7 @@ def avg_pool2d(x: Tensor, kernel: int = 2, stride: Optional[int] = None) -> Tens
                 ] += scaled
         x._accumulate(grad_x)
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, op="avg_pool2d", meta={"kernel": kernel, "stride": stride})
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
@@ -343,8 +343,10 @@ def batch_norm2d(
         mean = running_mean
         var = running_var
 
-    mean_r = mean.reshape(1, c, 1, 1)
-    std = np.sqrt(var + eps).reshape(1, c, 1, 1)
+    # Running statistics are kept in float64; compute in the input's dtype so
+    # a float32 forward stays float32 end to end.
+    mean_r = np.asarray(mean, dtype=x.data.dtype).reshape(1, c, 1, 1)
+    std = np.sqrt(np.asarray(var, dtype=x.data.dtype) + eps).reshape(1, c, 1, 1)
     x_hat = (x.data - mean_r) / std
     out_data = gamma.data.reshape(1, c, 1, 1) * x_hat + beta.data.reshape(1, c, 1, 1)
 
@@ -367,4 +369,14 @@ def batch_norm2d(
             grad_x = grad_xhat / std
         x._accumulate(grad_x)
 
-    return Tensor._make(out_data, (x, gamma, beta), backward)
+    meta = None
+    if is_tracing():
+        # Snapshot the statistics the pass used: in eval mode they are the
+        # running buffers, which the BN-folding pass bakes into conv weights.
+        meta = {
+            "training": bool(training),
+            "mean": np.array(mean, copy=True),
+            "var": np.array(var, copy=True),
+            "eps": eps,
+        }
+    return Tensor._make(out_data, (x, gamma, beta), backward, op="batch_norm2d", meta=meta)

@@ -77,6 +77,22 @@ class Module:
     def __call__(self, *args, **kwargs) -> Tensor:
         return self.forward(*args, **kwargs)
 
+    def compile(self, sample_input, **options):
+        """Capture this module's forward into a static, replayable plan.
+
+        Runs one eval-mode forward on ``sample_input`` under graph tracing,
+        optimizes the captured graph (batch-norm folding, operator fusion,
+        dead-node elimination) and binds it to pre-allocated buffers.
+        Returns a :class:`repro.compile.CompiledModel` whose ``__call__`` and
+        ``value_and_grad`` replay the plan without rebuilding the autograd
+        graph; inputs with shapes the plan has not seen fall back to eager
+        execution (or are compiled on the fly, see ``auto_compile``).
+        ``options`` are forwarded to :func:`repro.compile.compile_model`.
+        """
+        from ..compile import compile_model
+
+        return compile_model(self, sample_input, **options)
+
     # -- mode ------------------------------------------------------------------
     def train(self, mode: bool = True) -> "Module":
         self.training = mode

@@ -16,22 +16,71 @@ mutual-information regularizers rely on.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+import functools
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor", "stack", "concatenate"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "stack",
+    "concatenate",
+    "set_default_dtype",
+    "get_default_dtype",
+]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
 _GRAD_ENABLED = True
 
+#: floating dtype used when wrapping raw values in tensors.  float64 is the
+#: default (it is what the paper-reproduction numbers were produced with);
+#: :func:`set_default_dtype` switches the whole stack — parameter creation,
+#: attack inputs, losses — to float32 for speed/memory-bound workloads.
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the floating dtype new tensors are created with; returns the old one.
+
+    Accepts anything ``np.dtype`` does (``"float32"``, ``np.float64`` ...).
+    Only float32 and float64 are supported.  Modules built *after* the switch
+    create their parameters in the new dtype; arrays fed to :class:`Tensor`
+    (attack batches, loss one-hots) are cast on entry, so a float32 model
+    runs an end-to-end float32 forward/backward.
+    """
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED_DTYPES:
+        raise ValueError(f"unsupported default dtype {dtype!r}; use float32 or float64")
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+    return previous
+
+
+def get_default_dtype() -> np.dtype:
+    """The floating dtype new tensors are created with (see :func:`set_default_dtype`)."""
+    return _DEFAULT_DTYPE
+
 
 class no_grad:
-    """Context manager that disables gradient tracking.
+    """Disable gradient tracking, as a context manager or a decorator.
 
     Mirrors ``torch.no_grad()``.  Used by evaluation loops and by the attack
-    implementations when they only need forward passes.
+    implementations for forward-only passes (e.g. the batched predictions of
+    the attack engine and the ensemble attack's margin computation)::
+
+        with no_grad():
+            logits = model.forward(x)
+
+        @no_grad()
+        def predict(model, x):
+            return np.argmax(model.forward(x).data, axis=1)
     """
 
     def __enter__(self) -> "no_grad":
@@ -44,16 +93,77 @@ class no_grad:
         global _GRAD_ENABLED
         _GRAD_ENABLED = self._previous
 
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with no_grad():
+                return fn(*args, **kwargs)
+
+        return wrapper
+
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradient information."""
     return _GRAD_ENABLED
 
 
-def _to_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+# --------------------------------------------------------------------------- #
+# graph capture (used by repro.compile)
+# --------------------------------------------------------------------------- #
+_TRACE_DEPTH = 0
+
+#: active :class:`op_counter` instances (usually empty; see its docstring).
+_OP_COUNTERS: List["op_counter"] = []
+
+
+class trace:
+    """Context manager that makes every op annotate its output tensor.
+
+    While active, :meth:`Tensor._make` records ``_op`` (operation name),
+    ``_op_meta`` (static parameters such as strides or clip bounds) and
+    ``_op_parents`` on each result.  :func:`repro.compile.capture_forward`
+    runs a module under this context and walks those annotations to lift the
+    dynamic autograd graph into a static, replayable plan.  Zero overhead
+    when inactive (a single integer check per op).
+    """
+
+    def __enter__(self) -> "trace":
+        global _TRACE_DEPTH
+        _TRACE_DEPTH += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _TRACE_DEPTH
+        _TRACE_DEPTH -= 1
+
+
+def is_tracing() -> bool:
+    return _TRACE_DEPTH > 0
+
+
+class op_counter:
+    """Count graph nodes (≈ one fresh array allocation each) built in a block.
+
+    The eager engine allocates a new ndarray per recorded operation; this
+    counter makes that cost measurable so the compiled executor's
+    zero-steady-state-allocation property can be asserted against it.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def __enter__(self) -> "op_counter":
+        _OP_COUNTERS.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _OP_COUNTERS.remove(self)
+
+
+def _to_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=dtype if dtype is not None else _DEFAULT_DTYPE)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -131,7 +241,14 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        out = Tensor(self.data, requires_grad=False)
+        if _TRACE_DEPTH:
+            # Keep the capture walk connected through the detach point; the
+            # plan builder treats "detach" as a gradient stop, not a constant.
+            out._op = "detach"
+            out._op_meta = None
+            out._op_parents = (self,)
+        return out
 
     def copy(self) -> "Tensor":
         return Tensor(self.data.copy(), requires_grad=False)
@@ -147,12 +264,21 @@ class Tensor:
         data: np.ndarray,
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
+        op: Optional[str] = None,
+        meta: Optional[dict] = None,
     ) -> "Tensor":
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents
             out._backward = backward
+        if _TRACE_DEPTH and op is not None:
+            out._op = op
+            out._op_meta = meta
+            out._op_parents = parents
+        if _OP_COUNTERS:
+            for counter in _OP_COUNTERS:
+                counter.count += 1
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -208,7 +334,7 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(_unbroadcast(grad, other_t.shape))
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return Tensor._make(out_data, (self, other_t), backward, op="add")
 
     def __radd__(self, other: ArrayLike) -> "Tensor":
         return self.__add__(other)
@@ -218,7 +344,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(-grad)
 
-        return Tensor._make(-self.data, (self,), backward)
+        return Tensor._make(-self.data, (self,), backward, op="neg")
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self.__add__(as_tensor(other).__neg__())
@@ -236,7 +362,7 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(_unbroadcast(grad * self.data, other_t.shape))
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return Tensor._make(out_data, (self, other_t), backward, op="mul")
 
     def __rmul__(self, other: ArrayLike) -> "Tensor":
         return self.__mul__(other)
@@ -253,7 +379,7 @@ class Tensor:
                     _unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape)
                 )
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return Tensor._make(out_data, (self, other_t), backward, op="div")
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other).__truediv__(self)
@@ -267,7 +393,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="pow", meta={"exponent": exponent})
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other_t = as_tensor(other)
@@ -289,7 +415,7 @@ class Tensor:
                         _unbroadcast(np.swapaxes(self.data, -1, -2) @ grad, other_t.shape)
                     )
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return Tensor._make(out_data, (self, other_t), backward, op="matmul")
 
     # comparisons produce plain boolean arrays (no gradient)
     def __gt__(self, other: ArrayLike) -> np.ndarray:
@@ -314,7 +440,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="exp")
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
@@ -323,7 +449,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad / self.data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="log")
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
@@ -332,7 +458,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="sqrt")
 
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
@@ -341,7 +467,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * np.sign(self.data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="abs")
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -350,7 +476,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * (1.0 - out_data ** 2))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="tanh")
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
@@ -359,7 +485,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="sigmoid")
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
@@ -369,7 +495,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="relu")
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values to ``[low, high]`` (gradient is 1 inside the range)."""
@@ -380,7 +506,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="clip", meta={"low": low, "high": high})
 
     def maximum(self, other: ArrayLike) -> "Tensor":
         other_t = as_tensor(other)
@@ -393,7 +519,7 @@ class Tensor:
             if other_t.requires_grad:
                 other_t._accumulate(_unbroadcast(grad * (~self_mask), other_t.shape))
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return Tensor._make(out_data, (self, other_t), backward, op="maximum")
 
     # ------------------------------------------------------------------ #
     # reductions
@@ -414,7 +540,7 @@ class Tensor:
                 g = np.expand_dims(g, axis=tuple(sorted(axes)))
             self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="sum", meta={"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -448,7 +574,7 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True)
             self._accumulate(mask * g / np.maximum(counts, 1))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="max", meta={"axis": axis, "keepdims": keepdims})
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return (-self).max(axis=axis, keepdims=keepdims).__neg__()
@@ -466,7 +592,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.reshape(original))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="reshape", meta={"shape": out_data.shape})
 
     def flatten(self, start_dim: int = 1) -> "Tensor":
         new_shape = self.shape[:start_dim] + (-1,)
@@ -483,7 +609,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(np.transpose(grad, inverse))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="transpose", meta={"axes": None if axes is None else tuple(axes)})
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
@@ -494,7 +620,7 @@ class Tensor:
                 np.add.at(full, index, grad)
                 self._accumulate(full)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="getitem", meta={"index": index})
 
     def pad2d(self, padding: int) -> "Tensor":
         """Zero-pad the last two (spatial) dimensions of an NCHW tensor."""
@@ -510,7 +636,7 @@ class Tensor:
                 ) + (slice(padding, -padding), slice(padding, -padding))
                 self._accumulate(grad[slices])
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="pad2d", meta={"padding": padding})
 
 
 def as_tensor(value: ArrayLike) -> Tensor:
@@ -531,7 +657,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             if tensor.requires_grad:
                 tensor._accumulate(np.squeeze(piece, axis=axis))
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+    return Tensor._make(out_data, tuple(tensors), backward, op="stack", meta={"axis": axis})
 
 
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
@@ -548,4 +674,4 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
                 slices[axis] = slice(start, stop)
                 tensor._accumulate(grad[tuple(slices)])
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+    return Tensor._make(out_data, tuple(tensors), backward, op="concatenate", meta={"axis": axis})

@@ -1,0 +1,421 @@
+"""Compiled execution: capture, passes, identity, fallback, buffer pooling."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackEngine, AttackSpec
+from repro.compile import (
+    CompileError,
+    capture_forward,
+    compile_model,
+    linf_step,
+    lookahead_point,
+    optimize,
+)
+from repro.compile.executor import Plan
+from repro.experiments import ExperimentSpec
+from repro.models import MLP, SmallCNN, ResNet18, VGG16
+from repro.models.base import ImageClassifier
+from repro.nn import Module, Tensor, no_grad
+from repro.nn import functional as F
+from repro.nn import tensor as tensor_mod
+
+
+@pytest.fixture()
+def batch(rng):
+    return rng.random((6, 3, 16, 16))
+
+
+@pytest.fixture()
+def labels():
+    return np.arange(6) % 10
+
+
+def eager_value_and_grad(model, images, labels):
+    x = Tensor(images, requires_grad=True)
+    loss = F.cross_entropy(model.forward(x), labels)
+    loss.backward()
+    return float(loss.item()), x.grad
+
+
+class TestCapture:
+    def test_capture_requires_eval_mode(self, small_cnn, batch):
+        small_cnn.train()
+        with pytest.raises(CompileError):
+            capture_forward(small_cnn, batch)
+
+    def test_capture_records_model_ops(self, small_cnn, batch):
+        small_cnn.eval()
+        graph = capture_forward(small_cnn, batch)
+        counts = graph.op_counts()
+        assert counts["conv2d"] == 2
+        assert counts["batch_norm2d"] == 2
+        assert counts["max_pool2d"] == 2
+        assert counts["input"] == 1
+
+    def test_tracing_leaves_eager_untouched(self, small_cnn, batch):
+        small_cnn.eval()
+        capture_forward(small_cnn, batch)
+        with no_grad():
+            out = small_cnn.forward(Tensor(batch))
+        assert not hasattr(out, "_op")
+
+
+class TestPasses:
+    def test_bn_folding_removes_bn_nodes(self, small_cnn, batch):
+        small_cnn.eval()
+        graph = capture_forward(small_cnn, batch)
+        optimized = optimize(graph, fold_bn=True)
+        counts = optimized.op_counts()
+        assert "batch_norm2d" not in counts
+        assert counts["conv2d"] == 2
+
+    def test_relu_and_affine_fusion(self, small_cnn, batch):
+        small_cnn.eval()
+        optimized = optimize(capture_forward(small_cnn, batch))
+        counts = optimized.op_counts()
+        assert "relu" not in counts  # all fused into conv/affine producers
+        assert counts["affine"] == 3  # fc1..fc3
+        assert "matmul" not in counts
+        assert len(optimized) < len(capture_forward(small_cnn, batch))
+
+    def test_maximum_stays_out_of_chains_and_compiles(self, rng):
+        class WithMaximum(Module):
+            def forward(self, x):
+                return (x.maximum(0.3) * 2.0 + 0.1).sum()
+
+        module = WithMaximum()
+        module.eval()
+        x = rng.random((4, 5))
+        plan = Plan(optimize(capture_forward(module, x)))
+        x_t = Tensor(x, requires_grad=True)
+        eager = (x_t.maximum(0.3) * 2.0 + 0.1).sum()
+        assert np.allclose(plan.forward(x), eager.data)
+        eager.backward()
+        assert np.allclose(plan.backward(np.ones(())), x_t.grad)
+
+    def test_elementwise_chain_fusion(self, rng):
+        class Chain(Module):
+            def forward(self, x):
+                return ((x * 2.0 + 0.25).clip(0.0, 1.0)).__neg__().sum()
+
+        module = Chain()
+        module.eval()
+        x = rng.random((4, 5))
+        optimized = optimize(capture_forward(module, x))
+        assert "ew" in optimized.op_counts()
+
+        plan = Plan(optimized)
+        out = plan.forward(x)
+        x_t = Tensor(x, requires_grad=True)
+        eager = ((x_t * 2.0 + 0.25).clip(0.0, 1.0)).__neg__().sum()
+        assert np.allclose(out, eager.data)
+        eager.backward()
+        grad = plan.backward(np.ones(()))
+        assert np.allclose(grad, x_t.grad)
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("fold_bn", [True, False])
+    def test_small_cnn_forward_and_grad(self, small_cnn, batch, labels, fold_bn):
+        small_cnn.eval()
+        compiled = compile_model(small_cnn, batch, fold_bn=fold_bn)
+        with no_grad():
+            eager = small_cnn.forward(Tensor(batch)).data
+        assert np.allclose(eager, compiled(batch), rtol=1e-8, atol=1e-10)
+        eager_loss, eager_grad = eager_value_and_grad(small_cnn, batch, labels)
+        loss, grad = compiled.value_and_grad(batch, labels)
+        assert np.isclose(eager_loss, loss, rtol=1e-10)
+        assert np.allclose(eager_grad, grad, rtol=1e-7, atol=1e-12)
+
+    def test_channel_masked_model(self, batch, labels):
+        model = SmallCNN(num_classes=10, image_size=16, base_channels=4, hidden_dim=16, seed=0)
+        mask = np.ones(model.last_conv_channels)
+        mask[::2] = 0.0
+        model.set_channel_mask(mask)
+        model.eval()
+        compiled = compile_model(model, batch)
+        _, eager_grad = eager_value_and_grad(model, batch, labels)
+        _, grad = compiled.value_and_grad(batch, labels)
+        assert np.allclose(eager_grad, grad, rtol=1e-7, atol=1e-12)
+
+    def test_mlp(self, batch, labels):
+        model = MLP(input_dim=3 * 16 * 16, num_classes=10, hidden_dims=(24, 12), seed=0)
+        model.eval()
+        compiled = compile_model(model, batch)
+        _, eager_grad = eager_value_and_grad(model, batch, labels)
+        _, grad = compiled.value_and_grad(batch, labels)
+        assert np.allclose(eager_grad, grad, rtol=1e-7, atol=1e-12)
+
+    @pytest.mark.parametrize("model_cls", [VGG16, ResNet18])
+    def test_deep_models(self, rng, model_cls):
+        model = model_cls(num_classes=10, width_multiplier=0.125, seed=0)
+        model.eval()
+        x = rng.random((3, 3, 32, 32))
+        y = np.array([0, 1, 2])
+        compiled = compile_model(model, x)
+        with no_grad():
+            eager = model.forward(Tensor(x)).data
+        assert np.allclose(eager, compiled(x), rtol=1e-8, atol=1e-10)
+        _, eager_grad = eager_value_and_grad(model, x, y)
+        _, grad = compiled.value_and_grad(x, y)
+        assert np.allclose(eager_grad, grad, rtol=1e-7, atol=1e-12)
+
+    def test_pool_tie_breaking_matches_eager(self, rng, labels):
+        # Quantized inputs force exact ties inside max-pool windows; the
+        # compiled winner masks must pick the same (first) element as the
+        # eager argmax.
+        model = SmallCNN(num_classes=10, image_size=16, base_channels=4, hidden_dim=16, seed=0)
+        model.eval()
+        x = np.round(rng.random((6, 3, 16, 16)), 1)
+        compiled = compile_model(model, x)
+        _, eager_grad = eager_value_and_grad(model, x, labels)
+        _, grad = compiled.value_and_grad(x, labels)
+        assert np.allclose(eager_grad, grad, rtol=1e-7, atol=1e-14)
+
+
+class TestFallback:
+    def test_unseen_shape_falls_back_then_compiles(self, small_cnn, batch, labels):
+        small_cnn.eval()
+        compiled = compile_model(small_cnn, batch)
+        assert compiled.plans == 1
+        other = batch[:3]
+        # First sighting of a new signature runs eagerly...
+        compiled.value_and_grad(other, labels[:3])
+        assert compiled.stats.fallback_calls == 1
+        assert compiled.plans == 1
+        # ...the second compiles a dedicated plan.
+        compiled.value_and_grad(other, labels[:3])
+        assert compiled.plans == 2
+        assert compiled.stats.grad_calls >= 1
+
+    def test_auto_compile_disabled(self, small_cnn, batch):
+        small_cnn.eval()
+        compiled = compile_model(small_cnn, batch, auto_compile=False)
+        for _ in range(3):
+            compiled(batch[:2])
+        assert compiled.plans == 1
+        assert compiled.stats.fallback_calls == 3
+
+    def test_training_mode_falls_back(self, small_cnn, batch):
+        small_cnn.eval()
+        compiled = compile_model(small_cnn, batch)
+        small_cnn.train()
+        compiled(batch)
+        assert compiled.stats.fallback_calls == 1
+        small_cnn.eval()
+        compiled(batch)
+        assert compiled.stats.forward_calls == 1
+
+    def test_unknown_loss_raises_after_fallback_check(self, small_cnn, batch, labels):
+        small_cnn.eval()
+        compiled = compile_model(small_cnn, batch)
+        with pytest.raises(ValueError):
+            compiled.value_and_grad(batch, labels, loss="margin")
+
+    def test_backward_failure_memoized_but_forward_plan_kept(
+        self, small_cnn, batch, labels, monkeypatch
+    ):
+        small_cnn.eval()
+        compiled = compile_model(small_cnn, batch)
+        plan = next(iter(compiled._plans.values()))
+        attempts = []
+
+        def broken(x, y):
+            attempts.append(1)
+            raise CompileError("backward unavailable")
+
+        monkeypatch.setattr(plan, "value_and_grad_ce", broken)
+        first = compiled.value_and_grad(batch, labels)
+        assert compiled.stats.fallback_calls == 1 and len(attempts) == 1
+        second = compiled.value_and_grad(batch, labels)
+        # The failure is remembered: the broken plan is not retried...
+        assert compiled.stats.fallback_calls == 2 and len(attempts) == 1
+        assert np.isclose(first[0], second[0])
+        assert np.allclose(first[1], second[1])
+        # ...while forward-only execution keeps using the plan.
+        compiled(batch)
+        assert compiled.stats.forward_calls == 1
+
+    def test_results_identical_across_fallback_and_plan(self, small_cnn, batch, labels):
+        small_cnn.eval()
+        compiled = compile_model(small_cnn, batch)
+        other = batch[:4]
+        eager_first = compiled.value_and_grad(other, labels[:4])  # fallback
+        grad_first = np.array(eager_first[1], copy=True)
+        plan_second = compiled.value_and_grad(other, labels[:4])  # compiled
+        assert np.isclose(eager_first[0], plan_second[0], rtol=1e-10)
+        assert np.allclose(grad_first, plan_second[1], rtol=1e-7, atol=1e-12)
+
+
+class TestBufferPool:
+    def test_steady_state_allocates_nothing_and_less_than_eager(
+        self, small_cnn, batch, labels
+    ):
+        small_cnn.eval()
+        compiled = compile_model(small_cnn, batch)
+        compiled.value_and_grad(batch, labels)  # warm (binds CE scratch)
+        allocations_after_warmup = compiled.pool_allocations
+        with tensor_mod.op_counter() as eager_ops:
+            eager_value_and_grad(small_cnn, batch, labels)
+        for _ in range(5):
+            compiled.value_and_grad(batch, labels)
+        steady_allocations = compiled.pool_allocations - allocations_after_warmup
+        assert steady_allocations == 0
+        # The eager engine allocates at least one fresh array per recorded
+        # op per iteration; the compiled plan allocates strictly fewer
+        # (zero) once bound.
+        assert eager_ops.count > 0
+        assert steady_allocations < eager_ops.count
+
+    def test_invalidate_drops_plans(self, small_cnn, batch):
+        small_cnn.eval()
+        compiled = compile_model(small_cnn, batch)
+        assert compiled.plans == 1
+        compiled.invalidate()
+        assert compiled.plans == 0
+
+
+class _GetItemClassifier(ImageClassifier):
+    """Forward uses an op without a compiled kernel (``getitem``)."""
+
+    def __init__(self):
+        super().__init__(num_classes=2)
+        self._weight = np.ones((2, 3))
+
+    @property
+    def hidden_layer_names(self):
+        return ["h"]
+
+    def forward_with_hidden(self, x):
+        h = x.flatten(start_dim=1)
+        h = h[:, :3]
+        logits = h @ Tensor(self._weight.T)
+        return logits, OrderedDict(h=h)
+
+
+class TestEngineIntegration:
+    def test_compiled_engine_matches_eager_accuracies(
+        self, trained_small_cnn, tiny_dataset
+    ):
+        images, labels = tiny_dataset.x_test[:48], tiny_dataset.y_test[:48]
+        suite = [
+            AttackSpec("fgsm", dict(eps=8 / 255)),
+            AttackSpec("pgd", dict(steps=3, seed=1)),
+            AttackSpec("nifgsm", dict(steps=3)),
+        ]
+        eager = AttackEngine(suite, batch_size=16).run(trained_small_cnn, images, labels)
+        compiled = AttackEngine(suite, batch_size=16, compile=True).run(
+            trained_small_cnn, images, labels
+        )
+        assert compiled.compiled and compiled.compile_error is None
+        assert compiled.natural == eager.natural
+        assert dict(compiled.adversarial) == dict(eager.adversarial)
+        assert compiled.worst_case == eager.worst_case
+
+    def test_compiled_telemetry_counts_plan_passes(self, trained_small_cnn, tiny_dataset):
+        images, labels = tiny_dataset.x_test[:32], tiny_dataset.y_test[:32]
+        suite = [AttackSpec("pgd", dict(steps=4, seed=0))]
+        result = AttackEngine(suite, batch_size=32, compile=True).run(
+            trained_small_cnn, images, labels
+        )
+        pgd = result.telemetry[-1]
+        # Every PGD step is a gradient query: plan replays plus (at most one,
+        # for the unseen early-exit batch shape) eager fallbacks.
+        assert pgd.compiled_grad_calls >= 1
+        assert pgd.compiled_grad_calls + pgd.compiled_fallbacks == 4
+        assert result.telemetry[0].compiled_forward_calls >= 1
+        revived = type(result).from_dict(result.as_dict())
+        assert revived.compiled
+        assert revived.telemetry[-1].compiled_grad_calls == pgd.compiled_grad_calls
+
+    def test_uncapturable_model_reports_error_and_still_evaluates(self, rng):
+        model = _GetItemClassifier()
+        images = rng.random((8, 3, 1, 1))
+        labels = np.zeros(8, dtype=np.int64)
+        result = AttackEngine([AttackSpec("fgsm")], compile=True).run(model, images, labels)
+        assert not result.compiled
+        assert result.compile_error
+        assert "fgsm" in result.adversarial
+
+    def test_eager_run_clears_stale_plan_from_prebuilt_attack(
+        self, trained_small_cnn, tiny_dataset
+    ):
+        from repro.attacks import PGD
+
+        images, labels = tiny_dataset.x_test[:8], tiny_dataset.y_test[:8]
+        attack = PGD(trained_small_cnn, steps=2, seed=0)
+        suite = {"pgd": attack}
+        result = AttackEngine(suite, batch_size=8, compile=True).run(
+            trained_small_cnn, images, labels
+        )
+        # The plan drove the run but must not outlive it: a later direct
+        # attack.attack() (after further training) would replay stale weights.
+        assert result.compiled
+        assert result.telemetry[-1].compiled_grad_calls + result.telemetry[-1].compiled_fallbacks == 2
+        assert attack._compiled is None
+        eager = AttackEngine(suite, batch_size=8).run(trained_small_cnn, images, labels)
+        assert attack._compiled is None
+        assert not eager.compiled
+
+    def test_run_restores_train_mode_on_attack_error(self, trained_small_cnn, tiny_dataset):
+        images, labels = tiny_dataset.x_test[:8], tiny_dataset.y_test[:8]
+        # steps=0 raises while building the attack, mid-run with eval pinned.
+        engine = AttackEngine([AttackSpec("pgd", dict(steps=0))])
+        trained_small_cnn.train()
+        try:
+            with pytest.raises(ValueError):
+                engine.run(trained_small_cnn, images, labels)
+            assert trained_small_cnn.training
+        finally:
+            trained_small_cnn.eval()
+
+    def test_ensemble_propagates_compiled_plan(self, trained_small_cnn, tiny_dataset):
+        images, labels = tiny_dataset.x_test[:16], tiny_dataset.y_test[:16]
+        suite = [AttackSpec("ensemble", dict(specs=(AttackSpec("fgsm"), AttackSpec("pgd", dict(steps=2, seed=0)))))]
+        eager = AttackEngine(suite, batch_size=16).run(trained_small_cnn, images, labels)
+        compiled = AttackEngine(suite, batch_size=16, compile=True).run(
+            trained_small_cnn, images, labels
+        )
+        assert dict(compiled.adversarial) == dict(eager.adversarial)
+
+
+class TestExperimentSpecCompile:
+    def test_eval_compile_round_trip_and_hash(self):
+        base = ExperimentSpec(dataset="synthetic", model="smallcnn", epochs=1)
+        compiled = base.with_(eval_compile=True)
+        assert compiled.training_hash == base.training_hash
+        assert compiled.content_hash != base.content_hash
+        revived = ExperimentSpec.from_json(compiled.to_json())
+        assert revived.eval_compile is True
+        assert revived.content_hash == compiled.content_hash
+
+
+class TestFusedKernels:
+    def test_linf_step_matches_unfused_expression(self, rng):
+        adversarial = rng.random((4, 3, 5, 5))
+        gradient = rng.normal(size=adversarial.shape)
+        original = rng.random(adversarial.shape)
+        eps, alpha = 8 / 255, 2 / 255
+        reference = np.clip(
+            original + np.clip(adversarial + alpha * np.sign(gradient) - original, -eps, eps),
+            0.0,
+            1.0,
+        )
+        out = np.empty_like(adversarial)
+        fused = linf_step(adversarial, gradient, alpha, original, eps, 0.0, 1.0, out=out)
+        assert fused is out
+        assert np.array_equal(fused, reference)
+
+    def test_lookahead_point_matches_unfused_expression(self, rng):
+        adversarial = rng.random((4, 3, 5, 5))
+        momentum = rng.normal(size=adversarial.shape)
+        scale = 2 / 255
+        reference = np.clip(adversarial + scale * momentum, 0.0, 1.0)
+        assert np.array_equal(
+            lookahead_point(adversarial, momentum, scale, 0.0, 1.0), reference
+        )

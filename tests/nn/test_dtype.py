@@ -1,0 +1,153 @@
+"""Default-dtype switching (float32 end-to-end) and the no_grad decorator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import PGD, AttackEngine, AttackSpec
+from repro.data import ArrayDataset, DataLoader, synthetic_cifar10
+from repro.models import SmallCNN
+from repro.nn import (
+    Tensor,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+)
+from repro.nn import functional as F
+from repro.nn.optim import SGD
+from repro.training import CrossEntropyLoss, Trainer
+
+
+@pytest.fixture()
+def float32_default():
+    previous = set_default_dtype(np.float32)
+    yield
+    set_default_dtype(previous)
+
+
+class TestSetDefaultDtype:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.dtype(np.float64)
+        assert Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_set_and_restore(self):
+        previous = set_default_dtype("float32")
+        try:
+            assert get_default_dtype() == np.dtype(np.float32)
+            assert Tensor([1.0, 2.0]).dtype == np.float32
+        finally:
+            set_default_dtype(previous)
+        assert get_default_dtype() == np.dtype(np.float64)
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int64)
+
+    def test_float32_forward_backward(self, float32_default):
+        model = SmallCNN(num_classes=10, image_size=16, base_channels=4, hidden_dim=16, seed=0)
+        x = Tensor(np.random.default_rng(0).random((4, 3, 16, 16)), requires_grad=True)
+        labels = np.array([0, 1, 2, 3])
+        for parameter in model.parameters():
+            assert parameter.dtype == np.float32
+        loss = F.cross_entropy(model.forward(x), labels)
+        assert loss.dtype == np.float32
+        loss.backward()
+        assert x.grad is not None and x.grad.dtype == np.float32
+
+    def test_float32_training_step(self, float32_default):
+        dataset = synthetic_cifar10(n_train=80, n_test=20, image_size=16, seed=0)
+        model = SmallCNN(num_classes=10, image_size=16, base_channels=4, hidden_dim=16, seed=0)
+        trainer = Trainer(model, CrossEntropyLoss(), optimizer=SGD(model.parameters(), lr=0.05))
+        loader = DataLoader(
+            ArrayDataset(dataset.x_train, dataset.y_train), batch_size=20, shuffle=True, seed=0
+        )
+        history = trainer.fit(loader, epochs=1)
+        assert np.isfinite(history.final().train_loss)
+        assert all(parameter.dtype == np.float32 for parameter in model.parameters())
+
+
+class TestDtypeInExperimentHash:
+    def test_float32_sessions_get_their_own_cache_entries(self):
+        from repro.experiments import ExperimentSpec
+
+        spec = ExperimentSpec(dataset="cifar10", model="smallcnn", epochs=1)
+        hash64 = spec.training_hash
+        assert "dtype" not in spec.training_dict()  # float64 hashes unchanged
+        previous = set_default_dtype(np.float32)
+        try:
+            assert spec.training_dict()["dtype"] == "float32"
+            assert spec.training_hash != hash64
+        finally:
+            set_default_dtype(previous)
+        assert spec.training_hash == hash64
+
+
+class TestFloat32AttackParity:
+    def test_pgd_robust_accuracy_matches_float64(self):
+        """Float32 PGD evaluation tracks the float64 numbers within tolerance."""
+        dataset = synthetic_cifar10(n_train=200, n_test=100, image_size=16, seed=0)
+
+        def train_and_eval():
+            model = SmallCNN(num_classes=10, image_size=16, base_channels=4, hidden_dim=16, seed=0)
+            trainer = Trainer(
+                model, CrossEntropyLoss(), optimizer=SGD(model.parameters(), lr=0.05, momentum=0.9)
+            )
+            loader = DataLoader(
+                ArrayDataset(dataset.x_train, dataset.y_train),
+                batch_size=40,
+                shuffle=True,
+                drop_last=True,
+                seed=0,
+            )
+            trainer.fit(loader, epochs=2)
+            model.eval()
+            engine = AttackEngine([AttackSpec("pgd", dict(steps=5, random_start=False))])
+            result = engine.run(model, dataset.x_test, dataset.y_test)
+            return result.natural, result.adversarial["pgd"]
+
+        natural64, robust64 = train_and_eval()
+        previous = set_default_dtype(np.float32)
+        try:
+            natural32, robust32 = train_and_eval()
+        finally:
+            set_default_dtype(previous)
+
+        # Same training trajectory at lower precision: a handful of example
+        # flips are tolerated, systematic divergence is not.
+        assert abs(natural64 - natural32) <= 0.06
+        assert abs(robust64 - robust32) <= 0.08
+
+
+class TestNoGradDecorator:
+    def test_decorator_disables_tracking(self):
+        @no_grad()
+        def forward_only(tensor):
+            assert not is_grad_enabled()
+            return tensor * 2.0
+
+        x = Tensor(np.ones(3), requires_grad=True)
+        out = forward_only(x)
+        assert is_grad_enabled()
+        assert not out.requires_grad
+
+    def test_decorator_restores_on_exception(self):
+        @no_grad()
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            boom()
+        assert is_grad_enabled()
+
+    def test_predict_records_no_graph(self, small_cnn, tiny_images):
+        predictions = small_cnn.predict(Tensor(tiny_images, requires_grad=True))
+        assert predictions.shape == (len(tiny_images),)
+
+    def test_attack_forward_only_passes_use_no_grad(self, trained_small_cnn, tiny_images, tiny_labels):
+        # PGD's projection/prediction passes run under no_grad; the attack
+        # must leave grad mode untouched for its caller.
+        attack = PGD(trained_small_cnn, steps=1, random_start=False)
+        attack.attack(tiny_images[:4], tiny_labels[:4])
+        assert is_grad_enabled()

@@ -1,0 +1,123 @@
+"""Finite-difference validation of conv, batch-norm and the HSIC kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from gradcheck import gradcheck
+
+from repro.ib.hsic import gaussian_kernel, hsic, linear_kernel, normalized_hsic
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+@pytest.fixture(scope="module")
+def grad_rng():
+    return np.random.default_rng(7)
+
+
+class TestConvGradcheck:
+    def test_conv2d_with_bias(self, grad_rng):
+        x = grad_rng.normal(size=(2, 2, 5, 5))
+        w = grad_rng.normal(size=(3, 2, 3, 3)) * 0.5
+        b = grad_rng.normal(size=(3,)) * 0.1
+
+        ok, message = gradcheck(
+            lambda xt, wt, bt: (F.conv2d(xt, wt, bt, stride=1, padding=1) ** 2).sum(),
+            x, w, b,
+        )
+        assert ok, message
+
+    def test_conv2d_strided_no_bias(self, grad_rng):
+        x = grad_rng.normal(size=(2, 3, 6, 6))
+        w = grad_rng.normal(size=(4, 3, 3, 3)) * 0.5
+
+        ok, message = gradcheck(
+            lambda xt, wt: (F.conv2d(xt, wt, stride=2, padding=1) ** 2).sum(),
+            x, w,
+        )
+        assert ok, message
+
+    def test_max_pool2d(self, grad_rng):
+        # Distinct values avoid finite-difference kinks at pooling ties.
+        x = grad_rng.permutation(np.linspace(-1.0, 1.0, 2 * 3 * 4 * 4)).reshape(2, 3, 4, 4)
+        ok, message = gradcheck(lambda xt: (F.max_pool2d(xt, 2, 2) ** 2).sum(), x)
+        assert ok, message
+
+
+class TestBatchNormGradcheck:
+    def test_training_mode(self, grad_rng):
+        x = grad_rng.normal(size=(3, 2, 4, 4))
+        gamma = grad_rng.normal(size=(2,)) * 0.5 + 1.0
+        beta = grad_rng.normal(size=(2,)) * 0.1
+
+        def fn(xt, gt, bt):
+            out = F.batch_norm2d(
+                xt, gt, bt, np.zeros(2), np.ones(2), training=True, eps=1e-5
+            )
+            return (out ** 2).sum()
+
+        ok, message = gradcheck(fn, x, gamma, beta, rtol=1e-3, atol=1e-5)
+        assert ok, message
+
+    def test_eval_mode(self, grad_rng):
+        x = grad_rng.normal(size=(3, 2, 4, 4))
+        gamma = grad_rng.normal(size=(2,)) * 0.5 + 1.0
+        beta = grad_rng.normal(size=(2,)) * 0.1
+        running_mean = grad_rng.normal(size=(2,)) * 0.2
+        running_var = np.abs(grad_rng.normal(size=(2,))) + 0.5
+
+        def fn(xt, gt, bt):
+            out = F.batch_norm2d(
+                xt, gt, bt, running_mean.copy(), running_var.copy(), training=False
+            )
+            return (out ** 2).sum()
+
+        ok, message = gradcheck(fn, x, gamma, beta)
+        assert ok, message
+
+
+class TestHSICGradcheck:
+    def test_hsic_linear_kernels(self, grad_rng):
+        x = grad_rng.normal(size=(5, 3))
+        y = grad_rng.normal(size=(5, 2))
+        ok, message = gradcheck(
+            lambda xt, yt: hsic(linear_kernel(xt), linear_kernel(yt)), x, y
+        )
+        assert ok, message
+
+    def test_hsic_gaussian_kernel_fixed_sigma(self, grad_rng):
+        x = grad_rng.normal(size=(5, 3))
+        y = grad_rng.normal(size=(5, 2))
+        # A fixed sigma keeps the (non-differentiable) median heuristic out
+        # of the finite-difference path.
+        ok, message = gradcheck(
+            lambda xt, yt: hsic(gaussian_kernel(xt, sigma=1.3), gaussian_kernel(yt, sigma=0.9)),
+            x, y, rtol=1e-3,
+        )
+        assert ok, message
+
+    def test_normalized_hsic(self, grad_rng):
+        x = grad_rng.normal(size=(5, 3))
+        y = grad_rng.normal(size=(5, 2))
+        ok, message = gradcheck(
+            lambda xt, yt: normalized_hsic(
+                gaussian_kernel(xt, sigma=1.1), linear_kernel(yt)
+            ),
+            x, y, rtol=1e-3,
+        )
+        assert ok, message
+
+
+class TestGradcheckUtility:
+    def test_detects_wrong_gradient(self):
+        # abs() has a subgradient at 0; forcing values near zero makes the
+        # finite difference disagree, so gradcheck must report a failure.
+        x = np.full((3,), 1e-9)
+        ok, _ = gradcheck(lambda t: t.abs().sum(), x)
+        assert not ok
+
+    def test_scalar_requirement(self):
+        with pytest.raises(ValueError):
+            gradcheck(lambda t: t * 2.0, np.ones((2, 2)))
