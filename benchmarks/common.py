@@ -452,3 +452,75 @@ def paper_rows_header(title: str) -> str:
         f"(profile: {profile.name} — synthetic data, scaled-down models; "
         f"compare shapes/orderings, not absolute numbers)\n{'=' * 78}"
     )
+
+
+def pgd_at_training_benchmark(
+    dataset,
+    epochs_timed: int = 2,
+    pgd_steps: int = 10,
+    batch_size: int = 50,
+    seed: int = 0,
+):
+    """Eager-vs-compiled PGD-AT epoch timing; the one recipe shared by
+    ``benchmarks/quick_timing.py`` and ``tests/compile/test_speedup.py``.
+
+    Both trainers start from identical fresh seeded models and loader
+    seeds; one warm-up epoch runs per mode (compiled plans build on their
+    second batch sighting), then ``epochs_timed`` matched epochs are
+    **interleaved** — so load spikes hit both modes — and the best wall
+    time per mode is kept.  Returns a dict with the trainers/models (for
+    trajectory assertions) and the measured seconds.
+    """
+    import time
+
+    from repro.data import ArrayDataset, DataLoader
+    from repro.models import SmallCNN
+    from repro.nn.optim import SGD, StepLR
+    from repro.training import Trainer
+    from repro.training.adversarial import PGDAdversarialLoss
+
+    def build(compile_flag: bool):
+        model = SmallCNN(num_classes=10, image_size=16, seed=seed)
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-3)
+        trainer = Trainer(
+            model,
+            PGDAdversarialLoss(steps=pgd_steps, seed=seed),
+            optimizer=optimizer,
+            scheduler=StepLR(optimizer),
+            compile=compile_flag,
+        )
+        loader = DataLoader(
+            ArrayDataset(dataset.x_train, dataset.y_train),
+            batch_size=batch_size,
+            shuffle=True,
+            drop_last=True,
+            seed=seed,
+        )
+        return model, trainer, loader
+
+    eager_model, eager_trainer, eager_loader = build(False)
+    compiled_model, compiled_trainer, compiled_loader = build(True)
+    eager_trainer.fit(eager_loader, epochs=1)  # warm-up
+    compiled_trainer.fit(compiled_loader, epochs=1)
+    warm_allocations = compiled_trainer._compiled_trainer.pool_allocations
+
+    eager_seconds = compiled_seconds = float("inf")
+    for _ in range(epochs_timed):
+        start = time.perf_counter()
+        eager_trainer.fit(eager_loader, epochs=1)
+        eager_seconds = min(eager_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        compiled_trainer.fit(compiled_loader, epochs=1)
+        compiled_seconds = min(compiled_seconds, time.perf_counter() - start)
+
+    return {
+        "eager_model": eager_model,
+        "eager_trainer": eager_trainer,
+        "compiled_model": compiled_model,
+        "compiled_trainer": compiled_trainer,
+        "eager_seconds": eager_seconds,
+        "compiled_seconds": compiled_seconds,
+        "warm_allocations": warm_allocations,
+        "pgd_steps": pgd_steps,
+        "epochs_timed": epochs_timed,
+    }

@@ -15,10 +15,13 @@ suite under four evaluation strategies:
 
 Writes a JSON report (accuracies, wall time, forward-pass counts, and the
 eager-vs-compiled speedup) to the path given as the first argument (default:
-``bench-timings.json``).  The CI quick-bench job uploads this as an artifact
-and *soft-fails* on compiled-path regressions: if the compiled mode is slower
-than eager early exit (< 1.0x) a GitHub warning annotation is emitted, but
-the exit code stays 0.
+``bench-timings.json``), and a compiled-**training** report (one PGD
+adversarial-training epoch, eager vs ``Trainer(compile=True)``:
+``train_speedup_compiled`` + ``train_matches_eager``) to the second
+(default: ``BENCH_train.json``).  The CI quick-bench job uploads both as
+artifacts and *soft-fails* on compiled-path regressions: if a compiled mode
+is slower than its eager counterpart (< 1.0x) a GitHub warning annotation
+is emitted, but the exit code stays 0.
 """
 
 from __future__ import annotations
@@ -27,6 +30,8 @@ import json
 import sys
 import time
 
+import numpy as np
+
 from repro.attacks import AttackEngine, paper_suite_specs
 from repro.data import ArrayDataset, DataLoader, synthetic_cifar10
 from repro.models import SmallCNN
@@ -34,8 +39,41 @@ from repro.nn.optim import SGD, StepLR
 from repro.training import CrossEntropyLoss, Trainer
 
 
+def bench_training(dataset) -> dict:
+    """Time one PGD-AT epoch eager vs compiled, from identical fresh models."""
+    from common import pgd_at_training_benchmark
+
+    bench = pgd_at_training_benchmark(dataset, epochs_timed=2, pgd_steps=10)
+    eager_state = bench["eager_model"].state_dict()
+    compiled_state = bench["compiled_model"].state_dict()
+    matches = bool(
+        np.allclose(
+            bench["eager_trainer"].history.train_loss,
+            bench["compiled_trainer"].history.train_loss,
+            rtol=1e-7,
+        )
+        and all(
+            np.allclose(value, compiled_state[key], rtol=1e-6, atol=1e-9)
+            for key, value in eager_state.items()
+        )
+    )
+    eager_seconds, compiled_seconds = bench["eager_seconds"], bench["compiled_seconds"]
+    return {
+        "loss": "pgd",
+        "pgd_steps": bench["pgd_steps"],
+        "epochs_timed": bench["epochs_timed"],
+        "train_examples": len(dataset.x_train),
+        "eager_epoch_seconds": round(eager_seconds, 4),
+        "compiled_epoch_seconds": round(compiled_seconds, 4),
+        "train_speedup_compiled": round(eager_seconds / max(compiled_seconds, 1e-9), 3),
+        "train_matches_eager": matches,
+        "compile_stats": bench["compiled_trainer"].compile_stats.as_dict(),
+    }
+
+
 def main() -> None:
     output_path = sys.argv[1] if len(sys.argv) > 1 else "bench-timings.json"
+    train_output_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_train.json"
     dataset = synthetic_cifar10(n_train=300, n_test=120, image_size=16, seed=0)
     model = SmallCNN(num_classes=10, image_size=16, seed=0)
     optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-3)
@@ -81,12 +119,22 @@ def main() -> None:
     report["compiled_matches_eager"] = bool(
         fast["adversarial"] == compiled["adversarial"] and fast["natural"] == compiled["natural"]
     )
+    train_report = bench_training(dataset)
+    report["train_speedup_compiled"] = train_report["train_speedup_compiled"]
+    report["train_matches_eager"] = train_report["train_matches_eager"]
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
+    with open(train_output_path, "w", encoding="utf-8") as handle:
+        json.dump(train_report, handle, indent=2, sort_keys=True)
     print(
         f"wrote {output_path} (early-exit speedup: {report['speedup_early_exit']}x, "
         f"compiled speedup: {report['speedup_compiled']}x, "
         f"accuracies match: {report['compiled_matches_eager']})"
+    )
+    print(
+        f"wrote {train_output_path} (compiled training speedup: "
+        f"{train_report['train_speedup_compiled']}x, trajectories match: "
+        f"{train_report['train_matches_eager']})"
     )
     if not report["compiled_matches_eager"]:
         print("::warning title=compiled-mismatch::compiled accuracies differ from eager early-exit")
@@ -95,6 +143,16 @@ def main() -> None:
         print(
             "::warning title=compiled-regression::compiled path slower than eager "
             f"({report['speedup_compiled']}x < 1.0x)"
+        )
+    if not train_report["train_matches_eager"]:
+        print(
+            "::warning title=compiled-train-mismatch::compiled training trajectory "
+            "differs from eager"
+        )
+    if train_report["train_speedup_compiled"] < 1.0:
+        print(
+            "::warning title=compiled-train-regression::compiled training slower than eager "
+            f"({train_report['train_speedup_compiled']}x < 1.0x)"
         )
 
 

@@ -8,8 +8,15 @@ optimizes it (batch-norm folding into conv weights, affine/ReLU/elementwise
 fusion, constant folding, dead-node elimination) and replays it through a
 :class:`~repro.compile.pool.BufferPool` arena with ``out=``-style NumPy
 kernels, so steady-state iterations allocate nothing and never touch the
-autograd machinery.  The backward pass computes input gradients only —
+autograd machinery.  The eval/attack backward computes input gradients only —
 parameter gradients, which attacks always discard, are never materialized.
+
+Training is compiled too (:mod:`repro.compile.training`): training-mode
+forwards (batch-stat batch norm with in-place running updates) captured with
+**live parameters**, a full parameter-gradient backward into pooled buffers,
+fused in-place optimizer kernels, and adapters replaying the paper's
+composite losses (CE, PGD-AT, TRADES, MART, IB-RAR) — the fused softmax-CE
+seed plus eager-composed HSIC/KL side terms injected into the plan backward.
 
 Entry points:
 
@@ -22,6 +29,9 @@ Entry points:
   evaluation stack in; PGD-family attacks pick the compiled
   ``value_and_grad`` up automatically and telemetry reports compiled vs
   eager pass counts.
+* ``Trainer(compile=True)`` / ``ExperimentSpec(train_compile=True)`` — opt
+  the training loop in; per-batch eager fallback keeps it always safe and
+  ``TrainingHistory.compile_stats`` reports the split.
 * :mod:`repro.compile.kernels` — fused sign/step/project elementwise chains
   shared by the FGSM/PGD/NIFGSM/MIFGSM update rules.
 """
@@ -32,15 +42,18 @@ from .kernels import linf_step, lookahead_point
 from .model import CompiledModel, CompiledStats, compile_model
 from .passes import optimize
 from .pool import BufferPool
+from .training import CompiledTrainer, TrainingCompileStats
 
 __all__ = [
     "BufferPool",
     "CompileError",
     "CompiledModel",
     "CompiledStats",
+    "CompiledTrainer",
     "Graph",
     "Node",
     "Plan",
+    "TrainingCompileStats",
     "capture_forward",
     "compile_model",
     "linf_step",

@@ -8,17 +8,31 @@ NumPy kernels.  Steady-state iterations therefore perform zero pool
 allocations — the property the attack hot path (tens of gradient steps per
 batch) is bought with.
 
-The backward pass computes the gradient **with respect to the input only**.
-Parameters are baked into the plan as constants, so the weight-gradient
+Two gradient modes exist.  ``grad="input"`` (the attack/eval default)
+computes the gradient **with respect to the input only** — parameters are
+baked in (or aliased, for live-parameter plans), so the weight-gradient
 matmuls the eager engine performs on every attack step (and throws away)
-are never executed.  Losses are fused: :meth:`Plan.value_and_grad_ce`
-evaluates softmax cross-entropy and seeds the backward pass with the
-closed-form ``softmax(z) - onehot(y)`` gradient in scratch buffers.
+are never executed.  ``grad="params"`` (the training mode) instead seeds
+the differentiation set from the graph's live ``"param"`` nodes and
+accumulates **full parameter gradients** into pre-allocated pooled buffers;
+:meth:`Plan.run_backward` additionally accepts gradient seeds at named
+intermediate nodes so eager-composed loss terms (IB-RAR's HSIC
+regularizers, TRADES/MART KL terms) can inject their contributions.
+
+Live-parameter plans (graphs captured with ``live_params=True``) alias
+``param.data`` directly and re-read it on every replay — one plan survives
+every in-place optimizer step.  Training-mode batch norms recompute batch
+statistics per replay and update the module's running buffers in place,
+reproducing the eager update sequence bit for bit.
+
+Losses are fused: :meth:`Plan.value_and_grad_ce` evaluates softmax
+cross-entropy and seeds the backward pass with the closed-form
+``softmax(z) - onehot(y)`` gradient in scratch buffers.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
@@ -58,20 +72,50 @@ class Plan:
     """An executable, buffer-bound instance of an optimized graph.
 
     One plan serves exactly one ``(input shape, dtype)`` signature; the
-    shape-dispatching cache lives in :class:`~repro.compile.CompiledModel`.
+    shape-dispatching caches live in :class:`~repro.compile.CompiledModel`
+    (eval) and :class:`~repro.compile.training.CompiledTrainer` (training).
+
+    Parameters
+    ----------
+    grad:
+        ``"input"`` differentiates with respect to the input batch (the
+        attack hot path); ``"params"`` with respect to every live ``param``
+        node (the training step — parameter gradients land in pooled
+        buffers exposed via :meth:`param_grads`).
+    seed_ids:
+        Node ids that may receive external gradient seeds through
+        :meth:`run_backward` (a training plan passes its hidden-output
+        nodes).  Registering them as extra contributors keeps the
+        dead-write elimination from overwriting injected seeds.
     """
 
-    def __init__(self, graph: Graph, pool: Optional[BufferPool] = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        pool: Optional[BufferPool] = None,
+        grad: str = "input",
+        seed_ids: Sequence[int] = (),
+    ) -> None:
+        if grad not in ("input", "params"):
+            raise ValueError(f"unknown grad mode '{grad}'; use 'input' or 'params'")
         self.graph = graph
+        self.grad_mode = grad
         self.pool = pool or BufferPool()
         #: node id -> forward value (const arrays, bound buffers, or views).
         self.values: Dict[int, np.ndarray] = {}
-        #: node id -> gradient accumulator, for nodes on the input-grad path.
+        #: node id -> gradient accumulator, for nodes on the grad path.
         self.grads: Dict[int, np.ndarray] = {}
+        #: (Parameter, node id) pairs for live-parameter graphs.
+        self.params: List[Tuple[object, int]] = [
+            (n.meta["parameter"], n.id) for n in graph.param_nodes()
+        ]
         self._forward_steps: List[Callable[[], None]] = []
         self._backward_steps: List[Callable[[], None]] = []
         self._grad_buffers: List[np.ndarray] = []
-        self._diff: Set[int] = graph.grad_path()
+        self._diff: Set[int] = graph.grad_path(
+            include_input=(grad == "input"), include_params=(grad == "params")
+        )
+        self._seed_ids: Set[int] = set(seed_ids) & self._diff
         self._ce: Optional[dict] = None
         self._bind()
 
@@ -96,6 +140,12 @@ class Plan:
             if node.op == "const":
                 self.values[node.id] = np.ascontiguousarray(node.value)
                 continue
+            if node.op == "param":
+                # Live leaf: alias the parameter's storage.  Replays re-read
+                # it, so in-place optimizer updates flow into the plan; the
+                # identity guard in :meth:`forward` catches reallocation.
+                self.values[node.id] = node.meta["parameter"].data
+                continue
             binder = _FORWARD.get(node.op)
             if binder is None:
                 raise CompileError(f"op '{node.op}' has no compiled kernel")
@@ -105,21 +155,24 @@ class Plan:
                 self._forward_steps.append(step)
 
         if graph.output_id not in self._diff:
-            # Forward-only plan: no gradient path from output to input.
+            # Forward-only plan: no gradient path from output to the leaves.
             self._backward_steps = []
             self._grads_bound = False
             return
         # Dead-write elimination: a gradient buffer that receives exactly one
         # contribution is written directly by its contributing kernel (via
         # `_sink`), skipping both the zero-fill and the accumulate add.  The
-        # output seed counts as the output node's single contribution.
+        # output seed counts as the output node's single contribution, and so
+        # does each registered external-seed injection point.
         self._contributions: Dict[int, int] = {graph.output_id: 1}
         for node in graph.nodes:
-            if node.id not in self._diff or node.op in ("input", "const", "detach"):
+            if node.id not in self._diff or node.op in ("input", "const", "detach", "param"):
                 continue
             for input_id in node.inputs:
                 if input_id in self._diff:
                     self._contributions[input_id] = self._contributions.get(input_id, 0) + 1
+        for seed_id in self._seed_ids:
+            self._contributions[seed_id] = self._contributions.get(seed_id, 0) + 1
         self._fill_ids: Set[int] = set()
         for node in graph.nodes:
             if node.id in self._diff:
@@ -128,7 +181,7 @@ class Plan:
                 self._fill_ids.add(node.id)
         self._fill_ids.discard(graph.output_id)  # seeded by copyto
         for node in reversed(graph.nodes):
-            if node.id not in self._diff or node.op in ("input", "const", "detach"):
+            if node.id not in self._diff or node.op in ("input", "const", "detach", "param"):
                 continue
             binder = _BACKWARD.get(node.op)
             if binder is None:
@@ -161,6 +214,11 @@ class Plan:
     # ------------------------------------------------------------------ #
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Replay the forward pass; returns the (plan-owned) output array."""
+        for param, node_id in self.params:
+            if self.values[node_id] is not param.data:
+                raise CompileError(
+                    "parameter storage was reallocated (non-in-place update); recompile the plan"
+                )
         np.copyto(self._input, x)
         for step in self._forward_steps:
             step()
@@ -168,6 +226,8 @@ class Plan:
 
     def backward(self, output_grad: np.ndarray) -> np.ndarray:
         """Input gradient for the most recent :meth:`forward` call."""
+        if self.grad_mode != "input":
+            raise CompileError("backward() needs an input-gradient plan; use run_backward()")
         if not self._grads_bound:
             raise CompileError("this plan has no gradient path from output to input")
         for buffer in self._grad_buffers:
@@ -177,17 +237,53 @@ class Plan:
             step()
         return self.grads[self.graph.input_id]
 
-    def value_and_grad_ce(self, x: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
-        """Fused softmax cross-entropy loss and its input gradient.
+    def run_backward(self, seeds: Mapping[int, np.ndarray]) -> None:
+        """Replay the backward pass from per-node gradient seeds.
 
-        Runs the compiled forward, evaluates mean CE over ``labels`` in
-        scratch buffers and seeds the compiled backward with the closed-form
-        ``(softmax(z) - onehot(y)) / N`` logit gradient — no loss graph is
-        ever built.
+        ``seeds`` maps node ids to gradient arrays: the output node's seed is
+        copied in (zero when absent), every other seed is **added** to that
+        node's freshly zeroed accumulator before the kernels run — the form
+        composite losses need, where the fused-CE output seed and the
+        eager-composed side terms' hidden-activation seeds join one pass.
+        Non-output seed ids must have been registered via ``seed_ids`` at
+        bind time (otherwise a single-contribution writer overwrites them).
         """
-        logits = self.forward(x)
+        if not self._grads_bound:
+            raise CompileError("this plan has no gradient path to its leaves")
+        for buffer in self._grad_buffers:
+            buffer.fill(0)
+        output_id = self.graph.output_id
+        output_seed = seeds.get(output_id)
+        if output_seed is not None:
+            np.copyto(self.grads[output_id], output_seed)
+        else:
+            self.grads[output_id].fill(0)
+        for node_id, seed in seeds.items():
+            if node_id == output_id:
+                continue
+            if node_id not in self._seed_ids:
+                raise CompileError(f"node {node_id} was not registered as a seed point")
+            target = self.grads[node_id]
+            np.add(target, seed, out=target)
+        for step in self._backward_steps:
+            step()
+
+    def param_grads(self) -> Dict[int, np.ndarray]:
+        """``id(parameter) -> pooled gradient buffer`` after a backward replay."""
+        return {id(param): self.grads[node_id] for param, node_id in self.params
+                if node_id in self.grads}
+
+    def ce_loss_and_seed(self, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Fused softmax-CE loss of the latest forward and its logit gradient.
+
+        Evaluates mean CE over ``labels`` in scratch buffers and returns the
+        closed-form ``(softmax(z) - onehot(y)) / N`` seed (a plan-owned
+        scratch array) ready for :meth:`backward` / :meth:`run_backward` —
+        no loss graph is ever built.
+        """
+        logits = self.values[self.graph.output_id]
         if logits.ndim != 2:
-            raise CompileError("value_and_grad_ce expects (N, classes) logits")
+            raise CompileError("ce_loss_and_seed expects (N, classes) logits")
         if self._ce is None:
             n, k = logits.shape
             self._ce = {
@@ -213,12 +309,23 @@ class Plan:
         np.divide(p, z, out=p)
         p[arange, labels] -= 1.0
         p *= 1.0 / len(labels)
-        return loss, self.backward(p)
+        return loss, p
+
+    def value_and_grad_ce(self, x: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Fused softmax cross-entropy loss and its input gradient."""
+        self.forward(x)
+        loss, seed = self.ce_loss_and_seed(labels)
+        return loss, self.backward(seed)
 
 
 # --------------------------------------------------------------------------- #
 # forward binders: node -> (step callable | None, output array)
 # --------------------------------------------------------------------------- #
+def _is_live(plan: Plan, node_id: int) -> bool:
+    """Whether ``node_id`` is a live-parameter leaf (re-read every replay)."""
+    return plan.graph.node(node_id).op == "param"
+
+
 def _bind_conv2d(plan: Plan, node: Node):
     x = plan.values[node.inputs[0]]
     weight = plan.values[node.inputs[1]]
@@ -231,7 +338,14 @@ def _bind_conv2d(plan: Plan, node: Node):
     _, _, out_h, out_w = node.shape
     dtype = node.dtype
 
-    w_t = np.ascontiguousarray(weight.reshape(oc, -1).T)
+    if _is_live(plan, node.inputs[1]):
+        # Live weights change under the optimizer every step: matmul against
+        # a transposed *view* so each replay reads the current values (BLAS
+        # handles the transposed operand natively, same math as the eager
+        # ``cols @ w_mat.T``).
+        w_t = weight.reshape(oc, -1).T
+    else:
+        w_t = np.ascontiguousarray(weight.reshape(oc, -1).T)
 
     if padding:
         padded = plan.pool.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype)
@@ -242,6 +356,7 @@ def _bind_conv2d(plan: Plan, node: Node):
         source = x
     patches = _patch_view(source, kernel, stride, out_h, out_w).transpose(0, 2, 3, 1, 4, 5)
     cols = plan.pool.empty((n * out_h * out_w, c * kernel * kernel), dtype)
+    node.meta["_cols"] = cols  # the weight-gradient matmul reads these
     cols6 = cols.reshape(n, out_h, out_w, c, kernel, kernel)
     out2d = plan.pool.empty((n * out_h * out_w, oc), dtype)
     # The NCHW output is a transpose view of the matmul result (same trick as
@@ -343,23 +458,115 @@ def _bind_pow(plan: Plan, node: Node):
 
 
 def _bind_batch_norm(plan: Plan, node: Node):
+    if node.meta.get("training"):
+        return _bind_batch_norm_train(plan, node)
     x = plan.values[node.inputs[0]]
     gamma = plan.values[node.inputs[1]]
     beta = plan.values[node.inputs[2]]
     c = node.shape[1]
     dtype = node.dtype
-    scale, shift = bn_scale_shift(
-        gamma, beta, node.meta["mean"], node.meta["var"], node.meta["eps"], dtype
-    )
-    scale_r = scale.reshape(1, c, 1, 1)
-    shift_r = shift.reshape(1, c, 1, 1)
-    node.meta["_scale"] = scale_r
     fuse_relu = node.meta.get("fuse_relu", False)
     out = plan.pool.empty(node.shape, dtype)
+    live = _is_live(plan, node.inputs[1]) or _is_live(plan, node.inputs[2])
+
+    if not live:
+        scale, shift = bn_scale_shift(
+            gamma, beta, node.meta["mean"], node.meta["var"], node.meta["eps"], dtype
+        )
+        scale_r = scale.reshape(1, c, 1, 1)
+        shift_r = shift.reshape(1, c, 1, 1)
+        node.meta["_scale"] = scale_r
+
+        def step() -> None:
+            np.multiply(x, scale_r, out=out)
+            np.add(out, shift_r, out=out)
+            if fuse_relu:
+                np.maximum(out, 0.0, out=out)
+
+        return step, out
+
+    # Live gamma/beta (and live running stats, updated by interleaved
+    # training forwards): re-derive the per-channel affine every replay, in
+    # float64 like :func:`bn_scale_shift`, into persistent buffers.
+    mean_ref, var_ref = node.meta["mean"], node.meta["var"]
+    eps = node.meta["eps"]
+    scale64 = plan.pool.empty((c,), np.float64)
+    shift64 = plan.pool.empty((c,), np.float64)
+    scale_r = plan.pool.empty((1, c, 1, 1), dtype)
+    shift_r = plan.pool.empty((1, c, 1, 1), dtype)
+    scale_cast = scale_r.reshape(c)
+    shift_cast = shift_r.reshape(c)
+    node.meta["_scale"] = scale_r
 
     def step() -> None:
+        np.add(var_ref, eps, out=shift64)
+        np.sqrt(shift64, out=shift64)
+        np.divide(gamma, shift64, out=scale64)
+        np.multiply(mean_ref, scale64, out=shift64)
+        np.subtract(beta, shift64, out=shift64)
+        scale_cast[...] = scale64
+        shift_cast[...] = shift64
         np.multiply(x, scale_r, out=out)
         np.add(out, shift_r, out=out)
+        if fuse_relu:
+            np.maximum(out, 0.0, out=out)
+
+    return step, out
+
+
+def _bind_batch_norm_train(plan: Plan, node: Node):
+    """Batch-stat batch norm with in-place running-statistic updates.
+
+    Reproduces :func:`repro.nn.functional.batch_norm2d`'s training branch
+    operation for operation: batch mean/var in the input dtype, running
+    buffers (kept in their own dtype) updated with the eager expression's
+    evaluation order, normalization through ``x_hat`` (stored for the
+    backward kernel) and the unbiased-variance correction on the running
+    update.
+    """
+    x = plan.values[node.inputs[0]]
+    gamma = plan.values[node.inputs[1]]
+    beta = plan.values[node.inputs[2]]
+    n, c, h, w = node.shape
+    dtype = node.dtype
+    fuse_relu = node.meta.get("fuse_relu", False)
+    momentum = node.meta["momentum"]
+    eps = node.meta["eps"]
+    running_mean = node.meta["running_mean"]
+    running_var = node.meta["running_var"]
+    count = n * h * w
+    var_factor = count / max(count - 1, 1)
+
+    mean_c = plan.pool.empty((c,), dtype)
+    var_c = plan.pool.empty((c,), dtype)
+    std_c = plan.pool.empty((c,), dtype)
+    scratch_c = plan.pool.empty((c,), dtype)
+    x_hat = plan.pool.empty(node.shape, dtype)
+    out = plan.pool.empty(node.shape, dtype)
+    mean_r = mean_c.reshape(1, c, 1, 1)
+    std_r = std_c.reshape(1, c, 1, 1)
+    gamma_r = gamma.reshape(1, c, 1, 1)
+    beta_r = beta.reshape(1, c, 1, 1)
+    node.meta["_x_hat"] = x_hat
+    node.meta["_std"] = std_r
+    node.meta["_gamma_r"] = gamma_r
+
+    def step() -> None:
+        np.mean(x, axis=(0, 2, 3), out=mean_c)
+        np.var(x, axis=(0, 2, 3), out=var_c)
+        np.multiply(running_mean, 1.0 - momentum, out=running_mean)
+        np.multiply(mean_c, momentum, out=scratch_c)
+        np.add(running_mean, scratch_c, out=running_mean)
+        np.multiply(running_var, 1.0 - momentum, out=running_var)
+        np.multiply(var_c, momentum, out=scratch_c)
+        np.multiply(scratch_c, var_factor, out=scratch_c)
+        np.add(running_var, scratch_c, out=running_var)
+        np.add(var_c, eps, out=std_c)
+        np.sqrt(std_c, out=std_c)
+        np.subtract(x, mean_r, out=x_hat)
+        np.divide(x_hat, std_r, out=x_hat)
+        np.multiply(x_hat, gamma_r, out=out)
+        np.add(out, beta_r, out=out)
         if fuse_relu:
             np.maximum(out, 0.0, out=out)
 
@@ -600,69 +807,122 @@ def _accumulate_into(plan: Plan, target_id: int, source: np.ndarray):
 
 def _back_conv2d(plan: Plan, node: Node):
     x_id = node.inputs[0]
-    if x_id not in plan._diff:
-        # Unreachable for well-formed graphs (a conv is only on the gradient
-        # path through its input), kept as a safe default.
+    w_id = node.inputs[1]
+    b_id = node.inputs[2] if len(node.inputs) > 2 else None
+    need_x = x_id in plan._diff
+    need_w = w_id in plan._diff
+    need_b = b_id is not None and b_id in plan._diff
+    if not (need_x or need_w or need_b):
+        # Unreachable for well-formed graphs (a conv is always on some
+        # gradient path), kept as a safe default.
         return _relu_mask_step(plan, node)
-    x_node = plan.graph.node(x_id)
     stride, padding = node.meta["stride"], node.meta["padding"]
-    n, c, h, w = x_node.shape
     _, oc, out_h, out_w = node.shape
-    weight = plan.values[node.inputs[1]]
+    weight = plan.values[w_id]
     kernel = weight.shape[2]
     dtype = node.dtype
     g = plan.grads[node.id]
-    write, gx = plan._sink(x_id)
     mask2d = node.meta.get("_relu_mask2d")
+    cols = node.meta["_cols"]
 
+    n = node.shape[0]
     grad_mat = plan.pool.empty((n * out_h * out_w, oc), dtype)
     gm_nhwc = grad_mat.reshape(n, out_h, out_w, oc)
     g_nhwc = g.transpose(0, 2, 3, 1)
-    grad_cols = plan.pool.empty((n * out_h * out_w, kernel * kernel * c), dtype)
 
-    # The col2im scatter is k*k strided slice-adds; pick the layout whose
-    # innermost contiguous run is longest.  Wide feature maps with few
-    # channels (stem convolutions) scatter fastest over NCHW rows; deep
-    # layers (channels >= spatial width) over NHWC channel vectors.
-    nhwc = c >= out_w
-    if nhwc:
-        w_mat = np.ascontiguousarray(weight.transpose(0, 2, 3, 1).reshape(oc, -1))
-        gc = grad_cols.reshape(n, out_h, out_w, kernel, kernel, c)
-        gpad = plan.pool.empty((n, h + 2 * padding, w + 2 * padding, c), dtype)
-        interior = gpad[:, padding : padding + h, padding : padding + w, :].transpose(0, 3, 1, 2)
+    steps: List[Callable[[], None]] = []
+    if need_w:
+        # grad_w = grad_mat.T @ cols — the exact matmul the eager kernel
+        # runs, reading the im2col buffer the forward replay just filled.
+        write_w, gw = plan._sink(w_id)
+        gw2d = gw.reshape(oc, -1)
+        grad_mat_t = grad_mat.T
+        if write_w:
+            steps.append(lambda: np.matmul(grad_mat_t, cols, out=gw2d))
+        else:
+            scratch_w = plan.pool.empty(gw2d.shape, dtype)
+            steps.append(
+                lambda: (np.matmul(grad_mat_t, cols, out=scratch_w), np.add(gw2d, scratch_w, out=gw2d))
+            )
+    if need_b:
+        write_b, gb = plan._sink(b_id)
+        if write_b:
+            steps.append(lambda: np.sum(grad_mat, axis=0, out=gb))
+        else:
+            scratch_b = plan.pool.empty(gb.shape, dtype)
+            steps.append(
+                lambda: (np.sum(grad_mat, axis=0, out=scratch_b), np.add(gb, scratch_b, out=gb))
+            )
+    if need_x:
+        x_node = plan.graph.node(x_id)
+        n, c, h, w = x_node.shape
+        write, gx = plan._sink(x_id)
+        grad_cols = plan.pool.empty((n * out_h * out_w, kernel * kernel * c), dtype)
+        live_w = _is_live(plan, w_id)
 
-        def slice_of(target, ki: int, kj: int):
-            return target[:, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride, :]
+        # The col2im scatter is k*k strided slice-adds; pick the layout whose
+        # innermost contiguous run is longest.  Wide feature maps with few
+        # channels (stem convolutions) scatter fastest over NCHW rows; deep
+        # layers (channels >= spatial width) over NHWC channel vectors.
+        nhwc = c >= out_w
+        if nhwc:
+            if live_w:
+                # Refresh a persistent buffer from the live weights each
+                # replay (a strided copy — no allocation).
+                w_mat = plan.pool.empty((oc, kernel * kernel * c), dtype)
+                w_mat_src = weight.transpose(0, 2, 3, 1)
+                w_mat_view = w_mat.reshape(oc, kernel, kernel, c)
+                refresh = lambda: np.copyto(w_mat_view, w_mat_src)
+            else:
+                w_mat = np.ascontiguousarray(weight.transpose(0, 2, 3, 1).reshape(oc, -1))
+                refresh = None
+            gc = grad_cols.reshape(n, out_h, out_w, kernel, kernel, c)
+            gpad = plan.pool.empty((n, h + 2 * padding, w + 2 * padding, c), dtype)
+            interior = gpad[:, padding : padding + h, padding : padding + w, :].transpose(0, 3, 1, 2)
 
-        def col_of(ki: int, kj: int):
-            return gc[:, :, :, ki, kj, :]
+            def slice_of(target, ki: int, kj: int):
+                return target[:, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride, :]
 
-    else:
-        w_mat = np.ascontiguousarray(weight.reshape(oc, -1))
-        gc = grad_cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
-        gpad = plan.pool.empty((n, c, h + 2 * padding, w + 2 * padding), dtype)
-        interior = gpad[:, :, padding : padding + h, padding : padding + w]
+            def col_of(ki: int, kj: int):
+                return gc[:, :, :, ki, kj, :]
 
-        def slice_of(target, ki: int, kj: int):
-            return target[:, :, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride]
+        else:
+            # weight.reshape on the contiguous parameter array is a view, so
+            # live weights need no refresh here.
+            w_mat = weight.reshape(oc, -1)
+            refresh = None
+            gc = grad_cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 1, 2, 4, 5)
+            gpad = plan.pool.empty((n, c, h + 2 * padding, w + 2 * padding), dtype)
+            interior = gpad[:, :, padding : padding + h, padding : padding + w]
 
-        def col_of(ki: int, kj: int):
-            return gc[:, :, :, :, ki, kj]
+            def slice_of(target, ki: int, kj: int):
+                return target[:, :, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride]
+
+            def col_of(ki: int, kj: int):
+                return gc[:, :, :, :, ki, kj]
+
+        def input_step() -> None:
+            if refresh is not None:
+                refresh()
+            np.matmul(grad_mat, w_mat, out=grad_cols)
+            gpad.fill(0)
+            for ki in range(kernel):
+                for kj in range(kernel):
+                    slice_target = slice_of(gpad, ki, kj)
+                    np.add(slice_target, col_of(ki, kj), out=slice_target)
+            if write:
+                np.copyto(gx, interior)
+            else:
+                np.add(gx, interior, out=gx)
+
+        steps.append(input_step)
 
     def run() -> None:
         gm_nhwc[...] = g_nhwc
         if mask2d is not None:
             np.multiply(grad_mat, mask2d, out=grad_mat)
-        np.matmul(grad_mat, w_mat, out=grad_cols)
-        gpad.fill(0)
-        for ki in range(kernel):
-            for kj in range(kernel):
-                slice_target = slice_of(gpad, ki, kj)
-                np.add(slice_target, col_of(ki, kj), out=slice_target)
-        if write:
-            np.copyto(gx, interior)
-        else:
-            np.add(gx, interior, out=gx)
+        for step in steps:
+            step()
 
     return run
 
@@ -879,6 +1139,8 @@ def _back_unary_from_out(factor: Callable[[np.ndarray, np.ndarray, np.ndarray], 
 
 
 def _back_batch_norm(plan: Plan, node: Node):
+    if node.meta.get("training"):
+        return _back_batch_norm_train(plan, node)
     x_id = node.inputs[0]
     if x_id not in plan._diff:
         return _relu_mask_step(plan, node)
@@ -894,6 +1156,85 @@ def _back_batch_norm(plan: Plan, node: Node):
         np.multiply(g, scale, out=target)
         if not write:
             np.add(gx, target, out=gx)
+
+    return run
+
+
+def _back_batch_norm_train(plan: Plan, node: Node):
+    """Full training-mode BN backward (through the batch statistics).
+
+    Mirrors the eager kernel: gamma gets ``sum(grad * x_hat)``, beta gets
+    ``sum(grad)``, and the input gradient is
+    ``(grad_xhat - sum(grad_xhat)/m - x_hat * sum(grad_xhat * x_hat)/m) / std``.
+    """
+    x_id, gamma_id, beta_id = node.inputs[0], node.inputs[1], node.inputs[2]
+    need_x = x_id in plan._diff
+    need_gamma = gamma_id in plan._diff
+    need_beta = beta_id in plan._diff
+    if not (need_x or need_gamma or need_beta):
+        return _relu_mask_step(plan, node)
+    n, c, h, w = node.shape
+    dtype = node.dtype
+    count = n * h * w
+    g = plan.grads[node.id]
+    x_hat = node.meta["_x_hat"]
+    std_r = node.meta["_std"]
+    gamma_r = node.meta["_gamma_r"]
+    relu_step = _relu_mask_step(plan, node)
+
+    s1 = plan.pool.empty(node.shape, dtype)
+    s2 = plan.pool.empty(node.shape, dtype)
+    sg = plan.pool.empty((1, c, 1, 1), dtype)
+    sgx = plan.pool.empty((1, c, 1, 1), dtype)
+    steps: List[Callable[[], None]] = []
+    if need_gamma:
+        write_g, gg = plan._sink(gamma_id)
+        if write_g:
+            steps.append(lambda: (np.multiply(g, x_hat, out=s1), np.sum(s1, axis=(0, 2, 3), out=gg)))
+        else:
+            scratch_g = plan.pool.empty(gg.shape, dtype)
+            steps.append(
+                lambda: (
+                    np.multiply(g, x_hat, out=s1),
+                    np.sum(s1, axis=(0, 2, 3), out=scratch_g),
+                    np.add(gg, scratch_g, out=gg),
+                )
+            )
+    if need_beta:
+        write_b, gb = plan._sink(beta_id)
+        if write_b:
+            steps.append(lambda: np.sum(g, axis=(0, 2, 3), out=gb))
+        else:
+            scratch_b = plan.pool.empty(gb.shape, dtype)
+            steps.append(
+                lambda: (np.sum(g, axis=(0, 2, 3), out=scratch_b), np.add(gb, scratch_b, out=gb))
+            )
+    if need_x:
+        write, gx = plan._sink(x_id)
+
+        def input_step() -> None:
+            np.multiply(g, gamma_r, out=s1)  # grad_xhat
+            np.sum(s1, axis=(0, 2, 3), keepdims=True, out=sg)
+            np.multiply(s1, x_hat, out=s2)
+            np.sum(s2, axis=(0, 2, 3), keepdims=True, out=sgx)
+            np.divide(sg, count, out=sg)
+            np.multiply(x_hat, sgx, out=s2)
+            np.divide(s2, count, out=s2)
+            np.subtract(s1, sg, out=s1)
+            np.subtract(s1, s2, out=s1)
+            np.divide(s1, std_r, out=s1)
+            if write:
+                np.copyto(gx, s1)
+            else:
+                np.add(gx, s1, out=gx)
+
+        steps.append(input_step)
+
+    def run() -> None:
+        if relu_step is not None:
+            relu_step()
+        for step in steps:
+            step()
 
     return run
 

@@ -53,12 +53,24 @@ class Node:
 
 
 class Graph:
-    """A topologically ordered static graph with one input and one output."""
+    """A topologically ordered static graph with one input and one output.
 
-    def __init__(self, nodes: List[Node], input_id: int, output_id: int) -> None:
+    ``outputs`` optionally names extra observation points (the hidden
+    representations a training plan exposes to eager-composed loss terms);
+    each maps a name to the node id whose forward value realizes it.
+    """
+
+    def __init__(
+        self,
+        nodes: List[Node],
+        input_id: int,
+        output_id: int,
+        outputs: Optional[Dict[str, int]] = None,
+    ) -> None:
         self.nodes = nodes
         self.input_id = input_id
         self.output_id = output_id
+        self.outputs: Dict[str, int] = dict(outputs or {})
         self._by_id: Dict[int, Node] = {n.id: n for n in nodes}
 
     def node(self, node_id: int) -> Node:
@@ -89,15 +101,24 @@ class Graph:
                 counts[input_id] += 1
         return counts
 
-    def grad_path(self) -> Set[int]:
-        """Ids of nodes through which a gradient flows from output to input.
+    def param_nodes(self) -> List[Node]:
+        """Live-parameter leaves (``op == "param"``), in topological order."""
+        return [n for n in self.nodes if n.op == "param"]
 
-        The input node seeds the set; an op joins it when any of its inputs
-        is in it, except across ``detach`` (an explicit gradient stop).
+    def grad_path(self, include_input: bool = True, include_params: bool = False) -> Set[int]:
+        """Ids of nodes through which a gradient flows from the output.
+
+        The chosen leaves (the input and/or the live parameters) seed the
+        set; an op joins it when any of its inputs is in it, except across
+        ``detach`` (an explicit gradient stop).
         """
-        path: Set[int] = {self.input_id}
+        path: Set[int] = set()
+        if include_input:
+            path.add(self.input_id)
+        if include_params:
+            path.update(n.id for n in self.nodes if n.op == "param")
         for node in self.nodes:  # topo order: inputs precede consumers
-            if node.op in ("input", "const", "detach"):
+            if node.op in ("input", "const", "detach", "param"):
                 continue
             if any(i in path for i in node.inputs):
                 path.add(node.id)
@@ -106,7 +127,7 @@ class Graph:
     def rebuild(self) -> "Graph":
         """Re-derive the id index and re-sort topologically (after passes)."""
         order = _topo_sort(self._by_id, self.output_id, self.input_id)
-        return Graph(order, self.input_id, self.output_id)
+        return Graph(order, self.input_id, self.output_id, self.outputs)
 
 
 def _topo_sort(by_id: Dict[int, Node], output_id: int, input_id: int) -> List[Node]:
@@ -130,20 +151,67 @@ def _topo_sort(by_id: Dict[int, Node], output_id: int, input_id: int) -> List[No
     return order
 
 
-def capture_forward(module, sample_input) -> Graph:
-    """Run one eval-mode forward under tracing and lift it into a :class:`Graph`.
+def capture_forward(
+    module,
+    sample_input,
+    training: bool = False,
+    with_hidden: bool = False,
+    live_params: bool = False,
+) -> Graph:
+    """Run one forward under tracing and lift it into a :class:`Graph`.
 
     ``module`` is any :class:`repro.nn.Module` whose ``forward`` maps one
-    tensor to one tensor.  Training-mode graphs are rejected: batch-norm
-    statistics and dropout masks captured from one batch must not be baked
-    into a plan replayed on others.
+    tensor to one tensor.
+
+    ``training=False`` (the default) captures the eval-mode forward and
+    rejects a module left in training mode: batch-norm statistics and
+    dropout masks captured from one batch must not be baked into a plan
+    replayed on others.  ``training=True`` captures the **training-mode**
+    forward instead — batch-stat batch norms become replayable nodes that
+    update the module's running buffers in place (the traced forward's own
+    running-stat update is rolled back, so a replay reproduces the eager
+    sequence exactly) — and rejects active dropout, whose per-batch random
+    masks cannot be replayed.
+
+    ``with_hidden=True`` traces ``module.forward_with_hidden`` and names
+    each hidden representation in :attr:`Graph.outputs` (training plans
+    expose those nodes to eager-composed loss terms).
+
+    ``live_params=True`` lifts :class:`~repro.nn.modules.Parameter` leaves
+    into ``"param"`` nodes that alias the live parameter storage instead of
+    snapshotting it — the executor re-reads ``param.data`` on every replay,
+    which is what training (and in-training attack) plans need so one plan
+    survives every optimizer step.  Other leaves are still snapshotted.
     """
+    from ..nn.modules import BatchNorm2d, Dropout, Parameter
+
     arr = np.asarray(sample_input, dtype=get_default_dtype())
-    if module.training:
+    if training != bool(module.training):
+        if training:
+            raise CompileError("training capture requires train mode; call module.train() first")
         raise CompileError("compile() requires eval mode; call module.eval() first")
+    bn_saved = []
+    if training:
+        for sub in module.modules():
+            if isinstance(sub, Dropout) and sub.training and sub.p > 0:
+                raise CompileError("cannot capture a training-mode dropout (random per-batch mask)")
+            if isinstance(sub, BatchNorm2d):
+                bn_saved.append((sub, sub.running_mean.copy(), sub.running_var.copy()))
     x = Tensor(arr, requires_grad=True)
-    with _tensor_mod.trace():
-        out = module.forward(x)
+    hidden = {}
+    try:
+        with _tensor_mod.trace():
+            if with_hidden:
+                out, hidden = module.forward_with_hidden(x)
+            else:
+                out = module.forward(x)
+    finally:
+        # The traced forward already applied one running-stat update; roll it
+        # back so replaying the plan (which applies the update itself) leaves
+        # the module exactly where an eager run would.
+        for sub, mean, var in bn_saved:
+            sub.running_mean[...] = mean
+            sub.running_var[...] = var
     if not isinstance(out, Tensor):
         raise CompileError(f"forward returned {type(out).__name__}, expected a Tensor")
 
@@ -161,19 +229,35 @@ def capture_forward(module, sample_input) -> Graph:
         if tensor is x:
             node = Node(next_id, "input", (), {}, tensor.shape, tensor.dtype)
         elif op is None or parents is None:
-            # Leaf constant: a parameter, a buffer-derived literal, or a
-            # value produced outside the traced region.  Snapshot it.
-            node = Node(
-                next_id,
-                "const",
-                (),
-                {},
-                tensor.shape,
-                tensor.dtype,
-                value=np.array(tensor.data, copy=True),
-            )
+            if live_params and isinstance(tensor, Parameter):
+                # Live leaf: the plan aliases (and re-reads) param.data.
+                node = Node(
+                    next_id,
+                    "param",
+                    (),
+                    {"parameter": tensor},
+                    tensor.shape,
+                    tensor.dtype,
+                )
+            else:
+                # Leaf constant: a parameter, a buffer-derived literal, or a
+                # value produced outside the traced region.  Snapshot it.
+                node = Node(
+                    next_id,
+                    "const",
+                    (),
+                    {},
+                    tensor.shape,
+                    tensor.dtype,
+                    value=np.array(tensor.data, copy=True),
+                )
         else:
-            if op == "batch_norm2d" and tensor._op_meta and tensor._op_meta["training"]:
+            if (
+                op == "batch_norm2d"
+                and tensor._op_meta
+                and tensor._op_meta["training"]
+                and not training
+            ):
                 raise CompileError("cannot capture a training-mode batch norm")
             input_ids = tuple(visit(parent) for parent in parents)
             node = Node(
@@ -197,8 +281,9 @@ def capture_forward(module, sample_input) -> Graph:
     try:
         sys.setrecursionlimit(max(limit, 10000))
         output_id = visit(out)
+        outputs = {name: visit(tensor) for name, tensor in hidden.items()}
     finally:
         sys.setrecursionlimit(limit)
     if id(x) not in ids:
         raise CompileError("the module's output does not depend on its input")
-    return Graph(nodes, ids[id(x)], output_id)
+    return Graph(nodes, ids[id(x)], output_id, outputs)

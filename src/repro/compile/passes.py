@@ -158,7 +158,8 @@ def fold_batchnorm(graph: Graph) -> Graph:
     for node in nodes:
         node.inputs = tuple(_resolve(rewired, i) for i in node.inputs)
     output_id = _resolve(rewired, graph.output_id)
-    return Graph(nodes, graph.input_id, output_id).rebuild()
+    outputs = {k: _resolve(rewired, v) for k, v in graph.outputs.items()}
+    return Graph(nodes, graph.input_id, output_id, outputs).rebuild()
 
 
 def _resolve(rewired: Dict[int, int], node_id: int) -> int:
@@ -210,7 +211,10 @@ def fuse_relu(graph: Graph) -> Graph:
         return graph
     for node in graph.nodes:
         node.inputs = tuple(_resolve(rewired, i) for i in node.inputs)
-    return Graph(graph.nodes, graph.input_id, _resolve(rewired, graph.output_id)).rebuild()
+    outputs = {k: _resolve(rewired, v) for k, v in graph.outputs.items()}
+    return Graph(
+        graph.nodes, graph.input_id, _resolve(rewired, graph.output_id), outputs
+    ).rebuild()
 
 
 #: elementwise ops a chain may contain.  ``maximum`` is deliberately absent:
@@ -247,8 +251,15 @@ def _ew_step(node: Node, graph: Graph, source: int) -> dict:
 
 
 def fuse_elementwise(graph: Graph) -> Graph:
-    """Collapse runs (length >= 2) of single-consumer elementwise ops into ``ew``."""
+    """Collapse runs (length >= 2) of single-consumer elementwise ops into ``ew``.
+
+    Named graph outputs (hidden representations a training plan must expose
+    and seed gradients into) may only sit at a chain's *tail*: interior chain
+    members lose their materialized values, so a protected node ends the
+    upward walk instead of joining it.
+    """
     consumers = graph.consumer_counts()
+    protect = set(graph.outputs.values())
     fused: set = set()
     for node in reversed(graph.nodes):  # visit chain tails before their members
         if node.id in fused:
@@ -256,6 +267,8 @@ def fuse_elementwise(graph: Graph) -> Graph:
         chain: List[Node] = []
         current = node
         while current.id not in fused:
+            if chain and current.id in protect:
+                break
             source = _chain_source(current, graph)
             # Broadcast constants must not grow the running shape.
             if source is None or current.shape != graph.node(source).shape:

@@ -1,0 +1,685 @@
+"""Compiled training: static plans for the full train step.
+
+This module extends :mod:`repro.compile` from eval-mode inference to the
+training loop itself.  A :class:`CompiledTrainer` owns, per input signature:
+
+* one (or two, for two-forward losses like TRADES/MART) **training plans** —
+  the training-mode forward captured with live parameters, batch-stat batch
+  norms (running statistics updated in place, exactly like eager), named
+  hidden outputs, and a full parameter-gradient backward accumulated into
+  pooled buffers;
+* one **attack plan** — the eval-mode forward with live parameters and an
+  input-gradient backward, driving the inner maximization of the
+  adversarial-training losses (eager attacks also run the model in eval
+  mode, so this reproduces their semantics).
+
+Loss strategies are mapped to *adapters* that replay the exact eager
+computation through those plans: the classification term runs as the fused
+softmax-CE seed, while composite side terms (IB-RAR's HSIC regularizers,
+TRADES/MART KL terms) are composed **eagerly on the plans' logit/hidden
+buffers** — tiny graphs over ``(N, classes)`` logits or ``m x m`` kernels —
+and their leaf gradients are injected back into the plan backward via
+:meth:`~repro.compile.executor.Plan.run_backward`.  Parameter gradients from
+every backward replay are summed into per-parameter accumulators, and the
+optimizer applies them with its fused in-place
+:meth:`~repro.nn.optim.Optimizer.step_with_grads` kernels — which is what
+keeps the live-parameter plans valid across steps.
+
+Anything the adapters cannot express (unknown strategies,
+``mi_on_adversarial``, dropout-bearing models, ragged batch signatures on
+their first sighting) falls back to the eager path batch by batch; opting in
+is always safe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.tensor import Tensor, get_default_dtype
+from ..nn import functional as F
+from .executor import Plan
+from .graph import CompileError, capture_forward
+from .kernels import linf_step
+from .passes import optimize
+
+__all__ = ["CompiledTrainer", "LiveEvalModel", "TrainingCompileStats", "build_adapter"]
+
+
+@dataclass
+class TrainingCompileStats:
+    """Compiled-vs-eager accounting for one :class:`CompiledTrainer`."""
+
+    compiled_batches: int = 0
+    eager_batches: int = 0
+    plans_built: int = 0
+    attack_grad_calls: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "compiled_batches": self.compiled_batches,
+            "eager_batches": self.eager_batches,
+            "plans_built": self.plans_built,
+            "attack_grad_calls": self.attack_grad_calls,
+        }
+
+    def snapshot(self) -> Tuple[int, int]:
+        """``(compiled_batches, eager_batches)`` — diff across an epoch."""
+        return self.compiled_batches, self.eager_batches
+
+    def merge(self, other: "TrainingCompileStats") -> "TrainingCompileStats":
+        """Counter-wise sum (combining retired and live trainer instances)."""
+        return TrainingCompileStats(
+            compiled_batches=self.compiled_batches + other.compiled_batches,
+            eager_batches=self.eager_batches + other.eager_batches,
+            plans_built=self.plans_built + other.plans_built,
+            attack_grad_calls=self.attack_grad_calls + other.attack_grad_calls,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# plan construction
+# --------------------------------------------------------------------------- #
+def _training_plan(model, sample: np.ndarray, hidden_seeds: bool = True) -> Plan:
+    # Hidden outputs exist only for adapters that consume them (the IB-RAR
+    # wrapper): naming them protects those nodes from elementwise-chain
+    # fusion, and registering them as seed points costs the dead-write
+    # optimization on their gradient buffers — pure overhead for CE and the
+    # adversarial benchmarks.
+    graph = capture_forward(
+        model, sample, training=True, with_hidden=hidden_seeds, live_params=True
+    )
+    graph = optimize(graph, fold_bn=False, fuse=True)
+    seed_ids = tuple(graph.outputs.values()) if hidden_seeds else ()
+    return Plan(graph, grad="params", seed_ids=seed_ids)
+
+
+def _attack_plan(model, sample: np.ndarray) -> Plan:
+    was_training = model.training
+    model.eval()
+    try:
+        graph = capture_forward(model, sample, live_params=True)
+    finally:
+        model.train(was_training)
+    graph = optimize(graph, fold_bn=False, fuse=True)
+    return Plan(graph, grad="input")
+
+
+def _supports_fused_step(optimizer) -> bool:
+    """Whether the optimizer overrides the in-place fused update path.
+
+    The base :class:`~repro.nn.optim.Optimizer.step_with_grads` raises
+    ``NotImplementedError``; a custom subclass implementing only ``step()``
+    cannot keep live-parameter plans valid, so compiled training declines.
+    """
+    from ..nn.optim import Optimizer
+
+    return type(optimizer).step_with_grads is not Optimizer.step_with_grads
+
+
+def _mask_changed(current, reference) -> bool:
+    """Whether a channel mask differs *by value* from the captured one.
+
+    Refreshing the Eq. (3) mask installs a fresh array every time; when the
+    channel selection has stabilized the values are identical and the plans
+    (which bake the mask in as a constant) stay valid — only a value change
+    forces recapture.
+    """
+    if current is reference:
+        return False
+    if current is None or reference is None:
+        return True
+    return not np.array_equal(current, reference)
+
+
+class _SignatureContext:
+    """The plans serving one ``(input shape, dtype)`` signature."""
+
+    def __init__(
+        self,
+        model,
+        sample: np.ndarray,
+        slots: int,
+        needs_attack: bool,
+        hidden_seeds: bool,
+    ) -> None:
+        self.train_a = _training_plan(model, sample, hidden_seeds=hidden_seeds)
+        self.train_b = (
+            _training_plan(model, sample, hidden_seeds=hidden_seeds) if slots >= 2 else None
+        )
+        self.attack = _attack_plan(model, sample) if needs_attack else None
+
+    @property
+    def plans(self) -> List[Plan]:
+        return [p for p in (self.train_a, self.train_b, self.attack) if p is not None]
+
+
+class _SignatureCache:
+    """Shape-keyed compile-on-second-sighting cache, shared policy.
+
+    One instance backs :class:`CompiledTrainer` (entries are
+    :class:`_SignatureContext`) and one backs :class:`LiveEvalModel`
+    (entries are eval :class:`Plan`).  A signature seen once runs eagerly
+    (a ragged final batch is cheaper eager than captured); the second
+    sighting calls ``build``.  Capture failures are memoized as ``None``
+    (deterministic — e.g. dropout); :meth:`evict` drops a *recoverable*
+    failure (reallocated parameter storage) so the next sighting rebuilds.
+    """
+
+    def __init__(self, build: Callable[[np.ndarray], object], capacity: int) -> None:
+        self._build = build
+        self.capacity = capacity
+        self.entries: Dict[Tuple[Tuple[int, ...], str], Optional[object]] = {}
+        self._misses: Dict[Tuple[Tuple[int, ...], str], int] = {}
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self._misses.clear()
+
+    def lookup(self, sample: np.ndarray):
+        key = (sample.shape, sample.dtype.str)
+        if key in self.entries:
+            return self.entries[key]
+        if self._misses.get(key, 0) == 0:
+            self._misses[key] = 1
+            return None
+        if sum(1 for entry in self.entries.values() if entry is not None) >= self.capacity:
+            return None
+        try:
+            entry = self._build(sample)
+        except CompileError:
+            entry = None  # remember the failure; fall back for this signature
+        self.entries[key] = entry
+        return entry
+
+    def evict(self, sample: np.ndarray) -> None:
+        self.entries.pop((sample.shape, sample.dtype.str), None)
+
+
+def _pgd_loop(
+    attack_plan: Plan,
+    images: np.ndarray,
+    labels: np.ndarray,
+    eps: float,
+    alpha: float,
+    steps: int,
+    random_start: bool,
+    seed: int,
+    clip_min: float = 0.0,
+    clip_max: float = 1.0,
+    logits_seed: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> np.ndarray:
+    """Replay :class:`repro.attacks.PGD`'s generation loop through a plan.
+
+    Reproduces the eager attack exactly — the same fresh per-batch RNG and
+    random-start draw, the same fused ``linf_step`` ping-pong buffers — with
+    the per-step gradient query served by the live-parameter eval plan.
+    ``logits_seed`` swaps the default fused-CE loss for a custom
+    logits-level loss (TRADES' KL inner maximization): it receives the
+    plan-owned logits and returns the output-gradient seed.
+    """
+    images = np.asarray(images, dtype=get_default_dtype())
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    rng = np.random.default_rng(seed)
+    adversarial = images.copy()
+    if random_start and eps > 0:
+        adversarial = adversarial + rng.uniform(-eps, eps, size=images.shape)
+        adversarial = np.clip(adversarial, clip_min, clip_max)
+    buffers = (np.empty_like(images), np.empty_like(images))
+    for step in range(steps):
+        if logits_seed is None:
+            _, gradient = attack_plan.value_and_grad_ce(adversarial, labels)
+        else:
+            logits = attack_plan.forward(adversarial)
+            gradient = attack_plan.backward(logits_seed(logits))
+        adversarial = linf_step(
+            adversarial, gradient, alpha, images, eps, clip_min, clip_max,
+            out=buffers[step % 2],
+        )
+    return adversarial
+
+
+class LiveEvalModel:
+    """Eval-mode predictions through live-parameter plans, reusable forever.
+
+    The :class:`~repro.compile.CompiledModel` snapshots weights, so a
+    training loop would have to re-capture it after every epoch.  This view
+    instead binds eval-semantics plans to the **live** parameter storage
+    (like the adapters' attack plans): one capture per batch signature
+    serves every epoch of in-training evaluation, tracking in-place weight
+    updates and the running batch-norm statistics automatically.  The
+    interface mirrors ``CompiledModel`` (``__call__``/``predict``/
+    ``value_and_grad``) with per-batch eager fallback; a changed channel
+    mask or reallocated parameter storage invalidates the cached plans.
+    """
+
+    def __init__(self, module, max_plans: int = 8) -> None:
+        self.module = module
+        self._cache = _SignatureCache(
+            lambda sample: _attack_plan(self.module, sample), capacity=max_plans
+        )
+        self._mask_ref = getattr(module, "channel_mask", None)
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+    @property
+    def _plans(self) -> Dict[Tuple[Tuple[int, ...], str], Optional[Plan]]:
+        return self._cache.entries
+
+    def _plan_for(self, arr: np.ndarray) -> Optional[Plan]:
+        if _mask_changed(getattr(self.module, "channel_mask", None), self._mask_ref):
+            self.invalidate()
+        self._mask_ref = getattr(self.module, "channel_mask", None)
+        # Eval shapes recur every epoch, so from the second epoch on every
+        # hook batch replays a plan.
+        return self._cache.lookup(arr)
+
+    def __call__(self, x) -> np.ndarray:
+        arr = np.asarray(x.data if isinstance(x, Tensor) else x, dtype=get_default_dtype())
+        plan = self._plan_for(arr)
+        if plan is not None:
+            try:
+                return plan.forward(arr)
+            except CompileError:  # e.g. parameter storage reallocated
+                self._cache.evict(arr)
+        from ..nn.tensor import no_grad
+
+        was_training = self.module.training
+        self.module.eval()
+        try:
+            with no_grad():
+                return self.module.forward(Tensor(arr)).data
+        finally:
+            self.module.train(was_training)
+
+    def predict(self, x) -> np.ndarray:
+        return np.argmax(self(x), axis=1)
+
+    def value_and_grad(self, x, labels, loss: str = "ce") -> Tuple[float, np.ndarray]:
+        if loss != "ce":
+            raise ValueError(f"unknown compiled loss '{loss}'; supported: 'ce'")
+        arr = np.asarray(x.data if isinstance(x, Tensor) else x, dtype=get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        plan = self._plan_for(arr)
+        if plan is not None:
+            try:
+                return plan.value_and_grad_ce(arr, labels)
+            except CompileError:
+                self._cache.evict(arr)
+        was_training = self.module.training
+        self.module.eval()
+        try:
+            x_t = Tensor(arr, requires_grad=True)
+            loss_t = F.cross_entropy(self.module.forward(x_t), labels)
+            loss_t.backward()
+            return float(loss_t.item()), x_t.grad
+        finally:
+            self.module.train(was_training)
+
+
+# --------------------------------------------------------------------------- #
+# loss adapters
+# --------------------------------------------------------------------------- #
+class _CEAdapter:
+    """Plain cross-entropy: one training forward, fused-CE seed."""
+
+    slots = 1
+    needs_attack = False
+    needs_hidden_seeds = False
+
+    def step(self, trainer: "CompiledTrainer", ctx, images, labels):
+        plan = ctx.train_a
+        logits = plan.forward(images)
+        loss, seed = plan.ce_loss_and_seed(labels)
+        plan.run_backward({plan.graph.output_id: seed})
+        trainer.accumulate(plan)
+        return loss, logits
+
+
+class _PGDAdversarialAdapter:
+    """Madry PGD-AT: compiled inner maximization + fused CE on the result."""
+
+    slots = 1
+    needs_attack = True
+    needs_hidden_seeds = False
+
+    def __init__(self, strategy) -> None:
+        self.strategy = strategy
+
+    def step(self, trainer: "CompiledTrainer", ctx, images, labels):
+        s = self.strategy
+        adversarial = _pgd_loop(
+            ctx.attack, images, labels,
+            eps=s.eps, alpha=s.alpha, steps=s.steps,
+            random_start=s.random_start, seed=s.seed,
+        )
+        trainer.stats.attack_grad_calls += s.steps
+        plan = ctx.train_a
+        plan.forward(adversarial)
+        loss, seed = plan.ce_loss_and_seed(labels)
+        plan.run_backward({plan.graph.output_id: seed})
+        trainer.accumulate(plan)
+        return loss, None
+
+
+class _TRADESAdapter:
+    """TRADES: KL inner maximization + eager-composed CE/KL over two plans."""
+
+    slots = 2
+    needs_attack = True
+    needs_hidden_seeds = False
+
+    def __init__(self, strategy) -> None:
+        self.strategy = strategy
+
+    def step(self, trainer: "CompiledTrainer", ctx, images, labels):
+        s = self.strategy
+        plan_a, plan_b = ctx.train_a, ctx.train_b
+        # generate(): the eager loss anchors the KL on a training-mode clean
+        # forward (running stats update once here, exactly like eager).
+        clean_anchor = Tensor(np.array(plan_a.forward(images), copy=True))
+
+        def kl_seed(logits: np.ndarray) -> np.ndarray:
+            q = Tensor(logits, requires_grad=True)
+            F.kl_div_with_logits(clean_anchor, q).backward()
+            return q.grad
+
+        adversarial = _pgd_loop(
+            ctx.attack, images, labels,
+            eps=s.eps, alpha=s.alpha, steps=s.steps,
+            random_start=True, seed=s.seed, logits_seed=kl_seed,
+        )
+        trainer.stats.attack_grad_calls += s.steps
+        a = Tensor(plan_a.forward(images), requires_grad=True)
+        b = Tensor(plan_b.forward(adversarial), requires_grad=True)
+        natural = F.cross_entropy(a, labels)
+        robust = F.kl_div_with_logits(a, b)
+        total = natural + robust * s.beta
+        total.backward()
+        plan_a.run_backward({plan_a.graph.output_id: a.grad})
+        trainer.accumulate(plan_a)
+        plan_b.run_backward({plan_b.graph.output_id: b.grad})
+        trainer.accumulate(plan_b)
+        return float(total.item()), None
+
+
+class _MARTAdapter:
+    """MART: boosted CE + misclassification-weighted KL over two plans."""
+
+    slots = 2
+    needs_attack = True
+    needs_hidden_seeds = False
+
+    def __init__(self, strategy) -> None:
+        self.strategy = strategy
+
+    def step(self, trainer: "CompiledTrainer", ctx, images, labels):
+        s = self.strategy
+        adversarial = _pgd_loop(
+            ctx.attack, images, labels,
+            eps=s.eps, alpha=s.alpha, steps=s.steps,
+            random_start=True, seed=s.seed,
+        )
+        trainer.stats.attack_grad_calls += s.steps
+        # Eager MART forwards the adversarial batch first, then the clean one.
+        adv_logits = Tensor(ctx.train_b.forward(adversarial), requires_grad=True)
+        clean_logits = Tensor(ctx.train_a.forward(images), requires_grad=True)
+        num_classes = adv_logits.shape[1]
+        adv_probs = F.softmax(adv_logits, axis=1)
+        clean_probs = F.softmax(clean_logits, axis=1)
+        true_mask = Tensor(F.one_hot(labels, num_classes))
+        adv_true = (adv_probs * true_mask).sum(axis=1)
+        adv_wrong_max = (adv_probs + true_mask * (-1e9)).max(axis=1)
+        boosted_ce = -((adv_true + 1e-12).log()) - ((1.0 - adv_wrong_max + 1e-12).log())
+        kl_per_example = F.kl_div_with_logits(clean_logits, adv_logits, reduction="none")
+        clean_true = (clean_probs * true_mask).sum(axis=1)
+        weighted_kl = kl_per_example * (1.0 - clean_true)
+        total = boosted_ce.mean() + weighted_kl.mean() * s.beta
+        total.backward()
+        ctx.train_b.run_backward({ctx.train_b.graph.output_id: adv_logits.grad})
+        trainer.accumulate(ctx.train_b)
+        ctx.train_a.run_backward({ctx.train_a.graph.output_id: clean_logits.grad})
+        trainer.accumulate(ctx.train_a)
+        return float(total.item()), None
+
+
+class _MILossAdapter:
+    """IB-RAR wrapper: base term through plans + eager HSIC side terms.
+
+    The side terms consume the training plan's hidden-activation buffers as
+    eager leaves; their gradients are injected into the same plan backward
+    that carries the classification seed (Eq. 1, the fused-CE base) or into
+    a dedicated clean-forward backward (Eq. 2, adversarial bases — matching
+    the extra ``forward_with_hidden`` pass the eager loss performs).
+    """
+
+    needs_hidden_seeds = True
+
+    def __init__(self, strategy, base_adapter) -> None:
+        self.strategy = strategy
+        self.base = base_adapter  # None => fused clean-CE base (Eq. 1)
+        self.slots = base_adapter.slots if base_adapter is not None else 1
+        self.needs_attack = base_adapter.needs_attack if base_adapter is not None else False
+
+    def _side_terms(self, plan: Plan, images, labels):
+        from ..core.losses import mi_regularizer_terms
+
+        config = self.strategy.config
+        hidden_ids = plan.graph.outputs
+        leaves = OrderedDict(
+            (name, Tensor(plan.values[node_id], requires_grad=True))
+            for name, node_id in hidden_ids.items()
+        )
+        sum_xt, sum_yt = mi_regularizer_terms(
+            Tensor(images),
+            labels,
+            leaves,
+            num_classes=self.strategy.num_classes,
+            layers=config.layers,
+            normalized=config.normalized_hsic,
+            sigma=config.sigma,
+        )
+        side = sum_xt * config.alpha - sum_yt * config.beta
+        side.backward()
+        seeds: Dict[int, np.ndarray] = {}
+        for name, leaf in leaves.items():
+            if leaf.grad is not None:
+                seeds[hidden_ids[name]] = leaf.grad
+        return float(side.item()), seeds, float(sum_xt.item()), float(sum_yt.item())
+
+    def step(self, trainer: "CompiledTrainer", ctx, images, labels):
+        plan = ctx.train_a
+        if self.base is None:
+            # Eq. (1) fused path: one training forward shares the CE term,
+            # the HSIC terms and the training-accuracy logits.
+            logits = plan.forward(images)
+            base_value, ce_seed = plan.ce_loss_and_seed(labels)
+            side_value, seeds, hsic_x, hsic_y = self._side_terms(plan, images, labels)
+            output_id = plan.graph.output_id
+            if output_id in seeds:  # a model whose "hidden" includes the logits
+                np.add(ce_seed, seeds.pop(output_id), out=ce_seed)
+            seeds[output_id] = ce_seed
+            plan.run_backward(seeds)
+            trainer.accumulate(plan)
+            returned_logits = logits
+        else:
+            # Eq. (2): the adversarial base runs through its own adapter,
+            # then the MI terms get their dedicated clean hidden forward.
+            base_value, _ = self.base.step(trainer, ctx, images, labels)
+            plan.forward(images)
+            side_value, seeds, hsic_x, hsic_y = self._side_terms(plan, images, labels)
+            plan.run_backward(seeds)
+            trainer.accumulate(plan)
+            returned_logits = None
+        total = base_value + side_value
+        self.strategy.last_components = {
+            "base": base_value,
+            "hsic_x": hsic_x,
+            "hsic_y": hsic_y,
+            "total": total,
+        }
+        return total, returned_logits
+
+
+def build_adapter(strategy):
+    """Map a loss strategy to its compiled adapter (``None`` = stay eager).
+
+    Exact-type matches only (a user subclass may override the math, and the
+    adapters replay the *base-class* computation — mixing those silently
+    would train the wrong objective).  The one ``isinstance`` is the CE base
+    inside the IB-RAR wrapper, which mirrors the eager fused-path condition
+    exactly: eager ``MILoss.loss_and_logits`` also dispatches CE subclasses
+    to the plain CE term without calling their overrides.
+    """
+    from ..core.losses import AdversarialMILoss, MILoss
+    from ..training.adversarial import (
+        CrossEntropyLoss,
+        MARTLoss,
+        PGDAdversarialLoss,
+        TRADESLoss,
+    )
+
+    if type(strategy) in (MILoss, AdversarialMILoss):
+        if strategy.config.mi_on_adversarial:
+            return None
+        if isinstance(strategy.base_loss, CrossEntropyLoss):
+            return _MILossAdapter(strategy, None)
+        inner = build_adapter(strategy.base_loss)
+        if inner is None:
+            return None
+        return _MILossAdapter(strategy, inner)
+    if type(strategy) is CrossEntropyLoss:
+        return _CEAdapter()
+    if type(strategy) is PGDAdversarialLoss:
+        return _PGDAdversarialAdapter(strategy)
+    if type(strategy) is TRADESLoss:
+        return _TRADESAdapter(strategy)
+    if type(strategy) is MARTLoss:
+        return _MARTAdapter(strategy)
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# the trainer-facing cache
+# --------------------------------------------------------------------------- #
+class CompiledTrainer:
+    """Shape-dispatching training-plan cache for one (model, optimizer, loss).
+
+    :meth:`train_batch` runs one full training step — inner attack, loss,
+    parameter gradients, fused in-place optimizer update — through compiled
+    plans, or returns ``None`` when the batch must take the eager path
+    (unsupported strategy, first sighting of a signature, capture failure,
+    reallocated parameter storage).  A changed channel mask (the IB-RAR
+    Eq. 3 refresh installs a new mask array) invalidates every plan, since
+    masks are baked into graphs as constants.
+    """
+
+    def __init__(self, model, optimizer, loss_strategy, max_signatures: int = 4) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_strategy = loss_strategy
+        self.adapter = build_adapter(loss_strategy)
+        # Compiled training needs in-place updates (live plans alias
+        # parameter storage); a custom Optimizer subclass that implements
+        # only step() has no fused path, so the whole trainer stays eager.
+        if self.adapter is not None and not _supports_fused_step(optimizer):
+            self.adapter = None
+        self.stats = TrainingCompileStats()
+        self._cache = _SignatureCache(self._build_context, capacity=max_signatures)
+        self._accums: Dict[int, np.ndarray] = {}
+        self._mask_ref = getattr(model, "channel_mask", None)
+
+    def _build_context(self, sample: np.ndarray) -> _SignatureContext:
+        ctx = _SignatureContext(
+            self.model,
+            sample,
+            slots=self.adapter.slots,
+            needs_attack=self.adapter.needs_attack,
+            hidden_seeds=self.adapter.needs_hidden_seeds,
+        )
+        self.stats.plans_built += len(ctx.plans)
+        return ctx
+
+    @property
+    def supported(self) -> bool:
+        """Whether the strategy (and optimizer) have a compiled path at all."""
+        return self.adapter is not None
+
+    @property
+    def pool_allocations(self) -> int:
+        """Total buffer allocations across every live context's plans."""
+        return sum(
+            plan.pool.allocations
+            for ctx in self._cache.entries.values()
+            if ctx is not None
+            for plan in ctx.plans
+        )
+
+    @property
+    def plans(self) -> int:
+        return sum(len(ctx.plans) for ctx in self._cache.entries.values() if ctx is not None)
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (next batches recompile on second sighting)."""
+        self._cache.clear()
+
+    # -- gradient accumulation --------------------------------------------------
+    def accumulate(self, plan: Plan) -> None:
+        """Add ``plan``'s parameter gradients into the per-parameter sums."""
+        for param_id, buffer in plan.param_grads().items():
+            accumulator = self._accums.get(param_id)
+            if accumulator is None:
+                accumulator = np.zeros_like(buffer)
+                self._accums[param_id] = accumulator
+            np.add(accumulator, buffer, out=accumulator)
+
+    def _zero_accumulators(self) -> None:
+        for accumulator in self._accums.values():
+            accumulator.fill(0)
+
+    # -- the batch step ----------------------------------------------------------
+    def train_batch(self, images, labels) -> Optional[Tuple[float, np.ndarray]]:
+        """One compiled training step; ``None`` means "run this batch eagerly".
+
+        Returns ``(loss, predictions)`` on success.  The optimizer update has
+        already been applied (in place, via ``step_with_grads``) and the
+        predictions reproduce the eager trainer's training-accuracy pass —
+        shared clean logits where the strategy provides them, an extra
+        training-mode forward (with its running-stat update) otherwise.
+        """
+        if self.adapter is None:
+            self.stats.eager_batches += 1
+            return None
+        images = np.asarray(images, dtype=get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if _mask_changed(self.model.channel_mask, self._mask_ref):
+            self.invalidate()
+        self._mask_ref = self.model.channel_mask
+        ctx = self._cache.lookup(images)
+        if ctx is None:
+            self.stats.eager_batches += 1
+            return None
+        self._zero_accumulators()
+        try:
+            loss, logits = self.adapter.step(self, ctx, images, labels)
+            if logits is not None:
+                predictions = np.argmax(logits, axis=1)
+            else:
+                predictions = np.argmax(ctx.train_a.forward(images), axis=1)
+        except CompileError:
+            # A replay failure (e.g. parameter storage reallocated behind the
+            # plan's back by an interleaved eager ``optimizer.step()``).
+            # Unlike a capture failure — deterministic, remembered as None —
+            # this is recoverable: drop the context so the next sighting of
+            # this signature recompiles against the current storage.
+            self._cache.evict(images)
+            self.stats.eager_batches += 1
+            return None
+        grads = [self._accums.get(id(p)) for p in self.optimizer.parameters]
+        self.optimizer.step_with_grads(grads)
+        self.stats.compiled_batches += 1
+        return float(loss), predictions

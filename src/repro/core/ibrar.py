@@ -62,6 +62,11 @@ class IBRAR:
         refreshing the Eq. (3) mask.
     eval_natural / eval_adversarial:
         Optional per-epoch evaluation hooks forwarded to the trainer.
+    compile:
+        Forwarded to :class:`~repro.training.Trainer`: run the IB-RAR loss
+        (and its adversarial base strategies) through compiled training
+        plans, with automatic eager fallback.  Mask refreshes invalidate
+        the plans (the Eq. 3 mask is baked into the captured graph).
     """
 
     def __init__(
@@ -78,6 +83,7 @@ class IBRAR:
         eval_natural: Optional[Callable[[ImageClassifier], float]] = None,
         eval_adversarial: Optional[Callable[[ImageClassifier], float]] = None,
         verbose: bool = False,
+        compile: bool = False,
     ) -> None:
         self.model = model
         self.config = config or IBRARConfig()
@@ -97,6 +103,7 @@ class IBRAR:
             eval_adversarial=eval_adversarial,
             epoch_callback=self._refresh_mask,
             verbose=verbose,
+            compile=compile,
         )
 
     # -- mask refresh hook -------------------------------------------------------

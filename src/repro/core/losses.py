@@ -29,7 +29,7 @@ import numpy as np
 
 from ..nn import Tensor
 from ..nn import functional as F
-from ..ib.hsic import gaussian_kernel, hsic, linear_kernel, normalized_hsic
+from ..ib.hsic import center, gaussian_kernel, hsic, linear_kernel, normalized_hsic
 from ..models.base import ImageClassifier
 from ..training.adversarial import CrossEntropyLoss, LossStrategy
 from .config import IBRARConfig
@@ -46,21 +46,46 @@ def mi_regularizer_terms(
     normalized: bool = True,
     sigma: Optional[float] = None,
 ) -> tuple[Tensor, Tensor]:
-    """Return ``(sum_l I(X, T_l), sum_l I(Y, T_l))`` as differentiable tensors."""
+    """Return ``(sum_l I(X, T_l), sum_l I(Y, T_l))`` as differentiable tensors.
+
+    The input Gram matrix ``K_X`` and the label Gram matrix ``K_Y`` are built
+    **once per batch** and shared by every layer's HSIC pair, and so are
+    their self-HSIC normalizers (the nHSIC denominators).  Per layer, the
+    layer kernel is centered exactly once — the one-sided trace identity
+    ``tr(K_T H K H) = sum(center(K_T) * K)`` (see :func:`repro.ib.hsic.hsic`)
+    lets the cross and normalizer terms reuse it, so no ``m x m`` centering
+    matrix is materialized and no kernel is centered twice.
+    """
     selected = list(layers) if layers is not None else list(hidden.keys())
     if not selected:
         raise ValueError("at least one hidden layer must be selected for the MI loss")
-    estimator = normalized_hsic if normalized else hsic
     input_kernel = gaussian_kernel(inputs.detach(), sigma=sigma)
     label_kernel = linear_kernel(Tensor(F.one_hot(labels, num_classes)))
+    norm_input: Optional[Tensor] = None
+    norm_label: Optional[Tensor] = None
+    if normalized:
+        norm_input = hsic(input_kernel, input_kernel)
+        norm_label = hsic(label_kernel, label_kernel)
     sum_xt: Optional[Tensor] = None
     sum_yt: Optional[Tensor] = None
     for name in selected:
         if name not in hidden:
             raise KeyError(f"layer '{name}' not found among hidden representations {list(hidden)}")
         layer_kernel = gaussian_kernel(hidden[name], sigma=sigma)
-        term_x = estimator(layer_kernel, input_kernel)
-        term_y = estimator(layer_kernel, label_kernel)
+        centered = center(layer_kernel)
+        if normalized:
+            norm_layer = hsic(layer_kernel, layer_kernel, centered_x=centered)
+            term_x = normalized_hsic(
+                layer_kernel, input_kernel,
+                centered_x=centered, norm_x=norm_layer, norm_y=norm_input,
+            )
+            term_y = normalized_hsic(
+                layer_kernel, label_kernel,
+                centered_x=centered, norm_x=norm_layer, norm_y=norm_label,
+            )
+        else:
+            term_x = hsic(layer_kernel, input_kernel, centered_x=centered)
+            term_y = hsic(layer_kernel, label_kernel, centered_x=centered)
         sum_xt = term_x if sum_xt is None else sum_xt + term_x
         sum_yt = term_y if sum_yt is None else sum_yt + term_y
     return sum_xt, sum_yt

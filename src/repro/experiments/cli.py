@@ -53,6 +53,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not specs:
         print("no specs found", file=sys.stderr)
         return 2
+    if getattr(args, "train_compile", False):
+        # Note: train_compile joins the training hash, so this runs (and
+        # caches) compiled-training checkpoints alongside any eager ones.
+        specs = [spec.with_(train_compile=True) for spec in specs]
     store = _store(args)
     grid = run_grid(specs, workers=args.workers, store=store, force=args.force)
     attack_order = []
@@ -161,6 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--force", action="store_true", help="recompute even if cached")
     run_parser.add_argument("--report", default=None, help="write the grid report JSON here")
     run_parser.add_argument("--timing", default=None, help="write the timing summary JSON here")
+    run_parser.add_argument(
+        "--train-compile",
+        dest="train_compile",
+        action="store_true",
+        help="train through compiled plans (separate training-hash cache entries)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     inspect_parser = sub.add_parser(

@@ -161,6 +161,7 @@ class ExperimentRunner:
                     weight_decay=optim["weight_decay"],
                     step_size=int(optim["step_size"]),
                     gamma=optim["gamma"],
+                    compile=spec.train_compile,
                 )
                 result = ibrar.fit(
                     dataset.x_train,
@@ -182,6 +183,7 @@ class ExperimentRunner:
                     strategy,
                     optimizer=optimizer,
                     scheduler=StepLR(optimizer, step_size=int(optim["step_size"]), gamma=optim["gamma"]),
+                    compile=spec.train_compile,
                 )
                 loader = DataLoader(
                     ArrayDataset(dataset.x_train, dataset.y_train),

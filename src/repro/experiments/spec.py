@@ -111,6 +111,15 @@ class ExperimentSpec:
         cached eager report is never silently served for a compiled request
         or vice versa); when disabled the key is omitted from the hashed
         payload, so pre-existing specs keep their hashes and cached reports.
+    train_compile:
+        Run *training* through compiled plans (``Trainer(compile=True)``:
+        training-mode forwards, full parameter-gradient backward, fused
+        in-place optimizer).  Compiled and eager training produce
+        numerically close but not bitwise-identical weights, so when
+        enabled the flag joins the **training hash** (separate checkpoint
+        cache entries); when disabled it is omitted from the hashed
+        payload, so every pre-existing spec keeps its training hash and
+        cached checkpoints.
     name:
         Display label for tables; **excluded** from both content hashes.
     """
@@ -131,6 +140,7 @@ class ExperimentSpec:
     eval_early_exit: bool = True
     eval_cascade: bool = False
     eval_compile: bool = False
+    train_compile: bool = False
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -221,6 +231,19 @@ class ExperimentSpec:
         dtype = str(get_default_dtype())
         if dtype != "float64":
             payload["dtype"] = dtype
+        # Same pattern for compiled training: the key joins the payload only
+        # when enabled, keeping every eager-trained hash (and checkpoint)
+        # exactly where it was.
+        if self.train_compile:
+            payload["train_compile"] = True
+        # The cached-Gram HSIC fast path (PR 4) changed the HSIC estimator's
+        # floating-point evaluation order, i.e. the training trajectory of
+        # every HSIC-regularized spec.  Version the estimator into those
+        # specs' hashes so stale pre-fast-path checkpoints are recomputed
+        # instead of silently served next to fresh ones; HSIC-free specs
+        # keep their original hashes.
+        if self.ibrar is not None or self.loss.name.startswith("ib-rar"):
+            payload["hsic"] = "cached-gram-v2"
         return payload
 
     def eval_dict(self) -> Dict[str, Any]:
@@ -257,7 +280,10 @@ class ExperimentSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
-        known = {"dataset", "model", "loss", "ibrar", "optimizer", "epochs", "batch_size", "seed", "eval", "name"}
+        # "dtype" and "hsic" are derived annotations that as_dict() emits
+        # (ambient dtype; HSIC-estimator version) — accepted on input, never
+        # stored as fields.
+        known = {"dataset", "model", "loss", "ibrar", "optimizer", "epochs", "batch_size", "seed", "dtype", "hsic", "train_compile", "eval", "name"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ExperimentSpecError(
@@ -266,6 +292,18 @@ class ExperimentSpec:
         for key in ("dataset", "model"):
             if key not in data:
                 raise ExperimentSpecError(f"experiment spec dict needs a '{key}' key")
+        # ``as_dict`` emits "dtype" for non-float64 ambient dtypes.  The
+        # ambient dtype is process state, not a spec field, so a spec can
+        # only be revived faithfully in a session whose dtype matches —
+        # otherwise its hashes (and cache addresses) would silently change.
+        spec_dtype = data.get("dtype", "float64")
+        ambient = str(get_default_dtype())
+        if str(spec_dtype) != ambient:
+            raise ExperimentSpecError(
+                f"spec was produced under default dtype '{spec_dtype}' but the current "
+                f"session uses '{ambient}'; call repro.nn.set_default_dtype({spec_dtype!r}) "
+                "before loading it"
+            )
 
         def _named(entry: Union[str, Mapping[str, Any]], what: str) -> Tuple[str, Dict[str, Any]]:
             if isinstance(entry, str):
@@ -300,6 +338,7 @@ class ExperimentSpec:
             eval_early_exit=eval_section.get("early_exit", True),
             eval_cascade=eval_section.get("cascade", False),
             eval_compile=eval_section.get("compile", False),
+            train_compile=data.get("train_compile", False),
             name=data.get("name", ""),
         )
 

@@ -2,6 +2,7 @@
 
 from .hbar import HBaRLoss
 from .hsic import (
+    center,
     gaussian_kernel,
     hsic,
     hsic_xy_labels,
@@ -18,6 +19,7 @@ __all__ = [
     "linear_kernel",
     "median_bandwidth",
     "pairwise_squared_distances",
+    "center",
     "hsic",
     "normalized_hsic",
     "hsic_xy_labels",

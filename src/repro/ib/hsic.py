@@ -25,6 +25,7 @@ __all__ = [
     "gaussian_kernel",
     "linear_kernel",
     "median_bandwidth",
+    "center",
     "hsic",
     "normalized_hsic",
     "hsic_xy_labels",
@@ -90,37 +91,71 @@ def linear_kernel(x: ArrayOrTensor) -> Tensor:
     return x_t @ x_t.transpose()
 
 
-def _center(kernel: Tensor) -> Tensor:
-    """Double-center a kernel matrix: ``H K H`` with ``H = I - 1/m``."""
-    m = kernel.shape[0]
+def center(kernel: Tensor) -> Tensor:
+    """Double-center a kernel matrix: ``H K H`` with ``H = I - 1/m``.
+
+    Computed from the row/column/total means, so the ``m x m`` centering
+    matrix ``H`` is never materialized (and no ``m x m`` matmul is paid).
+    """
     row_mean = kernel.mean(axis=0, keepdims=True)
     col_mean = kernel.mean(axis=1, keepdims=True)
     total_mean = kernel.mean()
     return kernel - row_mean - col_mean + total_mean
 
 
-def hsic(kernel_x: Tensor, kernel_y: Tensor) -> Tensor:
-    """Biased HSIC estimate from two precomputed kernel matrices."""
+# Backwards-compatible private alias (pre-fast-path name).
+_center = center
+
+
+def hsic(kernel_x: Tensor, kernel_y: Tensor, centered_x: Optional[Tensor] = None) -> Tensor:
+    """Biased HSIC estimate from two precomputed kernel matrices.
+
+    Uses the one-sided centering identity: ``H`` is idempotent, so
+
+        tr(K_X H K_Y H) = tr((H K_X H) K_Y) = sum(center(K_X) * K_Y)
+
+    and only **one** of the two kernels is ever centered.  Callers that
+    evaluate several HSIC terms against the same first kernel (the IB-RAR
+    loss pairs every layer kernel with both the input and the label Gram
+    matrix) pass the precomputed ``centered_x`` to share that work.
+    """
     if kernel_x.shape != kernel_y.shape:
         raise ValueError(f"kernel shapes differ: {kernel_x.shape} vs {kernel_y.shape}")
     m = kernel_x.shape[0]
     if m < 2:
         raise ValueError("HSIC requires a batch of at least 2 examples")
-    centered_x = _center(kernel_x)
-    centered_y = _center(kernel_y)
-    return (centered_x * centered_y).sum() * (1.0 / ((m - 1) ** 2))
+    if centered_x is None:
+        centered_x = center(kernel_x)
+    return (centered_x * kernel_y).sum() * (1.0 / ((m - 1) ** 2))
 
 
-def normalized_hsic(kernel_x: Tensor, kernel_y: Tensor, eps: float = 1e-9) -> Tensor:
+def normalized_hsic(
+    kernel_x: Tensor,
+    kernel_y: Tensor,
+    eps: float = 1e-9,
+    centered_x: Optional[Tensor] = None,
+    norm_x: Optional[Tensor] = None,
+    norm_y: Optional[Tensor] = None,
+) -> Tensor:
     """Normalized HSIC: ``HSIC(X, Y) / sqrt(HSIC(X, X) HSIC(Y, Y))``.
 
     Scale invariance makes the regularizer weights transferable between
     layers of very different dimensionality, which is why HBaR and our
     Eq. (1) implementation default to it.
+
+    ``centered_x`` / ``norm_x`` / ``norm_y`` are optional precomputed pieces
+    (the centered first kernel and the two self-HSIC normalizers).  The
+    IB-RAR loss computes the label/input normalizers once per batch and the
+    centered layer kernel once per layer, instead of re-deriving all three
+    inside every call.
     """
-    cross = hsic(kernel_x, kernel_y)
-    norm_x = hsic(kernel_x, kernel_x)
-    norm_y = hsic(kernel_y, kernel_y)
+    if centered_x is None:
+        centered_x = center(kernel_x)
+    cross = hsic(kernel_x, kernel_y, centered_x=centered_x)
+    if norm_x is None:
+        norm_x = hsic(kernel_x, kernel_x, centered_x=centered_x)
+    if norm_y is None:
+        norm_y = hsic(kernel_y, kernel_y)
     denominator = (norm_x * norm_y + eps).sqrt()
     return cross / (denominator + eps)
 

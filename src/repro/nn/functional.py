@@ -371,12 +371,19 @@ def batch_norm2d(
 
     meta = None
     if is_tracing():
-        # Snapshot the statistics the pass used: in eval mode they are the
-        # running buffers, which the BN-folding pass bakes into conv weights.
+        # Record the statistics the pass used.  In eval mode ``mean``/``var``
+        # ARE the running buffers: plans that bind immediately (the only
+        # supported flow) read them before anything mutates them, and
+        # live-parameter plans re-read them on every replay.  Training-mode
+        # capture additionally needs the buffers and momentum so the compiled
+        # kernel can reproduce the in-place running-stat updates.
         meta = {
             "training": bool(training),
-            "mean": np.array(mean, copy=True),
-            "var": np.array(var, copy=True),
+            "mean": mean,
+            "var": var,
             "eps": eps,
+            "momentum": momentum,
+            "running_mean": running_mean,
+            "running_var": running_var,
         }
     return Tensor._make(out_data, (x, gamma, beta), backward, op="batch_norm2d", meta=meta)

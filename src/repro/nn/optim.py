@@ -3,11 +3,23 @@
 The paper trains every network with SGD (weight decay 1e-2) and a StepLR
 schedule (lr 0.01, step 20, gamma 0.2); both are implemented here along with
 Adam and a couple of extra schedulers useful for the extension benches.
+
+Each optimizer exposes two update paths over the *same* state (velocity /
+moment buffers), so a training run may interleave them freely:
+
+* :meth:`step` — the eager path, consuming ``param.grad``; it rebinds
+  ``param.data`` to a fresh array.
+* :meth:`step_with_grads` — the fused path used by compiled training
+  (:mod:`repro.compile.training`): the whole update chain runs through
+  preallocated per-parameter scratch buffers with ``out=`` kernels and
+  updates ``param.data`` **in place**.  In-place mutation is what lets a
+  live-parameter execution plan alias parameter storage across steps, and
+  the operation order matches :meth:`step` bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,12 +38,33 @@ class Optimizer:
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.lr = lr
+        self._scratch: Optional[List[np.ndarray]] = None
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Reset parameter gradients.
+
+        ``set_to_none=True`` (the default, and the historical behaviour)
+        drops the gradient arrays so the next backward allocates fresh ones;
+        ``set_to_none=False`` zero-fills existing arrays in place, reusing
+        their storage (compiled training keeps its own pooled buffers and
+        never touches ``param.grad`` at all).
+        """
         for param in self.parameters:
-            param.grad = None
+            if set_to_none or param.grad is None:
+                param.grad = None
+            else:
+                param.grad.fill(0)
+
+    def _scratch_buffers(self) -> List[np.ndarray]:
+        if self._scratch is None:
+            self._scratch = [np.empty_like(p.data) for p in self.parameters]
+        return self._scratch
 
     def step(self) -> None:
+        raise NotImplementedError
+
+    def step_with_grads(self, grads: Sequence[Optional[np.ndarray]]) -> None:
+        """In-place fused update from externally supplied gradient arrays."""
         raise NotImplementedError
 
 
@@ -51,6 +84,7 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self.nesterov = nesterov
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._nesterov_scratch: Optional[List[np.ndarray]] = None
 
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
@@ -67,6 +101,43 @@ class SGD(Optimizer):
                 else:
                     grad = velocity
             param.data = param.data - self.lr * grad
+
+    def step_with_grads(self, grads: Sequence[Optional[np.ndarray]]) -> None:
+        """Fused momentum + decoupled-weight-decay update, in place.
+
+        One scratch buffer per parameter carries the whole chain
+        (``wd*p + g -> velocity update -> lr * update -> p -= ...``) as
+        ``out=`` kernels; values match :meth:`step` bitwise, but
+        ``param.data`` keeps its identity, which live-parameter compiled
+        plans rely on.
+        """
+        if len(grads) != len(self.parameters):
+            raise ValueError("step_with_grads needs one gradient (or None) per parameter")
+        scratch_list = self._scratch_buffers()
+        if self.nesterov and self._nesterov_scratch is None:
+            self._nesterov_scratch = [np.empty_like(p.data) for p in self.parameters]
+        for index, (param, velocity, grad) in enumerate(
+            zip(self.parameters, self._velocity, grads)
+        ):
+            if grad is None:
+                continue
+            scratch = scratch_list[index]
+            if self.weight_decay:
+                np.multiply(param.data, self.weight_decay, out=scratch)
+                np.add(grad, scratch, out=scratch)
+                grad = scratch
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                if self.nesterov:
+                    extra = self._nesterov_scratch[index]
+                    np.multiply(velocity, self.momentum, out=extra)
+                    np.add(grad, extra, out=extra)
+                    grad = extra
+                else:
+                    grad = velocity
+            np.multiply(grad, self.lr, out=scratch)
+            np.subtract(param.data, scratch, out=param.data)
 
 
 class Adam(Optimizer):
@@ -87,6 +158,7 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch2: Optional[List[np.ndarray]] = None
 
     def step(self) -> None:
         self._step += 1
@@ -105,6 +177,42 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step_with_grads(self, grads: Sequence[Optional[np.ndarray]]) -> None:
+        """Fused Adam update, in place (bitwise equal to :meth:`step`)."""
+        if len(grads) != len(self.parameters):
+            raise ValueError("step_with_grads needs one gradient (or None) per parameter")
+        scratch_list = self._scratch_buffers()
+        if self._scratch2 is None:
+            self._scratch2 = [np.empty_like(p.data) for p in self.parameters]
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for index, (param, m, v, grad) in enumerate(
+            zip(self.parameters, self._m, self._v, grads)
+        ):
+            if grad is None:
+                continue
+            s = scratch_list[index]
+            s2 = self._scratch2[index]
+            if self.weight_decay:
+                np.multiply(param.data, self.weight_decay, out=s)
+                np.add(grad, s, out=s)
+                grad = s
+            np.multiply(grad, 1.0 - self.beta1, out=s2)
+            m *= self.beta1
+            m += s2
+            np.multiply(grad, 1.0 - self.beta2, out=s2)
+            np.multiply(s2, grad, out=s2)
+            v *= self.beta2
+            v += s2
+            np.divide(m, bias1, out=s2)
+            np.multiply(s2, self.lr, out=s2)  # lr * m_hat
+            np.divide(v, bias2, out=s)
+            np.sqrt(s, out=s)
+            np.add(s, self.eps, out=s)  # sqrt(v_hat) + eps
+            np.divide(s2, s, out=s2)
+            np.subtract(param.data, s2, out=param.data)
 
 
 class _Scheduler:

@@ -31,6 +31,11 @@ class TrainingHistory:
     """Sequence of :class:`EpochRecord` with convenience accessors."""
 
     records: List[EpochRecord] = field(default_factory=list)
+    #: compiled-training telemetry (``Trainer(compile=True)``): counters from
+    #: :class:`repro.compile.training.TrainingCompileStats` — compiled vs
+    #: eager batches, plans built, inner-attack gradient replays.  ``None``
+    #: for eager-only runs, so pre-existing histories serialize unchanged.
+    compile_stats: Optional[Dict[str, int]] = None
 
     def append(self, record: EpochRecord) -> None:
         self.records.append(record)
@@ -62,12 +67,19 @@ class TrainingHistory:
             raise IndexError("history is empty")
         return self.records[-1]
 
-    def as_dict(self) -> Dict[str, List[float]]:
-        """Plain-dict view used by the benches when printing series."""
-        return {
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view used by the benches when printing series.
+
+        The ``compile`` key appears only for compiled-training runs, so
+        histories produced by eager runs keep their exact shape.
+        """
+        data = {
             "epoch": [r.epoch for r in self.records],
             "train_loss": self.train_loss,
             "train_accuracy": self.train_accuracy,
             "natural_accuracy": [r.natural_accuracy for r in self.records],
             "adversarial_accuracy": [r.adversarial_accuracy for r in self.records],
         }
+        if self.compile_stats is not None:
+            data["compile"] = dict(self.compile_stats)
+        return data

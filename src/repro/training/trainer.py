@@ -5,10 +5,19 @@ compute the configured loss strategy (plain CE, an adversarial-training loss,
 or an IB-RAR wrapped loss from :mod:`repro.core`), back-propagate, and step
 SGD + StepLR.  Optional per-epoch evaluation records the natural and
 adversarial accuracy curves used by Figures 2d and 4.
+
+``Trainer(compile=True)`` routes supported loss strategies through
+:mod:`repro.compile.training`: the training-mode forward, the full
+parameter-gradient backward and the optimizer update replay static,
+buffer-pooled plans, with automatic per-batch eager fallback.  The per-epoch
+evaluation hooks are offered a live-parameter compiled eval model (captured
+once, tracking every in-place weight update) when they declare a
+``compiled`` parameter.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Optional
 
 import numpy as np
@@ -23,8 +32,21 @@ from .history import EpochRecord, TrainingHistory
 __all__ = ["Trainer", "evaluate_accuracy"]
 
 
-def evaluate_accuracy(model: ImageClassifier, images: np.ndarray, labels: np.ndarray, batch_size: int = 128) -> float:
-    """Top-1 accuracy of ``model`` on an array of images (no gradients)."""
+def evaluate_accuracy(
+    model: ImageClassifier,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 128,
+    compiled=None,
+) -> float:
+    """Top-1 accuracy of ``model`` on an array of images (no gradients).
+
+    ``compiled`` optionally supplies a :class:`repro.compile.CompiledModel`
+    for the same module: predictions then replay its static eval plans
+    (falling back to eager for unseen shapes) instead of building the
+    dynamic graph batch by batch.  The :class:`Trainer`'s per-epoch hooks
+    pass one automatically when compilation is enabled.
+    """
     labels = np.asarray(labels).reshape(-1)
     correct = 0
     was_training = model.training
@@ -34,11 +56,34 @@ def evaluate_accuracy(model: ImageClassifier, images: np.ndarray, labels: np.nda
             for start in range(0, len(images), batch_size):
                 batch = images[start : start + batch_size]
                 batch_labels = labels[start : start + batch_size]
-                predictions = model.predict(Tensor(batch))
+                if compiled is not None:
+                    predictions = compiled.predict(batch)
+                else:
+                    predictions = model.predict(Tensor(batch))
                 correct += int((predictions == batch_labels).sum())
     finally:
         model.train(was_training)
     return correct / max(len(labels), 1)
+
+
+def _hook_accepts_compiled(hook: Callable) -> bool:
+    """Whether an eval hook opts into the compiled model argument.
+
+    Opt-in is explicit: the hook must declare a parameter *named*
+    ``compiled`` (e.g. ``def hook(model, compiled=None)``).  A mere second
+    positional parameter is not enough — existing hooks with unrelated
+    extras (``def hook(model, batch_size=128)``) must keep receiving only
+    the model.
+    """
+    try:
+        signature = inspect.signature(hook)
+    except (TypeError, ValueError):
+        return False
+    parameter = signature.parameters.get("compiled")
+    return parameter is not None and parameter.kind in (
+        parameter.POSITIONAL_OR_KEYWORD,
+        parameter.KEYWORD_ONLY,
+    )
 
 
 class Trainer:
@@ -56,12 +101,24 @@ class Trainer:
     scheduler:
         Defaults to the paper's StepLR (step 20, gamma 0.2).
     eval_natural / eval_adversarial:
-        Optional callables ``(model) -> float`` run at the end of every epoch;
-        their results populate the corresponding history columns.
+        Optional callables run at the end of every epoch; their results
+        populate the corresponding history columns.  A hook is called as
+        ``hook(model)`` — or, when compilation is enabled and the hook
+        explicitly declares a ``compiled`` parameter (e.g.
+        ``def hook(model, compiled=None)``), as
+        ``hook(model, compiled=compiled_eval)`` with a persistent
+        :class:`repro.compile.training.LiveEvalModel` (a
+        ``CompiledModel``-compatible eval view over the live weights).
     epoch_callback:
         Optional hook ``(trainer, record) -> None`` invoked after each epoch
         (used by the IB-RAR trainer to refresh the Eq. (3) mask and by the
         convergence-rescue experiment to switch loss strategies).
+    compile:
+        Execute supported training steps through static, buffer-pooled
+        plans (:mod:`repro.compile.training`).  Unsupported strategies and
+        unseen batch signatures fall back to eager per batch, so enabling
+        this is always safe; :attr:`TrainingHistory.compile_stats` reports
+        the compiled-vs-eager split.
     """
 
     def __init__(
@@ -74,6 +131,7 @@ class Trainer:
         eval_adversarial: Optional[Callable[[ImageClassifier], float]] = None,
         epoch_callback: Optional[Callable[["Trainer", EpochRecord], None]] = None,
         verbose: bool = False,
+        compile: bool = False,
     ) -> None:
         self.model = model
         self.loss_strategy = loss_strategy or CrossEntropyLoss()
@@ -83,7 +141,11 @@ class Trainer:
         self.eval_adversarial = eval_adversarial
         self.epoch_callback = epoch_callback
         self.verbose = verbose
+        self.compile = bool(compile)
         self.history = TrainingHistory()
+        self._compiled_trainer = None
+        self._retired_compile_stats = None  # counters from replaced instances
+        self._live_eval = None
 
     def _batch_loss(self, images: np.ndarray, labels: np.ndarray):
         """Compute the training loss, reusing the strategy's logits when it shares them.
@@ -100,6 +162,77 @@ class Trainer:
             return loss_and_logits(self.model, images, labels)
         return self.loss_strategy(self.model, images, labels), None
 
+    # ------------------------------------------------------------------ #
+    # compiled execution
+    # ------------------------------------------------------------------ #
+    @property
+    def compile_stats(self):
+        """Compiled-training counters (``None`` until the first compiled epoch).
+
+        Counters accumulate monotonically across the whole trainer lifetime:
+        when a mid-fit loss-strategy swap retires a compiled-trainer
+        instance, its counts merge into the total instead of resetting, so
+        per-epoch snapshot deltas (and the final history telemetry) stay
+        consistent.
+        """
+        live = self._compiled_trainer.stats if self._compiled_trainer is not None else None
+        retired = self._retired_compile_stats
+        if live is None:
+            return retired
+        if retired is None:
+            return live
+        return retired.merge(live)
+
+    def _compiled_batch(self, images: np.ndarray, labels: np.ndarray):
+        """Try one compiled train step; ``None`` means run the batch eagerly."""
+        # Rebuild when the strategy (or optimizer) was swapped out — the
+        # convergence-rescue pattern reassigns ``trainer.loss_strategy``
+        # between fits, and a stale adapter would keep optimizing the old
+        # objective on compiled batches.  The retired instance's counters
+        # fold into the running total.
+        if self._compiled_trainer is not None and (
+            self._compiled_trainer.loss_strategy is not self.loss_strategy
+            or self._compiled_trainer.optimizer is not self.optimizer
+        ):
+            retired = self._compiled_trainer.stats
+            self._retired_compile_stats = (
+                retired
+                if self._retired_compile_stats is None
+                else self._retired_compile_stats.merge(retired)
+            )
+            self._compiled_trainer = None
+        if self._compiled_trainer is None:
+            from ..compile.training import CompiledTrainer
+
+            self._compiled_trainer = CompiledTrainer(
+                self.model, self.optimizer, self.loss_strategy
+            )
+        return self._compiled_trainer.train_batch(images, labels)
+
+    def _compiled_eval_model(self):
+        """The persistent live-parameter eval view over the current weights.
+
+        Built once and reused every epoch: its plans alias parameter storage
+        (updated in place by the fused optimizer), so no per-epoch recapture
+        is needed and eval batch shapes compile on their second sighting —
+        from the second epoch on, every hook batch replays a plan.
+        """
+        if self._live_eval is None:
+            from ..compile.training import LiveEvalModel
+
+            self._live_eval = LiveEvalModel(self.model)
+        return self._live_eval
+
+    def _run_eval_hook(self, hook, compiled) -> Optional[float]:
+        if hook is None:
+            return None
+        if compiled is not None and _hook_accepts_compiled(hook):
+            return hook(self.model, compiled=compiled)
+        return hook(self.model)
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
     def train_epoch(self, loader: DataLoader) -> tuple[float, float]:
         """Run one epoch; returns (mean loss, training accuracy)."""
         self.model.train()
@@ -107,18 +240,36 @@ class Trainer:
         total_correct = 0
         total_examples = 0
         for images, labels in loader:
-            loss, logits = self._batch_loss(images, labels)
-            self.optimizer.zero_grad()
-            loss.backward()
-            # Training accuracy is measured on the pre-update weights for
-            # every strategy (shared logits or the fallback pass alike).
-            if logits is not None:
-                predictions = np.argmax(logits.data, axis=1)
+            outcome = self._compiled_batch(images, labels) if self.compile else None
+            if outcome is not None:
+                loss_value, predictions = outcome
             else:
-                with no_grad():
-                    predictions = self.model.predict(Tensor(images))
-            self.optimizer.step()
-            total_loss += float(loss.item()) * len(labels)
+                loss, logits = self._batch_loss(images, labels)
+                self.optimizer.zero_grad()
+                loss.backward()
+                # Training accuracy is measured on the pre-update weights for
+                # every strategy (shared logits or the fallback pass alike).
+                if logits is not None:
+                    predictions = np.argmax(logits.data, axis=1)
+                else:
+                    with no_grad():
+                        predictions = self.model.predict(Tensor(images))
+                if (
+                    self.compile
+                    and self._compiled_trainer is not None
+                    and self._compiled_trainer.supported
+                ):
+                    # Keep parameter storage stable so live-parameter plans
+                    # survive eager-fallback batches (same values bitwise).
+                    self.optimizer.step_with_grads(
+                        [p.grad for p in self.optimizer.parameters]
+                    )
+                else:
+                    # Fully-eager strategies/optimizers (no fused path) use
+                    # the plain update — no live plans exist to protect.
+                    self.optimizer.step()
+                loss_value = float(loss.item())
+            total_loss += loss_value * len(labels)
             total_correct += int((predictions == labels).sum())
             total_examples += len(labels)
         if total_examples == 0:
@@ -127,10 +278,17 @@ class Trainer:
 
     def fit(self, loader: DataLoader, epochs: int) -> TrainingHistory:
         """Train for ``epochs`` epochs, recording history."""
+        offer_compiled_eval = self.compile and any(
+            hook is not None and _hook_accepts_compiled(hook)
+            for hook in (self.eval_natural, self.eval_adversarial)
+        )
         for epoch in range(1, epochs + 1):
+            stats = self.compile_stats
+            before = stats.snapshot() if stats is not None else None
             train_loss, train_accuracy = self.train_epoch(loader)
-            natural = self.eval_natural(self.model) if self.eval_natural else None
-            adversarial = self.eval_adversarial(self.model) if self.eval_adversarial else None
+            compiled_eval = self._compiled_eval_model() if offer_compiled_eval else None
+            natural = self._run_eval_hook(self.eval_natural, compiled_eval)
+            adversarial = self._run_eval_hook(self.eval_adversarial, compiled_eval)
             record = EpochRecord(
                 epoch=epoch,
                 train_loss=train_loss,
@@ -139,6 +297,15 @@ class Trainer:
                 natural_accuracy=natural,
                 adversarial_accuracy=adversarial,
             )
+            stats = self.compile_stats
+            if stats is not None:
+                compiled_now, eager_now = stats.snapshot()
+                record.extra["compiled_batches"] = float(
+                    compiled_now - (before[0] if before else 0)
+                )
+                record.extra["eager_batches"] = float(
+                    eager_now - (before[1] if before else 0)
+                )
             self.history.append(record)
             if self.epoch_callback is not None:
                 self.epoch_callback(self, record)
@@ -150,4 +317,7 @@ class Trainer:
                 if adversarial is not None:
                     parts.append(f"adv {adversarial:.3f}")
                 print("  ".join(parts))
+        stats = self.compile_stats
+        if stats is not None:
+            self.history.compile_stats = stats.as_dict()
         return self.history

@@ -1,9 +1,11 @@
-"""Acceptance: compiled PGD evaluation beats eager by >= 1.5x, same numbers.
+"""Acceptance: compiled evaluation >= 1.5x and compiled training >= 1.3x.
 
 Reproduces the quick-timing benchmark setup (tiny CNN on synthetic
 CIFAR-like data, the paper's PGD configuration) and times the attack engine
-with and without ``compile=True``.  Each mode takes the best of three runs
-so scheduler noise does not mask the structural speedup.
+with and without ``compile=True``, plus one PGD adversarial-training epoch
+with and without ``Trainer(compile=True)``.  Each mode takes the best of
+several interleaved runs so scheduler noise does not mask the structural
+speedup.
 """
 
 from __future__ import annotations
@@ -67,4 +69,50 @@ def test_compiled_pgd_is_faster_with_identical_accuracy(quick_timing_model):
     assert speedup >= 1.5, (
         f"compiled PGD evaluation only {speedup:.2f}x faster "
         f"(eager {eager_seconds:.3f}s vs compiled {compiled_seconds:.3f}s)"
+    )
+
+
+def test_compiled_pgd_at_training_epoch_is_faster_with_matching_trajectory():
+    """Compiled adversarial training: >=1.3x per epoch, eager-equal weights.
+
+    Runs the same recipe ``benchmarks/quick_timing.py`` reports in CI
+    (``benchmarks/common.pgd_at_training_benchmark``): identical fresh
+    models/loader seeds per mode, one warm-up epoch, then interleaved timed
+    epochs with the best time per mode kept.  Besides the speedup, the
+    compiled run must track the eager parameter trajectory and keep the
+    training executor at zero steady-state pool allocations.
+    """
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+    from common import pgd_at_training_benchmark
+
+    dataset = synthetic_cifar10(n_train=300, n_test=60, image_size=16, seed=0)
+    bench = pgd_at_training_benchmark(dataset, epochs_timed=3, pgd_steps=10)
+    compiled_trainer = bench["compiled_trainer"]
+
+    stats = compiled_trainer.compile_stats
+    assert stats is not None and stats.compiled_batches >= 3 * 6  # timed epochs compiled
+    # Zero steady-state allocations in the training executor.
+    assert (
+        compiled_trainer._compiled_trainer.pool_allocations == bench["warm_allocations"]
+    )
+
+    # Identical epochs on both sides -> the parameter trajectories must
+    # agree within floating-point reassociation noise.
+    eager_state = bench["eager_model"].state_dict()
+    compiled_state = bench["compiled_model"].state_dict()
+    for key, value in eager_state.items():
+        assert np.allclose(value, compiled_state[key], rtol=1e-6, atol=1e-9), key
+    assert np.allclose(
+        bench["eager_trainer"].history.train_loss,
+        compiled_trainer.history.train_loss,
+        rtol=1e-7,
+    )
+
+    speedup = bench["eager_seconds"] / bench["compiled_seconds"]
+    assert speedup >= 1.3, (
+        f"compiled PGD-AT training epoch only {speedup:.2f}x faster "
+        f"(eager {bench['eager_seconds']:.3f}s vs compiled {bench['compiled_seconds']:.3f}s)"
     )

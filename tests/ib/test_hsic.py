@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ib import (
+    center,
     gaussian_kernel,
     hsic,
     hsic_xy_labels,
@@ -17,6 +18,14 @@ from repro.ib import (
     pairwise_squared_distances,
 )
 from repro.nn import Tensor
+
+
+def hsic_reference(kernel_x: Tensor, kernel_y: Tensor) -> float:
+    """Textbook ``(m-1)^-2 tr(K_X H K_Y H)`` with ``H`` materialized."""
+    kx, ky = kernel_x.data, kernel_y.data
+    m = kx.shape[0]
+    h = np.eye(m) - 1.0 / m
+    return float(np.trace(kx @ h @ ky @ h)) / (m - 1) ** 2
 
 
 class TestKernels:
@@ -108,6 +117,45 @@ class TestHSIC:
         y = Tensor(np.random.default_rng(1).normal(size=(8, 4)))
         normalized_hsic(gaussian_kernel(x, 1.0), gaussian_kernel(y, 1.0)).backward()
         assert x.grad is not None and np.isfinite(x.grad).all()
+
+    def test_one_sided_centering_matches_materialized_h(self):
+        # The fast path centers only one kernel (H is idempotent) and never
+        # materializes H; the value must match the textbook trace formula.
+        rng = np.random.default_rng(3)
+        kx = gaussian_kernel(Tensor(rng.normal(size=(12, 5))), 1.0)
+        ky = gaussian_kernel(Tensor(rng.normal(size=(12, 5))), 1.0)
+        assert hsic(kx, ky).item() == pytest.approx(hsic_reference(kx, ky), rel=1e-10)
+
+    def test_precomputed_pieces_change_nothing(self):
+        rng = np.random.default_rng(4)
+        kx = gaussian_kernel(Tensor(rng.normal(size=(10, 4))), 1.0)
+        ky = gaussian_kernel(Tensor(rng.normal(size=(10, 4))), 1.0)
+        centered = center(kx)
+        norm_x = hsic(kx, kx, centered_x=centered)
+        norm_y = hsic(ky, ky)
+        plain = normalized_hsic(kx, ky).item()
+        cached = normalized_hsic(
+            kx, ky, centered_x=centered, norm_x=norm_x, norm_y=norm_y
+        ).item()
+        assert cached == pytest.approx(plain, rel=1e-12)
+
+    def test_cached_gram_gradients_match_naive(self):
+        # Gradient through the one-sided-centered estimator must equal the
+        # gradient of the both-sides-centered formulation.
+        rng = np.random.default_rng(5)
+        base = rng.normal(size=(8, 4))
+        other = gaussian_kernel(Tensor(rng.normal(size=(8, 4))), 1.0)
+
+        def grad_of(fn):
+            x = Tensor(base.copy(), requires_grad=True)
+            fn(gaussian_kernel(x, 1.0)).backward()
+            return x.grad
+
+        fast = grad_of(lambda k: hsic(k, other))
+        naive = grad_of(
+            lambda k: (center(k) * center(other)).sum() * (1.0 / ((k.shape[0] - 1) ** 2))
+        )
+        np.testing.assert_allclose(fast, naive, rtol=1e-9, atol=1e-12)
 
     def test_hsic_with_labels_detects_class_structure(self):
         rng = np.random.default_rng(0)

@@ -98,6 +98,74 @@ class TestAdam:
         assert p.data[0] < 1.0
 
 
+class TestFusedSteps:
+    """``step_with_grads`` must match ``step`` bitwise, updating in place."""
+
+    @staticmethod
+    def _pair(optimizer_factory, seed=0, shapes=((4, 3), (5,), (2, 2, 3, 3))):
+        rng = np.random.default_rng(seed)
+        values = [rng.normal(size=shape) for shape in shapes]
+        eager_params = [Parameter(v.copy()) for v in values]
+        fused_params = [Parameter(v.copy()) for v in values]
+        return (
+            eager_params,
+            optimizer_factory(eager_params),
+            fused_params,
+            optimizer_factory(fused_params),
+            rng,
+        )
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda ps: SGD(ps, lr=0.05, momentum=0.0),
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9),
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9, weight_decay=1e-2),
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9, weight_decay=1e-2, nesterov=True),
+            lambda ps: Adam(ps, lr=1e-3),
+            lambda ps: Adam(ps, lr=1e-3, weight_decay=1e-2),
+        ],
+        ids=["sgd", "sgd-momentum", "sgd-wd", "sgd-nesterov", "adam", "adam-wd"],
+    )
+    def test_bitwise_equal_to_eager_step(self, factory):
+        eager_params, eager_opt, fused_params, fused_opt, rng = self._pair(factory)
+        storage = [p.data for p in fused_params]
+        for _ in range(5):
+            grads = [rng.normal(size=p.data.shape) for p in eager_params]
+            for param, grad in zip(eager_params, grads):
+                param.grad = grad.copy()
+            eager_opt.step()
+            fused_opt.step_with_grads([g.copy() for g in grads])
+            for eager, fused in zip(eager_params, fused_params):
+                np.testing.assert_array_equal(eager.data, fused.data)
+        # The fused path never rebinds parameter storage.
+        for param, original in zip(fused_params, storage):
+            assert param.data is original
+
+    def test_none_grads_skipped(self):
+        params = [make_param(1.0), make_param(2.0)]
+        optimizer = SGD(params, lr=0.5, momentum=0.0)
+        optimizer.step_with_grads([np.array([1.0]), None])
+        np.testing.assert_allclose(params[0].data, [0.5])
+        np.testing.assert_allclose(params[1].data, [2.0])
+
+    def test_grad_count_mismatch_raises(self):
+        optimizer = SGD([make_param()], lr=0.1)
+        with pytest.raises(ValueError):
+            optimizer.step_with_grads([])
+
+    def test_zero_grad_set_to_none_false_reuses_storage(self):
+        p = make_param(2.0)
+        optimizer = SGD([p], lr=0.5)
+        p.grad = np.array([3.0])
+        storage = p.grad
+        optimizer.zero_grad(set_to_none=False)
+        assert p.grad is storage
+        np.testing.assert_allclose(p.grad, [0.0])
+        optimizer.zero_grad()
+        assert p.grad is None
+
+
 class TestSchedulers:
     def test_steplr_matches_paper_schedule(self):
         # Paper: lr 0.01, step_size 20, gamma 0.2.
