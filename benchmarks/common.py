@@ -454,15 +454,14 @@ def paper_rows_header(title: str) -> str:
     )
 
 
-def pgd_at_training_benchmark(
+def training_benchmark(
     dataset,
+    strategy_factory,
     epochs_timed: int = 2,
-    pgd_steps: int = 10,
     batch_size: int = 50,
     seed: int = 0,
 ):
-    """Eager-vs-compiled PGD-AT epoch timing; the one recipe shared by
-    ``benchmarks/quick_timing.py`` and ``tests/compile/test_speedup.py``.
+    """Eager-vs-compiled epoch timing for one training-loss strategy.
 
     Both trainers start from identical fresh seeded models and loader
     seeds; one warm-up epoch runs per mode (compiled plans build on their
@@ -477,14 +476,13 @@ def pgd_at_training_benchmark(
     from repro.models import SmallCNN
     from repro.nn.optim import SGD, StepLR
     from repro.training import Trainer
-    from repro.training.adversarial import PGDAdversarialLoss
 
     def build(compile_flag: bool):
         model = SmallCNN(num_classes=10, image_size=16, seed=seed)
         optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-3)
         trainer = Trainer(
             model,
-            PGDAdversarialLoss(steps=pgd_steps, seed=seed),
+            strategy_factory(),
             optimizer=optimizer,
             scheduler=StepLR(optimizer),
             compile=compile_flag,
@@ -521,6 +519,28 @@ def pgd_at_training_benchmark(
         "eager_seconds": eager_seconds,
         "compiled_seconds": compiled_seconds,
         "warm_allocations": warm_allocations,
-        "pgd_steps": pgd_steps,
         "epochs_timed": epochs_timed,
     }
+
+
+def pgd_at_training_benchmark(
+    dataset,
+    epochs_timed: int = 2,
+    pgd_steps: int = 10,
+    batch_size: int = 50,
+    seed: int = 0,
+):
+    """:func:`training_benchmark` on the paper's PGD-AT recipe (the shared
+    fixture of ``benchmarks/quick_timing.py`` and
+    ``tests/compile/test_speedup.py``)."""
+    from repro.training.adversarial import PGDAdversarialLoss
+
+    bench = training_benchmark(
+        dataset,
+        lambda: PGDAdversarialLoss(steps=pgd_steps, seed=seed),
+        epochs_timed=epochs_timed,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    bench["pgd_steps"] = pgd_steps
+    return bench

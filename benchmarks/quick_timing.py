@@ -15,13 +15,15 @@ suite under four evaluation strategies:
 
 Writes a JSON report (accuracies, wall time, forward-pass counts, and the
 eager-vs-compiled speedup) to the path given as the first argument (default:
-``bench-timings.json``), and a compiled-**training** report (one PGD
+``bench-timings.json``), a compiled-**training** report (one PGD
 adversarial-training epoch, eager vs ``Trainer(compile=True)``:
 ``train_speedup_compiled`` + ``train_matches_eager``) to the second
-(default: ``BENCH_train.json``).  The CI quick-bench job uploads both as
-artifacts and *soft-fails* on compiled-path regressions: if a compiled mode
-is slower than its eager counterpart (< 1.0x) a GitHub warning annotation
-is emitted, but the exit code stays 0.
+(default: ``BENCH_train.json``), and a per-loss compiled-training report
+(TRADES / MART / IB-RAR, whose side terms now run as in-plan nodes) to the
+third (default: ``BENCH_losses.json``).  The CI quick-bench job uploads all
+of them as artifacts and *soft-fails* on compiled-path regressions: if a
+compiled mode is slower than its eager counterpart (< 1.0x) a GitHub
+warning annotation is emitted, but the exit code stays 0.
 """
 
 from __future__ import annotations
@@ -39,11 +41,7 @@ from repro.nn.optim import SGD, StepLR
 from repro.training import CrossEntropyLoss, Trainer
 
 
-def bench_training(dataset) -> dict:
-    """Time one PGD-AT epoch eager vs compiled, from identical fresh models."""
-    from common import pgd_at_training_benchmark
-
-    bench = pgd_at_training_benchmark(dataset, epochs_timed=2, pgd_steps=10)
+def _bench_entry(dataset, loss_name: str, bench: dict) -> dict:
     eager_state = bench["eager_model"].state_dict()
     compiled_state = bench["compiled_model"].state_dict()
     matches = bool(
@@ -59,8 +57,7 @@ def bench_training(dataset) -> dict:
     )
     eager_seconds, compiled_seconds = bench["eager_seconds"], bench["compiled_seconds"]
     return {
-        "loss": "pgd",
-        "pgd_steps": bench["pgd_steps"],
+        "loss": loss_name,
         "epochs_timed": bench["epochs_timed"],
         "train_examples": len(dataset.x_train),
         "eager_epoch_seconds": round(eager_seconds, 4),
@@ -71,9 +68,48 @@ def bench_training(dataset) -> dict:
     }
 
 
+def bench_training(dataset) -> dict:
+    """Time one PGD-AT epoch eager vs compiled, from identical fresh models."""
+    from common import pgd_at_training_benchmark
+
+    bench = pgd_at_training_benchmark(dataset, epochs_timed=2, pgd_steps=10)
+    entry = _bench_entry(dataset, "pgd", bench)
+    entry["pgd_steps"] = bench["pgd_steps"]
+    return entry
+
+
+def bench_losses(dataset) -> dict:
+    """Per-loss compiled-vs-eager step timings (the in-plan loss families).
+
+    One entry per adversarial/IB loss whose side terms now build as plan
+    nodes: TRADES, MART and IB-RAR (PGD base).  Same interleaved-epoch
+    methodology as :func:`bench_training`.
+    """
+    from common import training_benchmark
+    from repro.core.config import IBRARConfig
+    from repro.core.losses import AdversarialMILoss
+    from repro.training.adversarial import MARTLoss, PGDAdversarialLoss, TRADESLoss
+
+    factories = {
+        "trades": lambda: TRADESLoss(steps=5, seed=0),
+        "mart": lambda: MARTLoss(steps=5, seed=0),
+        "ibrar": lambda: AdversarialMILoss(
+            IBRARConfig(alpha=0.05, beta=0.01),
+            num_classes=10,
+            adversarial_strategy=PGDAdversarialLoss(steps=5, seed=0),
+        ),
+    }
+    report = {"epochs_timed": 2, "losses": {}}
+    for name, factory in factories.items():
+        bench = training_benchmark(dataset, factory, epochs_timed=2)
+        report["losses"][name] = _bench_entry(dataset, name, bench)
+    return report
+
+
 def main() -> None:
     output_path = sys.argv[1] if len(sys.argv) > 1 else "bench-timings.json"
     train_output_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_train.json"
+    losses_output_path = sys.argv[3] if len(sys.argv) > 3 else "BENCH_losses.json"
     dataset = synthetic_cifar10(n_train=300, n_test=120, image_size=16, seed=0)
     model = SmallCNN(num_classes=10, image_size=16, seed=0)
     optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-3)
@@ -122,10 +158,13 @@ def main() -> None:
     train_report = bench_training(dataset)
     report["train_speedup_compiled"] = train_report["train_speedup_compiled"]
     report["train_matches_eager"] = train_report["train_matches_eager"]
+    losses_report = bench_losses(dataset)
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
     with open(train_output_path, "w", encoding="utf-8") as handle:
         json.dump(train_report, handle, indent=2, sort_keys=True)
+    with open(losses_output_path, "w", encoding="utf-8") as handle:
+        json.dump(losses_report, handle, indent=2, sort_keys=True)
     print(
         f"wrote {output_path} (early-exit speedup: {report['speedup_early_exit']}x, "
         f"compiled speedup: {report['speedup_compiled']}x, "
@@ -136,6 +175,13 @@ def main() -> None:
         f"{train_report['train_speedup_compiled']}x, trajectories match: "
         f"{train_report['train_matches_eager']})"
     )
+    for name, entry in losses_report["losses"].items():
+        print(
+            f"{name:>10}: compiled {entry['train_speedup_compiled']}x "
+            f"({entry['eager_epoch_seconds']}s -> {entry['compiled_epoch_seconds']}s)  "
+            f"matches: {entry['train_matches_eager']}"
+        )
+    print(f"wrote {losses_output_path}")
     if not report["compiled_matches_eager"]:
         print("::warning title=compiled-mismatch::compiled accuracies differ from eager early-exit")
     if report["speedup_compiled"] < 1.0:
@@ -154,6 +200,17 @@ def main() -> None:
             "::warning title=compiled-train-regression::compiled training slower than eager "
             f"({train_report['train_speedup_compiled']}x < 1.0x)"
         )
+    for name, entry in losses_report["losses"].items():
+        if not entry["train_matches_eager"]:
+            print(
+                f"::warning title=compiled-{name}-mismatch::compiled {name} training "
+                "trajectory differs from eager"
+            )
+        if entry["train_speedup_compiled"] < 1.0:
+            print(
+                f"::warning title=compiled-{name}-regression::compiled {name} training "
+                f"slower than eager ({entry['train_speedup_compiled']}x < 1.0x)"
+            )
 
 
 if __name__ == "__main__":

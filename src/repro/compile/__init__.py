@@ -13,10 +13,15 @@ parameter gradients, which attacks always discard, are never materialized.
 
 Training is compiled too (:mod:`repro.compile.training`): training-mode
 forwards (batch-stat batch norm with in-place running updates) captured with
-**live parameters**, a full parameter-gradient backward into pooled buffers,
-fused in-place optimizer kernels, and adapters replaying the paper's
-composite losses (CE, PGD-AT, TRADES, MART, IB-RAR) — the fused softmax-CE
-seed plus eager-composed HSIC/KL side terms injected into the plan backward.
+**live parameters**, a full parameter-gradient backward into pooled buffers
+(or the fused input+param backward, ``grad="both"``), fused in-place
+optimizer kernels, and adapters building the paper's composite losses (CE,
+PGD-AT, TRADES, MART, IB-RAR) **fully in plan** — the fused softmax-CE seed
+plus softmax-KL, MART margin-weighting and RBF-Gram/HSIC-trace plan nodes
+over aliased aux inputs, zero eager graph nodes per compiled step.  One
+``capture_forward`` trace per batch signature serves every plan: the
+eval-semantics attack plan derives from the training capture through the
+:func:`~repro.compile.passes.lower_to_eval` pass.
 
 Entry points:
 
@@ -36,11 +41,12 @@ Entry points:
   shared by the FGSM/PGD/NIFGSM/MIFGSM update rules.
 """
 
+from .cache import SignatureCache
 from .graph import CompileError, Graph, Node, capture_forward
 from .executor import Plan
-from .kernels import linf_step, lookahead_point
+from .kernels import GramCache, linf_step, lookahead_point
 from .model import CompiledModel, CompiledStats, compile_model
-from .passes import optimize
+from .passes import lower_to_eval, optimize
 from .pool import BufferPool
 from .training import CompiledTrainer, TrainingCompileStats
 
@@ -51,12 +57,15 @@ __all__ = [
     "CompiledStats",
     "CompiledTrainer",
     "Graph",
+    "GramCache",
     "Node",
     "Plan",
+    "SignatureCache",
     "TrainingCompileStats",
     "capture_forward",
     "compile_model",
     "linf_step",
     "lookahead_point",
+    "lower_to_eval",
     "optimize",
 ]

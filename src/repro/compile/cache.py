@@ -1,0 +1,80 @@
+"""Shape-keyed compile-on-second-sighting cache — the one shared policy.
+
+Every compiled entry point dispatches on the ``(input shape, dtype)``
+signature of the incoming batch and follows the same economics: a signature
+seen **once** runs eagerly (a ragged final batch is cheaper eager than
+captured and bound), the **second** sighting triggers the expensive build,
+and deterministic build failures are memoized as ``None`` so the eager
+fallback is taken without re-trying the capture.
+
+One instance backs :class:`repro.compile.CompiledModel` (entries are eval
+:class:`~repro.compile.executor.Plan` objects),
+one backs :class:`repro.compile.training.CompiledTrainer` (entries are
+per-signature plan contexts), and one backs
+:class:`repro.compile.training.LiveEvalModel` (live-parameter eval plans).
+:meth:`evict` drops a *recoverable* failure (reallocated parameter storage)
+so the next sighting rebuilds against the current storage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from .graph import CompileError
+
+__all__ = ["SignatureCache"]
+
+Key = Tuple[Tuple[int, ...], str]
+
+
+class SignatureCache:
+    """Second-sighting build cache keyed by ``(shape, dtype)`` signatures."""
+
+    def __init__(self, build: Callable[[np.ndarray], object], capacity: int) -> None:
+        self._build = build
+        self.capacity = capacity
+        self.entries: Dict[Key, Optional[object]] = {}
+        self._misses: Dict[Key, int] = {}
+
+    @staticmethod
+    def key(sample: np.ndarray) -> Key:
+        return (sample.shape, sample.dtype.str)
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self._misses.clear()
+
+    def get(self, sample: np.ndarray):
+        """The cached entry for this signature, or ``None`` (never builds)."""
+        return self.entries.get(self.key(sample))
+
+    def insert(self, sample: np.ndarray, entry) -> None:
+        """Pre-seed the cache (a caller-built first plan skips the policy)."""
+        self.entries[self.key(sample)] = entry
+
+    def lookup(self, sample: np.ndarray):
+        """The entry for this signature, building it on the second sighting.
+
+        Returns ``None`` on the first sighting, when the live-entry count is
+        at capacity, or when the build failed (memoized — deterministic
+        failures such as dropout never retry).
+        """
+        key = self.key(sample)
+        if key in self.entries:
+            return self.entries[key]
+        if self._misses.get(key, 0) == 0:
+            self._misses[key] = 1
+            return None
+        if sum(1 for entry in self.entries.values() if entry is not None) >= self.capacity:
+            return None
+        try:
+            entry = self._build(sample)
+        except CompileError:
+            entry = None  # remember the failure; fall back for this signature
+        self.entries[key] = entry
+        return entry
+
+    def evict(self, sample: np.ndarray) -> None:
+        self.entries.pop(self.key(sample), None)

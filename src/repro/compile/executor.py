@@ -8,7 +8,7 @@ NumPy kernels.  Steady-state iterations therefore perform zero pool
 allocations — the property the attack hot path (tens of gradient steps per
 batch) is bought with.
 
-Two gradient modes exist.  ``grad="input"`` (the attack/eval default)
+Three gradient modes exist.  ``grad="input"`` (the attack/eval default)
 computes the gradient **with respect to the input only** — parameters are
 baked in (or aliased, for live-parameter plans), so the weight-gradient
 matmuls the eager engine performs on every attack step (and throws away)
@@ -16,8 +16,23 @@ are never executed.  ``grad="params"`` (the training mode) instead seeds
 the differentiation set from the graph's live ``"param"`` nodes and
 accumulates **full parameter gradients** into pre-allocated pooled buffers;
 :meth:`Plan.run_backward` additionally accepts gradient seeds at named
-intermediate nodes so eager-composed loss terms (IB-RAR's HSIC
-regularizers, TRADES/MART KL terms) can inject their contributions.
+intermediate nodes (registered via ``seed_ids``).  ``grad="both"`` binds
+**two backward programs over shared gradient buffers**: a fused
+input+param program (one im2col read and one col2im scatter per
+convolution emit the input gradient *and* the weight/bias gradients in a
+single pass) driven by :meth:`run_backward`, and an input-only program
+driven by :meth:`backward` — the attack hot path, which skips every
+weight-gradient matmul.  A mode-invariant graph (no batch norm) can then
+serve PGD-AT's inner attack loop and its outer optimizer step from one
+plan.
+
+Graphs may carry named ``aux`` input leaves (per-batch arrays that are not
+the traced input: another plan's logits buffer, a one-hot label mask, a
+precomputed Gram matrix).  Each binds to a caller-supplied alias or to a
+pooled buffer filled through :meth:`Plan.set_aux`; names listed in
+``grad_aux`` additionally receive gradient accumulators, which is how an
+in-plan loss term hands its gradient to the plan that produced the aliased
+buffer (TRADES' KL gradient with respect to the clean logits).
 
 Live-parameter plans (graphs captured with ``live_params=True``) alias
 ``param.data`` directly and re-read it on every replay — one plan survives
@@ -37,7 +52,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
-from .graph import CompileError, Graph, Node
+from .graph import CompileError, Graph, LEAF_OPS as _LEAF_OPS, Node
 from .passes import bn_scale_shift
 from .pool import BufferPool
 
@@ -81,12 +96,19 @@ class Plan:
         ``"input"`` differentiates with respect to the input batch (the
         attack hot path); ``"params"`` with respect to every live ``param``
         node (the training step — parameter gradients land in pooled
-        buffers exposed via :meth:`param_grads`).
+        buffers exposed via :meth:`param_grads`); ``"both"`` binds a fused
+        input+param backward program plus a fast input-only program.
     seed_ids:
         Node ids that may receive external gradient seeds through
-        :meth:`run_backward` (a training plan passes its hidden-output
-        nodes).  Registering them as extra contributors keeps the
-        dead-write elimination from overwriting injected seeds.
+        :meth:`run_backward` (hidden-output nodes, in-plan loss scalars).
+        Registering them as extra contributors keeps the dead-write
+        elimination from overwriting injected seeds.
+    aux:
+        ``name -> array`` aliases for the graph's aux input leaves; unbound
+        names get pooled buffers, filled per batch via :meth:`set_aux`.
+    grad_aux:
+        Aux names to include in the differentiation set; their accumulated
+        gradients are read back through :meth:`aux_grad`.
     """
 
     def __init__(
@@ -95,27 +117,35 @@ class Plan:
         pool: Optional[BufferPool] = None,
         grad: str = "input",
         seed_ids: Sequence[int] = (),
+        aux: Optional[Mapping[str, np.ndarray]] = None,
+        grad_aux: Sequence[str] = (),
     ) -> None:
-        if grad not in ("input", "params"):
-            raise ValueError(f"unknown grad mode '{grad}'; use 'input' or 'params'")
+        if grad not in ("input", "params", "both"):
+            raise ValueError(f"unknown grad mode '{grad}'; use 'input', 'params' or 'both'")
         self.graph = graph
         self.grad_mode = grad
         self.pool = pool or BufferPool()
         #: node id -> forward value (const arrays, bound buffers, or views).
         self.values: Dict[int, np.ndarray] = {}
-        #: node id -> gradient accumulator, for nodes on the grad path.
+        #: node id -> gradient accumulator (shared across backward programs).
         self.grads: Dict[int, np.ndarray] = {}
+        #: aux name -> bound array (aliases and pooled buffers alike).
+        self.aux_values: Dict[str, np.ndarray] = {}
         #: (Parameter, node id) pairs for live-parameter graphs.
         self.params: List[Tuple[object, int]] = [
             (n.meta["parameter"], n.id) for n in graph.param_nodes()
         ]
         self._forward_steps: List[Callable[[], None]] = []
-        self._backward_steps: List[Callable[[], None]] = []
-        self._grad_buffers: List[np.ndarray] = []
-        self._diff: Set[int] = graph.grad_path(
-            include_input=(grad == "input"), include_params=(grad == "params")
-        )
-        self._seed_ids: Set[int] = set(seed_ids) & self._diff
+        self._aux_bindings: Dict[str, np.ndarray] = dict(aux or {})
+        for name in grad_aux:
+            if name not in graph.aux:
+                raise CompileError(f"unknown aux input '{name}'")
+        self._grad_aux = tuple(grad_aux)
+        self._seed_requested = tuple(seed_ids)
+        #: backward programs by name ("full" and/or "input"); each holds the
+        #: bound step list, the buffers to zero per run, its diff set and
+        #: the seed ids it honours.
+        self._programs: Dict[str, dict] = {}
         self._ce: Optional[dict] = None
         self._bind()
 
@@ -138,13 +168,28 @@ class Plan:
             if node.op == "input":
                 continue
             if node.op == "const":
-                self.values[node.id] = np.ascontiguousarray(node.value)
+                # ascontiguousarray promotes 0-d scalars to (1,); keep them 0-d.
+                self.values[node.id] = (
+                    node.value if node.value.ndim == 0 else np.ascontiguousarray(node.value)
+                )
                 continue
             if node.op == "param":
                 # Live leaf: alias the parameter's storage.  Replays re-read
                 # it, so in-place optimizer updates flow into the plan; the
                 # identity guard in :meth:`forward` catches reallocation.
                 self.values[node.id] = node.meta["parameter"].data
+                continue
+            if node.op == "aux":
+                name = node.meta["name"]
+                bound = self._aux_bindings.get(name)
+                if bound is None:
+                    bound = self.pool.empty(node.shape, node.dtype)
+                elif tuple(bound.shape) != tuple(node.shape):
+                    raise CompileError(
+                        f"aux '{name}' binding shape {bound.shape} != {node.shape}"
+                    )
+                self.values[node.id] = bound
+                self.aux_values[name] = bound
                 continue
             binder = _FORWARD.get(node.op)
             if binder is None:
@@ -154,19 +199,54 @@ class Plan:
             if step is not None:
                 self._forward_steps.append(step)
 
+        aux_grad_ids = tuple(graph.aux[name] for name in self._grad_aux)
+        if self.grad_mode == "input":
+            specs = [("input", True, False, aux_grad_ids)]
+        elif self.grad_mode == "params":
+            specs = [("full", False, True, aux_grad_ids)]
+        else:  # both: the fused full program plus the attack-loop fast path
+            specs = [("full", True, True, aux_grad_ids), ("input", True, False, ())]
+        for name, include_input, include_params, extra in specs:
+            program = self._bind_program(include_input, include_params, extra)
+            if program is not None:
+                self._programs[name] = program
+        # The binders communicate through _diff/_seed_ids/_contributions/
+        # _fill_ids, which are rebound per program during binding; afterwards
+        # re-point the public-ish pair at the *primary* program (the fullest
+        # differentiation set) and drop the binding-only scratch, so nothing
+        # can read a stale secondary-program view after __init__.
+        primary = self._programs.get("full") or self._programs.get("input")
+        self._diff = set(primary["diff"]) if primary is not None else set()
+        self._seed_ids = set(primary["seeds"]) if primary is not None else set()
+        for scratch in ("_contributions", "_fill_ids"):
+            if hasattr(self, scratch):  # absent on forward-only plans
+                delattr(self, scratch)
+
+    def _bind_program(
+        self, include_input: bool, include_params: bool, extra: Tuple[int, ...]
+    ) -> Optional[dict]:
+        """Bind one backward program; ``None`` when no gradient path exists.
+
+        Programs share the per-node gradient buffers in :attr:`grads` but
+        own their step list, zero-fill set and dead-write (sink) decisions —
+        the same buffer may be overwritten by its sole contributor in one
+        program and accumulated into in another.
+        """
+        graph = self.graph
+        self._diff = graph.grad_path(
+            include_input=include_input, include_params=include_params, extra=extra
+        )
         if graph.output_id not in self._diff:
-            # Forward-only plan: no gradient path from output to the leaves.
-            self._backward_steps = []
-            self._grads_bound = False
-            return
+            return None
         # Dead-write elimination: a gradient buffer that receives exactly one
         # contribution is written directly by its contributing kernel (via
         # `_sink`), skipping both the zero-fill and the accumulate add.  The
         # output seed counts as the output node's single contribution, and so
         # does each registered external-seed injection point.
-        self._contributions: Dict[int, int] = {graph.output_id: 1}
+        self._seed_ids = set(self._seed_requested) & self._diff
+        self._contributions = {graph.output_id: 1}
         for node in graph.nodes:
-            if node.id not in self._diff or node.op in ("input", "const", "detach", "param"):
+            if node.id not in self._diff or node.op in _LEAF_OPS:
                 continue
             for input_id in node.inputs:
                 if input_id in self._diff:
@@ -176,21 +256,26 @@ class Plan:
         self._fill_ids: Set[int] = set()
         for node in graph.nodes:
             if node.id in self._diff:
-                buffer = self.pool.empty(node.shape, node.dtype)
-                self.grads[node.id] = buffer
+                if node.id not in self.grads:
+                    self.grads[node.id] = self.pool.empty(node.shape, node.dtype)
                 self._fill_ids.add(node.id)
         self._fill_ids.discard(graph.output_id)  # seeded by copyto
+        steps: List[Callable[[], None]] = []
         for node in reversed(graph.nodes):
-            if node.id not in self._diff or node.op in ("input", "const", "detach", "param"):
+            if node.id not in self._diff or node.op in _LEAF_OPS:
                 continue
             binder = _BACKWARD.get(node.op)
             if binder is None:
                 raise CompileError(f"op '{node.op}' has no compiled backward kernel")
             step = binder(self, node)
             if step is not None:
-                self._backward_steps.append(step)
-        self._grad_buffers = [self.grads[node_id] for node_id in self._fill_ids]
-        self._grads_bound = True
+                steps.append(step)
+        return {
+            "steps": steps,
+            "fill": [self.grads[node_id] for node_id in self._fill_ids],
+            "diff": frozenset(self._diff),
+            "seeds": set(self._seed_ids),
+        }
 
     def _sink(self, target_id: int, supports_write: bool = True) -> Tuple[bool, np.ndarray]:
         """``(write, buffer)`` for a kernel contributing a gradient to ``target_id``.
@@ -225,16 +310,17 @@ class Plan:
         return self.values[self.graph.output_id]
 
     def backward(self, output_grad: np.ndarray) -> np.ndarray:
-        """Input gradient for the most recent :meth:`forward` call."""
-        if self.grad_mode != "input":
-            raise CompileError("backward() needs an input-gradient plan; use run_backward()")
-        if not self._grads_bound:
+        """Input gradient for the most recent :meth:`forward` call.
+
+        Runs the input-only backward program: on a ``grad="both"`` plan this
+        is the attack fast path, skipping every parameter-gradient kernel.
+        """
+        program = self._programs.get("input")
+        if program is None:
+            if self.grad_mode == "params":
+                raise CompileError("backward() needs an input-gradient plan; use run_backward()")
             raise CompileError("this plan has no gradient path from output to input")
-        for buffer in self._grad_buffers:
-            buffer.fill(0)
-        np.copyto(self.grads[self.graph.output_id], output_grad)
-        for step in self._backward_steps:
-            step()
+        self._run_program(program, {self.graph.output_id: output_grad})
         return self.grads[self.graph.input_id]
 
     def run_backward(self, seeds: Mapping[int, np.ndarray]) -> None:
@@ -244,13 +330,18 @@ class Plan:
         copied in (zero when absent), every other seed is **added** to that
         node's freshly zeroed accumulator before the kernels run — the form
         composite losses need, where the fused-CE output seed and the
-        eager-composed side terms' hidden-activation seeds join one pass.
-        Non-output seed ids must have been registered via ``seed_ids`` at
-        bind time (otherwise a single-contribution writer overwrites them).
+        in-plan loss scalars' seeds join one pass.  Non-output seed ids must
+        have been registered via ``seed_ids`` at bind time (otherwise a
+        single-contribution writer overwrites them).  On a ``grad="both"``
+        plan this drives the fused input+param program.
         """
-        if not self._grads_bound:
+        program = self._programs.get("full") or self._programs.get("input")
+        if program is None:
             raise CompileError("this plan has no gradient path to its leaves")
-        for buffer in self._grad_buffers:
+        self._run_program(program, seeds)
+
+    def _run_program(self, program: dict, seeds: Mapping[int, np.ndarray]) -> None:
+        for buffer in program["fill"]:
             buffer.fill(0)
         output_id = self.graph.output_id
         output_seed = seeds.get(output_id)
@@ -261,12 +352,31 @@ class Plan:
         for node_id, seed in seeds.items():
             if node_id == output_id:
                 continue
-            if node_id not in self._seed_ids:
+            if node_id not in program["seeds"]:
                 raise CompileError(f"node {node_id} was not registered as a seed point")
             target = self.grads[node_id]
             np.add(target, seed, out=target)
-        for step in self._backward_steps:
+        for step in program["steps"]:
             step()
+
+    def input_grad(self) -> np.ndarray:
+        """The input-gradient buffer of the most recent backward replay."""
+        grad = self.grads.get(self.graph.input_id)
+        if grad is None:
+            raise CompileError("this plan does not differentiate its input")
+        return grad
+
+    def set_aux(self, name: str, value: np.ndarray) -> None:
+        """Copy ``value`` into the named aux buffer (fill-per-batch form)."""
+        np.copyto(self.aux_values[name], value)
+
+    def aux_grad(self, name: str) -> np.ndarray:
+        """Accumulated gradient of a ``grad_aux`` input after a backward replay."""
+        return self.grads[self.graph.aux[name]]
+
+    def output_value(self, name: str) -> np.ndarray:
+        """Forward value of the named graph output (hidden or loss node)."""
+        return self.values[self.graph.outputs[name]]
 
     def param_grads(self) -> Dict[int, np.ndarray]:
         """``id(parameter) -> pooled gradient buffer`` after a backward replay."""
@@ -723,6 +833,546 @@ def _make_ew_clip(out, mask, scratch_mask, low, high):
     return run
 
 
+# --------------------------------------------------------------------------- #
+# in-plan loss nodes (softmax-KL, MART terms, RBF Gram, centered HSIC trace)
+#
+# Each fused node replays the exact primitive sequence the eager loss
+# composition executes — same ufuncs, same stabilizations, same evaluation
+# order — through pooled ``out=`` buffers, so compiled loss values track the
+# eager ones to the last accumulation-order bit and the whole loss runs with
+# zero steady-state allocations and zero eager graph nodes.
+# --------------------------------------------------------------------------- #
+class _SoftmaxLogCore:
+    """Pooled replay of ``F.log_softmax`` (optionally with ``exp`` probs).
+
+    Mirrors the eager op chain: row max (detached), shifted logits, exp,
+    row sum, log, shifted-minus-logsum; :meth:`grad_logits` applies the
+    exact eager backward of that chain.
+    """
+
+    def __init__(self, pool: BufferPool, n: int, k: int, dtype, with_prob: bool) -> None:
+        self.max = pool.empty((n, 1), dtype)
+        self.shift = pool.empty((n, k), dtype)
+        self.e = pool.empty((n, k), dtype)
+        self.s = pool.empty((n, 1), dtype)
+        self.logs = pool.empty((n, 1), dtype)
+        self.log = pool.empty((n, k), dtype)
+        self.prob = pool.empty((n, k), dtype) if with_prob else None
+
+    def forward(self, x: np.ndarray) -> None:
+        np.max(x, axis=1, keepdims=True, out=self.max)
+        np.subtract(x, self.max, out=self.shift)
+        np.exp(self.shift, out=self.e)
+        np.sum(self.e, axis=1, keepdims=True, out=self.s)
+        np.log(self.s, out=self.logs)
+        np.subtract(self.shift, self.logs, out=self.log)
+        if self.prob is not None:
+            np.exp(self.log, out=self.prob)
+
+    def grad_logits(
+        self,
+        grad_log: np.ndarray,
+        scratch_nk: np.ndarray,
+        scratch_n1: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """``out = grad_log + e * (-(sum(grad_log, axis=1)) / s)`` (max detached)."""
+        np.sum(grad_log, axis=1, keepdims=True, out=scratch_n1)
+        np.negative(scratch_n1, out=scratch_n1)
+        np.divide(scratch_n1, self.s, out=scratch_n1)
+        np.multiply(self.e, scratch_n1, out=scratch_nk)
+        np.add(grad_log, scratch_nk, out=out)
+
+    def grad_probs_div(
+        self,
+        grad_probs: np.ndarray,
+        scratch_nk: np.ndarray,
+        scratch2_nk: np.ndarray,
+        scratch_n1: np.ndarray,
+        scratch2_n1: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """Logits grad through the ``probs = e / s`` form (``F.softmax``).
+
+        Replays the eager div/sum/exp backward: ``grad_e = grad/s``,
+        ``grad_s = sum(-grad * e / s^2)``, ``grad_e += grad_s`` broadcast,
+        ``out = grad_e * e``.
+        """
+        np.divide(grad_probs, self.s, out=scratch_nk)
+        np.multiply(grad_probs, self.e, out=scratch2_nk)
+        np.negative(scratch2_nk, out=scratch2_nk)
+        np.multiply(self.s, self.s, out=scratch_n1)
+        np.divide(scratch2_nk, scratch_n1, out=scratch2_nk)
+        np.sum(scratch2_nk, axis=1, keepdims=True, out=scratch2_n1)
+        np.add(scratch_nk, scratch2_n1, out=scratch_nk)
+        np.multiply(scratch_nk, self.e, out=out)
+
+
+def _bind_softmax_kl(plan: Plan, node: Node):
+    """Mean ``KL(softmax(p) || softmax(q))`` of two logits inputs.
+
+    The two orientations are the two input slots: gradients are emitted for
+    whichever of ``p`` and ``q`` lies on the differentiation path.
+    """
+    p_val = plan.values[node.inputs[0]]
+    q_val = plan.values[node.inputs[1]]
+    n, k = p_val.shape
+    dtype = node.dtype
+    p_core = _SoftmaxLogCore(plan.pool, n, k, dtype, with_prob=True)
+    q_core = _SoftmaxLogCore(plan.pool, n, k, dtype, with_prob=False)
+    diff = plan.pool.empty((n, k), dtype)
+    prod = plan.pool.empty((n, k), dtype)
+    per = plan.pool.empty((n,), dtype)
+    out = plan.pool.empty((), dtype)
+    node.meta["_kl"] = (p_core, q_core, diff, per)
+
+    def step() -> None:
+        p_core.forward(p_val)
+        q_core.forward(q_val)
+        np.subtract(p_core.log, q_core.log, out=diff)
+        np.multiply(p_core.prob, diff, out=prod)
+        np.sum(prod, axis=1, out=per)
+        np.sum(per, out=out)
+        np.multiply(out, 1.0 / n, out=out)
+
+    return step, out
+
+
+def _back_softmax_kl(plan: Plan, node: Node):
+    p_id, q_id = node.inputs
+    p_core, q_core, diff, per = node.meta["_kl"]
+    n, k = diff.shape
+    dtype = diff.dtype
+    g = plan.grads[node.id]
+    need_p = p_id in plan._diff
+    need_q = q_id in plan._diff
+    gscal = plan.pool.empty((), dtype)
+    s1 = plan.pool.empty((n, k), dtype)
+    s2 = plan.pool.empty((n, k), dtype)
+    s3 = plan.pool.empty((n, k), dtype)
+    v = plan.pool.empty((n, 1), dtype)
+    steps: List[Callable[[], None]] = []
+    if need_q:
+        write_q, gq = plan._sink(q_id)
+        target_q = gq if write_q else plan.pool.empty((n, k), dtype)
+
+        def q_step() -> None:
+            np.multiply(p_core.prob, gscal, out=s2)  # grad wrt (p_log - q_log)
+            np.negative(s2, out=s2)  # grad wrt q_log
+            q_core.grad_logits(s2, s3, v, target_q)
+            if not write_q:
+                np.add(gq, target_q, out=gq)
+
+        steps.append(q_step)
+    if need_p:
+        write_p, gp = plan._sink(p_id)
+        target_p = gp if write_p else plan.pool.empty((n, k), dtype)
+
+        def p_step() -> None:
+            np.multiply(p_core.prob, gscal, out=s2)  # grad wrt the log diff
+            np.multiply(diff, gscal, out=s1)  # grad wrt p_prob
+            np.multiply(s1, p_core.prob, out=s1)  # through exp(p_log)
+            np.add(s2, s1, out=s1)  # total grad wrt p_log
+            p_core.grad_logits(s1, s3, v, target_p)
+            if not write_p:
+                np.add(gp, target_p, out=gp)
+
+        steps.append(p_step)
+
+    def run() -> None:
+        np.multiply(g, 1.0 / n, out=gscal)  # mean reduction seed, per example
+        for step in steps:
+            step()
+
+    return run
+
+
+def _bind_mart_boosted_ce(plan: Plan, node: Node):
+    """MART's boosted CE: ``mean(-log(p_y + eps) - log(1 - max_wrong + eps))``.
+
+    Inputs: adversarial logits and the one-hot ``true_mask`` aux.  The
+    margin weighting (the ``max_wrong`` term) reproduces the eager
+    ``(probs + mask * -1e9).max(axis=1)`` composition, tie counts included.
+    """
+    adv = plan.values[node.inputs[0]]
+    mask = plan.values[node.inputs[1]]
+    n, k = adv.shape
+    dtype = node.dtype
+    pool = plan.pool
+    buffers = {
+        "maxb": pool.empty((n, 1), dtype),
+        "shift": pool.empty((n, k), dtype),
+        "e": pool.empty((n, k), dtype),
+        "s": pool.empty((n, 1), dtype),
+        "probs": pool.empty((n, k), dtype),
+        "pm": pool.empty((n, k), dtype),
+        "adv_true": pool.empty((n,), dtype),
+        "wrong": pool.empty((n, k), dtype),
+        "wm": pool.empty((n,), dtype),
+        "t1": pool.empty((n,), dtype),
+        "l1": pool.empty((n,), dtype),
+        "t2": pool.empty((n,), dtype),
+        "l2": pool.empty((n,), dtype),
+        "vec": pool.empty((n,), dtype),
+    }
+    out = pool.empty((), dtype)
+    node.meta["_mart_bce"] = buffers
+    b = buffers
+
+    def step() -> None:
+        np.max(adv, axis=1, keepdims=True, out=b["maxb"])
+        np.subtract(adv, b["maxb"], out=b["shift"])
+        np.exp(b["shift"], out=b["e"])
+        np.sum(b["e"], axis=1, keepdims=True, out=b["s"])
+        np.divide(b["e"], b["s"], out=b["probs"])
+        np.multiply(b["probs"], mask, out=b["pm"])
+        np.sum(b["pm"], axis=1, out=b["adv_true"])
+        np.multiply(mask, -1e9, out=b["wrong"])
+        np.add(b["probs"], b["wrong"], out=b["wrong"])
+        np.max(b["wrong"], axis=1, out=b["wm"])
+        np.add(b["adv_true"], 1e-12, out=b["t1"])
+        np.log(b["t1"], out=b["l1"])
+        np.negative(b["wm"], out=b["t2"])
+        np.add(b["t2"], 1.0, out=b["t2"])
+        np.add(b["t2"], 1e-12, out=b["t2"])
+        np.log(b["t2"], out=b["l2"])
+        np.negative(b["l1"], out=b["vec"])
+        np.subtract(b["vec"], b["l2"], out=b["vec"])
+        np.sum(b["vec"], out=out)
+        np.multiply(out, 1.0 / n, out=out)
+
+    return step, out
+
+
+def _back_mart_boosted_ce(plan: Plan, node: Node):
+    adv_id = node.inputs[0]
+    if adv_id not in plan._diff:
+        return None
+    mask = plan.values[node.inputs[1]]
+    b = node.meta["_mart_bce"]
+    n, k = b["shift"].shape
+    dtype = b["shift"].dtype
+    g = plan.grads[node.id]
+    pool = plan.pool
+    gscal = pool.empty((), dtype)
+    gneg = pool.empty((), dtype)
+    ga = pool.empty((n, 1), dtype)
+    gwm = pool.empty((n, 1), dtype)
+    wmk = pool.empty((n, 1), dtype)
+    eqmask = pool.empty((n, k), bool)
+    counts = pool.empty((n, 1), dtype)
+    gw = pool.empty((n, k), dtype)
+    sc = pool.empty((n, k), dtype)
+    sc2 = pool.empty((n, k), dtype)
+    v1 = pool.empty((n, 1), dtype)
+    v2 = pool.empty((n, 1), dtype)
+    t1_col = b["t1"].reshape(n, 1)
+    t2_col = b["t2"].reshape(n, 1)
+    write, gx = plan._sink(adv_id)
+    target = gx if write else pool.empty((n, k), dtype)
+
+    def run() -> None:
+        np.multiply(g, 1.0 / n, out=gscal)
+        np.negative(gscal, out=gneg)  # grad of both -log terms
+        np.divide(gneg, t1_col, out=ga)  # grad wrt adv_true
+        np.divide(gneg, t2_col, out=gwm)
+        np.negative(gwm, out=gwm)  # grad wrt max_wrong
+        # eager max backward: first-equal mask, tie counts clipped at 1
+        np.max(b["wrong"], axis=1, keepdims=True, out=wmk)
+        np.equal(b["wrong"], wmk, out=eqmask)
+        np.sum(eqmask, axis=1, keepdims=True, out=counts)
+        np.maximum(counts, 1.0, out=counts)
+        np.multiply(eqmask, gwm, out=gw)
+        np.divide(gw, counts, out=gw)
+        # grad wrt probs: the margin branch plus the true-class branch
+        np.multiply(mask, ga, out=sc)
+        np.add(gw, sc, out=gw)
+        # softmax (e / s) backward into the logits
+        np.divide(gw, b["s"], out=sc)
+        np.multiply(gw, b["e"], out=sc2)
+        np.negative(sc2, out=sc2)
+        np.multiply(b["s"], b["s"], out=v1)
+        np.divide(sc2, v1, out=sc2)
+        np.sum(sc2, axis=1, keepdims=True, out=v2)
+        np.add(sc, v2, out=sc)
+        np.multiply(sc, b["e"], out=target)
+        if not write:
+            np.add(gx, target, out=gx)
+
+    return run
+
+
+def _bind_mart_weighted_kl(plan: Plan, node: Node):
+    """MART's misclassification-weighted KL:
+    ``mean(KL_i(clean || adv) * (1 - p_clean[y]))``.
+
+    The clean softmax probabilities reuse the KL core's exp/sum buffers
+    through the eager ``e / s`` division, exactly like ``F.softmax``.
+    """
+    clean = plan.values[node.inputs[0]]
+    adv = plan.values[node.inputs[1]]
+    mask = plan.values[node.inputs[2]]
+    n, k = clean.shape
+    dtype = node.dtype
+    pool = plan.pool
+    p_core = _SoftmaxLogCore(pool, n, k, dtype, with_prob=True)
+    q_core = _SoftmaxLogCore(pool, n, k, dtype, with_prob=False)
+    buffers = {
+        "diff": pool.empty((n, k), dtype),
+        "prod": pool.empty((n, k), dtype),
+        "per": pool.empty((n,), dtype),
+        "cprobs": pool.empty((n, k), dtype),
+        "pm": pool.empty((n, k), dtype),
+        "ct": pool.empty((n,), dtype),
+        "w": pool.empty((n,), dtype),
+        "weighted": pool.empty((n,), dtype),
+    }
+    out = pool.empty((), dtype)
+    node.meta["_mart_wkl"] = (p_core, q_core, buffers)
+    b = buffers
+
+    def step() -> None:
+        p_core.forward(clean)
+        q_core.forward(adv)
+        np.subtract(p_core.log, q_core.log, out=b["diff"])
+        np.multiply(p_core.prob, b["diff"], out=b["prod"])
+        np.sum(b["prod"], axis=1, out=b["per"])
+        np.divide(p_core.e, p_core.s, out=b["cprobs"])
+        np.multiply(b["cprobs"], mask, out=b["pm"])
+        np.sum(b["pm"], axis=1, out=b["ct"])
+        np.negative(b["ct"], out=b["w"])
+        np.add(b["w"], 1.0, out=b["w"])
+        np.multiply(b["per"], b["w"], out=b["weighted"])
+        np.sum(b["weighted"], out=out)
+        np.multiply(out, 1.0 / n, out=out)
+
+    return step, out
+
+
+def _back_mart_weighted_kl(plan: Plan, node: Node):
+    clean_id, adv_id = node.inputs[0], node.inputs[1]
+    mask = plan.values[node.inputs[2]]
+    p_core, q_core, b = node.meta["_mart_wkl"]
+    n, k = b["diff"].shape
+    dtype = b["diff"].dtype
+    g = plan.grads[node.id]
+    need_clean = clean_id in plan._diff
+    need_adv = adv_id in plan._diff
+    pool = plan.pool
+    gscal = pool.empty((), dtype)
+    gkl = pool.empty((n, 1), dtype)
+    gw = pool.empty((n, 1), dtype)
+    s1 = pool.empty((n, k), dtype)
+    s2 = pool.empty((n, k), dtype)
+    s3 = pool.empty((n, k), dtype)
+    s4 = pool.empty((n, k), dtype)
+    v1 = pool.empty((n, 1), dtype)
+    v2 = pool.empty((n, 1), dtype)
+    w_col = b["w"].reshape(n, 1)
+    per_col = b["per"].reshape(n, 1)
+    steps: List[Callable[[], None]] = []
+    if need_adv:
+        write_a, ga = plan._sink(adv_id)
+        target_a = ga if write_a else pool.empty((n, k), dtype)
+
+        def adv_step() -> None:
+            np.multiply(p_core.prob, gkl, out=s2)  # grad wrt the log diff
+            np.negative(s2, out=s2)  # grad wrt q_log
+            q_core.grad_logits(s2, s3, v1, target_a)
+            if not write_a:
+                np.add(ga, target_a, out=ga)
+
+        steps.append(adv_step)
+    if need_clean:
+        write_c, gc = plan._sink(clean_id)
+        target_c = gc if write_c else pool.empty((n, k), dtype)
+
+        def clean_step() -> None:
+            # weight branch: grad wrt clean_true -> softmax probs -> logits
+            np.multiply(per_col, gscal, out=gw)  # grad wrt w
+            np.negative(gw, out=gw)  # grad wrt clean_true
+            np.multiply(mask, gw, out=s1)  # grad wrt clean probs
+            p_core.grad_probs_div(s1, s2, s3, v1, v2, target_c)
+            # KL branch: p-side grad through p_log
+            np.multiply(p_core.prob, gkl, out=s2)  # grad wrt the log diff
+            np.multiply(b["diff"], gkl, out=s1)  # grad wrt p_prob
+            np.multiply(s1, p_core.prob, out=s1)  # through exp(p_log)
+            np.add(s2, s1, out=s1)  # total grad wrt p_log
+            p_core.grad_logits(s1, s3, v1, s4)
+            np.add(target_c, s4, out=target_c)
+            if not write_c:
+                np.add(gc, target_c, out=gc)
+
+        steps.append(clean_step)
+
+    def run() -> None:
+        np.multiply(g, 1.0 / n, out=gscal)
+        np.multiply(w_col, gscal, out=gkl)  # per-example KL grad
+        for step in steps:
+            step()
+
+    return run
+
+
+def _bind_rbf_gram(plan: Plan, node: Node):
+    """Gaussian (RBF) Gram matrix of a flattened activation batch.
+
+    The arithmetic lives once, in :class:`repro.compile.kernels.RBFGram`
+    (the bit-exact replay of ``repro.ib.hsic.gaussian_kernel``); the binder
+    keeps the pre-clamp mask and the bandwidth scale for the backward.
+    ``meta["sigma"]`` of ``None`` re-derives the eager median bandwidth per
+    replay (data-dependent; the one allocating step).
+    """
+    from .kernels import RBFGram
+
+    x = plan.values[node.inputs[0]]
+    n, d = x.shape
+    dtype = node.dtype
+    rbf = RBFGram(plan.pool, n, d, dtype, node.meta.get("sigma"), keep_mask=True)
+    out = plan.pool.empty((n, n), dtype)
+    node.meta["_rbf"] = rbf
+    return (lambda: rbf.run(x, out)), out
+
+
+def _back_rbf_gram(plan: Plan, node: Node):
+    x_id = node.inputs[0]
+    if x_id not in plan._diff:
+        return None
+    x = plan.values[x_id]
+    n, d = x.shape
+    dtype = x.dtype
+    rbf = node.meta["_rbf"]
+    mask = rbf.mask
+    K = plan.values[node.id]
+    g = plan.grads[node.id]
+    pool = plan.pool
+    sA = pool.empty((n, n), dtype)
+    sB = pool.empty((n, n), dtype)
+    v1 = pool.empty((n, 1), dtype)
+    v2 = pool.empty((1, n), dtype)
+    gxt = pool.empty((n, d), dtype)
+    write, gx = plan._sink(x_id)
+    target = gx if write else pool.empty((n, d), dtype)
+
+    def run() -> None:
+        np.multiply(g, K, out=sA)  # through exp
+        np.multiply(sA, rbf.c, out=sA)  # through the bandwidth scale
+        np.multiply(sA, mask, out=sA)  # through the >= 0 clamp
+        # Gram branch: grad_gram = -(2 * grad_dist); both matmul operands
+        # read the same x, so x collects grad_gram @ x and grad_gram.T @ x.
+        np.multiply(sA, 2.0, out=sB)
+        np.negative(sB, out=sB)
+        np.matmul(sB, x, out=target)
+        np.matmul(sB.T, x, out=gxt)
+        np.add(target, gxt, out=target)
+        # squared-norm branch: row + column sums, then 2 * grad_sq * x
+        # (the eager x*x mul accumulates the same product twice).
+        np.sum(sA, axis=1, keepdims=True, out=v1)
+        np.sum(sA, axis=0, keepdims=True, out=v2)
+        np.add(v1, v2.T, out=v1)
+        np.multiply(x, v1, out=gxt)
+        np.add(target, gxt, out=target)
+        np.add(target, gxt, out=target)
+        if not write:
+            np.add(gx, target, out=gx)
+
+    return run
+
+
+def _bind_hsic_trace(plan: Plan, node: Node):
+    """Biased HSIC estimate via the one-sided-centered trace identity.
+
+    ``sum(center(K_x) * K_y) / (m - 1)^2`` — only the first kernel is ever
+    centered, exactly like :func:`repro.ib.hsic.hsic`; the arithmetic lives
+    once, in :class:`repro.compile.kernels.CenteredTrace`.  Used for the
+    cross terms (against the per-batch input/label Gram aux) and, with both
+    inputs the same node, for the self-HSIC normalizer.
+    """
+    from .kernels import CenteredTrace
+
+    kx = plan.values[node.inputs[0]]
+    ky = plan.values[node.inputs[1]]
+    m = kx.shape[0]
+    dtype = node.dtype
+    trace = CenteredTrace(plan.pool, m, dtype)
+    out = plan.pool.empty((), dtype)
+    node.meta["_hsic"] = trace
+    return (lambda: trace.run(kx, ky, out)), out
+
+
+def _back_hsic_trace(plan: Plan, node: Node):
+    kx_id, ky_id = node.inputs
+    kx = plan.values[kx_id]
+    ky = plan.values[ky_id]
+    trace = node.meta["_hsic"]
+    cent, scale = trace.cent, trace.scale
+    m = kx.shape[0]
+    dtype = cent.dtype
+    g = plan.grads[node.id]
+    pool = plan.pool
+    gs = pool.empty((), dtype)
+    sc = pool.empty((m, m), dtype)
+    # The grad centering reuses the shared kernel (out aliases its input);
+    # its scratch buffers are separate from the forward's.
+    from .kernels import CenteredTrace
+
+    grad_trace = CenteredTrace(pool, m, dtype, with_trace=False)
+
+    def center_in_place(buffer: np.ndarray) -> None:
+        grad_trace.center(buffer, buffer)
+
+    if kx_id == ky_id:
+        if kx_id not in plan._diff:
+            return None
+        write, gk = plan._sink(kx_id)
+        target = gk if write else pool.empty((m, m), dtype)
+
+        def run_same() -> None:
+            np.multiply(g, scale, out=gs)
+            np.multiply(cent, gs, out=target)  # direct (K_y) factor
+            np.multiply(kx, gs, out=sc)  # centering branch
+            center_in_place(sc)
+            np.add(target, sc, out=target)
+            if not write:
+                np.add(gk, target, out=gk)
+
+        return run_same
+
+    steps: List[Callable[[], None]] = []
+    if ky_id in plan._diff:
+        write_y, gy = plan._sink(ky_id)
+
+        def y_step() -> None:
+            if write_y:
+                np.multiply(cent, gs, out=gy)
+            else:
+                np.multiply(cent, gs, out=sc)
+                np.add(gy, sc, out=gy)
+
+        steps.append(y_step)
+    if kx_id in plan._diff:
+        write_x, gxk = plan._sink(kx_id)
+
+        def x_step() -> None:
+            np.multiply(ky, gs, out=sc)
+            center_in_place(sc)
+            if write_x:
+                np.copyto(gxk, sc)
+            else:
+                np.add(gxk, sc, out=gxk)
+
+        steps.append(x_step)
+    if not steps:
+        return None
+
+    def run() -> None:
+        np.multiply(g, scale, out=gs)
+        for step in steps:
+            step()
+
+    return run
+
+
 _FORWARD = {
     "conv2d": _bind_conv2d,
     "affine": _bind_affine,
@@ -757,6 +1407,11 @@ _FORWARD = {
     "pad2d": _bind_pad2d,
     "detach": _bind_detach,
     "ew": _bind_ew,
+    "softmax_kl": _bind_softmax_kl,
+    "mart_boosted_ce": _bind_mart_boosted_ce,
+    "mart_weighted_kl": _bind_mart_weighted_kl,
+    "rbf_gram": _bind_rbf_gram,
+    "hsic_trace": _bind_hsic_trace,
 }
 
 
@@ -1024,17 +1679,19 @@ def _back_div(plan: Plan, node: Node):
     scratch = plan.pool.empty(node.shape, node.dtype)
     steps: List[Callable[[], None]] = []
     if a_id in plan._diff:
-        accumulate = _accumulate_into(plan, a_id, scratch)
-        steps.append(lambda: (np.divide(g, b, out=scratch), accumulate()))
+        accumulate_a = _accumulate_into(plan, a_id, scratch)
+        steps.append(
+            lambda accumulate=accumulate_a: (np.divide(g, b, out=scratch), accumulate())
+        )
     if b_id in plan._diff:
-        accumulate = _accumulate_into(plan, b_id, scratch)
+        accumulate_b = _accumulate_into(plan, b_id, scratch)
 
         def db() -> None:
             # d(a/b)/db = -a / b^2 = -(a/b) / b = -out / b
             np.multiply(g, out, out=scratch)
             np.divide(scratch, b, out=scratch)
             np.negative(scratch, out=scratch)
-            accumulate()
+            accumulate_b()
 
         steps.append(db)
     return lambda: [step() for step in steps]
@@ -1048,11 +1705,23 @@ def _back_maximum(plan: Plan, node: Node):
     scratch = plan.pool.empty(node.shape, node.dtype)
     steps: List[Callable[[], None]] = []
     if a_id in plan._diff:
-        accumulate = _accumulate_into(plan, a_id, scratch)
-        steps.append(lambda: (np.greater_equal(a, b, out=mask), np.multiply(g, mask, out=scratch), accumulate()))
+        accumulate_a = _accumulate_into(plan, a_id, scratch)
+        steps.append(
+            lambda accumulate=accumulate_a: (
+                np.greater_equal(a, b, out=mask),
+                np.multiply(g, mask, out=scratch),
+                accumulate(),
+            )
+        )
     if b_id in plan._diff:
-        accumulate = _accumulate_into(plan, b_id, scratch)
-        steps.append(lambda: (np.less(a, b, out=mask), np.multiply(g, mask, out=scratch), accumulate()))
+        accumulate_b = _accumulate_into(plan, b_id, scratch)
+        steps.append(
+            lambda accumulate=accumulate_b: (
+                np.less(a, b, out=mask),
+                np.multiply(g, mask, out=scratch),
+                accumulate(),
+            )
+        )
     return lambda: [step() for step in steps]
 
 
@@ -1443,4 +2112,9 @@ _BACKWARD = {
     "transpose": _back_transpose,
     "pad2d": _back_pad2d,
     "ew": _back_ew,
+    "softmax_kl": _back_softmax_kl,
+    "mart_boosted_ce": _back_mart_boosted_ce,
+    "mart_weighted_kl": _back_mart_weighted_kl,
+    "rbf_gram": _back_rbf_gram,
+    "hsic_trace": _back_hsic_trace,
 }

@@ -52,12 +52,24 @@ class Node:
         return self.op == "const"
 
 
+#: leaf ops — nodes with no compute step and no backward rule of their own.
+LEAF_OPS = ("input", "const", "detach", "param", "aux")
+
+
 class Graph:
     """A topologically ordered static graph with one input and one output.
 
     ``outputs`` optionally names extra observation points (the hidden
-    representations a training plan exposes to eager-composed loss terms);
-    each maps a name to the node id whose forward value realizes it.
+    representations a training plan exposes, and the loss scalars an
+    extended graph computes in plan); each maps a name to the node id whose
+    forward value realizes it.  Named outputs are roots of the topological
+    walk alongside the primary output, so in-plan loss subgraphs hanging
+    *off* the logits survive :meth:`rebuild`.
+
+    ``aux`` names auxiliary input leaves (op ``"aux"``): per-batch arrays
+    that are not the traced input — another plan's logits buffer, a one-hot
+    label mask, a precomputed Gram matrix.  The executor binds each to a
+    caller-provided alias or to a pooled buffer the caller fills per batch.
     """
 
     def __init__(
@@ -66,11 +78,13 @@ class Graph:
         input_id: int,
         output_id: int,
         outputs: Optional[Dict[str, int]] = None,
+        aux: Optional[Dict[str, int]] = None,
     ) -> None:
         self.nodes = nodes
         self.input_id = input_id
         self.output_id = output_id
         self.outputs: Dict[str, int] = dict(outputs or {})
+        self.aux: Dict[str, int] = dict(aux or {})
         self._by_id: Dict[int, Node] = {n.id: n for n in nodes}
 
     def node(self, node_id: int) -> Node:
@@ -105,47 +119,123 @@ class Graph:
         """Live-parameter leaves (``op == "param"``), in topological order."""
         return [n for n in self.nodes if n.op == "param"]
 
-    def grad_path(self, include_input: bool = True, include_params: bool = False) -> Set[int]:
+    def grad_path(
+        self,
+        include_input: bool = True,
+        include_params: bool = False,
+        extra: Tuple[int, ...] = (),
+    ) -> Set[int]:
         """Ids of nodes through which a gradient flows from the output.
 
-        The chosen leaves (the input and/or the live parameters) seed the
-        set; an op joins it when any of its inputs is in it, except across
-        ``detach`` (an explicit gradient stop).
+        The chosen leaves (the input, the live parameters, and/or the
+        ``extra`` leaf ids — differentiated aux inputs) seed the set; an op
+        joins it when any of its inputs is in it, except across ``detach``
+        (an explicit gradient stop).
         """
         path: Set[int] = set()
         if include_input:
             path.add(self.input_id)
         if include_params:
             path.update(n.id for n in self.nodes if n.op == "param")
+        path.update(extra)
         for node in self.nodes:  # topo order: inputs precede consumers
-            if node.op in ("input", "const", "detach", "param"):
+            if node.op in LEAF_OPS:
                 continue
             if any(i in path for i in node.inputs):
                 path.add(node.id)
         return path
 
     def rebuild(self) -> "Graph":
-        """Re-derive the id index and re-sort topologically (after passes)."""
-        order = _topo_sort(self._by_id, self.output_id, self.input_id)
-        return Graph(order, self.input_id, self.output_id, self.outputs)
+        """Re-derive the id index and re-sort topologically (after passes).
+
+        Walks from every root — the primary output plus each named output —
+        so loss subgraphs attached downstream of the logits are preserved.
+        """
+        roots = [self.output_id] + [
+            i for i in self.outputs.values() if i != self.output_id
+        ]
+        order = _topo_sort(self._by_id, roots, self.input_id)
+        kept = {n.id for n in order}
+        aux = {name: i for name, i in self.aux.items() if i in kept}
+        return Graph(order, self.input_id, self.output_id, self.outputs, aux)
+
+    def copy(self) -> "Graph":
+        """Independent node records (meta dicts copied, leaf values shared).
+
+        Plans stash bound buffers inside ``node.meta`` and passes rewrite
+        ``op``/``inputs`` in place, so two plans must never share ``Node``
+        objects; constant *values* and live parameter/buffer references are
+        safely shared.
+        """
+        nodes = [
+            Node(n.id, n.op, n.inputs, dict(n.meta), n.shape, n.dtype, n.value)
+            for n in self.nodes
+        ]
+        return Graph(nodes, self.input_id, self.output_id, self.outputs, self.aux)
+
+    # ------------------------------------------------------------------ #
+    # programmatic extension (in-plan loss subgraphs)
+    # ------------------------------------------------------------------ #
+    def _next_id(self) -> int:
+        return max(n.id for n in self.nodes) + 1
+
+    def _append(self, node: Node) -> int:
+        self.nodes.append(node)
+        self._by_id[node.id] = node
+        return node.id
+
+    def add_const(self, value, dtype=None) -> int:
+        """Append a constant leaf holding ``value``; returns its node id."""
+        arr = np.asarray(value, dtype=dtype if dtype is not None else get_default_dtype())
+        return self._append(
+            Node(self._next_id(), "const", (), {}, arr.shape, arr.dtype, value=arr)
+        )
+
+    def add_aux(self, name: str, shape: Tuple[int, ...], dtype) -> int:
+        """Append a named auxiliary input leaf; returns its node id."""
+        if name in self.aux:
+            raise CompileError(f"aux input '{name}' already exists")
+        node_id = self._append(
+            Node(self._next_id(), "aux", (), {"name": name}, tuple(shape), np.dtype(dtype))
+        )
+        self.aux[name] = node_id
+        return node_id
+
+    def add_op(
+        self,
+        op: str,
+        inputs: Tuple[int, ...],
+        shape: Tuple[int, ...],
+        dtype,
+        meta: Optional[dict] = None,
+        name: Optional[str] = None,
+    ) -> int:
+        """Append an op node; optionally register it as the named output ``name``."""
+        node_id = self._append(
+            Node(self._next_id(), op, tuple(inputs), dict(meta or {}), tuple(shape), np.dtype(dtype))
+        )
+        if name is not None:
+            self.outputs[name] = node_id
+        return node_id
 
 
-def _topo_sort(by_id: Dict[int, Node], output_id: int, input_id: int) -> List[Node]:
+def _topo_sort(by_id: Dict[int, Node], roots: List[int], input_id: int) -> List[Node]:
     order: List[Node] = []
     visited: Set[int] = set()
-    stack: List[Tuple[int, bool]] = [(output_id, False)]
-    while stack:
-        node_id, processed = stack.pop()
-        if processed:
-            order.append(by_id[node_id])
-            continue
-        if node_id in visited:
-            continue
-        visited.add(node_id)
-        stack.append((node_id, True))
-        for input_id_ in by_id[node_id].inputs:
-            if input_id_ not in visited:
-                stack.append((input_id_, False))
+    for root in roots:
+        stack: List[Tuple[int, bool]] = [(root, False)]
+        while stack:
+            node_id, processed = stack.pop()
+            if processed:
+                order.append(by_id[node_id])
+                continue
+            if node_id in visited:
+                continue
+            visited.add(node_id)
+            stack.append((node_id, True))
+            for input_id_ in by_id[node_id].inputs:
+                if input_id_ not in visited:
+                    stack.append((input_id_, False))
     if input_id not in visited:
         raise CompileError("the module's output does not depend on its input")
     return order

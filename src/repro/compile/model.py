@@ -20,6 +20,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..nn.tensor import Tensor, get_default_dtype, no_grad
+from .cache import SignatureCache
 from .executor import Plan
 from .graph import CompileError, capture_forward
 from .passes import optimize
@@ -96,20 +97,27 @@ class CompiledModel:
         self.auto_compile = auto_compile
         self.max_plans = max_plans
         self.stats = CompiledStats()
-        self._plans: Dict[Tuple[Tuple[int, ...], str], Optional[Plan]] = {}
-        self._misses: Dict[Tuple[Tuple[int, ...], str], int] = {}
+        #: the shared compile-on-second-sighting policy (one implementation
+        #: serves CompiledModel, CompiledTrainer and LiveEvalModel alike).
+        self._cache = SignatureCache(self._build_plan, capacity=max_plans)
         #: signatures whose plan forwards but cannot backward (kept for
         #: forward use; value_and_grad skips them without re-trying).
         self._grad_failed: set = set()
         sample = np.asarray(sample_input, dtype=get_default_dtype())
-        self._plans[self._key(sample)] = self._build_plan(sample)
+        # The caller-provided sample compiles immediately (errors propagate);
+        # later signatures go through the second-sighting policy.
+        self._cache.insert(sample, self._build_plan(sample))
 
     # ------------------------------------------------------------------ #
     # plan management
     # ------------------------------------------------------------------ #
     @staticmethod
     def _key(x: np.ndarray) -> Tuple[Tuple[int, ...], str]:
-        return (x.shape, x.dtype.str)
+        return SignatureCache.key(x)
+
+    @property
+    def _plans(self) -> Dict[Tuple[Tuple[int, ...], str], Optional[Plan]]:
+        return self._cache.entries
 
     def _build_plan(self, sample: np.ndarray) -> Plan:
         graph = capture_forward(self.module, sample)
@@ -119,39 +127,30 @@ class CompiledModel:
         return plan
 
     def _plan_for(self, x: np.ndarray) -> Optional[Plan]:
-        key = self._key(x)
-        if key not in self._plans:
-            if not self.auto_compile or len(self._plans) >= self.max_plans:
-                return None
-            # Compile an unseen signature on its *second* sighting: a shape
-            # that appears once (the ragged clean-prediction batch) is
-            # cheaper to run eagerly than to capture and bind, while any
-            # shape inside an iterated attack loop comes back immediately.
-            misses = self._misses.get(key, 0)
-            if misses == 0:
-                self._misses[key] = 1
-                return None
-            try:
-                self._plans[key] = self._build_plan(x)
-            except CompileError:
-                self._plans[key] = None  # remember the failure; fall back
-        return self._plans[key]
+        # Compile an unseen signature on its *second* sighting: a shape
+        # that appears once (the ragged clean-prediction batch) is cheaper
+        # to run eagerly than to capture and bind, while any shape inside
+        # an iterated attack loop comes back immediately.
+        if not self.auto_compile:
+            return self._cache.get(x)
+        return self._cache.lookup(x)
 
     def invalidate(self) -> None:
         """Drop every cached plan (call after mutating the module's weights)."""
-        self._plans.clear()
-        self._misses.clear()
+        self._cache.clear()
         self._grad_failed.clear()
 
     @property
     def plans(self) -> int:
         """Number of live plans (excluding remembered failures)."""
-        return sum(1 for plan in self._plans.values() if plan is not None)
+        return sum(1 for plan in self._cache.entries.values() if plan is not None)
 
     @property
     def pool_allocations(self) -> int:
         """Total buffer allocations across every plan's pool."""
-        return sum(p.pool.allocations for p in self._plans.values() if p is not None)
+        return sum(
+            p.pool.allocations for p in self._cache.entries.values() if p is not None
+        )
 
     # ------------------------------------------------------------------ #
     # execution

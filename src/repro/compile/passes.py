@@ -43,7 +43,45 @@ __all__ = [
     "fuse_elementwise",
     "eliminate_dead",
     "bn_scale_shift",
+    "lower_to_eval",
 ]
+
+
+def lower_to_eval(graph: Graph) -> Tuple[Graph, bool]:
+    """Derive the eval-semantics graph from a training-mode capture.
+
+    Returns ``(eval_graph, changed)``.  The expensive part of building an
+    attack plan is the traced forward; this pass re-derives the eval-mode
+    graph from the *training* capture instead of tracing a second time, so
+    one capture per signature serves both the training plan and the
+    eval-semantics attack plan.
+
+    The only training/eval divergence a capturable graph can contain is
+    batch norm (training-mode dropout is rejected at capture time): each
+    batch-stat ``batch_norm2d`` node is rewritten to normalize with the
+    module's **live running buffers** — exactly the statistics an eager
+    attack sees after ``model.eval()``, re-read on every replay because the
+    training plan updates them in place.  ``changed=False`` means the graph
+    is mode-invariant: the training plan replays the eval forward bit for
+    bit, and a single fused input+param plan can serve both roles.
+    """
+    lowered = graph.copy()
+    changed = False
+    for node in lowered.nodes:
+        if node.op != "batch_norm2d" or not node.meta.get("training"):
+            continue
+        node.meta = {
+            "training": False,
+            "mean": node.meta["running_mean"],
+            "var": node.meta["running_var"],
+            "eps": node.meta["eps"],
+        }
+        changed = True
+    # The attack plan neither exposes hidden representations nor carries
+    # loss subgraphs; dropping the named outputs unprotects those nodes for
+    # the fusion passes.
+    lowered.outputs = {}
+    return lowered.rebuild(), changed
 
 
 def optimize(graph: Graph, fold_bn: bool = True, fuse: bool = True) -> Graph:

@@ -1,29 +1,34 @@
 """Compiled training: static plans for the full train step.
 
 This module extends :mod:`repro.compile` from eval-mode inference to the
-training loop itself.  A :class:`CompiledTrainer` owns, per input signature:
+training loop itself.  A :class:`CompiledTrainer` owns, per input signature,
+a plan *context* built from **exactly one traced capture** of the model:
 
 * one (or two, for two-forward losses like TRADES/MART) **training plans** —
-  the training-mode forward captured with live parameters, batch-stat batch
-  norms (running statistics updated in place, exactly like eager), named
-  hidden outputs, and a full parameter-gradient backward accumulated into
-  pooled buffers;
-* one **attack plan** — the eval-mode forward with live parameters and an
-  input-gradient backward, driving the inner maximization of the
-  adversarial-training losses (eager attacks also run the model in eval
-  mode, so this reproduces their semantics).
+  the training-mode forward with live parameters, batch-stat batch norms
+  (running statistics updated in place, exactly like eager), and a full
+  parameter-gradient backward accumulated into pooled buffers;
+* one **attack plan** — derived from the *same* capture by the
+  :func:`~repro.compile.passes.lower_to_eval` pass (eval-semantics batch
+  norms over the live running buffers), with an input-gradient backward
+  driving the inner maximization.  For mode-invariant models (no batch
+  norm) the training plan itself is bound with the fused input+param
+  backward (``grad="both"``) and serves both roles: PGD-AT's inner attack
+  loop and its outer optimizer step then share one plan.
 
-Loss strategies are mapped to *adapters* that replay the exact eager
-computation through those plans: the classification term runs as the fused
-softmax-CE seed, while composite side terms (IB-RAR's HSIC regularizers,
-TRADES/MART KL terms) are composed **eagerly on the plans' logit/hidden
-buffers** — tiny graphs over ``(N, classes)`` logits or ``m x m`` kernels —
-and their leaf gradients are injected back into the plan backward via
-:meth:`~repro.compile.executor.Plan.run_backward`.  Parameter gradients from
-every backward replay are summed into per-parameter accumulators, and the
-optimizer applies them with its fused in-place
-:meth:`~repro.nn.optim.Optimizer.step_with_grads` kernels — which is what
-keeps the live-parameter plans valid across steps.
+Loss strategies are mapped to *adapters* that build the **entire loss in
+plan**: the classification term runs as the fused softmax-CE seed, and the
+composite side terms — TRADES' and MART's softmax-KL in both orientations,
+MART's margin weighting, IB-RAR's RBF Gram matrices and one-sided-centered
+HSIC traces — are appended to the captured graphs as plan nodes reading the
+logits/hidden buffers directly (cross-plan logits flow through aliased
+``aux`` inputs; per-batch one-hot masks and input/label Gram matrices fill
+pooled buffers).  A compiled step therefore records **zero eager graph
+nodes and zero steady-state pool allocations** across the whole loss.
+Parameter gradients from every backward replay are summed into
+per-parameter accumulators, and the optimizer applies them with its fused
+in-place :meth:`~repro.nn.optim.Optimizer.step_with_grads` kernels — which
+is what keeps the live-parameter plans valid across steps.
 
 Anything the adapters cannot express (unknown strategies,
 ``mi_on_adversarial``, dropout-bearing models, ragged batch signatures on
@@ -33,7 +38,6 @@ is always safe.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -41,22 +45,35 @@ import numpy as np
 
 from ..nn.tensor import Tensor, get_default_dtype
 from ..nn import functional as F
+from .cache import SignatureCache
 from .executor import Plan
-from .graph import CompileError, capture_forward
-from .kernels import linf_step
-from .passes import optimize
+from .graph import CompileError, Graph, capture_forward
+from .kernels import GramCache, linf_step
+from .passes import lower_to_eval, optimize
+from .pool import BufferPool
 
 __all__ = ["CompiledTrainer", "LiveEvalModel", "TrainingCompileStats", "build_adapter"]
 
 
 @dataclass
 class TrainingCompileStats:
-    """Compiled-vs-eager accounting for one :class:`CompiledTrainer`."""
+    """Compiled-vs-eager accounting for one :class:`CompiledTrainer`.
+
+    ``captures`` counts traced forwards (``capture_forward`` calls) — one
+    per signature, regardless of how many plans the context derives from
+    the capture.  ``compiled_forward_calls``/``compiled_forward_examples``
+    count plan forward replays the way :class:`repro.attacks.engine.
+    ForwardPassCounter` counts eager forwards, so a compiled run's
+    ``train_forward_examples`` telemetry stays consistent with eager.
+    """
 
     compiled_batches: int = 0
     eager_batches: int = 0
     plans_built: int = 0
     attack_grad_calls: int = 0
+    captures: int = 0
+    compiled_forward_calls: int = 0
+    compiled_forward_examples: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -64,6 +81,9 @@ class TrainingCompileStats:
             "eager_batches": self.eager_batches,
             "plans_built": self.plans_built,
             "attack_grad_calls": self.attack_grad_calls,
+            "captures": self.captures,
+            "compiled_forward_calls": self.compiled_forward_calls,
+            "compiled_forward_examples": self.compiled_forward_examples,
         }
 
     def snapshot(self) -> Tuple[int, int]:
@@ -77,6 +97,11 @@ class TrainingCompileStats:
             eager_batches=self.eager_batches + other.eager_batches,
             plans_built=self.plans_built + other.plans_built,
             attack_grad_calls=self.attack_grad_calls + other.attack_grad_calls,
+            captures=self.captures + other.captures,
+            compiled_forward_calls=self.compiled_forward_calls + other.compiled_forward_calls,
+            compiled_forward_examples=(
+                self.compiled_forward_examples + other.compiled_forward_examples
+            ),
         )
 
 
@@ -97,6 +122,17 @@ def _training_plan(model, sample: np.ndarray, hidden_seeds: bool = True) -> Plan
     return Plan(graph, grad="params", seed_ids=seed_ids)
 
 
+def _train_graph(captured: Graph) -> Graph:
+    """An independently optimized copy of the training capture (per plan)."""
+    return optimize(captured.copy(), fold_bn=False, fuse=True)
+
+
+def _eval_graph(captured: Graph) -> Tuple[Graph, bool]:
+    """The eval-semantics (attack) graph derived from the same capture."""
+    lowered, changed = lower_to_eval(captured)
+    return optimize(lowered, fold_bn=False, fuse=True), changed
+
+
 def _attack_plan(model, sample: np.ndarray) -> Plan:
     was_training = model.training
     model.eval()
@@ -106,6 +142,26 @@ def _attack_plan(model, sample: np.ndarray) -> Plan:
         model.train(was_training)
     graph = optimize(graph, fold_bn=False, fuse=True)
     return Plan(graph, grad="input")
+
+
+def _logits_signature(graph: Graph) -> Tuple[int, int, np.dtype]:
+    n, k = graph.output_node.shape
+    return n, k, graph.output_node.dtype
+
+
+def _append_kl(graph: Graph, aux_name: str, aux_first: bool) -> Tuple[int, int]:
+    """Append ``softmax_kl`` between an aux logits leaf and the graph output.
+
+    ``aux_first=True`` puts the aux in the ``p`` slot (``KL(aux || out)``,
+    the TRADES orientation — anchor clean logits, differentiate the
+    adversarial side); ``False`` swaps the orientation.  Returns
+    ``(aux_id, kl_id)``.
+    """
+    n, k, dtype = _logits_signature(graph)
+    aux_id = graph.add_aux(aux_name, (n, k), dtype)
+    inputs = (aux_id, graph.output_id) if aux_first else (graph.output_id, aux_id)
+    kl_id = graph.add_op("softmax_kl", inputs, (), dtype, name="kl")
+    return aux_id, kl_id
 
 
 def _supports_fused_step(optimizer) -> bool:
@@ -136,73 +192,61 @@ def _mask_changed(current, reference) -> bool:
 
 
 class _SignatureContext:
-    """The plans serving one ``(input shape, dtype)`` signature."""
+    """The plans serving one ``(input shape, dtype)`` signature.
 
-    def __init__(
-        self,
-        model,
-        sample: np.ndarray,
-        slots: int,
-        needs_attack: bool,
-        hidden_seeds: bool,
-    ) -> None:
-        self.train_a = _training_plan(model, sample, hidden_seeds=hidden_seeds)
-        self.train_b = (
-            _training_plan(model, sample, hidden_seeds=hidden_seeds) if slots >= 2 else None
-        )
-        self.attack = _attack_plan(model, sample) if needs_attack else None
-
-    @property
-    def plans(self) -> List[Plan]:
-        return [p for p in (self.train_a, self.train_b, self.attack) if p is not None]
-
-
-class _SignatureCache:
-    """Shape-keyed compile-on-second-sighting cache, shared policy.
-
-    One instance backs :class:`CompiledTrainer` (entries are
-    :class:`_SignatureContext`) and one backs :class:`LiveEvalModel`
-    (entries are eval :class:`Plan`).  A signature seen once runs eagerly
-    (a ragged final batch is cheaper eager than captured); the second
-    sighting calls ``build``.  Capture failures are memoized as ``None``
-    (deterministic — e.g. dropout); :meth:`evict` drops a *recoverable*
-    failure (reallocated parameter storage) so the next sighting rebuilds.
+    Exactly **one** :func:`~repro.compile.graph.capture_forward` trace runs
+    per signature; the adapter derives every plan from copies of that
+    capture — the training plan(s) directly, the attack plan through the
+    :func:`~repro.compile.passes.lower_to_eval` rewrite.  Per-context state
+    the adapters need (loss node ids, seed scalars, the per-batch Gram
+    cache) hangs off the context, since node ids differ between signatures.
     """
 
-    def __init__(self, build: Callable[[np.ndarray], object], capacity: int) -> None:
-        self._build = build
-        self.capacity = capacity
-        self.entries: Dict[Tuple[Tuple[int, ...], str], Optional[object]] = {}
-        self._misses: Dict[Tuple[Tuple[int, ...], str], int] = {}
+    def __init__(self, model, sample: np.ndarray, adapter, stats: TrainingCompileStats) -> None:
+        self.model = model
+        #: distinct plans (for pool accounting; an aliased attack plan on a
+        #: mode-invariant model appears once).
+        self.plans: List[Plan] = []
+        #: extra buffer pools (the IB-RAR Gram cache) for the same accounting.
+        self.pools: List[BufferPool] = []
+        self.train_a: Optional[Plan] = None
+        self.train_b: Optional[Plan] = None
+        self.train_mi: Optional[Plan] = None
+        self.attack: Optional[Plan] = None
+        self.gram: Optional[GramCache] = None
+        self.ids: Dict[str, int] = {}  # adapter-chosen loss node ids
+        self.one: Optional[np.ndarray] = None
+        self.beta_seed: Optional[np.ndarray] = None
+        self.arange: Optional[np.ndarray] = None
+        captured = capture_forward(
+            model,
+            sample,
+            training=True,
+            with_hidden=adapter.needs_hidden_seeds,
+            live_params=True,
+        )
+        stats.captures += 1
+        adapter.build(self, captured)
 
-    def clear(self) -> None:
-        self.entries.clear()
-        self._misses.clear()
+    def register(self, plan: Plan) -> Plan:
+        if all(plan is not existing for existing in self.plans):
+            self.plans.append(plan)
+        return plan
 
-    def lookup(self, sample: np.ndarray):
-        key = (sample.shape, sample.dtype.str)
-        if key in self.entries:
-            return self.entries[key]
-        if self._misses.get(key, 0) == 0:
-            self._misses[key] = 1
-            return None
-        if sum(1 for entry in self.entries.values() if entry is not None) >= self.capacity:
-            return None
-        try:
-            entry = self._build(sample)
-        except CompileError:
-            entry = None  # remember the failure; fall back for this signature
-        self.entries[key] = entry
-        return entry
+    def scalar(self, value: float, dtype) -> np.ndarray:
+        """A bind-time scalar seed array (allocated once, never per batch)."""
+        return np.array(value, dtype=dtype)
 
-    def evict(self, sample: np.ndarray) -> None:
-        self.entries.pop((sample.shape, sample.dtype.str), None)
+    @property
+    def pool_allocations(self) -> int:
+        return sum(plan.pool.allocations for plan in self.plans) + sum(
+            pool.allocations for pool in self.pools
+        )
 
 
 def _pgd_loop(
-    attack_plan: Plan,
+    grad_step: Callable[[np.ndarray], np.ndarray],
     images: np.ndarray,
-    labels: np.ndarray,
     eps: float,
     alpha: float,
     steps: int,
@@ -210,19 +254,15 @@ def _pgd_loop(
     seed: int,
     clip_min: float = 0.0,
     clip_max: float = 1.0,
-    logits_seed: Optional[Callable[[np.ndarray], np.ndarray]] = None,
 ) -> np.ndarray:
     """Replay :class:`repro.attacks.PGD`'s generation loop through a plan.
 
     Reproduces the eager attack exactly — the same fresh per-batch RNG and
     random-start draw, the same fused ``linf_step`` ping-pong buffers — with
-    the per-step gradient query served by the live-parameter eval plan.
-    ``logits_seed`` swaps the default fused-CE loss for a custom
-    logits-level loss (TRADES' KL inner maximization): it receives the
-    plan-owned logits and returns the output-gradient seed.
+    the per-step gradient query served by ``grad_step`` (a fused-CE or
+    in-plan-KL replay over the live-parameter attack plan).
     """
     images = np.asarray(images, dtype=get_default_dtype())
-    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
     rng = np.random.default_rng(seed)
     adversarial = images.copy()
     if random_start and eps > 0:
@@ -230,11 +270,7 @@ def _pgd_loop(
         adversarial = np.clip(adversarial, clip_min, clip_max)
     buffers = (np.empty_like(images), np.empty_like(images))
     for step in range(steps):
-        if logits_seed is None:
-            _, gradient = attack_plan.value_and_grad_ce(adversarial, labels)
-        else:
-            logits = attack_plan.forward(adversarial)
-            gradient = attack_plan.backward(logits_seed(logits))
+        gradient = grad_step(adversarial)
         adversarial = linf_step(
             adversarial, gradient, alpha, images, eps, clip_min, clip_max,
             out=buffers[step % 2],
@@ -258,7 +294,7 @@ class LiveEvalModel:
 
     def __init__(self, module, max_plans: int = 8) -> None:
         self.module = module
-        self._cache = _SignatureCache(
+        self._cache = SignatureCache(
             lambda sample: _attack_plan(self.module, sample), capacity=max_plans
         )
         self._mask_ref = getattr(module, "channel_mask", None)
@@ -327,13 +363,15 @@ class LiveEvalModel:
 class _CEAdapter:
     """Plain cross-entropy: one training forward, fused-CE seed."""
 
-    slots = 1
-    needs_attack = False
     needs_hidden_seeds = False
+
+    def build(self, ctx: _SignatureContext, captured: Graph) -> None:
+        ctx.train_a = ctx.register(Plan(_train_graph(captured), grad="params"))
 
     def step(self, trainer: "CompiledTrainer", ctx, images, labels):
         plan = ctx.train_a
         logits = plan.forward(images)
+        trainer.count_forwards(1, len(labels))
         loss, seed = plan.ce_loss_and_seed(labels)
         plan.run_backward({plan.graph.output_id: seed})
         trainer.accumulate(plan)
@@ -341,25 +379,50 @@ class _CEAdapter:
 
 
 class _PGDAdversarialAdapter:
-    """Madry PGD-AT: compiled inner maximization + fused CE on the result."""
+    """Madry PGD-AT: compiled inner maximization + fused CE on the result.
 
-    slots = 1
-    needs_attack = True
+    One capture serves the whole step.  On a model whose training forward
+    is mode-invariant (no batch norm) the training plan binds the fused
+    input+param backward (``grad="both"``) and doubles as the attack plan:
+    the inner loop drives its input-only backward program, the outer step
+    its fused full program — one plan, one capture.  Batch-norm models get
+    the plan pair, with the attack plan derived by the ``lower_to_eval``
+    rewrite of the same capture instead of a second trace.
+    """
+
     needs_hidden_seeds = False
 
     def __init__(self, strategy) -> None:
         self.strategy = strategy
 
+    def build(self, ctx: _SignatureContext, captured: Graph) -> None:
+        attack_graph, mode_divergent = _eval_graph(captured)
+        if mode_divergent:
+            ctx.train_a = ctx.register(Plan(_train_graph(captured), grad="params"))
+            ctx.attack = ctx.register(Plan(attack_graph, grad="input"))
+        else:
+            ctx.train_a = ctx.register(Plan(_train_graph(captured), grad="both"))
+            ctx.attack = ctx.train_a
+
     def step(self, trainer: "CompiledTrainer", ctx, images, labels):
         s = self.strategy
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        attack = ctx.attack
+
+        def grad_step(adversarial: np.ndarray) -> np.ndarray:
+            _, gradient = attack.value_and_grad_ce(adversarial, labels)
+            return gradient
+
         adversarial = _pgd_loop(
-            ctx.attack, images, labels,
+            grad_step, images,
             eps=s.eps, alpha=s.alpha, steps=s.steps,
             random_start=s.random_start, seed=s.seed,
         )
         trainer.stats.attack_grad_calls += s.steps
+        trainer.count_forwards(s.steps, s.steps * len(labels))
         plan = ctx.train_a
         plan.forward(adversarial)
+        trainer.count_forwards(1, len(labels))
         loss, seed = plan.ce_loss_and_seed(labels)
         plan.run_backward({plan.graph.output_id: seed})
         trainer.accumulate(plan)
@@ -367,94 +430,254 @@ class _PGDAdversarialAdapter:
 
 
 class _TRADESAdapter:
-    """TRADES: KL inner maximization + eager-composed CE/KL over two plans."""
+    """TRADES, fully in plan: KL inner maximization + in-plan CE/KL outer.
 
-    slots = 2
-    needs_attack = True
+    The adversarial plan's graph carries the robust KL term as a
+    ``softmax_kl`` node whose ``p`` side is an aux leaf **aliasing the
+    clean plan's logits buffer** — no copies, no eager graphs.  Seeding
+    that node with ``beta`` yields the parameter gradients of the robust
+    term plus, through the aux gradient accumulator, the KL gradient with
+    respect to the clean logits, which joins the fused-CE seed in the clean
+    plan's backward.  The attack plan (same capture, eval-lowered) carries
+    its own KL node against the same aliased anchor for the inner loop.
+    """
+
     needs_hidden_seeds = False
 
     def __init__(self, strategy) -> None:
         self.strategy = strategy
 
-    def step(self, trainer: "CompiledTrainer", ctx, images, labels):
+    def build(self, ctx: _SignatureContext, captured: Graph) -> None:
         s = self.strategy
-        plan_a, plan_b = ctx.train_a, ctx.train_b
-        # generate(): the eager loss anchors the KL on a training-mode clean
-        # forward (running stats update once here, exactly like eager).
-        clean_anchor = Tensor(np.array(plan_a.forward(images), copy=True))
+        ctx.train_a = ctx.register(Plan(_train_graph(captured), grad="params"))
+        clean_logits = ctx.train_a.values[ctx.train_a.graph.output_id]
+        dtype = clean_logits.dtype
 
-        def kl_seed(logits: np.ndarray) -> np.ndarray:
-            q = Tensor(logits, requires_grad=True)
-            F.kl_div_with_logits(clean_anchor, q).backward()
-            return q.grad
-
-        adversarial = _pgd_loop(
-            ctx.attack, images, labels,
-            eps=s.eps, alpha=s.alpha, steps=s.steps,
-            random_start=True, seed=s.seed, logits_seed=kl_seed,
+        graph_b = _train_graph(captured)
+        _, kl_id = _append_kl(graph_b, "clean_logits", aux_first=True)
+        ctx.train_b = ctx.register(
+            Plan(
+                graph_b.rebuild(),
+                grad="params",
+                seed_ids=(kl_id,),
+                aux={"clean_logits": clean_logits},
+                grad_aux=("clean_logits",),
+            )
         )
-        trainer.stats.attack_grad_calls += s.steps
-        a = Tensor(plan_a.forward(images), requires_grad=True)
-        b = Tensor(plan_b.forward(adversarial), requires_grad=True)
-        natural = F.cross_entropy(a, labels)
-        robust = F.kl_div_with_logits(a, b)
-        total = natural + robust * s.beta
-        total.backward()
-        plan_a.run_backward({plan_a.graph.output_id: a.grad})
-        trainer.accumulate(plan_a)
-        plan_b.run_backward({plan_b.graph.output_id: b.grad})
-        trainer.accumulate(plan_b)
-        return float(total.item()), None
+        ctx.ids["kl"] = kl_id
 
-
-class _MARTAdapter:
-    """MART: boosted CE + misclassification-weighted KL over two plans."""
-
-    slots = 2
-    needs_attack = True
-    needs_hidden_seeds = False
-
-    def __init__(self, strategy) -> None:
-        self.strategy = strategy
+        attack_graph, _ = _eval_graph(captured)
+        _, attack_kl_id = _append_kl(attack_graph, "clean_logits", aux_first=True)
+        ctx.attack = ctx.register(
+            Plan(
+                attack_graph.rebuild(),
+                grad="input",
+                seed_ids=(attack_kl_id,),
+                aux={"clean_logits": clean_logits},
+            )
+        )
+        ctx.ids["attack_kl"] = attack_kl_id
+        ctx.one = ctx.scalar(1.0, dtype)
+        ctx.beta_seed = ctx.scalar(s.beta, dtype)
 
     def step(self, trainer: "CompiledTrainer", ctx, images, labels):
         s = self.strategy
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        n = len(labels)
+        plan_a, plan_b, attack = ctx.train_a, ctx.train_b, ctx.attack
+        # generate(): the eager loss anchors the KL on a training-mode clean
+        # forward (running stats update once here, exactly like eager); the
+        # attack plan's aux aliases this buffer, so no copy is taken.
+        plan_a.forward(images)
+        trainer.count_forwards(1, n)
+        attack_kl = ctx.ids["attack_kl"]
+
+        def grad_step(adversarial: np.ndarray) -> np.ndarray:
+            attack.forward(adversarial)
+            attack.run_backward({attack_kl: ctx.one})
+            return attack.input_grad()
+
         adversarial = _pgd_loop(
-            ctx.attack, images, labels,
+            grad_step, images,
             eps=s.eps, alpha=s.alpha, steps=s.steps,
             random_start=True, seed=s.seed,
         )
         trainer.stats.attack_grad_calls += s.steps
-        # Eager MART forwards the adversarial batch first, then the clean one.
-        adv_logits = Tensor(ctx.train_b.forward(adversarial), requires_grad=True)
-        clean_logits = Tensor(ctx.train_a.forward(images), requires_grad=True)
-        num_classes = adv_logits.shape[1]
-        adv_probs = F.softmax(adv_logits, axis=1)
-        clean_probs = F.softmax(clean_logits, axis=1)
-        true_mask = Tensor(F.one_hot(labels, num_classes))
-        adv_true = (adv_probs * true_mask).sum(axis=1)
-        adv_wrong_max = (adv_probs + true_mask * (-1e9)).max(axis=1)
-        boosted_ce = -((adv_true + 1e-12).log()) - ((1.0 - adv_wrong_max + 1e-12).log())
-        kl_per_example = F.kl_div_with_logits(clean_logits, adv_logits, reduction="none")
-        clean_true = (clean_probs * true_mask).sum(axis=1)
-        weighted_kl = kl_per_example * (1.0 - clean_true)
-        total = boosted_ce.mean() + weighted_kl.mean() * s.beta
-        total.backward()
-        ctx.train_b.run_backward({ctx.train_b.graph.output_id: adv_logits.grad})
-        trainer.accumulate(ctx.train_b)
-        ctx.train_a.run_backward({ctx.train_a.graph.output_id: clean_logits.grad})
-        trainer.accumulate(ctx.train_a)
-        return float(total.item()), None
+        trainer.count_forwards(s.steps, s.steps * n)
+        # Outer term order matches eager: clean forward, then adversarial.
+        plan_a.forward(images)
+        natural, ce_seed = plan_a.ce_loss_and_seed(labels)
+        plan_b.forward(adversarial)
+        trainer.count_forwards(2, 2 * n)
+        robust = float(plan_b.values[ctx.ids["kl"]])
+        plan_b.run_backward({ctx.ids["kl"]: ctx.beta_seed})
+        trainer.accumulate(plan_b)
+        np.add(ce_seed, plan_b.aux_grad("clean_logits"), out=ce_seed)
+        plan_a.run_backward({plan_a.graph.output_id: ce_seed})
+        trainer.accumulate(plan_a)
+        return natural + robust * s.beta, None
+
+
+class _MARTAdapter:
+    """MART, fully in plan: boosted CE + misclassification-weighted KL.
+
+    The clean plan's graph carries both loss terms as plan nodes — the
+    ``mart_boosted_ce`` margin weighting and the ``mart_weighted_kl``
+    (the reverse KL orientation, per-example, weighted by ``1 - p_clean[y]``)
+    — over two aux leaves: the adversarial logits (aliasing the adversarial
+    plan's output buffer) and a pooled one-hot ``true_mask`` filled in
+    place per batch.  One seed at the in-plan total drives the whole
+    backward; the adversarial plan is seeded with the aux gradient.
+    """
+
+    needs_hidden_seeds = False
+
+    def __init__(self, strategy) -> None:
+        self.strategy = strategy
+
+    def build(self, ctx: _SignatureContext, captured: Graph) -> None:
+        s = self.strategy
+        # Eager MART forwards the adversarial batch first, then the clean
+        # one; the loss nodes live on the (later) clean plan.
+        ctx.train_b = ctx.register(Plan(_train_graph(captured), grad="params"))
+        adv_logits = ctx.train_b.values[ctx.train_b.graph.output_id]
+        graph_a = _train_graph(captured)
+        n, k, dtype = _logits_signature(graph_a)
+        adv_id = graph_a.add_aux("adv_logits", (n, k), dtype)
+        mask_id = graph_a.add_aux("true_mask", (n, k), dtype)
+        bce_id = graph_a.add_op(
+            "mart_boosted_ce", (adv_id, mask_id), (), dtype, name="boosted_ce"
+        )
+        wkl_id = graph_a.add_op(
+            "mart_weighted_kl", (graph_a.output_id, adv_id, mask_id), (), dtype,
+            name="weighted_kl",
+        )
+        beta_id = graph_a.add_const(np.asarray(s.beta, dtype=dtype))
+        scaled_id = graph_a.add_op("mul", (wkl_id, beta_id), (), dtype)
+        total_id = graph_a.add_op("add", (bce_id, scaled_id), (), dtype, name="total")
+        ctx.train_a = ctx.register(
+            Plan(
+                graph_a.rebuild(),
+                grad="params",
+                seed_ids=(total_id,),
+                aux={"adv_logits": adv_logits},
+                grad_aux=("adv_logits",),
+            )
+        )
+        ctx.ids["total"] = total_id
+        ctx.attack = ctx.register(Plan(_eval_graph(captured)[0], grad="input"))
+        ctx.one = ctx.scalar(1.0, dtype)
+        ctx.arange = np.arange(n)
+
+    def step(self, trainer: "CompiledTrainer", ctx, images, labels):
+        s = self.strategy
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        n = len(labels)
+        attack = ctx.attack
+
+        def grad_step(adversarial: np.ndarray) -> np.ndarray:
+            _, gradient = attack.value_and_grad_ce(adversarial, labels)
+            return gradient
+
+        adversarial = _pgd_loop(
+            grad_step, images,
+            eps=s.eps, alpha=s.alpha, steps=s.steps,
+            random_start=True, seed=s.seed,
+        )
+        trainer.stats.attack_grad_calls += s.steps
+        trainer.count_forwards(s.steps, s.steps * n)
+        plan_a, plan_b = ctx.train_a, ctx.train_b
+        plan_b.forward(adversarial)
+        mask = plan_a.aux_values["true_mask"]
+        mask.fill(0.0)
+        mask[ctx.arange, labels] = 1.0
+        plan_a.forward(images)
+        trainer.count_forwards(2, 2 * n)
+        total = float(plan_a.values[ctx.ids["total"]])
+        plan_a.run_backward({ctx.ids["total"]: ctx.one})
+        trainer.accumulate(plan_a)
+        plan_b.run_backward({plan_b.graph.output_id: plan_a.aux_grad("adv_logits")})
+        trainer.accumulate(plan_b)
+        return total, None
+
+
+def _append_hsic_terms(graph: Graph, config, normalized_eps: float = 1e-9) -> Dict[str, int]:
+    """Append the IB-RAR HSIC side terms to a training graph, in plan.
+
+    Per selected hidden layer: flatten, an ``rbf_gram`` node, the
+    one-sided-centered ``hsic_trace`` against the per-batch input and label
+    Gram aux inputs, and (for normalized HSIC) the self-HSIC normalizer
+    with the eager sqrt/eps composition.  The returned ids name the side
+    total (``side``) and the two per-loss sums (``sum_x`` / ``sum_y``).
+    """
+    from ..core.losses import resolve_mi_layers
+
+    selected = resolve_mi_layers(graph.outputs.keys(), config.layers)
+    n = graph.input_node.shape[0]
+    dtype = graph.output_node.dtype
+    kx_id = graph.add_aux("hsic_kx", (n, n), dtype)
+    ky_id = graph.add_aux("hsic_ky", (n, n), dtype)
+    normalized = config.normalized_hsic
+    if normalized:
+        norm_x_id = graph.add_aux("hsic_norm_x", (), dtype)
+        norm_y_id = graph.add_aux("hsic_norm_y", (), dtype)
+        eps_id = graph.add_const(np.asarray(normalized_eps, dtype=dtype))
+    sum_x_id: Optional[int] = None
+    sum_y_id: Optional[int] = None
+    for name in selected:
+        hidden_id = graph.outputs[name]
+        hidden_node = graph.node(hidden_id)
+        if len(hidden_node.shape) > 2:
+            flat_shape = (n, int(np.prod(hidden_node.shape[1:])))
+            flat_id = graph.add_op(
+                "reshape", (hidden_id,), flat_shape, dtype, meta={"shape": flat_shape}
+            )
+        else:
+            flat_id = hidden_id
+        gram_id = graph.add_op(
+            "rbf_gram", (flat_id,), (n, n), dtype, meta={"sigma": config.sigma}
+        )
+
+        def term(other_id: int, norm_other_id: Optional[int], norm_layer_id: Optional[int]) -> int:
+            cross_id = graph.add_op("hsic_trace", (gram_id, other_id), (), dtype)
+            if not normalized:
+                return cross_id
+            prod_id = graph.add_op("mul", (norm_layer_id, norm_other_id), (), dtype)
+            inner_id = graph.add_op("add", (prod_id, eps_id), (), dtype)
+            den_id = graph.add_op("sqrt", (inner_id,), (), dtype)
+            den_eps_id = graph.add_op("add", (den_id, eps_id), (), dtype)
+            return graph.add_op("div", (cross_id, den_eps_id), (), dtype)
+
+        norm_layer_id = (
+            graph.add_op("hsic_trace", (gram_id, gram_id), (), dtype) if normalized else None
+        )
+        term_x = term(kx_id, norm_x_id if normalized else None, norm_layer_id)
+        term_y = term(ky_id, norm_y_id if normalized else None, norm_layer_id)
+        sum_x_id = term_x if sum_x_id is None else graph.add_op("add", (sum_x_id, term_x), (), dtype)
+        sum_y_id = term_y if sum_y_id is None else graph.add_op("add", (sum_y_id, term_y), (), dtype)
+    alpha_id = graph.add_const(np.asarray(config.alpha, dtype=dtype))
+    beta_id = graph.add_const(np.asarray(config.beta, dtype=dtype))
+    scaled_x = graph.add_op("mul", (sum_x_id, alpha_id), (), dtype)
+    scaled_y = graph.add_op("mul", (sum_y_id, beta_id), (), dtype)
+    neg_y = graph.add_op("neg", (scaled_y,), (), dtype)
+    side_id = graph.add_op("add", (scaled_x, neg_y), (), dtype, name="mi_side")
+    graph.outputs["mi_sum_x"] = sum_x_id
+    graph.outputs["mi_sum_y"] = sum_y_id
+    return {"side": side_id, "sum_x": sum_x_id, "sum_y": sum_y_id}
 
 
 class _MILossAdapter:
-    """IB-RAR wrapper: base term through plans + eager HSIC side terms.
+    """IB-RAR wrapper: base term through plans + in-plan HSIC side terms.
 
-    The side terms consume the training plan's hidden-activation buffers as
-    eager leaves; their gradients are injected into the same plan backward
-    that carries the classification seed (Eq. 1, the fused-CE base) or into
-    a dedicated clean-forward backward (Eq. 2, adversarial bases — matching
-    the extra ``forward_with_hidden`` pass the eager loss performs).
+    The HSIC regularizers are plan nodes reading the training plan's hidden
+    buffers: per layer an RBF Gram node and one-sided-centered trace nodes
+    against the per-batch input/label Gram matrices, which a pooled
+    :class:`~repro.compile.kernels.GramCache` refreshes in place (together
+    with the nHSIC normalizers) before each forward.  Eq. (1) shares one
+    plan between the fused-CE seed and the side terms; Eq. (2) runs the
+    adversarial base through its own plans and a dedicated clean hidden
+    plan for the MI terms — matching the extra ``forward_with_hidden``
+    pass the eager loss performs.
     """
 
     needs_hidden_seeds = True
@@ -462,57 +685,72 @@ class _MILossAdapter:
     def __init__(self, strategy, base_adapter) -> None:
         self.strategy = strategy
         self.base = base_adapter  # None => fused clean-CE base (Eq. 1)
-        self.slots = base_adapter.slots if base_adapter is not None else 1
-        self.needs_attack = base_adapter.needs_attack if base_adapter is not None else False
 
-    def _side_terms(self, plan: Plan, images, labels):
-        from ..core.losses import mi_regularizer_terms
-
+    def build(self, ctx: _SignatureContext, captured: Graph) -> None:
         config = self.strategy.config
-        hidden_ids = plan.graph.outputs
-        leaves = OrderedDict(
-            (name, Tensor(plan.values[node_id], requires_grad=True))
-            for name, node_id in hidden_ids.items()
-        )
-        sum_xt, sum_yt = mi_regularizer_terms(
-            Tensor(images),
-            labels,
-            leaves,
+        mi_graph = _train_graph(captured)
+        ids = _append_hsic_terms(mi_graph, config)
+        mi_graph = mi_graph.rebuild()
+        n = mi_graph.input_node.shape[0]
+        input_dim = int(np.prod(mi_graph.input_node.shape[1:]))
+        dtype = mi_graph.output_node.dtype
+        gram_pool = BufferPool()
+        ctx.gram = GramCache(
+            gram_pool,
+            n,
+            input_dim,
             num_classes=self.strategy.num_classes,
-            layers=config.layers,
-            normalized=config.normalized_hsic,
+            dtype=dtype,
             sigma=config.sigma,
+            normalized=config.normalized_hsic,
         )
-        side = sum_xt * config.alpha - sum_yt * config.beta
-        side.backward()
-        seeds: Dict[int, np.ndarray] = {}
-        for name, leaf in leaves.items():
-            if leaf.grad is not None:
-                seeds[hidden_ids[name]] = leaf.grad
-        return float(side.item()), seeds, float(sum_xt.item()), float(sum_yt.item())
+        ctx.pools.append(gram_pool)
+        aux = {"hsic_kx": ctx.gram.kx, "hsic_ky": ctx.gram.ky}
+        if config.normalized_hsic:
+            aux["hsic_norm_x"] = ctx.gram.norm_x
+            aux["hsic_norm_y"] = ctx.gram.norm_y
+        mi_plan = Plan(mi_graph, grad="params", seed_ids=(ids["side"],), aux=aux)
+        ctx.ids["mi_side"] = ids["side"]
+        ctx.one = ctx.scalar(1.0, dtype)
+        if self.base is None:
+            ctx.train_a = ctx.register(mi_plan)
+            ctx.train_mi = mi_plan
+        else:
+            self.base.build(ctx, captured)
+            ctx.train_mi = ctx.register(mi_plan)
+
+    def _side_values(self, plan: Plan) -> Tuple[float, float, float]:
+        side = float(plan.output_value("mi_side"))
+        hsic_x = float(plan.output_value("mi_sum_x"))
+        hsic_y = float(plan.output_value("mi_sum_y"))
+        return side, hsic_x, hsic_y
 
     def step(self, trainer: "CompiledTrainer", ctx, images, labels):
-        plan = ctx.train_a
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
         if self.base is None:
             # Eq. (1) fused path: one training forward shares the CE term,
             # the HSIC terms and the training-accuracy logits.
+            plan = ctx.train_a
+            ctx.gram.update(images, labels)
             logits = plan.forward(images)
+            trainer.count_forwards(1, len(labels))
             base_value, ce_seed = plan.ce_loss_and_seed(labels)
-            side_value, seeds, hsic_x, hsic_y = self._side_terms(plan, images, labels)
-            output_id = plan.graph.output_id
-            if output_id in seeds:  # a model whose "hidden" includes the logits
-                np.add(ce_seed, seeds.pop(output_id), out=ce_seed)
-            seeds[output_id] = ce_seed
-            plan.run_backward(seeds)
+            side_value, hsic_x, hsic_y = self._side_values(plan)
+            plan.run_backward(
+                {plan.graph.output_id: ce_seed, ctx.ids["mi_side"]: ctx.one}
+            )
             trainer.accumulate(plan)
             returned_logits = logits
         else:
             # Eq. (2): the adversarial base runs through its own adapter,
             # then the MI terms get their dedicated clean hidden forward.
             base_value, _ = self.base.step(trainer, ctx, images, labels)
+            plan = ctx.train_mi
+            ctx.gram.update(images, labels)
             plan.forward(images)
-            side_value, seeds, hsic_x, hsic_y = self._side_terms(plan, images, labels)
-            plan.run_backward(seeds)
+            trainer.count_forwards(1, len(labels))
+            side_value, hsic_x, hsic_y = self._side_values(plan)
+            plan.run_backward({ctx.ids["mi_side"]: ctx.one})
             trainer.accumulate(plan)
             returned_logits = None
         total = base_value + side_value
@@ -589,18 +827,12 @@ class CompiledTrainer:
         if self.adapter is not None and not _supports_fused_step(optimizer):
             self.adapter = None
         self.stats = TrainingCompileStats()
-        self._cache = _SignatureCache(self._build_context, capacity=max_signatures)
+        self._cache = SignatureCache(self._build_context, capacity=max_signatures)
         self._accums: Dict[int, np.ndarray] = {}
         self._mask_ref = getattr(model, "channel_mask", None)
 
     def _build_context(self, sample: np.ndarray) -> _SignatureContext:
-        ctx = _SignatureContext(
-            self.model,
-            sample,
-            slots=self.adapter.slots,
-            needs_attack=self.adapter.needs_attack,
-            hidden_seeds=self.adapter.needs_hidden_seeds,
-        )
+        ctx = _SignatureContext(self.model, sample, self.adapter, self.stats)
         self.stats.plans_built += len(ctx.plans)
         return ctx
 
@@ -609,14 +841,18 @@ class CompiledTrainer:
         """Whether the strategy (and optimizer) have a compiled path at all."""
         return self.adapter is not None
 
+    def count_forwards(self, calls: int, examples: int) -> None:
+        """Record plan forward replays (the compiled ForwardPassCounter)."""
+        self.stats.compiled_forward_calls += calls
+        self.stats.compiled_forward_examples += examples
+
     @property
     def pool_allocations(self) -> int:
-        """Total buffer allocations across every live context's plans."""
+        """Total buffer allocations across every live context's pools."""
         return sum(
-            plan.pool.allocations
+            ctx.pool_allocations
             for ctx in self._cache.entries.values()
             if ctx is not None
-            for plan in ctx.plans
         )
 
     @property
@@ -664,18 +900,32 @@ class CompiledTrainer:
             self.stats.eager_batches += 1
             return None
         self._zero_accumulators()
+        counters_before = (
+            self.stats.compiled_forward_calls,
+            self.stats.compiled_forward_examples,
+            self.stats.attack_grad_calls,
+        )
         try:
             loss, logits = self.adapter.step(self, ctx, images, labels)
             if logits is not None:
                 predictions = np.argmax(logits, axis=1)
             else:
                 predictions = np.argmax(ctx.train_a.forward(images), axis=1)
+                self.count_forwards(1, len(labels))
         except CompileError:
             # A replay failure (e.g. parameter storage reallocated behind the
             # plan's back by an interleaved eager ``optimizer.step()``).
             # Unlike a capture failure — deterministic, remembered as None —
             # this is recoverable: drop the context so the next sighting of
-            # this signature recompiles against the current storage.
+            # this signature recompiles against the current storage.  The
+            # batch re-runs eagerly (where ForwardPassCounter sees it), so
+            # whatever this partial step already recorded is rolled back —
+            # otherwise the run's forward telemetry would double-count it.
+            (
+                self.stats.compiled_forward_calls,
+                self.stats.compiled_forward_examples,
+                self.stats.attack_grad_calls,
+            ) = counters_before
             self._cache.evict(images)
             self.stats.eager_batches += 1
             return None

@@ -34,7 +34,26 @@ from ..models.base import ImageClassifier
 from ..training.adversarial import CrossEntropyLoss, LossStrategy
 from .config import IBRARConfig
 
-__all__ = ["MILoss", "AdversarialMILoss", "mi_regularizer_terms"]
+__all__ = ["MILoss", "AdversarialMILoss", "mi_regularizer_terms", "resolve_mi_layers"]
+
+
+def resolve_mi_layers(available, layers: Optional[Sequence[str]]) -> list:
+    """Validate and order the hidden layers the MI regularizers sum over.
+
+    Shared by the eager :func:`mi_regularizer_terms` and the compiled
+    adapter's in-plan HSIC graph builder, so both paths select (and reject)
+    exactly the same layers.
+    """
+    available = list(available)
+    selected = list(layers) if layers is not None else available
+    if not selected:
+        raise ValueError("at least one hidden layer must be selected for the MI loss")
+    for name in selected:
+        if name not in available:
+            raise KeyError(
+                f"layer '{name}' not found among hidden representations {available}"
+            )
+    return selected
 
 
 def mi_regularizer_terms(
@@ -56,9 +75,7 @@ def mi_regularizer_terms(
     lets the cross and normalizer terms reuse it, so no ``m x m`` centering
     matrix is materialized and no kernel is centered twice.
     """
-    selected = list(layers) if layers is not None else list(hidden.keys())
-    if not selected:
-        raise ValueError("at least one hidden layer must be selected for the MI loss")
+    selected = resolve_mi_layers(hidden.keys(), layers)
     input_kernel = gaussian_kernel(inputs.detach(), sigma=sigma)
     label_kernel = linear_kernel(Tensor(F.one_hot(labels, num_classes)))
     norm_input: Optional[Tensor] = None
@@ -69,8 +86,6 @@ def mi_regularizer_terms(
     sum_xt: Optional[Tensor] = None
     sum_yt: Optional[Tensor] = None
     for name in selected:
-        if name not in hidden:
-            raise KeyError(f"layer '{name}' not found among hidden representations {list(hidden)}")
         layer_kernel = gaussian_kernel(hidden[name], sigma=sigma)
         centered = center(layer_kernel)
         if normalized:

@@ -194,10 +194,17 @@ class ExperimentRunner:
                 )
                 history = trainer.fit(loader, epochs=spec.epochs)
         model.eval()
+        # ForwardPassCounter instruments the eager forward funnel, which
+        # compiled plan replays bypass entirely; TrainingCompileStats counts
+        # those replays the same way (one call per plan forward), so the sum
+        # reports consistent totals for eager and train_compile runs alike.
+        compile_stats = history.compile_stats or {}
         timing = {
             "train_seconds": time.perf_counter() - start,
-            "train_forward_calls": counter.calls,
-            "train_forward_examples": counter.examples,
+            "train_forward_calls": counter.calls
+            + int(compile_stats.get("compiled_forward_calls", 0)),
+            "train_forward_examples": counter.examples
+            + int(compile_stats.get("compiled_forward_examples", 0)),
         }
         return model, history.as_dict(), timing
 

@@ -25,6 +25,7 @@ __all__ = [
     "gaussian_kernel",
     "linear_kernel",
     "median_bandwidth",
+    "median_bandwidth_array",
     "center",
     "hsic",
     "normalized_hsic",
@@ -54,14 +55,13 @@ def pairwise_squared_distances(x: Tensor) -> Tensor:
     return distances.maximum(0.0)
 
 
-def median_bandwidth(x: ArrayOrTensor) -> float:
-    """Median-of-distances bandwidth heuristic for the Gaussian kernel.
+def median_bandwidth_array(flat: np.ndarray) -> float:
+    """:func:`median_bandwidth` on a raw, already-flattened ``(n, d)`` array.
 
-    The heuristic is computed on the raw values (no gradient), matching the
-    common HSIC-bottleneck implementations.
+    The compiled loss kernels (:mod:`repro.compile`) call this directly on
+    their plan buffers so the sigma they derive per replay is bit-identical
+    to the eager heuristic's.
     """
-    data = as_tensor(x).data
-    flat = data.reshape(len(data), -1)
     diffs = flat[:, None, :] - flat[None, :, :]
     sq = (diffs ** 2).sum(axis=-1)
     upper = sq[np.triu_indices(len(flat), k=1)]
@@ -69,6 +69,16 @@ def median_bandwidth(x: ArrayOrTensor) -> float:
         return 1.0
     median = float(np.median(upper))
     return float(np.sqrt(max(median, 1e-12) / 2.0))
+
+
+def median_bandwidth(x: ArrayOrTensor) -> float:
+    """Median-of-distances bandwidth heuristic for the Gaussian kernel.
+
+    The heuristic is computed on the raw values (no gradient), matching the
+    common HSIC-bottleneck implementations.
+    """
+    data = as_tensor(x).data
+    return median_bandwidth_array(data.reshape(len(data), -1))
 
 
 def gaussian_kernel(x: ArrayOrTensor, sigma: Optional[float] = None) -> Tensor:

@@ -1,0 +1,152 @@
+"""Allocation and capture-count regressions for the in-plan losses.
+
+* A warm compiled TRADES / IB-RAR step must record **zero eager graph
+  nodes** (``op_counter`` — every loss term is a plan node now) and **zero
+  steady-state pool allocations**.
+* PGD-AT performs exactly **one plan-pair capture per signature**
+  (``TrainingCompileStats.captures``), with the attack plan derived from
+  the training capture by the ``lower_to_eval`` pass; on a mode-invariant
+  model the pair collapses into one fused ``grad="both"`` plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import IBRARConfig
+from repro.core.losses import AdversarialMILoss
+from repro.compile.training import CompiledTrainer
+from repro.models import MLP, SmallCNN
+from repro.nn.optim import SGD
+from repro.nn.tensor import op_counter
+from repro.training.adversarial import PGDAdversarialLoss, TRADESLoss
+
+
+def _compiled(strategy, model=None):
+    model = model or SmallCNN(
+        num_classes=10, image_size=16, base_channels=4, hidden_dim=16, seed=0
+    )
+    model.train()
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    return CompiledTrainer(model, optimizer, strategy)
+
+
+def _warm(trainer, batches=3, n=20, shape=(3, 16, 16)):
+    rng = np.random.default_rng(0)
+    images = rng.random((n, *shape))
+    labels = rng.integers(0, 10, n)
+    outcomes = [trainer.train_batch(images, labels) for _ in range(batches)]
+    assert outcomes[0] is None and outcomes[-1] is not None
+    return images, labels
+
+
+class TestZeroSteadyStateLoss:
+    def _assert_steady(self, trainer, images, labels):
+        before = trainer.pool_allocations
+        with op_counter() as ops:
+            outcome = trainer.train_batch(images, labels)
+        assert outcome is not None, "warm batch fell back to eager"
+        assert ops.count == 0, f"{ops.count} eager graph nodes built in a compiled step"
+        assert trainer.pool_allocations - before == 0
+
+    def test_trades_step_is_allocation_free(self):
+        trainer = _compiled(TRADESLoss(steps=2, seed=0))
+        images, labels = _warm(trainer)
+        self._assert_steady(trainer, images, labels)
+
+    def test_ibrar_step_is_allocation_free(self):
+        # Fixed sigma: the median-bandwidth heuristic is the one inherently
+        # per-batch (allocating) computation, so the zero-allocation claim
+        # is asserted on the explicit-sigma configuration.
+        strategy = AdversarialMILoss(
+            IBRARConfig(alpha=0.05, beta=0.01, sigma=1.5),
+            num_classes=10,
+            adversarial_strategy=PGDAdversarialLoss(steps=2, seed=0),
+        )
+        trainer = _compiled(strategy)
+        images, labels = _warm(trainer)
+        self._assert_steady(trainer, images, labels)
+
+    def test_ibrar_median_sigma_builds_no_eager_nodes(self):
+        # The paper-default sigma=None path still records zero eager graph
+        # nodes (the median heuristic is raw NumPy, not Tensor ops).
+        strategy = AdversarialMILoss(
+            IBRARConfig(alpha=0.05, beta=0.01),
+            num_classes=10,
+            adversarial_strategy=PGDAdversarialLoss(steps=2, seed=0),
+        )
+        trainer = _compiled(strategy)
+        images, labels = _warm(trainer)
+        with op_counter() as ops:
+            assert trainer.train_batch(images, labels) is not None
+        assert ops.count == 0
+
+
+class TestTelemetryRollback:
+    def test_mid_step_failure_rolls_back_forward_counters(self):
+        # A compiled batch that fails partway re-runs eagerly (where the
+        # ForwardPassCounter sees it); whatever the partial step recorded
+        # must be rolled back or the run double-counts those forwards.
+        from repro.compile.graph import CompileError
+        from repro.training.adversarial import CrossEntropyLoss
+
+        trainer = _compiled(CrossEntropyLoss())
+        images, labels = _warm(trainer)
+        before = (
+            trainer.stats.compiled_forward_calls,
+            trainer.stats.compiled_forward_examples,
+            trainer.stats.attack_grad_calls,
+        )
+
+        def failing_step(tr, ctx, batch_images, batch_labels):
+            tr.count_forwards(3, 3 * len(batch_labels))
+            tr.stats.attack_grad_calls += 5
+            raise CompileError("mid-step failure")
+
+        trainer.adapter.step = failing_step
+        assert trainer.train_batch(images, labels) is None
+        after = (
+            trainer.stats.compiled_forward_calls,
+            trainer.stats.compiled_forward_examples,
+            trainer.stats.attack_grad_calls,
+        )
+        assert after == before
+
+
+class TestCaptureCounts:
+    def test_pgd_at_one_capture_per_signature(self):
+        trainer = _compiled(PGDAdversarialLoss(steps=2, seed=0))
+        rng = np.random.default_rng(0)
+        full = rng.random((20, 3, 16, 16))
+        labels = rng.integers(0, 10, 20)
+        for _ in range(3):
+            trainer.train_batch(full, labels)
+        assert trainer.stats.captures == 1  # one trace serves the plan pair
+        assert trainer.stats.plans_built == 2  # training plan + lowered attack plan
+        ragged = full[:7]
+        for _ in range(3):
+            trainer.train_batch(ragged, labels[:7])
+        assert trainer.stats.captures == 2  # exactly one more for the new signature
+        assert trainer.stats.plans_built == 4
+
+    def test_trades_one_capture_per_signature(self):
+        trainer = _compiled(TRADESLoss(steps=2, seed=0))
+        _warm(trainer)
+        assert trainer.stats.captures == 1
+        assert trainer.stats.plans_built == 3  # two training plans + attack plan
+
+    def test_mode_invariant_model_fuses_the_pair(self):
+        # No batch norm: the training plan binds the fused input+param
+        # backward and doubles as the attack plan — one capture, one plan.
+        model = MLP(input_dim=48, num_classes=10, hidden_dims=(12, 8), seed=0)
+        trainer = _compiled(PGDAdversarialLoss(steps=2, seed=0), model=model)
+        rng = np.random.default_rng(0)
+        images = rng.random((10, 48))
+        labels = rng.integers(0, 10, 10)
+        assert trainer.train_batch(images, labels) is None
+        assert trainer.train_batch(images, labels) is not None
+        assert trainer.stats.captures == 1
+        assert trainer.stats.plans_built == 1
+        ctx = next(v for v in trainer._cache.entries.values() if v is not None)
+        assert ctx.attack is ctx.train_a
+        assert ctx.train_a.grad_mode == "both"

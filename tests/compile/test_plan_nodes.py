@@ -1,0 +1,289 @@
+"""Finite-difference gradcheck for the in-plan loss nodes and fused backward.
+
+Every node :mod:`repro.compile.executor` gained for the in-plan losses —
+``softmax_kl`` (both KL orientations), the MART margin weighting and
+weighted KL, the RBF Gram matrix and the one-sided-centered HSIC trace —
+is checked against central finite differences of the plan's own forward,
+through tiny hand-built graphs.  The fused input+param backward
+(``grad="both"``) is checked end to end on a captured model: the input
+gradient and every parameter gradient come out of the *same* plan.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from nn.gradcheck import plan_gradcheck  # noqa: E402
+
+from repro.compile.executor import Plan
+from repro.compile.graph import Graph, Node, capture_forward
+from repro.compile.passes import optimize
+from repro.models import MLP
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.ib.hsic import gaussian_kernel, hsic, normalized_hsic
+
+
+def _loss_graph(n, k, op, aux_specs, extra_inputs=(), meta=None):
+    """input (n, k) + aux leaves + one scalar loss node reading them."""
+    nodes = [Node(0, "input", (), {}, (n, k), np.float64)]
+    aux = {}
+    for index, (name, shape) in enumerate(aux_specs, start=1):
+        nodes.append(Node(index, "aux", (), {"name": name}, shape, np.float64))
+        aux[name] = index
+    loss_id = len(nodes)
+    nodes.append(Node(loss_id, op, (0, *extra_inputs), dict(meta or {}), (), np.float64))
+    return Graph(nodes, input_id=0, output_id=loss_id, aux=aux)
+
+
+def _run(plan, x):
+    plan.forward(x)
+    plan.run_backward({plan.graph.output_id: np.array(1.0)})
+    return plan
+
+
+class TestSoftmaxKL:
+    def _check(self, aux_first: bool):
+        rng = np.random.default_rng(0)
+        n, k = 5, 4
+        x = rng.normal(size=(n, k))
+        other = rng.normal(size=(n, k))
+        # The input takes the p slot or the q slot depending on orientation.
+        nodes = [
+            Node(0, "input", (), {}, (n, k), np.float64),
+            Node(1, "aux", (), {"name": "other"}, (n, k), np.float64),
+        ]
+        inputs = (1, 0) if aux_first else (0, 1)
+        nodes.append(Node(2, "softmax_kl", inputs, {}, (), np.float64))
+        graph = Graph(nodes, input_id=0, output_id=2, aux={"other": 1})
+        plan = Plan(graph, grad="input", aux={"other": other}, grad_aux=("other",))
+
+        def value():
+            return float(_run(plan, x).values[2])
+
+        value()
+        analytic_x = np.array(plan.grads[0])
+        analytic_other = np.array(plan.aux_grad("other"))
+        ok, message = plan_gradcheck(
+            value, [("logits", x, analytic_x), ("other", other, analytic_other)]
+        )
+        assert ok, message
+        # The forward value must equal the eager composition exactly.
+        p, q = (other, x) if aux_first else (x, other)
+        eager = float(F.kl_div_with_logits(Tensor(p), Tensor(q)).item())
+        assert value() == pytest.approx(eager, rel=1e-12)
+
+    def test_kl_input_as_p(self):
+        self._check(aux_first=False)
+
+    def test_kl_input_as_q(self):
+        self._check(aux_first=True)
+
+
+class TestMARTNodes:
+    def _mask(self, n, k, rng):
+        labels = rng.integers(0, k, n)
+        mask = np.zeros((n, k))
+        mask[np.arange(n), labels] = 1.0
+        return labels, mask
+
+    def test_boosted_ce_margin_weighting(self):
+        rng = np.random.default_rng(1)
+        n, k = 5, 4
+        x = rng.normal(size=(n, k))
+        labels, mask = self._mask(n, k, rng)
+        graph = _loss_graph(n, k, "mart_boosted_ce", [("true_mask", (n, k))], extra_inputs=(1,))
+        plan = Plan(graph, grad="input", aux={"true_mask": mask})
+
+        def value():
+            return float(_run(plan, x).values[graph.output_id])
+
+        value()
+        analytic = np.array(plan.grads[0])
+        ok, message = plan_gradcheck(value, [("adv_logits", x, analytic)])
+        assert ok, message
+        # Eager reference (the exact MART boosted-CE composition).
+        probs = F.softmax(Tensor(x), axis=1)
+        true_mask = Tensor(mask)
+        adv_true = (probs * true_mask).sum(axis=1)
+        adv_wrong = (probs + true_mask * (-1e9)).max(axis=1)
+        eager = (-((adv_true + 1e-12).log()) - ((1.0 - adv_wrong + 1e-12).log())).mean()
+        assert value() == pytest.approx(float(eager.item()), rel=1e-12)
+
+    def test_weighted_kl_both_logits(self):
+        rng = np.random.default_rng(2)
+        n, k = 5, 4
+        clean = rng.normal(size=(n, k))
+        adv = rng.normal(size=(n, k))
+        labels, mask = self._mask(n, k, rng)
+        nodes = [
+            Node(0, "input", (), {}, (n, k), np.float64),
+            Node(1, "aux", (), {"name": "adv"}, (n, k), np.float64),
+            Node(2, "aux", (), {"name": "true_mask"}, (n, k), np.float64),
+            Node(3, "mart_weighted_kl", (0, 1, 2), {}, (), np.float64),
+        ]
+        graph = Graph(nodes, input_id=0, output_id=3, aux={"adv": 1, "true_mask": 2})
+        plan = Plan(
+            graph, grad="input", aux={"adv": adv, "true_mask": mask}, grad_aux=("adv",)
+        )
+
+        def value():
+            return float(_run(plan, clean).values[3])
+
+        value()
+        analytic_clean = np.array(plan.grads[0])
+        analytic_adv = np.array(plan.aux_grad("adv"))
+        ok, message = plan_gradcheck(
+            value, [("clean", clean, analytic_clean), ("adv", adv, analytic_adv)]
+        )
+        assert ok, message
+        clean_t, adv_t = Tensor(clean), Tensor(adv)
+        kl = F.kl_div_with_logits(clean_t, adv_t, reduction="none")
+        clean_true = (F.softmax(clean_t, axis=1) * Tensor(mask)).sum(axis=1)
+        eager = (kl * (1.0 - clean_true)).mean()
+        assert value() == pytest.approx(float(eager.item()), rel=1e-12)
+
+
+class TestHSICNodes:
+    def _gram_trace_plan(self, n, d, other, sigma=1.3, same=False):
+        nodes = [
+            Node(0, "input", (), {}, (n, d), np.float64),
+            Node(1, "rbf_gram", (0,), {"sigma": sigma}, (n, n), np.float64),
+        ]
+        aux = {}
+        if same:
+            nodes.append(Node(2, "hsic_trace", (1, 1), {}, (), np.float64))
+        else:
+            nodes.append(Node(2, "aux", (), {"name": "other"}, (n, n), np.float64))
+            nodes.append(Node(3, "hsic_trace", (1, 2), {}, (), np.float64))
+            aux["other"] = 2
+        output_id = 2 if same else 3
+        graph = Graph(nodes, input_id=0, output_id=output_id, aux=aux)
+        bindings = {} if same else {"other": other}
+        return Plan(graph, grad="input", aux=bindings)
+
+    def test_rbf_gram_through_cross_trace(self):
+        rng = np.random.default_rng(3)
+        n, d = 5, 3
+        x = rng.normal(size=(n, d))
+        other = np.abs(rng.normal(size=(n, n)))
+        other = (other + other.T) / 2.0
+        plan = self._gram_trace_plan(n, d, other)
+
+        def value():
+            return float(_run(plan, x).values[plan.graph.output_id])
+
+        value()
+        ok, message = plan_gradcheck(value, [("x", x, np.array(plan.grads[0]))])
+        assert ok, message
+        eager = hsic(gaussian_kernel(Tensor(x), sigma=1.3), Tensor(other))
+        assert value() == pytest.approx(float(eager.item()), rel=1e-12)
+
+    def test_self_trace_same_input_normalizer(self):
+        rng = np.random.default_rng(4)
+        n, d = 5, 3
+        x = rng.normal(size=(n, d))
+        plan = self._gram_trace_plan(n, d, None, same=True)
+
+        def value():
+            return float(_run(plan, x).values[plan.graph.output_id])
+
+        value()
+        ok, message = plan_gradcheck(value, [("x", x, np.array(plan.grads[0]))])
+        assert ok, message
+        kernel = gaussian_kernel(Tensor(x), sigma=1.3)
+        eager = hsic(kernel, kernel)
+        assert value() == pytest.approx(float(eager.item()), rel=1e-12)
+
+    def test_normalized_composition_matches_eager(self):
+        # The full per-layer chain the IB-RAR adapter builds: gram, self
+        # normalizer, cross trace, sqrt/eps denominator, division.
+        rng = np.random.default_rng(5)
+        n, d = 5, 3
+        x = rng.normal(size=(n, d))
+        other = np.abs(rng.normal(size=(n, n)))
+        other = (other + other.T) / 2.0
+        norm_other = float(hsic(Tensor(other), Tensor(other)).item())
+        nodes = [
+            Node(0, "input", (), {}, (n, d), np.float64),
+            Node(1, "rbf_gram", (0,), {"sigma": 1.3}, (n, n), np.float64),
+            Node(2, "aux", (), {"name": "other"}, (n, n), np.float64),
+            Node(3, "aux", (), {"name": "norm_other"}, (), np.float64),
+            Node(4, "hsic_trace", (1, 2), {}, (), np.float64),  # cross
+            Node(5, "hsic_trace", (1, 1), {}, (), np.float64),  # self norm
+            Node(6, "const", (), {}, (), np.float64, value=np.array(1e-9)),
+            Node(7, "mul", (5, 3), {}, (), np.float64),
+            Node(8, "add", (7, 6), {}, (), np.float64),
+            Node(9, "sqrt", (8,), {}, (), np.float64),
+            Node(10, "add", (9, 6), {}, (), np.float64),
+            Node(11, "div", (4, 10), {}, (), np.float64),
+        ]
+        graph = Graph(nodes, input_id=0, output_id=11, aux={"other": 2, "norm_other": 3})
+        plan = Plan(
+            graph, grad="input",
+            aux={"other": other, "norm_other": np.array(norm_other)},
+        )
+
+        def value():
+            return float(_run(plan, x).values[11])
+
+        value()
+        ok, message = plan_gradcheck(
+            value, [("x", x, np.array(plan.grads[0]))], rtol=1e-3, atol=1e-7
+        )
+        assert ok, message
+        eager = normalized_hsic(gaussian_kernel(Tensor(x), sigma=1.3), Tensor(other))
+        assert value() == pytest.approx(float(eager.item()), rel=1e-10)
+
+
+class TestFusedInputParamBackward:
+    def test_input_and_param_grads_from_one_plan(self):
+        # grad="both": one run_backward emits the input gradient and every
+        # parameter gradient; all are finite-difference checked against the
+        # same plan's forward.
+        rng = np.random.default_rng(6)
+        model = MLP(input_dim=6, num_classes=3, hidden_dims=(5, 4), seed=0)
+        model.train()
+        x = rng.random((4, 6))
+        y = rng.integers(0, 3, 4)
+        graph = capture_forward(model, x, training=True, live_params=True)
+        plan = Plan(optimize(graph, fold_bn=False, fuse=True), grad="both")
+
+        def value():
+            plan.forward(x)
+            loss, _ = plan.ce_loss_and_seed(y)
+            return loss
+
+        plan.forward(x)
+        loss, seed = plan.ce_loss_and_seed(y)
+        plan.run_backward({plan.graph.output_id: seed})
+        pairs = [("input", x, np.array(plan.input_grad()))]
+        grads = plan.param_grads()
+        for name, param in model.named_parameters():
+            pairs.append((name, param.data, np.array(grads[id(param)])))
+        ok, message = plan_gradcheck(value, pairs)
+        assert ok, message
+        assert len(pairs) == len(model.parameters()) + 1
+
+    def test_input_program_matches_full_program_input_grad(self):
+        # The attack fast path (backward) and the fused full program
+        # (run_backward) must agree on the input gradient bit for bit.
+        rng = np.random.default_rng(7)
+        model = MLP(input_dim=6, num_classes=3, hidden_dims=(5,), seed=1)
+        model.train()
+        x = rng.random((4, 6))
+        y = rng.integers(0, 3, 4)
+        graph = capture_forward(model, x, training=True, live_params=True)
+        plan = Plan(optimize(graph, fold_bn=False, fuse=True), grad="both")
+        plan.forward(x)
+        _, seed = plan.ce_loss_and_seed(y)
+        seed = np.array(seed, copy=True)
+        fast = np.array(plan.backward(seed), copy=True)
+        plan.run_backward({plan.graph.output_id: seed})
+        assert np.array_equal(fast, plan.input_grad())
