@@ -14,6 +14,12 @@ per-signature plan contexts), and one backs
 :class:`repro.compile.training.LiveEvalModel` (live-parameter eval plans).
 :meth:`evict` drops a *recoverable* failure (reallocated parameter storage)
 so the next sighting rebuilds against the current storage.
+
+Long-running servers (:mod:`repro.serve`) need two extras over the batch
+policy: :meth:`warm` bypasses second-sighting so every configured bucket
+signature is traced before the first request arrives, and the
+hit/miss/build/eviction counters surfaced by :meth:`stats` feed the server's
+``stats`` endpoint.
 """
 
 from __future__ import annotations
@@ -37,14 +43,36 @@ class SignatureCache:
         self.capacity = capacity
         self.entries: Dict[Key, Optional[object]] = {}
         self._misses: Dict[Key, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.builds = 0
+        self.build_failures = 0
+        self.evictions = 0
 
     @staticmethod
     def key(sample: np.ndarray) -> Key:
         return (sample.shape, sample.dtype.str)
 
+    @property
+    def live_entries(self) -> int:
+        """Number of cached entries holding a usable plan (failures excluded)."""
+        return sum(1 for entry in self.entries.values() if entry is not None)
+
     def clear(self) -> None:
         self.entries.clear()
         self._misses.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for telemetry (the serve ``stats`` endpoint)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+            "build_failures": self.build_failures,
+            "evictions": self.evictions,
+            "live_entries": self.live_entries,
+            "capacity": self.capacity,
+        }
 
     def get(self, sample: np.ndarray):
         """The cached entry for this signature, or ``None`` (never builds)."""
@@ -53,6 +81,24 @@ class SignatureCache:
     def insert(self, sample: np.ndarray, entry) -> None:
         """Pre-seed the cache (a caller-built first plan skips the policy)."""
         self.entries[self.key(sample)] = entry
+
+    def warm(self, sample: np.ndarray) -> bool:
+        """Build this signature *now*, bypassing the second-sighting policy.
+
+        Servers call this at startup for every configured bucket size so the
+        first real request replays an already-traced plan.  Returns ``True``
+        when a usable entry is cached afterwards (freshly built or already
+        present), ``False`` when the build failed, the failure was already
+        memoized, or the cache is at capacity.
+        """
+        key = self.key(sample)
+        if key in self.entries:
+            return self.entries[key] is not None
+        if self.live_entries >= self.capacity:
+            return False
+        entry = self._try_build(sample)
+        self.entries[key] = entry
+        return entry is not None
 
     def lookup(self, sample: np.ndarray):
         """The entry for this signature, building it on the second sighting.
@@ -63,18 +109,32 @@ class SignatureCache:
         """
         key = self.key(sample)
         if key in self.entries:
-            return self.entries[key]
+            entry = self.entries[key]
+            if entry is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+            return entry
+        self.misses += 1
         if self._misses.get(key, 0) == 0:
             self._misses[key] = 1
             return None
-        if sum(1 for entry in self.entries.values() if entry is not None) >= self.capacity:
+        if self.live_entries >= self.capacity:
             return None
+        entry = self._try_build(sample)
+        self.entries[key] = entry
+        return entry
+
+    def _try_build(self, sample: np.ndarray):
         try:
             entry = self._build(sample)
         except CompileError:
             entry = None  # remember the failure; fall back for this signature
-        self.entries[key] = entry
+            self.build_failures += 1
+        else:
+            self.builds += 1
         return entry
 
     def evict(self, sample: np.ndarray) -> None:
-        self.entries.pop(self.key(sample), None)
+        if self.entries.pop(self.key(sample), None) is not None:
+            self.evictions += 1

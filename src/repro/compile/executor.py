@@ -1221,7 +1221,9 @@ def _bind_rbf_gram(plan: Plan, node: Node):
     (the bit-exact replay of ``repro.ib.hsic.gaussian_kernel``); the binder
     keeps the pre-clamp mask and the bandwidth scale for the backward.
     ``meta["sigma"]`` of ``None`` re-derives the eager median bandwidth per
-    replay (data-dependent; the one allocating step).
+    replay through the pooled ``MedianBandwidth`` selection kernel
+    (data-dependent but allocation-free and bitwise-equal to the eager
+    heuristic).
     """
     from .kernels import RBFGram
 

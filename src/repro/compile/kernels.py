@@ -24,7 +24,14 @@ import numpy as np
 
 from .pool import BufferPool
 
-__all__ = ["linf_step", "lookahead_point", "RBFGram", "CenteredTrace", "GramCache"]
+__all__ = [
+    "linf_step",
+    "lookahead_point",
+    "MedianBandwidth",
+    "RBFGram",
+    "CenteredTrace",
+    "GramCache",
+]
 
 
 def linf_step(
@@ -77,6 +84,51 @@ def lookahead_point(
     return out
 
 
+class MedianBandwidth:
+    """Pooled replay of :func:`repro.ib.hsic.median_bandwidth_array`.
+
+    The eager heuristic materializes an ``(n, n, d)`` difference cube, an
+    ``(n, n)`` squared-distance matrix and a fresh upper-triangle copy on
+    every batch — the last per-batch allocating step left inside a replayed
+    IB-RAR plan.  This kernel computes the same upper-triangle distances
+    row-block by row-block into pooled scratch and selects the median with
+    an in-place :meth:`numpy.ndarray.partition`, reproducing ``np.median``'s
+    arithmetic exactly: odd count → the ``m // 2``-th order statistic, even
+    count → ``(part[m//2 - 1] + part[m//2]) / 2.0``.  Operand order matches
+    the eager ``flat[i] - flat[j]`` / ``diff ** 2`` / row-wise pairwise sum,
+    so the returned sigma is **bitwise identical** to the eager one.
+    """
+
+    def __init__(self, pool: BufferPool, n: int, dim: int, dtype) -> None:
+        self.n = n
+        if n > 1:
+            self._diffs = pool.empty((n - 1, dim), dtype)
+            self._upper = pool.empty((n * (n - 1) // 2,), dtype)
+
+    def run(self, x: np.ndarray) -> float:
+        from ..ib.hsic import sigma_from_median
+
+        n = self.n
+        if n < 2:
+            return 1.0  # the eager heuristic's empty-upper-triangle default
+        offset = 0
+        for i in range(n - 1):
+            rows = n - 1 - i
+            diff = self._diffs[:rows]
+            np.subtract(x[i], x[i + 1 :], out=diff)
+            np.multiply(diff, diff, out=diff)
+            np.sum(diff, axis=1, out=self._upper[offset : offset + rows])
+            offset += rows
+        half = self._upper.size // 2
+        if self._upper.size % 2:
+            self._upper.partition(half)
+            median = float(self._upper[half])
+        else:
+            self._upper.partition([half - 1, half])
+            median = float((self._upper[half - 1] + self._upper[half]) / 2.0)
+        return sigma_from_median(median)
+
+
 class RBFGram:
     """Pooled replay of :func:`repro.ib.hsic.gaussian_kernel`, op for op.
 
@@ -84,8 +136,9 @@ class RBFGram:
     (squared norms, Gram matmul, distance assembly, negative-noise clamp,
     bandwidth scale, exp) shared by the ``rbf_gram`` plan node and the
     gradient-free :class:`GramCache` — the parity contract lives here once.
-    ``sigma=None`` re-derives the eager median bandwidth per run (the one
-    inherently allocating, data-dependent step).  ``keep_mask=True``
+    ``sigma=None`` re-derives the eager median bandwidth per run through the
+    pooled :class:`MedianBandwidth` selection kernel (bitwise-equal to the
+    eager heuristic, no per-batch allocation).  ``keep_mask=True``
     additionally records the pre-clamp ``>= 0`` mask the plan node's
     backward needs; :attr:`c` holds the scale used by the latest run.
     """
@@ -106,6 +159,7 @@ class RBFGram:
         self._gram = pool.empty((n, n), dtype)
         self._scratch = pool.empty((n, n), dtype)
         self.mask = pool.empty((n, n), bool) if keep_mask else None
+        self._median = MedianBandwidth(pool, n, dim, dtype) if sigma is None else None
 
     def run(self, x: np.ndarray, out: np.ndarray) -> None:
         np.multiply(x, x, out=self._xsq)
@@ -119,9 +173,7 @@ class RBFGram:
         np.maximum(out, 0.0, out=out)
         sigma = self.sigma
         if sigma is None:
-            from ..ib.hsic import median_bandwidth_array
-
-            sigma = median_bandwidth_array(x)
+            sigma = self._median.run(x)
         sigma = max(float(sigma), 1e-6)
         self.c = -1.0 / (2.0 * sigma * sigma)
         np.multiply(out, self.c, out=out)

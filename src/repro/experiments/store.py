@@ -43,6 +43,7 @@ DEFAULT_STORE_ENV = "REPRO_ARTIFACTS"
 CHECKPOINT_NAME = "checkpoint.npz"
 TRAIN_RECORD_NAME = "train.json"
 REPORT_NAME = "experiment.json"
+SERVE_REPORT_NAME = "robustness.json"
 
 
 def default_store_root() -> Path:
@@ -76,6 +77,9 @@ class ArtifactStore:
 
     def report_dir(self, content_hash: str) -> Path:
         return self.root / "reports" / content_hash[:2] / content_hash
+
+    def serve_report_dir(self, key: str) -> Path:
+        return self.root / "serve" / key[:2] / key
 
     def _publish(self, build_dir: Path, final_dir: Path) -> Path:
         """Atomically move a fully assembled artifact directory into place."""
@@ -135,19 +139,23 @@ class ArtifactStore:
         )
         return self._publish(build_dir, self.model_dir(training_hash))
 
-    def load_model(self, spec: ExperimentSpec) -> Optional[ImageClassifier]:
-        """Rebuild the trained model for a spec, or ``None`` on miss/corruption."""
-        directory = self.model_dir(spec.training_hash)
+    def _restore_model(
+        self,
+        directory: Path,
+        fallback_name: Optional[str] = None,
+        fallback_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[ImageClassifier]:
+        """Rebuild the model stored in ``directory``; quarantine on corruption."""
         checkpoint = directory / CHECKPOINT_NAME
         if not checkpoint.exists():
             return None
         try:
             state, metadata = load_checkpoint(checkpoint)
             metadata = metadata or {}
-            kwargs = dict(metadata.get("model_params") or spec.model_kwargs)
+            kwargs = dict(metadata.get("model_params") or fallback_kwargs or {})
             kwargs.pop("num_classes", None)
             model = build_model(
-                metadata.get("model", spec.model),
+                metadata.get("model", fallback_name),
                 num_classes=int(metadata["num_classes"]),
                 **kwargs,
             )
@@ -161,6 +169,43 @@ class ArtifactStore:
             # Partial/corrupt artifact: drop it so the runner recomputes.
             self._quarantine(directory)
             return None
+
+    def load_model(self, spec: ExperimentSpec) -> Optional[ImageClassifier]:
+        """Rebuild the trained model for a spec, or ``None`` on miss/corruption."""
+        return self._restore_model(
+            self.model_dir(spec.training_hash),
+            fallback_name=spec.model,
+            fallback_kwargs=spec.model_kwargs,
+        )
+
+    def load_model_by_hash(self, training_hash: str) -> Optional[ImageClassifier]:
+        """Rebuild a stored model from its (full) training hash alone.
+
+        The serve layer resolves checkpoints by hash — no
+        :class:`ExperimentSpec` in hand — so this path reconstructs the
+        model purely from the checkpoint metadata.
+        """
+        return self._restore_model(self.model_dir(training_hash))
+
+    def resolve_model_hash(self, prefix: str) -> Optional[str]:
+        """Expand a training-hash prefix to the unique stored full hash.
+
+        Returns ``None`` when no stored model matches; raises ``ValueError``
+        when the prefix is ambiguous (so a serve request never silently
+        picks one of several checkpoints).
+        """
+        matches = [h for h in self.list_model_hashes() if h.startswith(prefix)]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise ValueError(
+                f"model hash prefix '{prefix}' is ambiguous: {sorted(matches)}"
+            )
+        return matches[0]
+
+    def list_model_hashes(self) -> List[str]:
+        """Training hashes of every stored checkpoint."""
+        return [digest for digest, _ in self._iter_artifacts("models", CHECKPOINT_NAME)]
 
     def load_train_record(self, spec: ExperimentSpec) -> Optional[Dict[str, Any]]:
         path = self.model_dir(spec.training_hash) / TRAIN_RECORD_NAME
@@ -194,6 +239,38 @@ class ArtifactStore:
         """Load the evaluation record for a spec, or ``None`` on miss/corruption."""
         directory = self.report_dir(spec.content_hash)
         path = directory / REPORT_NAME
+        if not path.exists():
+            return None
+        try:
+            record = _read_json(path)
+            if "report" not in record:
+                raise KeyError("report")
+            return record
+        except Exception:
+            self._quarantine(directory)
+            return None
+
+    # -- serve-side robustness reports -------------------------------------------
+    # Read-through cache for the robustness endpoint of :mod:`repro.serve`:
+    # keys are content digests over (checkpoint training hash, attack suite,
+    # evaluation options, data digest), so a repeated robustness request on
+    # an unchanged checkpoint is a store hit, not a re-evaluation.
+    def has_serve_report(self, key: str) -> bool:
+        return (self.serve_report_dir(key) / SERVE_REPORT_NAME).exists()
+
+    def save_serve_report(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Persist a served robustness report under its request digest."""
+        record = dict(payload)
+        record["key"] = key
+        record.setdefault("created", time.time())
+        build_dir = self._build_dir()
+        _write_json(build_dir / SERVE_REPORT_NAME, record)
+        return self._publish(build_dir, self.serve_report_dir(key))
+
+    def load_serve_report(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load a served robustness report, or ``None`` on miss/corruption."""
+        directory = self.serve_report_dir(key)
+        path = directory / SERVE_REPORT_NAME
         if not path.exists():
             return None
         try:
@@ -278,6 +355,7 @@ class ArtifactStore:
         """Delete every artifact; returns how many artifact directories died."""
         count = sum(1 for _ in self._iter_artifacts("models", TRAIN_RECORD_NAME))
         count += sum(1 for _ in self._iter_artifacts("reports", REPORT_NAME))
-        for kind in ("models", "reports", "tmp"):
+        count += sum(1 for _ in self._iter_artifacts("serve", SERVE_REPORT_NAME))
+        for kind in ("models", "reports", "serve", "tmp"):
             shutil.rmtree(self.root / kind, ignore_errors=True)
         return count

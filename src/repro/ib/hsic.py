@@ -26,6 +26,7 @@ __all__ = [
     "linear_kernel",
     "median_bandwidth",
     "median_bandwidth_array",
+    "sigma_from_median",
     "center",
     "hsic",
     "normalized_hsic",
@@ -55,12 +56,23 @@ def pairwise_squared_distances(x: Tensor) -> Tensor:
     return distances.maximum(0.0)
 
 
+def sigma_from_median(median: float) -> float:
+    """Map the median pairwise squared distance to a kernel bandwidth.
+
+    Factored out of :func:`median_bandwidth_array` so the pooled selection
+    kernel in :mod:`repro.compile.kernels` — which computes the median in
+    preallocated scratch — applies the *same* final expression and stays
+    bit-identical to the eager heuristic.
+    """
+    return float(np.sqrt(max(float(median), 1e-12) / 2.0))
+
+
 def median_bandwidth_array(flat: np.ndarray) -> float:
     """:func:`median_bandwidth` on a raw, already-flattened ``(n, d)`` array.
 
-    The compiled loss kernels (:mod:`repro.compile`) call this directly on
-    their plan buffers so the sigma they derive per replay is bit-identical
-    to the eager heuristic's.
+    The compiled loss kernels (:mod:`repro.compile`) derive the same sigma
+    per replay in pooled scratch (see ``MedianBandwidth``); this eager form
+    is the reference they must match bitwise.
     """
     diffs = flat[:, None, :] - flat[None, :, :]
     sq = (diffs ** 2).sum(axis=-1)
@@ -68,7 +80,7 @@ def median_bandwidth_array(flat: np.ndarray) -> float:
     if upper.size == 0:
         return 1.0
     median = float(np.median(upper))
-    return float(np.sqrt(max(median, 1e-12) / 2.0))
+    return sigma_from_median(median)
 
 
 def median_bandwidth(x: ArrayOrTensor) -> float:

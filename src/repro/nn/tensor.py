@@ -17,6 +17,7 @@ mutual-information regularizers rely on.
 from __future__ import annotations
 
 import functools
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -34,7 +35,22 @@ __all__ = [
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
+class _ThreadState(threading.local):
+    """Per-thread autograd/trace flags.
+
+    Grad mode and trace depth are *thread-local* so concurrent threads — the
+    :mod:`repro.serve` worker pool replaying plans while another worker takes
+    an eager fallback — cannot flip each other's recording state: a
+    ``no_grad`` block in one thread never silences a gradient graph being
+    built in another, and a capture trace only sees its own thread's ops.
+    """
+
+    def __init__(self) -> None:
+        self.grad_enabled = True
+        self.trace_depth = 0
+
+
+_STATE = _ThreadState()
 
 #: floating dtype used when wrapping raw values in tensors.  float64 is the
 #: default (it is what the paper-reproduction numbers were produced with);
@@ -84,14 +100,12 @@ class no_grad:
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = _STATE.grad_enabled
+        _STATE.grad_enabled = False
         return self
 
     def __exit__(self, *exc_info) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _STATE.grad_enabled = self._previous
 
     def __call__(self, fn: Callable) -> Callable:
         @functools.wraps(fn)
@@ -104,14 +118,12 @@ class no_grad:
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradient information."""
-    return _GRAD_ENABLED
+    return _STATE.grad_enabled
 
 
 # --------------------------------------------------------------------------- #
 # graph capture (used by repro.compile)
 # --------------------------------------------------------------------------- #
-_TRACE_DEPTH = 0
-
 #: active :class:`op_counter` instances (usually empty; see its docstring).
 _OP_COUNTERS: List["op_counter"] = []
 
@@ -128,17 +140,15 @@ class trace:
     """
 
     def __enter__(self) -> "trace":
-        global _TRACE_DEPTH
-        _TRACE_DEPTH += 1
+        _STATE.trace_depth += 1
         return self
 
     def __exit__(self, *exc_info) -> None:
-        global _TRACE_DEPTH
-        _TRACE_DEPTH -= 1
+        _STATE.trace_depth -= 1
 
 
 def is_tracing() -> bool:
-    return _TRACE_DEPTH > 0
+    return _STATE.trace_depth > 0
 
 
 class op_counter:
@@ -195,7 +205,7 @@ class Tensor:
         name: str = "",
     ) -> None:
         self.data = _to_array(data)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _STATE.grad_enabled
         self.grad: Optional[np.ndarray] = None
         self._parents = _parents if self.requires_grad or any(
             p.requires_grad for p in _parents
@@ -242,7 +252,7 @@ class Tensor:
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
         out = Tensor(self.data, requires_grad=False)
-        if _TRACE_DEPTH:
+        if _STATE.trace_depth:
             # Keep the capture walk connected through the detach point; the
             # plan builder treats "detach" as a gradient stop, not a constant.
             out._op = "detach"
@@ -267,12 +277,12 @@ class Tensor:
         op: Optional[str] = None,
         meta: Optional[dict] = None,
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _STATE.grad_enabled and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = parents
             out._backward = backward
-        if _TRACE_DEPTH and op is not None:
+        if _STATE.trace_depth and op is not None:
             out._op = op
             out._op_meta = meta
             out._op_parents = parents

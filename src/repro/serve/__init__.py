@@ -1,0 +1,50 @@
+"""repro.serve — dynamic-batching robustness evaluation as a service.
+
+The serving layer spends the compiled foundation of :mod:`repro.compile`:
+requests (``classify`` / ``attack`` / ``robustness``) against checkpoints in
+the :class:`~repro.experiments.store.ArtifactStore` are coalesced into
+pad-to-bucket batches so every batch replays an already-traced plan
+signature with zero steady-state allocations, while stochastic attacks and
+full robustness suites run as whole jobs on the same worker pool.
+
+Quickstart (in process)::
+
+    from repro.serve import RobustnessServer, ServeClient
+
+    with RobustnessServer(store=store) as server:
+        client = ServeClient(server)
+        out = client.classify("ab12", images)          # hash prefix
+        adv = client.attack("ab12", spec, images, labels)
+        report = client.robustness("ab12", images, labels)
+        print(client.stats()["server"]["latency_ms"])
+
+Over a socket: ``python -m repro.serve --store .repro-artifacts`` and
+:class:`SocketServeClient`.
+"""
+
+from .client import ServeClient, ServeError, SocketServeClient
+from .models import ModelNotFound, ModelPool
+from .protocol import ProtocolError, decode_array, encode_array, robustness_cache_key
+from .queueing import Batch, BucketConfig, RequestQueue, WorkItem
+from .server import RobustnessServer, is_coalescable, start_socket_server
+from .telemetry import ServerStats
+
+__all__ = [
+    "RobustnessServer",
+    "ServeClient",
+    "SocketServeClient",
+    "ServeError",
+    "ModelPool",
+    "ModelNotFound",
+    "BucketConfig",
+    "RequestQueue",
+    "WorkItem",
+    "Batch",
+    "ServerStats",
+    "ProtocolError",
+    "encode_array",
+    "decode_array",
+    "robustness_cache_key",
+    "is_coalescable",
+    "start_socket_server",
+]

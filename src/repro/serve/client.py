@@ -1,0 +1,188 @@
+"""Clients for :mod:`repro.serve`: in-process and over the socket.
+
+:class:`ServeClient` wraps a running :class:`RobustnessServer` directly —
+the shape used by tests and benches (no socket, same request lifecycle,
+including coalescing across concurrent client threads).
+:class:`SocketServeClient` speaks the newline-delimited JSON protocol to a
+``python -m repro.serve`` process.  Both expose the same four calls and
+return decoded result dicts (ndarray values restored), raising
+:class:`ServeError` on error responses.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from itertools import count
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .protocol import decode_payload, encode_payload
+
+__all__ = ["ServeClient", "SocketServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """The server answered ``ok: false``."""
+
+
+def _check(response: Dict[str, Any]) -> Dict[str, Any]:
+    if not response.get("ok"):
+        raise ServeError(response.get("error", "unknown server error"))
+    return decode_payload(response["result"])
+
+
+class _RequestBuilder:
+    """Shared request assembly for both transports."""
+
+    def __init__(self) -> None:
+        self._ids = count()
+        self._lock = threading.Lock()
+
+    def _next_id(self) -> int:
+        with self._lock:
+            return next(self._ids)
+
+    def classify_request(
+        self, model: str, images: np.ndarray, return_logits: bool = False
+    ) -> Dict[str, Any]:
+        return encode_payload(
+            {
+                "id": self._next_id(),
+                "kind": "classify",
+                "model": model,
+                "images": np.asarray(images),
+                "return_logits": bool(return_logits),
+            }
+        )
+
+    def attack_request(
+        self, model: str, spec, images: np.ndarray, labels: np.ndarray
+    ) -> Dict[str, Any]:
+        spec_dict = spec.as_dict() if hasattr(spec, "as_dict") else dict(spec)
+        return encode_payload(
+            {
+                "id": self._next_id(),
+                "kind": "attack",
+                "model": model,
+                "spec": spec_dict,
+                "images": np.asarray(images),
+                "labels": np.asarray(labels),
+            }
+        )
+
+    def robustness_request(
+        self,
+        model: str,
+        images: np.ndarray,
+        labels: np.ndarray,
+        suite: Optional[List] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        suite_dicts = None
+        if suite is not None:
+            suite_dicts = [
+                entry.as_dict() if hasattr(entry, "as_dict") else dict(entry)
+                for entry in suite
+            ]
+        return encode_payload(
+            {
+                "id": self._next_id(),
+                "kind": "robustness",
+                "model": model,
+                "images": np.asarray(images),
+                "labels": np.asarray(labels),
+                "suite": suite_dicts,
+                "options": dict(options or {}),
+            }
+        )
+
+    def stats_request(self) -> Dict[str, Any]:
+        return {"id": self._next_id(), "kind": "stats"}
+
+
+class ServeClient(_RequestBuilder):
+    """In-process client bound to a running :class:`RobustnessServer`.
+
+    Calls block until the response arrives but the work itself is executed
+    by the server's worker threads, so many :class:`ServeClient` calls from
+    different threads coalesce into shared batches exactly like socket
+    traffic does.
+    """
+
+    def __init__(self, server) -> None:
+        super().__init__()
+        self.server = server
+
+    def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return _check(self.server.submit(request).result())
+
+    def classify(self, model: str, images, return_logits: bool = False):
+        return self._roundtrip(self.classify_request(model, images, return_logits))
+
+    def attack(self, model: str, spec, images, labels):
+        return self._roundtrip(self.attack_request(model, spec, images, labels))
+
+    def robustness(self, model: str, images, labels, suite=None, options=None):
+        return self._roundtrip(
+            self.robustness_request(model, images, labels, suite, options)
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return self._roundtrip(self.stats_request())
+
+
+class SocketServeClient(_RequestBuilder):
+    """Blocking JSON-over-socket client (one request in flight per instance).
+
+    The server streams responses in completion order across the whole
+    connection, but this client sends one request at a time and matches the
+    response by ``id``, so each instance is a simple synchronous channel —
+    run several instances (one per thread) for concurrency.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7341, timeout: float = 300.0) -> None:
+        super().__init__()
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._io_lock = threading.Lock()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SocketServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        with self._io_lock:
+            self._file.write(json.dumps(request).encode("utf-8") + b"\n")
+            self._file.flush()
+            while True:
+                line = self._file.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                response = json.loads(line)
+                if response.get("id") == request["id"]:
+                    return _check(response)
+
+    def classify(self, model: str, images, return_logits: bool = False):
+        return self._roundtrip(self.classify_request(model, images, return_logits))
+
+    def attack(self, model: str, spec, images, labels):
+        return self._roundtrip(self.attack_request(model, spec, images, labels))
+
+    def robustness(self, model: str, images, labels, suite=None, options=None):
+        return self._roundtrip(
+            self.robustness_request(model, images, labels, suite, options)
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return self._roundtrip(self.stats_request())

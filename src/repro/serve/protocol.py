@@ -1,0 +1,111 @@
+"""Wire protocol for :mod:`repro.serve`.
+
+Requests and responses are JSON objects (newline-delimited over the socket
+transport; plain dicts in process).  Arrays travel as base64-encoded raw
+bytes plus shape/dtype so the payload survives JSON without precision loss —
+the byte-identity contract of the server extends to the wire.
+
+Request schema::
+
+    {"id": <any>, "kind": "classify" | "attack" | "robustness" | "stats",
+     "model": "<training-hash prefix or registered name>",   # not for stats
+     "images": <array>, "labels": <array>,                   # kind-dependent
+     "spec": {"name": ..., "params": {...}},                 # attack only
+     "suite": [<spec>, ...] | null, "options": {...}}        # robustness only
+
+Responses echo the ``id``: ``{"id": ..., "ok": true, "result": {...}}`` or
+``{"id": ..., "ok": false, "error": "..."}``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "encode_array",
+    "decode_array",
+    "encode_payload",
+    "decode_payload",
+    "robustness_cache_key",
+    "ProtocolError",
+]
+
+
+class ProtocolError(ValueError):
+    """A malformed request or payload."""
+
+
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """JSON-safe lossless encoding of an ndarray (raw bytes, base64)."""
+    array = np.ascontiguousarray(array)
+    return {
+        "__ndarray__": base64.b64encode(array.tobytes()).decode("ascii"),
+        "shape": list(array.shape),
+        "dtype": array.dtype.str,
+    }
+
+
+def decode_array(obj: Dict[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_array` (returns a writable copy)."""
+    try:
+        raw = base64.b64decode(obj["__ndarray__"])
+        return (
+            np.frombuffer(raw, dtype=np.dtype(obj["dtype"]))
+            .reshape(tuple(obj["shape"]))
+            .copy()
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed array payload: {error}") from error
+
+
+def _is_encoded_array(value: Any) -> bool:
+    return isinstance(value, dict) and "__ndarray__" in value
+
+
+def encode_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Encode every ndarray value (one level deep) of a request/response."""
+    return {
+        key: encode_array(value) if isinstance(value, np.ndarray) else value
+        for key, value in payload.items()
+    }
+
+
+def decode_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Decode every encoded array value (one level deep)."""
+    return {
+        key: decode_array(value) if _is_encoded_array(value) else value
+        for key, value in payload.items()
+    }
+
+
+def robustness_cache_key(
+    model_hash: str,
+    suite: Optional[List[Dict[str, Any]]],
+    options: Dict[str, Any],
+    images: np.ndarray,
+    labels: np.ndarray,
+) -> str:
+    """Content digest of one robustness request.
+
+    Keyed on the checkpoint's training hash, the attack-suite spec dicts,
+    the evaluation options and a digest of the evaluation data, so the
+    store's read-through cache (``ArtifactStore.load_serve_report``) hits
+    exactly when the same evaluation would recompute the same report.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(
+        json.dumps(
+            {"model": model_hash, "suite": suite, "options": options},
+            sort_keys=True,
+        ).encode("utf-8")
+    )
+    for array in (np.ascontiguousarray(images), np.ascontiguousarray(labels)):
+        hasher.update(str(array.dtype.str).encode())
+        hasher.update(str(array.shape).encode())
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()

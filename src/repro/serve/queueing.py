@@ -1,0 +1,216 @@
+"""Dynamic batching: the request queue and pad-to-bucket scheduler.
+
+Coalescable work (classify, per-example-deterministic attacks) is chunked
+into :class:`WorkItem` slices and grouped by ``(model, kind, spec)``.  A
+worker asking for work gets, in priority order:
+
+1. a **full batch** — a group holding at least ``max bucket`` examples is
+   carved immediately (no padding, maximal plan utilization);
+2. an **expired batch** — once a group's oldest example has waited
+   ``max_wait`` seconds it is flushed and padded up to the smallest
+   configured bucket that fits (the max-wait-deadline vs. bucket-fill
+   tradeoff: latency is bounded by ``max_wait`` at the price of pad waste);
+3. a **job** — whole-request work that cannot be coalesced (stochastic
+   attacks, robustness evaluations, stats).
+
+Every batch size a worker can ever see is a configured bucket size, so after
+the buckets are warmed every batch replays an already-traced plan signature.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BucketConfig", "WorkItem", "Batch", "RequestQueue"]
+
+DEFAULT_BUCKETS = (4, 8, 16, 32)
+
+
+class BucketConfig:
+    """The small fixed set of batch sizes every served batch is padded to."""
+
+    def __init__(self, sizes=DEFAULT_BUCKETS) -> None:
+        normalized = sorted({int(size) for size in sizes})
+        if not normalized or normalized[0] < 1:
+            raise ValueError(f"bucket sizes must be positive: {sizes!r}")
+        self.sizes: Tuple[int, ...] = tuple(normalized)
+
+    @property
+    def max_size(self) -> int:
+        return self.sizes[-1]
+
+    def fit(self, count: int) -> int:
+        """The smallest bucket holding ``count`` examples (callers chunk first)."""
+        for size in self.sizes:
+            if count <= size:
+                return size
+        raise ValueError(f"{count} examples exceed the largest bucket {self.max_size}")
+
+    def __repr__(self) -> str:
+        return f"BucketConfig({self.sizes})"
+
+
+@dataclass
+class WorkItem:
+    """One contiguous slice of a coalescable request (at most one bucket)."""
+
+    request: Any  # the owning _PendingRequest (server-side bookkeeping)
+    start: int  # offset of this slice inside the request's arrays
+    count: int
+    enqueued: float = field(default_factory=time.monotonic)
+
+    @property
+    def images(self) -> np.ndarray:
+        return self.request.images[self.start : self.start + self.count]
+
+    @property
+    def labels(self) -> Optional[np.ndarray]:
+        if self.request.labels is None:
+            return None
+        return self.request.labels[self.start : self.start + self.count]
+
+
+@dataclass
+class Batch:
+    """A carved batch: items to execute together, padded to ``pad_to`` rows."""
+
+    key: Tuple[Any, ...]  # (model_id, kind, spec_json) — the plan-compatible group
+    items: List[WorkItem]
+    pad_to: int
+
+    @property
+    def examples(self) -> int:
+        return sum(item.count for item in self.items)
+
+    @property
+    def padding(self) -> int:
+        return self.pad_to - self.examples
+
+
+class _Group:
+    __slots__ = ("items", "total")
+
+    def __init__(self) -> None:
+        self.items: Deque[WorkItem] = deque()
+        self.total = 0
+
+
+class RequestQueue:
+    """Thread-safe front of the batch scheduler.
+
+    ``put_items`` / ``put_job`` are called from the submission side (any
+    thread, including the asyncio loop); ``next_work`` blocks worker threads
+    until a batch is carvable, a job is pending, or the timeout expires.
+    """
+
+    def __init__(self, buckets: BucketConfig, max_wait: float = 0.005) -> None:
+        self.buckets = buckets
+        self.max_wait = float(max_wait)
+        self._groups: "OrderedDict[Tuple[Any, ...], _Group]" = OrderedDict()
+        self._jobs: Deque[Any] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # -- submission side ---------------------------------------------------------
+    def put_items(self, key: Tuple[Any, ...], items: List[WorkItem]) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            group = self._groups.get(key)
+            if group is None:
+                group = self._groups[key] = _Group()
+            for item in items:
+                group.items.append(item)
+                group.total += item.count
+            self._cond.notify_all()
+
+    def put_job(self, job: Any) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            self._jobs.append(job)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def depth(self) -> int:
+        """Examples + jobs currently waiting (telemetry)."""
+        with self._cond:
+            return sum(g.total for g in self._groups.values()) + len(self._jobs)
+
+    # -- worker side -------------------------------------------------------------
+    def _carve(self, key: Tuple[Any, ...], group: _Group, limit: int) -> Batch:
+        """Take items FIFO until ``limit`` examples; drop the group if drained.
+
+        Items are chunked to at most one bucket at submission, so FIFO item
+        granularity always packs to exactly ``limit`` when the group holds
+        enough examples.
+        """
+        taken: List[WorkItem] = []
+        count = 0
+        while group.items and count + group.items[0].count <= limit:
+            item = group.items.popleft()
+            group.total -= item.count
+            taken.append(item)
+            count += item.count
+        if not group.items:
+            del self._groups[key]
+        return Batch(key=key, items=taken, pad_to=self.buckets.fit(count))
+
+    def _full_batch(self) -> Optional[Batch]:
+        for key, group in self._groups.items():
+            if group.total >= self.buckets.max_size:
+                return self._carve(key, group, self.buckets.max_size)
+        return None
+
+    def _expired_batch(self, now: float) -> Optional[Batch]:
+        oldest_key = None
+        oldest_time = None
+        for key, group in self._groups.items():
+            head = group.items[0].enqueued
+            if now - head >= self.max_wait and (oldest_time is None or head < oldest_time):
+                oldest_key, oldest_time = key, head
+        if oldest_key is None:
+            return None
+        return self._carve(oldest_key, self._groups[oldest_key], self.buckets.max_size)
+
+    def _next_deadline(self) -> Optional[float]:
+        heads = [group.items[0].enqueued for group in self._groups.values()]
+        if not heads:
+            return None
+        return min(heads) + self.max_wait
+
+    def next_work(self, timeout: float = 0.05):
+        """The next unit of work: ``("batch", Batch)``, ``("job", job)`` or ``None``.
+
+        Blocks up to ``timeout`` seconds.  A full group is carved instantly;
+        a pending job is returned while partial groups ride out their
+        ``max_wait``; an expired partial group is flushed padded.
+        """
+        with self._cond:
+            overall = time.monotonic() + timeout
+            while True:
+                now = time.monotonic()
+                batch = self._full_batch()
+                if batch is not None:
+                    return ("batch", batch)
+                expired = self._expired_batch(now)
+                if expired is not None:
+                    return ("batch", expired)
+                if self._jobs:
+                    return ("job", self._jobs.popleft())
+                if self._closed or now >= overall:
+                    return None
+                deadline = self._next_deadline()
+                wait_until = overall if deadline is None else min(deadline, overall)
+                self._cond.wait(timeout=max(wait_until - now, 0.0))

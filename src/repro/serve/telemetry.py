@@ -1,0 +1,147 @@
+"""Per-request / per-batch telemetry for the serve layer.
+
+One :class:`ServerStats` instance is shared by every worker; all mutation
+happens under its lock.  Latency and queue-time distributions are kept in
+bounded reservoirs (most recent ``maxlen`` observations) so a long-running
+server reports recent behaviour, not its cold start, and the ``stats``
+endpoint stays O(reservoir) no matter how much traffic has passed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+__all__ = ["ServerStats", "percentile"]
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a sequence; 0.0 when empty."""
+    data = sorted(values)
+    if not data:
+        return 0.0
+    rank = max(0, min(len(data) - 1, int(round(q / 100.0 * (len(data) - 1)))))
+    return float(data[rank])
+
+
+class ServerStats:
+    """Counters + bounded latency reservoirs behind the ``stats`` endpoint."""
+
+    def __init__(self, reservoir: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self.requests: Dict[str, int] = {}
+        self.errors = 0
+        self.examples = 0
+        self.batches = 0
+        self.batched_examples = 0
+        self.padded_examples = 0
+        self.jobs = 0
+        self.report_cache_hits = 0
+        self.report_cache_misses = 0
+        self._latencies: Dict[str, Deque[float]] = {}
+        self._queue_times: Deque[float] = deque(maxlen=reservoir)
+        self._batch_sizes: Deque[int] = deque(maxlen=reservoir)
+        self._reservoir = reservoir
+
+    def reset(self) -> None:
+        """Zero every counter and reservoir (e.g. after a warmup pass)."""
+        with self._lock:
+            self._started = time.monotonic()
+            self.requests = {}
+            self.errors = 0
+            self.examples = 0
+            self.batches = 0
+            self.batched_examples = 0
+            self.padded_examples = 0
+            self.jobs = 0
+            self.report_cache_hits = 0
+            self.report_cache_misses = 0
+            self._latencies = {}
+            self._queue_times = deque(maxlen=self._reservoir)
+            self._batch_sizes = deque(maxlen=self._reservoir)
+
+    # -- recording ---------------------------------------------------------------
+    def record_request(
+        self, kind: str, latency: float, examples: int = 0, error: bool = False
+    ) -> None:
+        with self._lock:
+            self.requests[kind] = self.requests.get(kind, 0) + 1
+            self.examples += examples
+            if error:
+                self.errors += 1
+            reservoir = self._latencies.get(kind)
+            if reservoir is None:
+                reservoir = self._latencies[kind] = deque(maxlen=self._reservoir)
+            reservoir.append(latency)
+
+    def record_batch(self, examples: int, pad_to: int, queue_times) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_examples += examples
+            self.padded_examples += pad_to - examples
+            self._batch_sizes.append(pad_to)
+            self._queue_times.extend(queue_times)
+
+    def record_job(self) -> None:
+        with self._lock:
+            self.jobs += 1
+
+    def record_report_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.report_cache_hits += 1
+            else:
+                self.report_cache_misses += 1
+
+    # -- reporting ---------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            elapsed = max(time.monotonic() - self._started, 1e-9)
+            total_slots = self.batched_examples + self.padded_examples
+            latencies = {
+                kind: {
+                    "count": len(reservoir),
+                    "p50_ms": percentile(reservoir, 50) * 1e3,
+                    "p95_ms": percentile(reservoir, 95) * 1e3,
+                    "p99_ms": percentile(reservoir, 99) * 1e3,
+                }
+                for kind, reservoir in self._latencies.items()
+            }
+            all_latencies = [v for r in self._latencies.values() for v in r]
+            return {
+                "uptime_s": elapsed,
+                "requests": dict(self.requests),
+                "errors": self.errors,
+                "examples": self.examples,
+                "examples_per_sec": self.examples / elapsed,
+                "batches": self.batches,
+                "batched_examples": self.batched_examples,
+                "padded_examples": self.padded_examples,
+                "pad_waste_pct": (
+                    100.0 * self.padded_examples / total_slots if total_slots else 0.0
+                ),
+                "mean_batch_size": (
+                    sum(self._batch_sizes) / len(self._batch_sizes)
+                    if self._batch_sizes
+                    else 0.0
+                ),
+                "jobs": self.jobs,
+                "report_cache": {
+                    "hits": self.report_cache_hits,
+                    "misses": self.report_cache_misses,
+                },
+                "queue_ms": {
+                    "p50": percentile(self._queue_times, 50) * 1e3,
+                    "p95": percentile(self._queue_times, 95) * 1e3,
+                    "p99": percentile(self._queue_times, 99) * 1e3,
+                },
+                "latency_ms": {
+                    "p50": percentile(all_latencies, 50) * 1e3,
+                    "p95": percentile(all_latencies, 95) * 1e3,
+                    "p99": percentile(all_latencies, 99) * 1e3,
+                },
+                "latency_ms_by_kind": latencies,
+            }

@@ -1,0 +1,76 @@
+"""The pooled median-bandwidth selection kernel (ROADMAP 3c).
+
+``sigma=None`` inside plans must match the eager diffs-based median
+**bitwise** while allocating nothing per replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compile.kernels import MedianBandwidth, RBFGram
+from repro.compile.pool import BufferPool
+from repro.ib.hsic import gaussian_kernel, median_bandwidth_array, sigma_from_median
+
+
+class TestBitwiseEquality:
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 16, 33])
+    @pytest.mark.parametrize("dim", [1, 5, 48])
+    def test_matches_eager_median_bitwise(self, n, dim):
+        rng = np.random.default_rng(n * 100 + dim)
+        x = rng.standard_normal((n, dim)) * rng.uniform(0.1, 10.0)
+        kernel = MedianBandwidth(BufferPool(), n, dim, np.float64)
+        assert kernel.run(x) == median_bandwidth_array(x)  # exact, not approx
+
+    def test_single_row_default(self):
+        x = np.zeros((1, 3))
+        kernel = MedianBandwidth(BufferPool(), 1, 3, np.float64)
+        assert kernel.run(x) == median_bandwidth_array(x) == 1.0
+
+    def test_duplicate_rows(self):
+        # All-equal rows: median distance 0 -> the 1e-12 floor applies.
+        x = np.ones((6, 4))
+        kernel = MedianBandwidth(BufferPool(), 6, 4, np.float64)
+        assert kernel.run(x) == median_bandwidth_array(x) == sigma_from_median(0.0)
+
+
+class TestNoReplayAllocations:
+    def test_replays_are_allocation_free(self):
+        rng = np.random.default_rng(0)
+        pool = BufferPool()
+        kernel = MedianBandwidth(pool, 12, 9, np.float64)
+        baseline = pool.allocations
+        for _ in range(5):
+            kernel.run(rng.standard_normal((12, 9)))
+        assert pool.allocations == baseline
+
+    def test_rbf_gram_sigma_none_is_pooled(self):
+        rng = np.random.default_rng(1)
+        pool = BufferPool()
+        gram = RBFGram(pool, 8, 6, np.float64, sigma=None)
+        out = pool.empty((8, 8), np.float64)
+        baseline = pool.allocations
+        for _ in range(4):
+            gram.run(rng.standard_normal((8, 6)), out)
+        assert pool.allocations == baseline
+
+    def test_fixed_sigma_skips_median_scratch(self):
+        pool = BufferPool()
+        RBFGram(pool, 8, 6, np.float64, sigma=1.0)
+        fixed_allocations = pool.allocations
+        pool2 = BufferPool()
+        RBFGram(pool2, 8, 6, np.float64, sigma=None)
+        assert pool2.allocations > fixed_allocations  # median scratch is extra
+
+
+class TestRBFGramParity:
+    def test_sigma_none_gram_matches_eager_kernel(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((10, 7))
+        pool = BufferPool()
+        gram = RBFGram(pool, 10, 7, np.float64, sigma=None)
+        out = pool.empty((10, 10), np.float64)
+        gram.run(x, out)
+        eager = gaussian_kernel(x).data
+        np.testing.assert_array_equal(out, eager)

@@ -1,0 +1,52 @@
+"""The serving load generator emits the required BENCH_serve.json fields."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.models import SmallCNN
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def quick_serve():
+    spec = importlib.util.spec_from_file_location(
+        "quick_serve", REPO_ROOT / "benchmarks" / "quick_serve.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_emits_throughput_and_latency_fields(
+    quick_serve, tmp_path, monkeypatch
+):
+    # Tiny workload + untrained model: this asserts the report schema, the
+    # full-size run happens in CI's quick-bench job.
+    monkeypatch.setattr(quick_serve, "CLIENTS", 2)
+    monkeypatch.setattr(quick_serve, "REQUESTS_PER_CLIENT", 3)
+    monkeypatch.setattr(
+        quick_serve,
+        "build_model",
+        lambda dataset: SmallCNN(
+            num_classes=10, image_size=16, base_channels=4, hidden_dim=16, seed=0
+        ).eval(),
+    )
+    output = tmp_path / "BENCH_serve.json"
+    monkeypatch.setattr(sys, "argv", ["quick_serve.py", str(output)])
+    quick_serve.main()
+
+    report = json.loads(output.read_text(encoding="utf-8"))
+    assert report["examples_per_sec"] > 0
+    assert report["p50_ms"] > 0
+    assert report["p99_ms"] >= report["p50_ms"]
+    assert 0.0 <= report["pad_waste_pct"] <= 100.0
+    assert report["requests"] == 6
+    assert report["zero_steady_state_allocations"] is True
+    assert report["speedup_vs_naive"] > 0

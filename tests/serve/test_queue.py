@@ -1,0 +1,134 @@
+"""Unit tests for the pad-to-bucket batch scheduler."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.queueing import Batch, BucketConfig, RequestQueue, WorkItem
+
+
+class FakeRequest:
+    """Minimal stand-in carrying the arrays WorkItem slices."""
+
+    def __init__(self, n, labelled=True):
+        self.images = np.arange(n, dtype=float).reshape(n, 1)
+        self.labels = np.arange(n, dtype=np.int64) if labelled else None
+
+
+def items_for(request, chunk):
+    n = len(request.images)
+    return [
+        WorkItem(request=request, start=s, count=min(chunk, n - s))
+        for s in range(0, n, chunk)
+    ]
+
+
+class TestBucketConfig:
+    def test_sizes_sorted_and_deduped(self):
+        assert BucketConfig([16, 4, 8, 4]).sizes == (4, 8, 16)
+
+    def test_fit_picks_smallest_holding_bucket(self):
+        buckets = BucketConfig([4, 8, 16])
+        assert buckets.fit(1) == 4
+        assert buckets.fit(4) == 4
+        assert buckets.fit(5) == 8
+        assert buckets.fit(16) == 16
+
+    def test_fit_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            BucketConfig([4, 8]).fit(9)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            BucketConfig([])
+        with pytest.raises(ValueError):
+            BucketConfig([0, 4])
+
+
+class TestRequestQueue:
+    def make_queue(self, max_wait=0.002, sizes=(4, 8)):
+        return RequestQueue(BucketConfig(sizes), max_wait=max_wait)
+
+    def test_full_group_carved_immediately(self):
+        queue = self.make_queue(max_wait=60.0)  # never expire in this test
+        queue.put_items(("m", "classify"), items_for(FakeRequest(8), chunk=8))
+        what, batch = queue.next_work(timeout=0.01)
+        assert what == "batch"
+        assert batch.examples == 8 and batch.pad_to == 8 and batch.padding == 0
+
+    def test_partial_group_waits_then_flushes_padded(self):
+        queue = self.make_queue(max_wait=0.01)
+        queue.put_items(("m", "classify"), items_for(FakeRequest(3), chunk=8))
+        start = time.monotonic()
+        what, batch = queue.next_work(timeout=1.0)
+        waited = time.monotonic() - start
+        assert what == "batch"
+        assert batch.examples == 3 and batch.pad_to == 4  # smallest holding bucket
+        assert waited >= 0.005  # rode out (most of) max_wait before flushing
+
+    def test_requests_coalesce_into_one_batch(self):
+        queue = self.make_queue(max_wait=60.0)
+        a, b = FakeRequest(5), FakeRequest(3)
+        queue.put_items(("m", "classify"), items_for(a, chunk=8))
+        queue.put_items(("m", "classify"), items_for(b, chunk=8))
+        _, batch = queue.next_work(timeout=0.01)
+        assert [item.request for item in batch.items] == [a, b]
+        assert batch.examples == 8 and batch.padding == 0
+
+    def test_groups_keyed_separately(self):
+        queue = self.make_queue(max_wait=0.0)
+        queue.put_items(("m1", "classify"), items_for(FakeRequest(2), chunk=8))
+        queue.put_items(("m2", "classify"), items_for(FakeRequest(2), chunk=8))
+        _, first = queue.next_work(timeout=0.1)
+        _, second = queue.next_work(timeout=0.1)
+        assert {first.key[0], second.key[0]} == {"m1", "m2"}
+        assert first.examples == second.examples == 2
+
+    def test_jobs_served_while_groups_fill(self):
+        queue = self.make_queue(max_wait=60.0)
+        queue.put_items(("m", "classify"), items_for(FakeRequest(2), chunk=8))
+        queue.put_job("job-1")
+        what, payload = queue.next_work(timeout=0.01)
+        assert (what, payload) == ("job", "job-1")
+
+    def test_timeout_returns_none(self):
+        queue = self.make_queue()
+        assert queue.next_work(timeout=0.01) is None
+
+    def test_item_slices_view_request_arrays(self):
+        request = FakeRequest(10)
+        first, second = items_for(request, chunk=8)
+        np.testing.assert_array_equal(first.images, request.images[:8])
+        np.testing.assert_array_equal(second.images, request.images[8:])
+        np.testing.assert_array_equal(second.labels, request.labels[8:])
+
+    def test_worker_wakes_on_submission(self):
+        queue = self.make_queue(max_wait=0.0)
+        results = []
+
+        def worker():
+            results.append(queue.next_work(timeout=2.0))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        time.sleep(0.05)
+        queue.put_items(("m", "classify"), items_for(FakeRequest(2), chunk=8))
+        thread.join(timeout=2.0)
+        assert results and results[0] is not None and results[0][0] == "batch"
+
+    def test_depth_counts_examples_and_jobs(self):
+        queue = self.make_queue(max_wait=60.0)
+        queue.put_items(("m", "classify"), items_for(FakeRequest(3), chunk=8))
+        queue.put_job(object())
+        assert queue.depth == 4
+
+    def test_closed_queue_rejects_and_unblocks(self):
+        queue = self.make_queue()
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.put_job(object())
+        assert queue.next_work(timeout=5.0) is None  # returns immediately
