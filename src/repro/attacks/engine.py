@@ -43,6 +43,8 @@ import numpy as np
 
 from ..nn import Tensor, no_grad
 from ..models.base import ImageClassifier, predict_batched as _predict_batched
+from ..obs import trace as _trace
+from ..obs.registry import get_registry
 from .base import Attack, AttackConfigError
 
 __all__ = [
@@ -302,6 +304,34 @@ class AttackTelemetry:
         for key in ("compiled_forward_calls", "compiled_grad_calls", "compiled_fallbacks"):
             kwargs[key] = data.get(key, 0)
         return cls(**kwargs)
+
+    def publish(self) -> "AttackTelemetry":
+        """Mirror this record onto the shared obs registry (``attack.*``).
+
+        Counters accumulate across runs, labeled per attack; ``accuracy``
+        lands as a gauge (latest run wins).  The engine calls this for
+        every record it appends, so a registry snapshot always carries the
+        same numbers the per-run telemetry list does.
+        """
+        registry = get_registry()
+        labels = {"attack": self.name}
+        registry.counter("attack.runs", labels).inc()
+        registry.counter("attack.examples_attacked", labels).inc(self.examples_attacked)
+        registry.counter("attack.examples_skipped", labels).inc(self.examples_skipped)
+        registry.counter("attack.forward_calls", labels).inc(self.forward_calls)
+        registry.counter("attack.forward_examples", labels).inc(self.forward_examples)
+        registry.counter("attack.seconds", labels).inc(self.seconds)
+        registry.counter("attack.compiled_forward_calls", labels).inc(
+            self.compiled_forward_calls
+        )
+        registry.counter("attack.compiled_grad_calls", labels).inc(
+            self.compiled_grad_calls
+        )
+        registry.counter("attack.compiled_fallbacks", labels).inc(
+            self.compiled_fallbacks
+        )
+        registry.gauge("attack.accuracy", labels).set(self.accuracy)
+        return self
 
 
 @dataclass
@@ -593,7 +623,10 @@ class AttackEngine:
         with counter:
             start_time = time.perf_counter()
             compiled_before = compiled_snapshot()
-            clean_predictions = predict(images)
+            with _trace.span(
+                "attack.clean", {"examples": n} if _trace.enabled() else None
+            ):
+                clean_predictions = predict(images)
             clean_correct = clean_predictions == labels
             natural = float(clean_correct.mean()) if n else 0.0
             compiled_after = compiled_snapshot()
@@ -609,7 +642,7 @@ class AttackEngine:
                     compiled_forward_calls=compiled_after[0] - compiled_before[0],
                     compiled_grad_calls=compiled_after[1] - compiled_before[1],
                     compiled_fallbacks=compiled_after[2] - compiled_before[2],
-                )
+                ).publish()
             )
 
             alive = clean_correct.copy()
@@ -631,11 +664,15 @@ class AttackEngine:
                 calls_before, examples_before = counter.snapshot()
                 compiled_before = compiled_snapshot()
                 attack_start = time.perf_counter()
-                for batch_start in range(0, len(indices), self.batch_size):
-                    batch = indices[batch_start : batch_start + self.batch_size]
-                    adversarial_batch = attack.attack(images[batch], labels[batch])
-                    predictions = predict(adversarial_batch)
-                    survived[batch] = predictions == labels[batch]
+                with _trace.span(
+                    "attack." + name,
+                    {"examples": int(len(indices))} if _trace.enabled() else None,
+                ):
+                    for batch_start in range(0, len(indices), self.batch_size):
+                        batch = indices[batch_start : batch_start + self.batch_size]
+                        adversarial_batch = attack.attack(images[batch], labels[batch])
+                        predictions = predict(adversarial_batch)
+                        survived[batch] = predictions == labels[batch]
                 alive = alive & survived
                 accuracy = float(alive.mean() if self.cascade else survived.mean()) if n else 0.0
                 adversarial[name] = accuracy
@@ -653,7 +690,7 @@ class AttackEngine:
                         compiled_forward_calls=compiled_after[0] - compiled_before[0],
                         compiled_grad_calls=compiled_after[1] - compiled_before[1],
                         compiled_fallbacks=compiled_after[2] - compiled_before[2],
-                    )
+                    ).publish()
                 )
         return EngineResult(
             method=method_name,

@@ -24,30 +24,70 @@ hit/miss/build/eviction counters surfaced by :meth:`stats` feed the server's
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..obs.registry import get_registry
 from .graph import CompileError
 
 __all__ = ["SignatureCache"]
 
 Key = Tuple[Tuple[int, ...], str]
 
+#: unique per-instance label suffix so concurrent caches never share series.
+_instance_ids = itertools.count(1)
+
 
 class SignatureCache:
-    """Second-sighting build cache keyed by ``(shape, dtype)`` signatures."""
+    """Second-sighting build cache keyed by ``(shape, dtype)`` signatures.
 
-    def __init__(self, build: Callable[[np.ndarray], object], capacity: int) -> None:
+    The hit/miss/build/eviction counters live as labeled series on the
+    shared :mod:`repro.obs` registry (``compile.cache.*{cache=...}``); the
+    legacy ``hits``/``misses``/... attributes and :meth:`stats` are thin
+    read-through views over those series, so one registry snapshot sees
+    every cache in the process.
+    """
+
+    def __init__(
+        self,
+        build: Callable[[np.ndarray], object],
+        capacity: int,
+        name: str = "cache",
+    ) -> None:
         self._build = build
         self.capacity = capacity
         self.entries: Dict[Key, Optional[object]] = {}
         self._misses: Dict[Key, int] = {}
-        self.hits = 0
-        self.misses = 0
-        self.builds = 0
-        self.build_failures = 0
-        self.evictions = 0
+        labels = {"cache": f"{name}-{next(_instance_ids)}"}
+        registry = get_registry()
+        self._hits = registry.counter("compile.cache.hits", labels)
+        self._miss = registry.counter("compile.cache.misses", labels)
+        self._builds = registry.counter("compile.cache.builds", labels)
+        self._build_failures = registry.counter("compile.cache.build_failures", labels)
+        self._evictions = registry.counter("compile.cache.evictions", labels)
+
+    # -- registry read-through (legacy attribute shapes) -------------------------
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._miss.value
+
+    @property
+    def builds(self) -> int:
+        return self._builds.value
+
+    @property
+    def build_failures(self) -> int:
+        return self._build_failures.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     @staticmethod
     def key(sample: np.ndarray) -> Key:
@@ -111,11 +151,11 @@ class SignatureCache:
         if key in self.entries:
             entry = self.entries[key]
             if entry is not None:
-                self.hits += 1
+                self._hits.inc()
             else:
-                self.misses += 1
+                self._miss.inc()
             return entry
-        self.misses += 1
+        self._miss.inc()
         if self._misses.get(key, 0) == 0:
             self._misses[key] = 1
             return None
@@ -130,11 +170,11 @@ class SignatureCache:
             entry = self._build(sample)
         except CompileError:
             entry = None  # remember the failure; fall back for this signature
-            self.build_failures += 1
+            self._build_failures.inc()
         else:
-            self.builds += 1
+            self._builds.inc()
         return entry
 
     def evict(self, sample: np.ndarray) -> None:
         if self.entries.pop(self.key(sample), None) is not None:
-            self.evictions += 1
+            self._evictions.inc()

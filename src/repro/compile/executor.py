@@ -47,11 +47,13 @@ cross-entropy and seeds the backward pass with the closed-form
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
+from ..obs.profiler import PROFILER as _PROFILER
 from .graph import CompileError, Graph, LEAF_OPS as _LEAF_OPS, Node
 from .passes import bn_scale_shift
 from .pool import BufferPool
@@ -136,6 +138,11 @@ class Plan:
             (n.meta["parameter"], n.id) for n in graph.param_nodes()
         ]
         self._forward_steps: List[Callable[[], None]] = []
+        #: per-step (op kind, output bytes), parallel to _forward_steps —
+        #: recorded at bind time so profiled replays need no graph walks.
+        self._forward_meta: List[Tuple[str, int]] = []
+        #: lazily created when the obs profiler is enabled at replay time.
+        self._profile = None
         self._aux_bindings: Dict[str, np.ndarray] = dict(aux or {})
         for name in grad_aux:
             if name not in graph.aux:
@@ -156,6 +163,42 @@ class Plan:
     @property
     def input_dtype(self) -> np.dtype:
         return np.dtype(self.graph.input_node.dtype)
+
+    @property
+    def signature(self) -> str:
+        """Human-readable input signature, e.g. ``"32x1x28x28:float32"``."""
+        shape = "x".join(str(dim) for dim in self.graph.input_node.shape)
+        return f"{shape}:{self.input_dtype.name}"
+
+    # ------------------------------------------------------------------ #
+    # profiling (repro.obs)
+    # ------------------------------------------------------------------ #
+    def _replay_profiled(self, steps, meta) -> None:
+        """Run a bound step list, timing each kernel into the plan profile.
+
+        Only reached when the obs profiler is enabled — the replay entry
+        points branch on one flag read, so the disabled path pays nothing.
+        """
+        profile = self._profile
+        if profile is None:
+            profile = self._profile = _PROFILER.profile_for(self)
+        record = profile.record
+        for (kind, nbytes), step in zip(meta, steps):
+            started = _perf_counter()
+            step()
+            record(kind, _perf_counter() - started, nbytes)
+
+    def profile_snapshot(self) -> Optional[dict]:
+        """Per-op-kind profile plus pool high-water marks; ``None`` if never
+        profiled (the profiler was off for every replay of this plan)."""
+        if self._profile is None:
+            return None
+        allocations, nbytes = self.pool.snapshot()
+        return {
+            "signature": self.signature,
+            "ops": self._profile.as_dict(),
+            "pool": {"allocations": allocations, "bytes": nbytes},
+        }
 
     # ------------------------------------------------------------------ #
     # binding
@@ -198,6 +241,7 @@ class Plan:
             self.values[node.id] = out
             if step is not None:
                 self._forward_steps.append(step)
+                self._forward_meta.append((node.op, out.nbytes))
 
         aux_grad_ids = tuple(graph.aux[name] for name in self._grad_aux)
         if self.grad_mode == "input":
@@ -261,6 +305,7 @@ class Plan:
                 self._fill_ids.add(node.id)
         self._fill_ids.discard(graph.output_id)  # seeded by copyto
         steps: List[Callable[[], None]] = []
+        meta: List[Tuple[str, int]] = []
         for node in reversed(graph.nodes):
             if node.id not in self._diff or node.op in _LEAF_OPS:
                 continue
@@ -270,8 +315,10 @@ class Plan:
             step = binder(self, node)
             if step is not None:
                 steps.append(step)
+                meta.append((node.op + ".bwd", self.values[node.id].nbytes))
         return {
             "steps": steps,
+            "meta": meta,
             "fill": [self.grads[node_id] for node_id in self._fill_ids],
             "diff": frozenset(self._diff),
             "seeds": set(self._seed_ids),
@@ -305,8 +352,11 @@ class Plan:
                     "parameter storage was reallocated (non-in-place update); recompile the plan"
                 )
         np.copyto(self._input, x)
-        for step in self._forward_steps:
-            step()
+        if _PROFILER.enabled:
+            self._replay_profiled(self._forward_steps, self._forward_meta)
+        else:
+            for step in self._forward_steps:
+                step()
         return self.values[self.graph.output_id]
 
     def backward(self, output_grad: np.ndarray) -> np.ndarray:
@@ -356,8 +406,11 @@ class Plan:
                 raise CompileError(f"node {node_id} was not registered as a seed point")
             target = self.grads[node_id]
             np.add(target, seed, out=target)
-        for step in program["steps"]:
-            step()
+        if _PROFILER.enabled:
+            self._replay_profiled(program["steps"], program["meta"])
+        else:
+            for step in program["steps"]:
+                step()
 
     def input_grad(self) -> np.ndarray:
         """The input-gradient buffer of the most recent backward replay."""
@@ -405,6 +458,7 @@ class Plan:
                 "arange": np.arange(n),
             }
         ce = self._ce
+        started = _perf_counter() if _PROFILER.enabled else 0.0
         labels = np.asarray(labels, dtype=np.int64).reshape(-1)
         max_b, p, z, logz, picked, arange = (
             ce["max"], ce["p"], ce["z"], ce["logz"], ce["picked"], ce["arange"],
@@ -419,6 +473,11 @@ class Plan:
         np.divide(p, z, out=p)
         p[arange, labels] -= 1.0
         p *= 1.0 / len(labels)
+        if _PROFILER.enabled:
+            profile = self._profile
+            if profile is None:
+                profile = self._profile = _PROFILER.profile_for(self)
+            profile.record("softmax_ce.fused", _perf_counter() - started, p.nbytes)
         return loss, p
 
     def value_and_grad_ce(self, x: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:

@@ -99,7 +99,7 @@ class CompiledModel:
         self.stats = CompiledStats()
         #: the shared compile-on-second-sighting policy (one implementation
         #: serves CompiledModel, CompiledTrainer and LiveEvalModel alike).
-        self._cache = SignatureCache(self._build_plan, capacity=max_plans)
+        self._cache = SignatureCache(self._build_plan, capacity=max_plans, name="model")
         #: signatures whose plan forwards but cannot backward (kept for
         #: forward use; value_and_grad skips them without re-trying).
         self._grad_failed: set = set()
@@ -158,6 +158,22 @@ class CompiledModel:
     def cache_stats(self) -> Dict[str, int]:
         """Hit/miss/build counters from the underlying :class:`SignatureCache`."""
         return self._cache.stats()
+
+    def profile(self) -> Dict[str, dict]:
+        """Per-op-kind executor profile by plan signature (see :mod:`repro.obs`).
+
+        Empty until the obs profiler (``repro.obs.profiler.enable()`` or
+        ``REPRO_PROFILE=1``) has been on for at least one replay.  Each
+        entry maps ``signature -> {"ops": {kind: {calls, total_ms, bytes}},
+        "pool": {allocations, bytes}}``.
+        """
+        from ..obs.profiler import merge_snapshot
+
+        profiles: Dict[str, dict] = {}
+        for plan in self._cache.entries.values():
+            if plan is not None:
+                merge_snapshot(profiles, plan.profile_snapshot())
+        return profiles
 
     def invalidate(self) -> None:
         """Drop every cached plan (call after mutating the module's weights)."""

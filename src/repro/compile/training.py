@@ -45,6 +45,8 @@ import numpy as np
 
 from ..nn.tensor import Tensor, get_default_dtype
 from ..nn import functional as F
+from ..obs import trace as _trace
+from ..obs.profiler import merge_snapshot as _merge_snapshot
 from .cache import SignatureCache
 from .executor import Plan
 from .graph import CompileError, Graph, capture_forward
@@ -295,7 +297,9 @@ class LiveEvalModel:
     def __init__(self, module, max_plans: int = 8) -> None:
         self.module = module
         self._cache = SignatureCache(
-            lambda sample: _attack_plan(self.module, sample), capacity=max_plans
+            lambda sample: _attack_plan(self.module, sample),
+            capacity=max_plans,
+            name="live-eval",
         )
         self._mask_ref = getattr(module, "channel_mask", None)
 
@@ -322,6 +326,14 @@ class LiveEvalModel:
     def cache_stats(self) -> Dict[str, int]:
         """Hit/miss/build counters from the underlying :class:`SignatureCache`."""
         return self._cache.stats()
+
+    def profile(self) -> Dict[str, dict]:
+        """Per-op-kind executor profile by plan signature (see :mod:`repro.obs`)."""
+        profiles: Dict[str, dict] = {}
+        for plan in self._cache.entries.values():
+            if plan is not None:
+                _merge_snapshot(profiles, plan.profile_snapshot())
+        return profiles
 
     @property
     def pool_allocations(self) -> int:
@@ -855,7 +867,9 @@ class CompiledTrainer:
         if self.adapter is not None and not _supports_fused_step(optimizer):
             self.adapter = None
         self.stats = TrainingCompileStats()
-        self._cache = SignatureCache(self._build_context, capacity=max_signatures)
+        self._cache = SignatureCache(
+            self._build_context, capacity=max_signatures, name="trainer"
+        )
         self._accums: Dict[int, np.ndarray] = {}
         self._mask_ref = getattr(model, "channel_mask", None)
 
@@ -882,6 +896,21 @@ class CompiledTrainer:
             for ctx in self._cache.entries.values()
             if ctx is not None
         )
+
+    def profile(self) -> Dict[str, dict]:
+        """Per-op-kind executor profile by plan signature (see :mod:`repro.obs`).
+
+        Aggregates every plan a signature context owns (training plans and
+        the derived attack plan alike), so one warm PGD-AT step shows the
+        inner-attack replays and the fused training backward in one table.
+        """
+        profiles: Dict[str, dict] = {}
+        for ctx in self._cache.entries.values():
+            if ctx is None:
+                continue
+            for plan in ctx.plans:
+                _merge_snapshot(profiles, plan.profile_snapshot())
+        return profiles
 
     @property
     def plans(self) -> int:
@@ -934,12 +963,13 @@ class CompiledTrainer:
             self.stats.attack_grad_calls,
         )
         try:
-            loss, logits = self.adapter.step(self, ctx, images, labels)
-            if logits is not None:
-                predictions = np.argmax(logits, axis=1)
-            else:
-                predictions = np.argmax(ctx.train_a.forward(images), axis=1)
-                self.count_forwards(1, len(labels))
+            with _trace.span("compile.train_batch"):
+                loss, logits = self.adapter.step(self, ctx, images, labels)
+                if logits is not None:
+                    predictions = np.argmax(logits, axis=1)
+                else:
+                    predictions = np.argmax(ctx.train_a.forward(images), axis=1)
+                    self.count_forwards(1, len(labels))
         except CompileError:
             # A replay failure (e.g. parameter storage reallocated behind the
             # plan's back by an interleaved eager ``optimizer.step()``).

@@ -34,6 +34,7 @@ from ..evaluation.robustness import RobustnessReport
 from ..models import build_model
 from ..models.base import ImageClassifier
 from ..nn.optim import SGD, StepLR
+from ..obs import trace as _trace
 from ..training.trainer import Trainer
 from ..utils.rng import derive_seeds, seed_everything
 from .spec import ExperimentSpec
@@ -363,12 +364,30 @@ def _result_stats(result: ExperimentResult) -> Dict[str, Any]:
     }
 
 
-def _worker_run(payload: Tuple[str, str]) -> Dict[str, Any]:
-    """Top-level (picklable) grid worker: run one spec against the shared store."""
-    spec_json, store_root = payload
+def _worker_run(payload: Tuple[str, str, Optional[Dict[str, str]]]) -> Dict[str, Any]:
+    """Top-level (picklable) grid worker: run one spec against the shared store.
+
+    The third payload element is an optional :func:`repro.obs.trace.carrier`
+    from the parent process; attaching it re-enables tracing onto the
+    parent's sink (the carrier includes the JSONL path, and appends are
+    atomic per line) so a grid run stays one trace tree across processes.
+    """
+    from .. import obs as _obs
+
+    spec_json, store_root, trace_parent = payload
     spec = ExperimentSpec.from_json(spec_json)
     runner = ExperimentRunner(store=ArtifactStore(store_root))
-    return _result_stats(runner.run(spec))
+    with _trace.attach(trace_parent):
+        try:
+            with _trace.span(
+                "grid.worker",
+                {"spec": spec.content_hash} if _trace.enabled() else None,
+            ):
+                return _result_stats(runner.run(spec))
+        finally:
+            # Pool workers die via os._exit (no atexit): flush profiled
+            # plans and this process's metrics before the work is dropped.
+            _obs.flush()
 
 
 def _pool_context():
@@ -428,7 +447,8 @@ def run_grid(
         if not wave:
             return []
         if workers > 1 and len(wave) > 1:
-            payloads = [(s.to_json(), str(runner.store.root)) for s in wave]
+            parent = _trace.carrier()
+            payloads = [(s.to_json(), str(runner.store.root), parent) for s in wave]
             context = _pool_context()
             with context.Pool(processes=min(workers, len(wave))) as pool:
                 return pool.map(_worker_run, payloads)

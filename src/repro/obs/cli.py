@@ -1,0 +1,188 @@
+"""``python -m repro.obs`` — summarize a trace/metrics JSONL.
+
+``summarize PATH`` rolls the JSONL emitted by :mod:`repro.obs.trace` (span
+events, ``profile`` events from :func:`repro.obs.profiler.flush`, and the
+optional final ``metrics`` snapshot) into three tables: per-span-name
+timing, per-op-kind plan-executor cost, and the counter/gauge snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Iterable, List, Optional
+
+from .registry import percentile
+
+__all__ = ["main", "summarize"]
+
+
+def _read_events(path: str) -> List[dict]:
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # a torn concurrent append; skip the partial line
+    return events
+
+
+def _format_table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _span_table(events: Iterable[dict]) -> Optional[str]:
+    by_name: Dict[str, List[float]] = {}
+    for event in events:
+        if event.get("event") == "span":
+            by_name.setdefault(event["name"], []).append(float(event.get("dur_ms", 0.0)))
+    if not by_name:
+        return None
+    rows = []
+    for name, durations in sorted(
+        by_name.items(), key=lambda item: -sum(item[1])
+    ):
+        total = sum(durations)
+        rows.append(
+            [
+                name,
+                str(len(durations)),
+                f"{total:.2f}",
+                f"{total / len(durations):.3f}",
+                f"{percentile(durations, 95):.3f}",
+                f"{max(durations):.3f}",
+            ]
+        )
+    return _format_table(
+        ["span", "count", "total_ms", "mean_ms", "p95_ms", "max_ms"], rows
+    )
+
+
+def _op_table(events: Iterable[dict]) -> Optional[str]:
+    # Profile events are cumulative per plan and may be flushed more than
+    # once per process — keep only the last emission per (pid, plan).
+    # Events without those keys (hand-written or older traces) stay unique.
+    latest: Dict[object, dict] = {}
+    for index, event in enumerate(events):
+        if event.get("event") != "profile":
+            continue
+        if event.get("pid") is not None and event.get("plan") is not None:
+            key = (event["pid"], event["plan"], event.get("signature"))
+        else:
+            key = index
+        latest[key] = event
+    ops: Dict[str, Dict[str, float]] = {}
+    signatures = set()
+    for event in latest.values():
+        signatures.add(event.get("signature"))
+        for kind, stat in (event.get("ops") or {}).items():
+            target = ops.setdefault(kind, {"calls": 0, "total_ms": 0.0, "bytes": 0})
+            target["calls"] += stat.get("calls", 0)
+            target["total_ms"] += stat.get("total_ms", 0.0)
+            target["bytes"] += stat.get("bytes", 0)
+    if not ops:
+        return None
+    rows = []
+    for kind, stat in sorted(ops.items(), key=lambda item: -item[1]["total_ms"]):
+        rows.append(
+            [
+                kind,
+                str(int(stat["calls"])),
+                f"{stat['total_ms']:.2f}",
+                f"{stat['total_ms'] / max(stat['calls'], 1):.4f}",
+                f"{stat['bytes'] / 1e6:.1f}",
+            ]
+        )
+    table = _format_table(
+        ["op kind", "calls", "total_ms", "ms/call", "MB out"], rows
+    )
+    plans = ", ".join(sorted(s for s in signatures if s))
+    return f"{table}\n\nplans profiled: {plans or '(none)'}"
+
+
+def _metrics_table(events: Iterable[dict]) -> Optional[str]:
+    # Snapshots are cumulative per process: keep the last per pid, then
+    # merge across processes (counters sum — each process counted its own
+    # work; gauges and histograms last-write-wins in event order).
+    per_pid: Dict[object, dict] = {}
+    for event in events:
+        if event.get("event") == "metrics" and event.get("snapshot"):
+            per_pid[event.get("pid")] = event["snapshot"]
+    if not per_pid:
+        return None
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, dict] = {}
+    for snapshot in per_pid.values():
+        for series, value in (snapshot.get("counters") or {}).items():
+            counters[series] = counters.get(series, 0) + value
+        gauges.update(snapshot.get("gauges") or {})
+        histograms.update(snapshot.get("histograms") or {})
+    rows = []
+    for series, value in sorted(counters.items()):
+        rows.append([series, "counter", f"{value}"])
+    for series, value in sorted(gauges.items()):
+        rows.append([series, "gauge", f"{value}"])
+    for series, summary in sorted(histograms.items()):
+        rows.append(
+            [series, "histogram", f"count={summary['count']} p50={summary['p50']:.4g}"]
+        )
+    if not rows:
+        return None
+    return _format_table(["series", "kind", "value"], rows)
+
+
+def summarize(path: str, stream=None) -> int:
+    stream = stream or sys.stdout
+    try:
+        events = _read_events(path)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    sections = [
+        ("Spans", _span_table(events)),
+        ("Plan executor (per op kind)", _op_table(events)),
+        ("Metrics", _metrics_table(events)),
+    ]
+    printed = False
+    for title, table in sections:
+        if table is None:
+            continue
+        print(f"== {title} ==", file=stream)
+        print(table, file=stream)
+        print(file=stream)
+        printed = True
+    if not printed:
+        print(f"no span/profile/metrics events in {path}", file=stream)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize a repro.obs trace/metrics JSONL.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    summarize_parser = sub.add_parser(
+        "summarize", help="per-span and per-op-kind tables from a JSONL trace"
+    )
+    summarize_parser.add_argument("path", help="trace JSONL file (REPRO_TRACE output)")
+    args = parser.parse_args(argv)
+    if args.command == "summarize":
+        return summarize(args.path)
+    return 2

@@ -17,6 +17,7 @@ import asyncio
 import sys
 
 from ..experiments.store import ArtifactStore
+from ..obs import profiler as _profiler, trace as _trace
 from .server import RobustnessServer, start_socket_server
 
 
@@ -52,10 +53,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated training-hash prefixes to resolve at startup",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append span/metrics JSONL events to PATH (see python -m repro.obs)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="per-op executor profiling (surfaced on the stats endpoint)",
+    )
     return parser
 
 
 async def _serve(args: argparse.Namespace) -> int:
+    if args.trace:
+        _trace.enable(path=args.trace)
+    if args.profile:
+        _profiler.enable()
     store = ArtifactStore(args.store)
     server = RobustnessServer(
         store=store,

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..compile import CompileError, compile_model
 from ..compile.training import LiveEvalModel
+from ..obs.profiler import merge_profiles
 from ..models.base import ImageClassifier
 from ..nn import get_default_dtype
 from .queueing import BucketConfig
@@ -91,6 +92,19 @@ class _Entry:
         with self.lock:
             views = list(self.views.values())
         return sum(view.pool_allocations for view in views)
+
+    def profiles(self) -> Dict[str, dict]:
+        """Per-signature executor profiles merged across this entry's views.
+
+        Empty unless the obs profiler has been on for at least one replay
+        (see :mod:`repro.obs.profiler`).
+        """
+        with self.lock:
+            views = list(self.views.values())
+        merged: Dict[str, dict] = {}
+        for view in views:
+            merge_profiles(merged, view.profile())
+        return merged
 
 
 class ModelPool:
@@ -191,3 +205,13 @@ class ModelPool:
         with self._lock:
             entries = list(self._entries.values())
         return sum(entry.pool_allocations() for entry in {id(e): e for e in entries}.values())
+
+    def profiles(self) -> Dict[str, Dict[str, dict]]:
+        """``model_id -> per-signature executor profile`` for every entry.
+
+        The ``profile`` field of the serve ``stats`` endpoint; entries
+        without profiled replays report ``{}``.
+        """
+        with self._lock:
+            entries = {e.model_id: e for e in self._entries.values()}
+        return {model_id: entry.profiles() for model_id, entry in entries.items()}

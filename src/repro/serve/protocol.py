@@ -11,7 +11,12 @@ Request schema::
      "model": "<training-hash prefix or registered name>",   # not for stats
      "images": <array>, "labels": <array>,                   # kind-dependent
      "spec": {"name": ..., "params": {...}},                 # attack only
-     "suite": [<spec>, ...] | null, "options": {...}}        # robustness only
+     "suite": [<spec>, ...] | null, "options": {...},        # robustness only
+     "trace": {"trace_id": ..., "span_id": ...}}             # optional carrier
+
+The optional ``trace`` field carries a :func:`repro.obs.trace.carrier` from
+the client: worker-side spans (``serve.batch`` / ``serve.job``) parent onto
+it, so a distributed trace stays one tree across the socket boundary.
 
 Responses echo the ``id``: ``{"id": ..., "ok": true, "result": {...}}`` or
 ``{"id": ..., "ok": false, "error": "..."}``.
@@ -32,6 +37,7 @@ __all__ = [
     "encode_payload",
     "decode_payload",
     "robustness_cache_key",
+    "trace_carrier",
     "ProtocolError",
 ]
 
@@ -81,6 +87,23 @@ def decode_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         key: decode_array(value) if _is_encoded_array(value) else value
         for key, value in payload.items()
     }
+
+
+def trace_carrier(message: Dict[str, Any]) -> Optional[Dict[str, str]]:
+    """The request's ``trace`` carrier, validated; ``None`` when absent.
+
+    A malformed carrier is dropped (tracing is best-effort telemetry — it
+    must never fail a request).  ``path`` is deliberately not accepted from
+    the wire: remote clients must not steer the server's trace sink.
+    """
+    carrier = message.get("trace")
+    if not isinstance(carrier, dict):
+        return None
+    trace_id = carrier.get("trace_id")
+    span_id = carrier.get("span_id")
+    if not isinstance(trace_id, str) or not isinstance(span_id, str):
+        return None
+    return {"trace_id": trace_id, "span_id": span_id}
 
 
 def robustness_cache_key(

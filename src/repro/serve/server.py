@@ -47,8 +47,15 @@ import numpy as np
 from ..attacks.engine import AttackSpec
 from ..evaluation.robustness import evaluate_robustness
 from ..nn import get_default_dtype
+from ..obs import trace as _trace
 from .models import ModelPool
-from .protocol import ProtocolError, decode_payload, encode_payload, robustness_cache_key
+from .protocol import (
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    robustness_cache_key,
+    trace_carrier,
+)
 from .queueing import Batch, BucketConfig, RequestQueue, WorkItem
 from .telemetry import ServerStats
 
@@ -93,6 +100,7 @@ class _PendingRequest:
         suite: Optional[List[Dict[str, Any]]] = None,
         options: Optional[Dict[str, Any]] = None,
         return_logits: bool = False,
+        trace_parent: Optional[Dict[str, str]] = None,
     ) -> None:
         self.id = request_id
         self.kind = kind
@@ -105,6 +113,9 @@ class _PendingRequest:
         self.return_logits = return_logits
         self.future = future
         self.enqueued = time.monotonic()
+        #: span parent for worker-side spans: the submitting thread's open
+        #: span (in-process callers) or the request's wire carrier.
+        self.trace_parent = trace_parent if trace_parent is not None else _trace.carrier()
         self._stats = stats
         self._lock = threading.Lock()
         self._chunks: Dict[int, Dict[str, np.ndarray]] = {}
@@ -248,21 +259,29 @@ class RobustnessServer:
 
     # -- submission --------------------------------------------------------------
     def submit(self, message: Dict[str, Any]) -> "Future[Dict[str, Any]]":
-        """Validate and enqueue one request; the future resolves to the response."""
+        """Validate and enqueue one request; the future resolves to the response.
+
+        The ``serve.request`` span covers parse + enqueue; the worker-side
+        ``serve.batch`` / ``serve.job`` spans parent onto it through the
+        carrier captured at parse time (or one supplied on the wire).
+        """
         future: "Future[Dict[str, Any]]" = Future()
         request_id = message.get("id") if isinstance(message, dict) else None
-        try:
-            request = self._parse(message, future)
-        except (ProtocolError, KeyError, TypeError, ValueError) as error:
-            future.set_result({"id": request_id, "ok": False, "error": str(error)})
+        with _trace.span("serve.request"):
+            try:
+                request = self._parse(message, future)
+            except (ProtocolError, KeyError, TypeError, ValueError) as error:
+                future.set_result(
+                    {"id": request_id, "ok": False, "error": str(error)}
+                )
+                return future
+            if request.kind == "classify" or (
+                request.kind == "attack" and is_coalescable(request.spec)
+            ):
+                self._enqueue_items(request)
+            else:
+                self.queue.put_job(_Job(request))
             return future
-        if request.kind == "classify" or (
-            request.kind == "attack" and is_coalescable(request.spec)
-        ):
-            self._enqueue_items(request)
-        else:
-            self.queue.put_job(_Job(request))
-        return future
 
     def handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Blocking convenience wrapper around :meth:`submit`."""
@@ -275,9 +294,11 @@ class RobustnessServer:
         if kind not in ("classify", "attack", "robustness", "stats"):
             raise ProtocolError(f"unknown request kind {kind!r}")
         payload = decode_payload(message)
+        wire_carrier = trace_carrier(message)
         if kind == "stats":
             return _PendingRequest(
-                payload.get("id"), kind, None, None, None, future, self.stats
+                payload.get("id"), kind, None, None, None, future, self.stats,
+                trace_parent=wire_carrier,
             )
         model_id = payload.get("model")
         if not model_id or not isinstance(model_id, str):
@@ -323,6 +344,7 @@ class RobustnessServer:
             suite=suite,
             options=options,
             return_logits=bool(payload.get("return_logits", False)),
+            trace_parent=wire_carrier,
         )
 
     def _enqueue_items(self, request: _PendingRequest) -> None:
@@ -357,6 +379,17 @@ class RobustnessServer:
                 self._run_job(worker_id, payload)
 
     def _run_batch(self, worker_id: int, batch: Batch) -> None:
+        model_id, kind, spec_json, example_shape, dtype_str = batch.key
+        with _trace.attach(batch.items[0].request.trace_parent):
+            with _trace.span(
+                "serve.batch",
+                {"kind": kind, "examples": batch.examples, "pad_to": batch.pad_to}
+                if _trace.enabled()
+                else None,
+            ):
+                self._run_batch_inner(worker_id, batch)
+
+    def _run_batch_inner(self, worker_id: int, batch: Batch) -> None:
         model_id, kind, spec_json, example_shape, dtype_str = batch.key
         now = time.monotonic()
         self.stats.record_batch(
@@ -414,15 +447,20 @@ class RobustnessServer:
     def _run_job(self, worker_id: int, job: _Job) -> None:
         request = job.request
         self.stats.record_job()
-        try:
-            if request.kind == "stats":
-                request.resolve(self._stats_result())
-            elif request.kind == "robustness":
-                request.resolve(self._run_robustness(request))
-            else:
-                request.resolve(self._run_single_attack(worker_id, request))
-        except Exception as error:
-            request.fail(f"{type(error).__name__}: {error}")
+        with _trace.attach(request.trace_parent):
+            with _trace.span(
+                "serve.job",
+                {"kind": request.kind} if _trace.enabled() else None,
+            ):
+                try:
+                    if request.kind == "stats":
+                        request.resolve(self._stats_result())
+                    elif request.kind == "robustness":
+                        request.resolve(self._run_robustness(request))
+                    else:
+                        request.resolve(self._run_single_attack(worker_id, request))
+                except Exception as error:
+                    request.fail(f"{type(error).__name__}: {error}")
 
     def _run_single_attack(
         self, worker_id: int, request: _PendingRequest
@@ -485,6 +523,9 @@ class RobustnessServer:
         return {
             "server": self.stats.snapshot(),
             "models": self.pool.stats(),
+            #: per-model, per-signature executor profiles ({} until the obs
+            #: profiler has seen a replay — see repro.obs.profiler).
+            "profile": self.pool.profiles(),
             "queue_depth": self.queue.depth,
             "buckets": list(self.buckets.sizes),
             "workers": self.workers,

@@ -1,147 +1,220 @@
 """Per-request / per-batch telemetry for the serve layer.
 
-One :class:`ServerStats` instance is shared by every worker; all mutation
-happens under its lock.  Latency and queue-time distributions are kept in
-bounded reservoirs (most recent ``maxlen`` observations) so a long-running
-server reports recent behaviour, not its cold start, and the ``stats``
-endpoint stays O(reservoir) no matter how much traffic has passed.
+One :class:`ServerStats` instance is shared by every worker.  Since PR 7 it
+is a **thin view over the shared observability registry**
+(:mod:`repro.obs.registry`): every counter and reservoir is a labeled
+series (``serve.*{server=...}``, per-kind latencies additionally labeled
+``{kind=...}``), so a registry snapshot or Prometheus scrape sees the same
+numbers the ``stats`` endpoint reports — byte-identical, because
+:meth:`snapshot` computes the identical dict from the identical reservoir
+contents with the same nearest-rank :func:`percentile`.
+
+Latency and queue-time distributions are bounded reservoirs (most recent
+``maxlen`` observations) so a long-running server reports recent
+behaviour, not its cold start, and the ``stats`` endpoint stays
+O(reservoir) no matter how much traffic has passed.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
-from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Dict, Optional
+
+from ..obs.registry import Counter, Histogram, get_registry, percentile
 
 __all__ = ["ServerStats", "percentile"]
 
-
-def percentile(values, q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]) of a sequence; 0.0 when empty."""
-    data = sorted(values)
-    if not data:
-        return 0.0
-    rank = max(0, min(len(data) - 1, int(round(q / 100.0 * (len(data) - 1)))))
-    return float(data[rank])
+#: unique per-instance label so concurrent servers never share series.
+_instance_ids = itertools.count(1)
 
 
 class ServerStats:
     """Counters + bounded latency reservoirs behind the ``stats`` endpoint."""
 
-    def __init__(self, reservoir: int = 4096) -> None:
+    def __init__(self, reservoir: int = 4096, name: Optional[str] = None) -> None:
         self._lock = threading.Lock()
         self._started = time.monotonic()
-        self.requests: Dict[str, int] = {}
-        self.errors = 0
-        self.examples = 0
-        self.batches = 0
-        self.batched_examples = 0
-        self.padded_examples = 0
-        self.jobs = 0
-        self.report_cache_hits = 0
-        self.report_cache_misses = 0
-        self._latencies: Dict[str, Deque[float]] = {}
-        self._queue_times: Deque[float] = deque(maxlen=reservoir)
-        self._batch_sizes: Deque[int] = deque(maxlen=reservoir)
         self._reservoir = reservoir
+        self._registry = get_registry()
+        self._labels = {"server": name or f"server-{next(_instance_ids)}"}
+        reg = self._registry
+        self._requests: Dict[str, Counter] = {}
+        self._errors = reg.counter("serve.errors", self._labels)
+        self._examples = reg.counter("serve.examples", self._labels)
+        self._batches = reg.counter("serve.batches", self._labels)
+        self._batched_examples = reg.counter("serve.batched_examples", self._labels)
+        self._padded_examples = reg.counter("serve.padded_examples", self._labels)
+        self._jobs = reg.counter("serve.jobs", self._labels)
+        self._report_cache_hits = reg.counter("serve.report_cache_hits", self._labels)
+        self._report_cache_misses = reg.counter(
+            "serve.report_cache_misses", self._labels
+        )
+        self._latencies: Dict[str, Histogram] = {}
+        self._queue_times = reg.histogram(
+            "serve.queue_seconds", self._labels, maxlen=reservoir
+        )
+        self._batch_sizes = reg.histogram(
+            "serve.batch_size", self._labels, maxlen=reservoir
+        )
+
+    # -- registry read-through (legacy attribute shapes) -------------------------
+    @property
+    def requests(self) -> Dict[str, int]:
+        with self._lock:
+            return {kind: counter.value for kind, counter in self._requests.items()}
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    @property
+    def examples(self) -> int:
+        return self._examples.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def batched_examples(self) -> int:
+        return self._batched_examples.value
+
+    @property
+    def padded_examples(self) -> int:
+        return self._padded_examples.value
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs.value
+
+    @property
+    def report_cache_hits(self) -> int:
+        return self._report_cache_hits.value
+
+    @property
+    def report_cache_misses(self) -> int:
+        return self._report_cache_misses.value
+
+    def _kind_series(self, kind: str) -> tuple:
+        """(request counter, latency reservoir) for one request kind."""
+        counter = self._requests.get(kind)
+        if counter is None:
+            labels = dict(self._labels)
+            labels["kind"] = kind
+            counter = self._requests[kind] = self._registry.counter(
+                "serve.requests", labels
+            )
+            self._latencies[kind] = self._registry.histogram(
+                "serve.latency_seconds", labels, maxlen=self._reservoir
+            )
+        return counter, self._latencies[kind]
 
     def reset(self) -> None:
         """Zero every counter and reservoir (e.g. after a warmup pass)."""
         with self._lock:
             self._started = time.monotonic()
-            self.requests = {}
-            self.errors = 0
-            self.examples = 0
-            self.batches = 0
-            self.batched_examples = 0
-            self.padded_examples = 0
-            self.jobs = 0
-            self.report_cache_hits = 0
-            self.report_cache_misses = 0
+            for metric in (
+                self._errors,
+                self._examples,
+                self._batches,
+                self._batched_examples,
+                self._padded_examples,
+                self._jobs,
+                self._report_cache_hits,
+                self._report_cache_misses,
+                self._queue_times,
+                self._batch_sizes,
+                *self._requests.values(),
+                *self._latencies.values(),
+            ):
+                metric.reset()
+            self._requests = {}
             self._latencies = {}
-            self._queue_times = deque(maxlen=self._reservoir)
-            self._batch_sizes = deque(maxlen=self._reservoir)
 
     # -- recording ---------------------------------------------------------------
     def record_request(
         self, kind: str, latency: float, examples: int = 0, error: bool = False
     ) -> None:
         with self._lock:
-            self.requests[kind] = self.requests.get(kind, 0) + 1
-            self.examples += examples
-            if error:
-                self.errors += 1
-            reservoir = self._latencies.get(kind)
-            if reservoir is None:
-                reservoir = self._latencies[kind] = deque(maxlen=self._reservoir)
-            reservoir.append(latency)
+            counter, reservoir = self._kind_series(kind)
+        counter.inc()
+        self._examples.inc(examples)
+        if error:
+            self._errors.inc()
+        reservoir.observe(latency)
 
     def record_batch(self, examples: int, pad_to: int, queue_times) -> None:
-        with self._lock:
-            self.batches += 1
-            self.batched_examples += examples
-            self.padded_examples += pad_to - examples
-            self._batch_sizes.append(pad_to)
-            self._queue_times.extend(queue_times)
+        self._batches.inc()
+        self._batched_examples.inc(examples)
+        self._padded_examples.inc(pad_to - examples)
+        self._batch_sizes.observe(pad_to)
+        self._queue_times.extend(queue_times)
 
     def record_job(self) -> None:
-        with self._lock:
-            self.jobs += 1
+        self._jobs.inc()
 
     def record_report_cache(self, hit: bool) -> None:
-        with self._lock:
-            if hit:
-                self.report_cache_hits += 1
-            else:
-                self.report_cache_misses += 1
+        if hit:
+            self._report_cache_hits.inc()
+        else:
+            self._report_cache_misses.inc()
 
     # -- reporting ---------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             elapsed = max(time.monotonic() - self._started, 1e-9)
-            total_slots = self.batched_examples + self.padded_examples
-            latencies = {
-                kind: {
-                    "count": len(reservoir),
-                    "p50_ms": percentile(reservoir, 50) * 1e3,
-                    "p95_ms": percentile(reservoir, 95) * 1e3,
-                    "p99_ms": percentile(reservoir, 99) * 1e3,
-                }
-                for kind, reservoir in self._latencies.items()
+            kinds = {
+                kind: (counter, self._latencies[kind])
+                for kind, counter in self._requests.items()
             }
-            all_latencies = [v for r in self._latencies.values() for v in r]
-            return {
-                "uptime_s": elapsed,
-                "requests": dict(self.requests),
-                "errors": self.errors,
-                "examples": self.examples,
-                "examples_per_sec": self.examples / elapsed,
-                "batches": self.batches,
-                "batched_examples": self.batched_examples,
-                "padded_examples": self.padded_examples,
-                "pad_waste_pct": (
-                    100.0 * self.padded_examples / total_slots if total_slots else 0.0
-                ),
-                "mean_batch_size": (
-                    sum(self._batch_sizes) / len(self._batch_sizes)
-                    if self._batch_sizes
-                    else 0.0
-                ),
-                "jobs": self.jobs,
-                "report_cache": {
-                    "hits": self.report_cache_hits,
-                    "misses": self.report_cache_misses,
-                },
-                "queue_ms": {
-                    "p50": percentile(self._queue_times, 50) * 1e3,
-                    "p95": percentile(self._queue_times, 95) * 1e3,
-                    "p99": percentile(self._queue_times, 99) * 1e3,
-                },
-                "latency_ms": {
-                    "p50": percentile(all_latencies, 50) * 1e3,
-                    "p95": percentile(all_latencies, 95) * 1e3,
-                    "p99": percentile(all_latencies, 99) * 1e3,
-                },
-                "latency_ms_by_kind": latencies,
+            batched = self._batched_examples.value
+            padded = self._padded_examples.value
+            total_slots = batched + padded
+            batch_sizes = self._batch_sizes.values()
+            queue_times = self._queue_times.values()
+        reservoirs = {kind: series[1].values() for kind, series in kinds.items()}
+        latencies = {
+            kind: {
+                "count": len(reservoir),
+                "p50_ms": percentile(reservoir, 50) * 1e3,
+                "p95_ms": percentile(reservoir, 95) * 1e3,
+                "p99_ms": percentile(reservoir, 99) * 1e3,
             }
+            for kind, reservoir in reservoirs.items()
+        }
+        all_latencies = [v for r in reservoirs.values() for v in r]
+        examples = self._examples.value
+        return {
+            "uptime_s": elapsed,
+            "requests": {kind: series[0].value for kind, series in kinds.items()},
+            "errors": self._errors.value,
+            "examples": examples,
+            "examples_per_sec": examples / elapsed,
+            "batches": self._batches.value,
+            "batched_examples": batched,
+            "padded_examples": padded,
+            "pad_waste_pct": (
+                100.0 * padded / total_slots if total_slots else 0.0
+            ),
+            "mean_batch_size": (
+                sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0
+            ),
+            "jobs": self._jobs.value,
+            "report_cache": {
+                "hits": self._report_cache_hits.value,
+                "misses": self._report_cache_misses.value,
+            },
+            "queue_ms": {
+                "p50": percentile(queue_times, 50) * 1e3,
+                "p95": percentile(queue_times, 95) * 1e3,
+                "p99": percentile(queue_times, 99) * 1e3,
+            },
+            "latency_ms": {
+                "p50": percentile(all_latencies, 50) * 1e3,
+                "p95": percentile(all_latencies, 95) * 1e3,
+                "p99": percentile(all_latencies, 99) * 1e3,
+            },
+            "latency_ms_by_kind": latencies,
+        }

@@ -26,6 +26,7 @@ from ..nn import Tensor, no_grad
 from ..nn.optim import Optimizer, SGD, StepLR, _Scheduler
 from ..data.loaders import DataLoader
 from ..models.base import ImageClassifier
+from ..obs import publish_dict as _publish_dict, trace as _trace
 from .adversarial import CrossEntropyLoss, LossStrategy
 from .history import EpochRecord, TrainingHistory
 
@@ -288,7 +289,10 @@ class Trainer:
         for epoch in range(1, epochs + 1):
             stats = self.compile_stats
             before = stats.snapshot() if stats is not None else None
-            train_loss, train_accuracy = self.train_epoch(loader)
+            with _trace.span(
+                "train.epoch", {"epoch": epoch} if _trace.enabled() else None
+            ):
+                train_loss, train_accuracy = self.train_epoch(loader)
             compiled_eval = self._compiled_eval_model() if offer_compiled_eval else None
             natural = self._run_eval_hook(self.eval_natural, compiled_eval)
             adversarial = self._run_eval_hook(self.eval_adversarial, compiled_eval)
@@ -323,4 +327,23 @@ class Trainer:
         stats = self.compile_stats
         if stats is not None:
             self.history.compile_stats = stats.as_dict()
+            # Mirror the legacy surface onto the shared registry so a final
+            # metrics snapshot carries the same compile counters.
+            _publish_dict("train.compile", self.history.compile_stats)
         return self.history
+
+    def profile(self):
+        """Per-signature executor profiles from the compiled training path.
+
+        Merges the :class:`~repro.compile.training.CompiledTrainer`'s plans
+        with the live eval view's; empty unless the obs profiler was on for
+        at least one replayed batch (see :mod:`repro.obs.profiler`).
+        """
+        from ..obs.profiler import merge_profiles
+
+        merged: dict = {}
+        if self._compiled_trainer is not None:
+            merge_profiles(merged, self._compiled_trainer.profile())
+        if self._live_eval is not None:
+            merge_profiles(merged, self._live_eval.profile())
+        return merged

@@ -14,23 +14,35 @@ _FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
 
 
 def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
-    """Return a configured logger writing to stderr (idempotent)."""
+    """Return a configured logger writing to stderr (idempotent).
+
+    The level is applied only on first configuration, so a later
+    ``get_logger(name)`` call with the default level does not clobber a
+    level the application (or a test) set explicitly.
+    """
     logger = logging.getLogger(name)
     if not logger.handlers:
         handler = logging.StreamHandler(sys.stderr)
         handler.setFormatter(logging.Formatter(_FORMAT))
         logger.addHandler(handler)
-    logger.setLevel(level)
+        logger.setLevel(level)
     return logger
 
 
 @contextmanager
 def log_section(title: str, logger: Optional[logging.Logger] = None) -> Iterator[None]:
-    """Log the start/end (with wall time) of an experiment section."""
+    """Log the start/end (with wall time) of an experiment section.
+
+    When obs tracing is active the section also records a ``section.<title>``
+    span, so bench phases land in the same trace tree as executor spans.
+    """
+    from ..obs import trace as _trace
+
     logger = logger or get_logger()
     logger.info("=== %s ===", title)
     start = time.perf_counter()
-    yield
+    with _trace.span("section." + title):
+        yield
     logger.info("=== %s done in %.2fs ===", title, time.perf_counter() - start)
 
 

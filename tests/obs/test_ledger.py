@@ -1,0 +1,132 @@
+"""The in-repo perf ledger: recording, best-value gating, strict mode."""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_ledger",
+    os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks", "ledger.py"),
+)
+ledger = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(ledger)
+
+
+def write_report(path, data):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle)
+    return str(path)
+
+
+class TestExtract:
+    def test_tracked_metrics_with_dotted_paths(self):
+        data = {
+            "train_speedup_compiled": 1.7,
+            "eager_epoch_seconds": 2.0,  # untracked (machine-bound)
+            "losses": {"trades": {"train_speedup_compiled": 1.5}},
+        }
+        assert ledger.extract_metrics(data) == {
+            "train_speedup_compiled": 1.7,
+            "losses.trades.train_speedup_compiled": 1.5,
+        }
+
+    def test_non_numeric_tracked_keys_ignored(self):
+        assert ledger.extract_metrics({"examples_per_sec": "fast"}) == {}
+
+
+class TestRecord:
+    def test_appends_history_entries(self, tmp_path):
+        report = write_report(tmp_path / "BENCH_train.json", {"train_speedup_compiled": 1.7})
+        history = str(tmp_path / "BENCH_HISTORY.jsonl")
+        code = ledger.record([report], history_path=history, sha="abc123", now=1000.0,
+                             stream=io.StringIO())
+        assert code == 0
+        entries = ledger.read_history(history)
+        assert len(entries) == 1
+        assert entries[0]["sha"] == "abc123"
+        assert entries[0]["file"] == "BENCH_train.json"
+        assert entries[0]["metrics"]["train_speedup_compiled"] == 1.7
+
+    def test_missing_report_is_skipped(self, tmp_path):
+        history = str(tmp_path / "h.jsonl")
+        out = io.StringIO()
+        code = ledger.record([str(tmp_path / "nope.json")], history_path=history,
+                             sha="x", now=0.0, stream=out)
+        assert code == 0
+        assert "skipping missing report" in out.getvalue()
+        assert ledger.read_history(history) == []
+
+
+class TestRegressionGate:
+    def seed(self, tmp_path, value):
+        history = str(tmp_path / "h.jsonl")
+        report = write_report(tmp_path / "BENCH_train.json",
+                              {"train_speedup_compiled": value})
+        assert ledger.record([report], history_path=history, sha="seed", now=0.0,
+                             stream=io.StringIO()) == 0
+        return history
+
+    def test_within_threshold_passes(self, tmp_path):
+        history = self.seed(tmp_path, 2.0)
+        report = write_report(tmp_path / "BENCH_train.json",
+                              {"train_speedup_compiled": 1.7})  # -15%
+        out = io.StringIO()
+        assert ledger.record([report], history_path=history, sha="b", now=1.0,
+                             strict=True, stream=out) == 0
+        assert "::warning" not in out.getvalue()
+
+    def test_regression_warns_softly_by_default(self, tmp_path):
+        history = self.seed(tmp_path, 2.0)
+        report = write_report(tmp_path / "BENCH_train.json",
+                              {"train_speedup_compiled": 1.0})  # -50%
+        out = io.StringIO()
+        assert ledger.record([report], history_path=history, sha="b", now=1.0,
+                             stream=out) == 0
+        assert "::warning title=bench-regression::" in out.getvalue()
+
+    def test_regression_fails_in_strict_mode(self, tmp_path):
+        history = self.seed(tmp_path, 2.0)
+        report = write_report(tmp_path / "BENCH_train.json",
+                              {"train_speedup_compiled": 1.0})
+        assert ledger.record([report], history_path=history, sha="b", now=1.0,
+                             strict=True, stream=io.StringIO()) == 1
+
+    def test_gate_compares_against_best_ever_not_latest(self, tmp_path):
+        history = self.seed(tmp_path, 2.0)
+        # A mediocre-but-passing run does not lower the bar...
+        report = write_report(tmp_path / "BENCH_train.json",
+                              {"train_speedup_compiled": 1.8})
+        assert ledger.record([report], history_path=history, sha="b", now=1.0,
+                             strict=True, stream=io.StringIO()) == 0
+        # ...the next run is still judged against the 2.0 best.
+        report = write_report(tmp_path / "BENCH_train.json",
+                              {"train_speedup_compiled": 1.5})  # -25% vs 2.0
+        assert ledger.record([report], history_path=history, sha="c", now=2.0,
+                             strict=True, stream=io.StringIO()) == 1
+
+    def test_metrics_from_different_files_do_not_cross_gate(self, tmp_path):
+        history = self.seed(tmp_path, 2.0)
+        report = write_report(tmp_path / "BENCH_other.json",
+                              {"train_speedup_compiled": 1.0})
+        assert ledger.record([report], history_path=history, sha="b", now=1.0,
+                             strict=True, stream=io.StringIO()) == 0
+
+
+def test_cli_record_subcommand(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    report = write_report(tmp_path / "BENCH_train.json", {"train_speedup_compiled": 1.7})
+    assert ledger.main(["record", report, "--history", str(tmp_path / "h.jsonl")]) == 0
+    assert "BENCH_train.json" in capsys.readouterr().out
+
+
+def test_repo_history_file_is_seeded():
+    """The committed ledger holds at least one real recorded run."""
+    path = os.path.join(os.path.dirname(__file__), "..", "..", "BENCH_HISTORY.jsonl")
+    entries = ledger.read_history(path)
+    assert entries, "BENCH_HISTORY.jsonl must ship with seed entries"
+    assert all("metrics" in e and "sha" in e for e in entries)

@@ -1,0 +1,125 @@
+"""The shared metrics registry: series semantics, exposition, reset."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    percentile,
+    publish_dict,
+)
+
+
+class TestSeries:
+    def test_counter_get_or_create_and_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests", {"kind": "classify"})
+        assert reg.counter("requests", {"kind": "classify"}) is c
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        # A different label set is a different series.
+        other = reg.counter("requests", {"kind": "attack"})
+        assert other is not c and other.value == 0
+
+    def test_series_name_includes_sorted_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("m", {"b": "2", "a": "1"})
+        assert c.series == 'm{a="1",b="2"}'
+        assert reg.counter("bare").series == "bare"
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("x")
+
+    def test_gauge_set_add(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(2.5)
+        g.add(0.5)
+        assert g.value == 3.0
+        g.reset()
+        assert g.value == 0.0
+
+    def test_histogram_reservoir_and_lifetime_totals(self):
+        h = MetricsRegistry().histogram("h", maxlen=4)
+        h.extend([1, 2, 3, 4, 5, 6])
+        # Reservoir keeps only the most recent maxlen; count/sum are lifetime.
+        assert h.values() == [3, 4, 5, 6]
+        assert h.count == 6 and h.sum == 21
+        summary = h.summary()
+        assert summary["reservoir"] == 4 and summary["max"] == 6.0
+
+
+class TestExposition:
+    def test_snapshot_groups_by_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 7
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests", {"kind": "classify"}).inc(2)
+        reg.histogram("serve.latency").observe(1.0)
+        text = reg.to_prometheus()
+        assert "# TYPE serve_requests counter" in text
+        assert 'serve_requests{kind="classify"} 2' in text
+        assert "# TYPE serve_latency summary" in text
+        assert 'serve_latency{quantile="0.5"} 1.0' in text
+        assert "serve_latency_count 1" in text
+
+    def test_reset_zeroes_but_keeps_series(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc(5)
+        reg.reset()
+        assert c.value == 0
+        assert reg.counter("c") is c
+
+
+class TestConcurrency:
+    def test_parallel_increments_are_atomic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+
+        def work():
+            for _ in range(5000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 20000
+
+
+class TestHelpers:
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 99) == 7.0
+        # Nearest rank over 1..100: round(0.5 * 99) = 50 -> the 51st value.
+        assert percentile(list(range(1, 101)), 50) == 51.0
+
+    def test_publish_dict_sets_gauges(self):
+        reg = MetricsRegistry()
+        publish_dict("train.compile", {"compiled_batches": 12, "note": "skip"}, registry=reg)
+        assert reg.gauge("train.compile.compiled_batches").value == 12
+        # Non-numeric values are skipped, not registered.
+        assert all(m.name != "train.compile.note" for m in reg.metrics())
+
+    def test_default_registry_is_shared(self):
+        assert get_registry() is get_registry()
