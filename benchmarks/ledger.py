@@ -9,14 +9,20 @@ pair.  A tracked metric that lands more than ``--threshold`` (default 20%)
 below its historical best emits a GitHub ``::warning`` annotation; with
 ``--strict`` the exit code is 1 so a release gate can hard-fail.
 
-Tracked metrics are the higher-is-better headline numbers of the quick
-benches (speedups and throughput — wall-clock seconds are machine-bound and
-too noisy to gate on):
+Tracked metrics carry an explicit direction.  The higher-is-better headline
+numbers of the quick benches (speedups and throughput — wall-clock seconds
+are machine-bound and too noisy to gate on):
 
 * ``train_speedup_compiled`` (``BENCH_train.json``, ``BENCH_losses.json``
   per loss, ``bench-timings.json``)
 * ``speedup_compiled`` / ``speedup_early_exit`` (``bench-timings.json``)
 * ``examples_per_sec`` / ``speedup_vs_naive`` (``BENCH_serve.json``)
+
+and the lower-is-better serving SLO numbers (tail latency and pad waste,
+judged against the best = *lowest* ever recorded):
+
+* ``p50_ms`` / ``p99_ms`` (``BENCH_serve.json`` latency percentiles)
+* ``pad_waste_pct`` (``BENCH_serve.json``)
 
 The history file is committed alongside the code (ROADMAP 5: bench numbers
 tracked in-repo, not just as expiring CI artifacts), so regressions are
@@ -38,14 +44,27 @@ DEFAULT_HISTORY = "BENCH_HISTORY.jsonl"
 DEFAULT_THRESHOLD = 0.20
 
 #: metric keys worth gating on, wherever they appear in a report (dotted
-#: paths record where).  All are higher-is-better.
-TRACKED_KEYS = (
-    "train_speedup_compiled",
-    "speedup_compiled",
-    "speedup_early_exit",
-    "examples_per_sec",
-    "speedup_vs_naive",
-)
+#: paths record where), mapped to their direction: "higher" means a drop
+#: below best is a regression, "lower" means a rise above best (= lowest
+#: recorded) is.
+TRACKED_METRICS: Dict[str, str] = {
+    "train_speedup_compiled": "higher",
+    "speedup_compiled": "higher",
+    "speedup_early_exit": "higher",
+    "examples_per_sec": "higher",
+    "speedup_vs_naive": "higher",
+    "p50_ms": "lower",
+    "p99_ms": "lower",
+    "pad_waste_pct": "lower",
+}
+
+#: legacy tuple view (key iteration order) kept for callers/tests.
+TRACKED_KEYS = tuple(TRACKED_METRICS)
+
+
+def metric_direction(metric: str) -> str:
+    """Direction of a dotted metric path (its last segment is the key)."""
+    return TRACKED_METRICS.get(metric.rsplit(".", 1)[-1], "higher")
 
 
 def extract_metrics(data: Any, prefix: str = "") -> Dict[str, float]:
@@ -97,7 +116,11 @@ def read_history(path: str) -> List[Dict[str, Any]]:
 
 
 def best_values(entries: Iterable[Dict[str, Any]]) -> Dict[Tuple[str, str], float]:
-    """``(file, metric) -> best recorded value`` across the history."""
+    """``(file, metric) -> best recorded value`` across the history.
+
+    "Best" is direction-aware: the highest value for higher-is-better
+    metrics, the lowest for lower-is-better ones (tail latency, pad waste).
+    """
     best: Dict[Tuple[str, str], float] = {}
     for entry in entries:
         name = entry.get("file")
@@ -105,8 +128,12 @@ def best_values(entries: Iterable[Dict[str, Any]]) -> Dict[Tuple[str, str], floa
             if not isinstance(value, (int, float)):
                 continue
             key = (name, metric)
-            if key not in best or value > best[key]:
+            if key not in best:
                 best[key] = float(value)
+            elif metric_direction(metric) == "lower":
+                best[key] = min(best[key], float(value))
+            else:
+                best[key] = max(best[key], float(value))
     return best
 
 
@@ -115,7 +142,7 @@ def check_regressions(
     best: Dict[Tuple[str, str], float],
     threshold: float = DEFAULT_THRESHOLD,
 ) -> List[str]:
-    """Human-readable descriptions of metrics > ``threshold`` below best."""
+    """Human-readable descriptions of metrics > ``threshold`` worse than best."""
     problems: List[str] = []
     for entry in new_entries:
         name = entry.get("file")
@@ -123,7 +150,14 @@ def check_regressions(
             reference = best.get((name, metric))
             if reference is None or reference <= 0:
                 continue
-            if value < reference * (1.0 - threshold):
+            if metric_direction(metric) == "lower":
+                if value > reference * (1.0 + threshold):
+                    problems.append(
+                        f"{name}:{metric} = {value:.3f} is "
+                        f"{(value / reference - 1.0) * 100:.1f}% above the best "
+                        f"recorded {reference:.3f}"
+                    )
+            elif value < reference * (1.0 - threshold):
                 problems.append(
                     f"{name}:{metric} = {value:.3f} is "
                     f"{(1.0 - value / reference) * 100:.1f}% below the best "

@@ -9,7 +9,11 @@ hit, and writes two JSON artifacts next to the engine timing report:
 * the grid **timing summary** of both invocations (wall time, worker count,
   training forward passes — zero on the second pass).
 
-Usage:  python benchmarks/quick_grid.py [manifest.json] [timing.json]
+Each invocation also leaves a ``grid`` RunRecord in the store (browse with
+``python -m repro.obs runs list --store <dir>``); pass a persistent store
+directory as the third argument so CI can ``runs diff`` cold vs warm.
+
+Usage:  python benchmarks/quick_grid.py [manifest.json] [timing.json] [store-dir]
 """
 
 from __future__ import annotations
@@ -47,8 +51,9 @@ def demo_specs() -> list:
 def main() -> None:
     manifest_path = sys.argv[1] if len(sys.argv) > 1 else "grid-manifest.json"
     timing_path = sys.argv[2] if len(sys.argv) > 2 else "grid-timing.json"
+    store_root = sys.argv[3] if len(sys.argv) > 3 else tempfile.mkdtemp(prefix="repro-grid-")
 
-    store = ArtifactStore(tempfile.mkdtemp(prefix="repro-grid-"))
+    store = ArtifactStore(store_root)
     specs = demo_specs()
 
     cold = run_grid(specs, workers=2, store=store)

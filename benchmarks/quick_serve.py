@@ -125,11 +125,13 @@ def run_server(model, workloads) -> dict:
             thread.join()
         wall_seconds = time.perf_counter() - wall_start
         snapshot = server.stats.snapshot()
+        health = client.health()
         steady_allocations = server.pool.pool_allocations() - allocations_after_warmup
     return {
         "wall_seconds": wall_seconds,
         "latencies_ms": latencies,
         "snapshot": snapshot,
+        "health": health,
         "steady_allocations": steady_allocations,
     }
 
@@ -193,6 +195,7 @@ def main() -> None:
             naive["wall_seconds"] / max(served["wall_seconds"], 1e-9), 3
         ),
         "zero_steady_state_allocations": served["steady_allocations"] == 0,
+        "health_status": served["health"]["status"],
     }
     with open(output_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

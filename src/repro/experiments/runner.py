@@ -34,7 +34,7 @@ from ..evaluation.robustness import RobustnessReport
 from ..models import build_model
 from ..models.base import ImageClassifier
 from ..nn.optim import SGD, StepLR
-from ..obs import trace as _trace
+from ..obs import records as _records, trace as _trace
 from ..training.trainer import Trainer
 from ..utils.rng import derive_seeds, seed_everything
 from .spec import ExperimentSpec
@@ -151,7 +151,14 @@ class ExperimentRunner:
         optim = spec.optimizer_kwargs
         config = spec.ibrar_config
         start = time.perf_counter()
-        with ForwardPassCounter(model) as counter:
+        # Identify any run record produced inside this call (Trainer.fit
+        # under REPRO_RUNS) by the spec that caused it.
+        annotation = _records.annotate(
+            spec_name=spec.name,
+            training_hash=spec.training_hash,
+            content_hash=spec.content_hash,
+        )
+        with annotation, ForwardPassCounter(model) as counter:
             if config is not None:
                 ibrar = IBRAR(
                     model,
@@ -416,51 +423,76 @@ def run_grid(
     if runner is None:
         runner = ExperimentRunner(store=store)
     start = time.perf_counter()
+    # The grid owns a store, so it always leaves a RunRecord behind — the
+    # durable "what did this invocation do" artifact rendered by
+    # ``python -m repro.obs runs list|diff``.
+    window = _records.RunWindow("grid", label=f"grid[{len(specs)}]")
 
-    unique: Dict[str, ExperimentSpec] = {}
-    for spec in specs:
-        unique.setdefault(spec.content_hash, spec)
-    if force:
-        for spec in unique.values():
-            runner.store._quarantine(runner.store.report_dir(spec.content_hash))
-            runner.store._quarantine(runner.store.model_dir(spec.training_hash))
-    # Pending = specs whose stored report does not *load* (not merely "a file
-    # exists"): corrupt reports are quarantined here and rescheduled into the
-    # waves, instead of surfacing as surprise recomputes during collection.
-    pending = [s for h, s in unique.items() if runner.store.load_report(s) is None]
+    with window:
+        unique: Dict[str, ExperimentSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.content_hash, spec)
+        if force:
+            for spec in unique.values():
+                runner.store._quarantine(runner.store.report_dir(spec.content_hash))
+                runner.store._quarantine(runner.store.model_dir(spec.training_hash))
+        # Pending = specs whose stored report does not *load* (not merely "a
+        # file exists"): corrupt reports are quarantined here and rescheduled
+        # into the waves, instead of surfacing as surprise recomputes during
+        # collection.
+        pending = [s for h, s in unique.items() if runner.store.load_report(s) is None]
 
-    # Schedule in two waves so specs sharing a *training* recipe (e.g. the
-    # same model re-evaluated under different suites) never train the same
-    # checkpoint concurrently: the first wave holds one spec per training
-    # hash, the second wave finds those checkpoints already in the store.
-    first_wave: List[ExperimentSpec] = []
-    second_wave: List[ExperimentSpec] = []
-    seen_training: set = set()
-    for spec in pending:
-        if spec.training_hash in seen_training:
-            second_wave.append(spec)
-        else:
-            seen_training.add(spec.training_hash)
-            first_wave.append(spec)
+        # Schedule in two waves so specs sharing a *training* recipe (e.g. the
+        # same model re-evaluated under different suites) never train the same
+        # checkpoint concurrently: the first wave holds one spec per training
+        # hash, the second wave finds those checkpoints already in the store.
+        first_wave: List[ExperimentSpec] = []
+        second_wave: List[ExperimentSpec] = []
+        seen_training: set = set()
+        for spec in pending:
+            if spec.training_hash in seen_training:
+                second_wave.append(spec)
+            else:
+                seen_training.add(spec.training_hash)
+                first_wave.append(spec)
 
-    def _run_wave(wave: List[ExperimentSpec]) -> List[Dict[str, Any]]:
-        if not wave:
-            return []
-        if workers > 1 and len(wave) > 1:
-            parent = _trace.carrier()
-            payloads = [(s.to_json(), str(runner.store.root), parent) for s in wave]
-            context = _pool_context()
-            with context.Pool(processes=min(workers, len(wave))) as pool:
-                return pool.map(_worker_run, payloads)
-        return [_result_stats(runner.run(spec)) for spec in wave]
+        def _run_wave(wave: List[ExperimentSpec]) -> List[Dict[str, Any]]:
+            if not wave:
+                return []
+            if workers > 1 and len(wave) > 1:
+                parent = _trace.carrier()
+                payloads = [(s.to_json(), str(runner.store.root), parent) for s in wave]
+                context = _pool_context()
+                with context.Pool(processes=min(workers, len(wave))) as pool:
+                    return pool.map(_worker_run, payloads)
+            return [_result_stats(runner.run(spec)) for spec in wave]
 
-    stats: List[Dict[str, Any]] = _run_wave(first_wave) + _run_wave(second_wave)
+        stats: List[Dict[str, Any]] = _run_wave(first_wave) + _run_wave(second_wave)
 
-    results = [runner.run(spec) for spec in specs]
-    return GridResult(
+        results = [runner.run(spec) for spec in specs]
+
+    result = GridResult(
         results=results,
         seconds=time.perf_counter() - start,
         workers=workers,
         computed=[s.content_hash for s in pending],
         stats=stats,
     )
+    try:
+        _records.save_record(
+            window.build(
+                summary=result.summary(),
+                specs=[
+                    {
+                        "name": s.name,
+                        "content_hash": s.content_hash,
+                        "training_hash": s.training_hash,
+                    }
+                    for s in specs
+                ],
+            ),
+            store=runner.store,
+        )
+    except OSError:
+        pass  # recording must never fail the grid
+    return result

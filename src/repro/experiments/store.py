@@ -22,6 +22,7 @@ working directory; delete the directory (or run
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
@@ -44,6 +45,7 @@ CHECKPOINT_NAME = "checkpoint.npz"
 TRAIN_RECORD_NAME = "train.json"
 REPORT_NAME = "experiment.json"
 SERVE_REPORT_NAME = "robustness.json"
+RUN_RECORD_NAME = "record.json"
 
 
 def default_store_root() -> Path:
@@ -80,6 +82,9 @@ class ArtifactStore:
 
     def serve_report_dir(self, key: str) -> Path:
         return self.root / "serve" / key[:2] / key
+
+    def run_dir(self, run_id: str) -> Path:
+        return self.root / "runs" / run_id[:2] / run_id
 
     def _publish(self, build_dir: Path, final_dir: Path) -> Path:
         """Atomically move a fully assembled artifact directory into place."""
@@ -282,6 +287,62 @@ class ArtifactStore:
             self._quarantine(directory)
             return None
 
+    # -- run records (repro.obs observatory) -------------------------------------
+    # One record per training run / grid invocation / serve session (see
+    # :mod:`repro.obs.records`).  Content-addressed like everything else:
+    # the id is the sha256 of the canonical record JSON, so re-saving the
+    # identical record is a no-op publish.
+    def save_run_record(self, record: Dict[str, Any]) -> str:
+        """Persist one JSON-safe RunRecord; returns its run id."""
+        canonical = json.dumps(record, sort_keys=True)
+        run_id = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        stored = dict(record)
+        stored["run_id"] = run_id
+        build_dir = self._build_dir()
+        _write_json(build_dir / RUN_RECORD_NAME, stored)
+        self._publish(build_dir, self.run_dir(run_id))
+        return run_id
+
+    def load_run_record(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """Load a RunRecord by full id, or ``None`` on miss/corruption."""
+        directory = self.run_dir(run_id)
+        path = directory / RUN_RECORD_NAME
+        if not path.exists():
+            return None
+        try:
+            return _read_json(path)
+        except Exception:
+            self._quarantine(directory)
+            return None
+
+    def list_run_ids(self) -> List[str]:
+        return [digest for digest, _ in self._iter_artifacts("runs", RUN_RECORD_NAME)]
+
+    def resolve_run_id(self, prefix: str) -> Optional[str]:
+        """Expand a run-id prefix; ``ValueError`` when ambiguous."""
+        matches = [r for r in self.list_run_ids() if r.startswith(prefix)]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise ValueError(
+                f"run id prefix '{prefix}' is ambiguous: {sorted(matches)}"
+            )
+        return matches[0]
+
+    def list_run_records(self) -> List[Dict[str, Any]]:
+        """Every readable RunRecord, oldest first (corrupt ones quarantined)."""
+        records: List[Dict[str, Any]] = []
+        for digest, path in self._iter_artifacts("runs", RUN_RECORD_NAME):
+            try:
+                record = _read_json(path)
+            except Exception:
+                self._quarantine(path.parent)
+                continue
+            record.setdefault("run_id", digest)
+            records.append(record)
+        records.sort(key=lambda r: (r.get("created") or 0, r.get("run_id")))
+        return records
+
     # -- maintenance -------------------------------------------------------------
     def _iter_artifacts(self, kind: str, filename: str) -> Iterator[Tuple[str, Path]]:
         base = self.root / kind
@@ -356,6 +417,7 @@ class ArtifactStore:
         count = sum(1 for _ in self._iter_artifacts("models", TRAIN_RECORD_NAME))
         count += sum(1 for _ in self._iter_artifacts("reports", REPORT_NAME))
         count += sum(1 for _ in self._iter_artifacts("serve", SERVE_REPORT_NAME))
-        for kind in ("models", "reports", "serve", "tmp"):
+        count += sum(1 for _ in self._iter_artifacts("runs", RUN_RECORD_NAME))
+        for kind in ("models", "reports", "serve", "runs", "tmp"):
             shutil.rmtree(self.root / kind, ignore_errors=True)
         return count

@@ -19,9 +19,12 @@ Environment activation (read once, at first import):
   at process exit the live plan profiles and a final metrics snapshot are
   flushed to the same file.
 * ``REPRO_PROFILE=1`` — enable the plan-executor profiler.
+* ``REPRO_RUNS=<store-or-1>`` — persist a RunRecord for every
+  ``Trainer.fit`` (see :mod:`repro.obs.records`).
 
 ``python -m repro.obs summarize <path>`` renders the per-span and
-per-op-kind tables.
+per-op-kind tables; ``export`` converts a trace to Chrome Trace Event
+format; ``runs list|show|diff`` browses the persistent run records.
 """
 
 from __future__ import annotations
@@ -40,6 +43,8 @@ from .registry import (
     publish_dict,
 )
 from .trace import attach, carrier, span, traced
+from . import records
+from .records import RunWindow, annotate
 
 __all__ = [
     "Counter",
@@ -51,6 +56,9 @@ __all__ = [
     "publish_dict",
     "trace",
     "profiler",
+    "records",
+    "RunWindow",
+    "annotate",
     "span",
     "traced",
     "carrier",

@@ -1,9 +1,15 @@
-"""``python -m repro.obs`` — summarize a trace/metrics JSONL.
+"""``python -m repro.obs`` — trace summaries, timeline export, run records.
 
-``summarize PATH`` rolls the JSONL emitted by :mod:`repro.obs.trace` (span
-events, ``profile`` events from :func:`repro.obs.profiler.flush`, and the
-optional final ``metrics`` snapshot) into three tables: per-span-name
-timing, per-op-kind plan-executor cost, and the counter/gauge snapshot.
+* ``summarize PATH`` rolls the JSONL emitted by :mod:`repro.obs.trace`
+  (span events, ``profile`` events from :func:`repro.obs.profiler.flush`,
+  and the optional final ``metrics`` snapshot) into three tables:
+  per-span-name timing, per-op-kind plan-executor cost, and the
+  counter/gauge snapshot.
+* ``export PATH [--format chrome]`` converts the same JSONL into Chrome
+  Trace Event format for ``chrome://tracing`` / Perfetto.
+* ``runs list|show|diff`` browses the persistent RunRecords
+  (:mod:`repro.obs.records`) in an artifact store and renders per-metric
+  and per-op-kind deltas between any two of them.
 """
 
 from __future__ import annotations
@@ -11,11 +17,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Dict, Iterable, List, Optional
 
 from .registry import percentile
 
-__all__ = ["main", "summarize"]
+__all__ = ["main", "summarize", "runs_list", "runs_show", "runs_diff"]
 
 
 def _read_events(path: str) -> List[dict]:
@@ -172,17 +179,281 @@ def summarize(path: str, stream=None) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# run records
+# --------------------------------------------------------------------------- #
+def _open_store(root: Optional[str]):
+    from . import records
+
+    return records.open_store(root)
+
+
+def _fmt_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _record_header(record: dict) -> str:
+    created = record.get("created")
+    when = (
+        time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(created))
+        if created
+        else "-"
+    )
+    return (
+        f"run {record.get('run_id', '?')[:12]}  kind={record.get('kind')}  "
+        f"label={record.get('label')}  created={when}  "
+        f"git={str(record.get('git_sha', '?'))[:12]}  "
+        f"wall={_fmt_value(record.get('wall_seconds'))}s  "
+        f"cpu={_fmt_value(record.get('cpu_seconds'))}s"
+    )
+
+
+def runs_list(store_root: Optional[str] = None, kind: Optional[str] = None, stream=None) -> int:
+    stream = stream or sys.stdout
+    store = _open_store(store_root)
+    records = store.list_run_records()
+    if kind:
+        records = [r for r in records if r.get("kind") == kind]
+    if not records:
+        print(f"no run records in {store.root}", file=stream)
+        return 0
+    rows = []
+    for record in records:
+        created = record.get("created")
+        rows.append(
+            [
+                record.get("run_id", "?")[:12],
+                str(record.get("kind", "-")),
+                str(record.get("label", "-")),
+                time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(created))
+                if created
+                else "-",
+                _fmt_value(record.get("wall_seconds")),
+            ]
+        )
+    print(_format_table(["run", "kind", "label", "created", "wall_s"], rows), file=stream)
+    return 0
+
+
+def runs_show(run_ref: str, store_root: Optional[str] = None, stream=None) -> int:
+    from . import records as _records
+
+    stream = stream or sys.stdout
+    store = _open_store(store_root)
+    try:
+        record = _records.load_record(run_ref, store=store)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if record is None:
+        print(f"error: no run record matches '{run_ref}' in {store.root}", file=sys.stderr)
+        return 2
+    print(_record_header(record), file=stream)
+    context = record.get("context") or {}
+    if context:
+        print("context: " + ", ".join(f"{k}={v}" for k, v in sorted(context.items())), file=stream)
+    print(file=stream)
+    spans = record.get("spans") or {}
+    if spans:
+        rows = [
+            [name, str(int(stat.get("count", 0))), f"{stat.get('total_ms', 0.0):.2f}",
+             f"{stat.get('max_ms', 0.0):.3f}"]
+            for name, stat in sorted(spans.items(), key=lambda kv: -kv[1].get("total_ms", 0.0))
+        ]
+        print("== Spans ==", file=stream)
+        print(_format_table(["span", "count", "total_ms", "max_ms"], rows), file=stream)
+        print(file=stream)
+    ops = _records.op_totals(record)
+    if ops:
+        rows = [
+            [kind, str(int(stat["calls"])), f"{stat['total_ms']:.2f}"]
+            for kind, stat in sorted(ops.items(), key=lambda kv: -kv[1]["total_ms"])
+        ]
+        print("== Plan executor (per op kind) ==", file=stream)
+        print(_format_table(["op kind", "calls", "total_ms"], rows), file=stream)
+        print(file=stream)
+    metrics = _records.flatten_metrics(record)
+    if metrics:
+        rows = [[key, _fmt_value(value)] for key, value in sorted(metrics.items())]
+        print("== Metrics ==", file=stream)
+        print(_format_table(["metric", "value"], rows), file=stream)
+    return 0
+
+
+def runs_diff(
+    ref_a: Optional[str] = None,
+    ref_b: Optional[str] = None,
+    store_root: Optional[str] = None,
+    threshold: float = 0.2,
+    warn: bool = False,
+    stream=None,
+) -> int:
+    """Diff two run records (default: the two most recent of the same kind).
+
+    With fewer than two comparable records the command reports so and
+    exits 0 — the CI soft gate must pass on the first ever run.
+    """
+    from . import records as _records
+
+    stream = stream or sys.stdout
+    store = _open_store(store_root)
+    try:
+        if ref_a and ref_b:
+            record_a = _records.load_record(ref_a, store=store)
+            record_b = _records.load_record(ref_b, store=store)
+            if record_a is None or record_b is None:
+                missing = ref_a if record_a is None else ref_b
+                print(f"error: no run record matches '{missing}'", file=sys.stderr)
+                return 2
+        else:
+            stored = store.list_run_records()
+            if ref_a:
+                record_b = _records.load_record(ref_a, store=store)
+                if record_b is None:
+                    print(f"error: no run record matches '{ref_a}'", file=sys.stderr)
+                    return 2
+                earlier = [
+                    r for r in stored
+                    if r.get("kind") == record_b.get("kind")
+                    and r.get("run_id") != record_b.get("run_id")
+                    and (r.get("created") or 0) <= (record_b.get("created") or 0)
+                ]
+                if not earlier:
+                    print("nothing to diff against (single record)", file=stream)
+                    return 0
+                record_a = earlier[-1]
+            else:
+                if not stored:
+                    print(f"no run records in {store.root}", file=stream)
+                    return 0
+                record_b = stored[-1]
+                earlier = [
+                    r for r in stored[:-1] if r.get("kind") == record_b.get("kind")
+                ]
+                if not earlier:
+                    print("nothing to diff against (single record)", file=stream)
+                    return 0
+                record_a = earlier[-1]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print("a: " + _record_header(record_a), file=stream)
+    print("b: " + _record_header(record_b), file=stream)
+    print(file=stream)
+    diff = _records.diff_records(record_a, record_b)
+    changed = [
+        e for e in diff["metrics"]
+        if e.get("a") != e.get("b")
+    ]
+    if changed:
+        rows = []
+        for entry in changed:
+            rows.append(
+                [
+                    entry["metric"],
+                    _fmt_value(entry.get("a")),
+                    _fmt_value(entry.get("b")),
+                    _fmt_value(entry.get("delta")),
+                    f"{entry['pct']:+.1f}%" if "pct" in entry else "-",
+                ]
+            )
+        print("== Metrics (a -> b) ==", file=stream)
+        print(_format_table(["metric", "a", "b", "delta", "pct"], rows), file=stream)
+        print(file=stream)
+    else:
+        print("no metric differences", file=stream)
+    if diff["ops"]:
+        rows = [
+            [
+                entry["op"],
+                f"{int(entry['calls_a'])} -> {int(entry['calls_b'])}",
+                f"{entry['total_ms_a']:.2f} -> {entry['total_ms_b']:.2f}",
+                f"{entry['delta_ms']:+.2f}",
+                f"{entry['pct']:+.1f}%" if "pct" in entry else "-",
+            ]
+            for entry in diff["ops"]
+        ]
+        print("== Plan executor delta (per op kind) ==", file=stream)
+        print(_format_table(["op kind", "calls", "total_ms", "delta_ms", "pct"], rows), file=stream)
+    if warn:
+        for problem in _records.regressions(diff, threshold=threshold):
+            print(f"::warning title=run-regression::{problem}", file=stream)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Summarize a repro.obs trace/metrics JSONL.",
+        description="Summarize/export repro.obs traces and browse run records.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     summarize_parser = sub.add_parser(
         "summarize", help="per-span and per-op-kind tables from a JSONL trace"
     )
     summarize_parser.add_argument("path", help="trace JSONL file (REPRO_TRACE output)")
+
+    export_parser = sub.add_parser(
+        "export", help="convert a JSONL trace to Chrome Trace Event format"
+    )
+    export_parser.add_argument("path", help="trace JSONL file (REPRO_TRACE output)")
+    export_parser.add_argument(
+        "-o", "--out", default=None, help="output path (default: <path>.chrome.json)"
+    )
+    export_parser.add_argument(
+        "--format", default="chrome", choices=("chrome",),
+        help="output format (chrome = Chrome Trace Event / Perfetto)",
+    )
+
+    runs_parser = sub.add_parser("runs", help="browse persistent run records")
+    runs_sub = runs_parser.add_subparsers(dest="runs_command", required=True)
+    list_parser = runs_sub.add_parser("list", help="list stored run records")
+    list_parser.add_argument("--store", default=None, help="artifact store root")
+    list_parser.add_argument("--kind", default=None, help="filter by record kind")
+    show_parser = runs_sub.add_parser("show", help="render one run record")
+    show_parser.add_argument("run", help="run id (or unique prefix)")
+    show_parser.add_argument("--store", default=None, help="artifact store root")
+    diff_parser = runs_sub.add_parser(
+        "diff", help="metric and per-op-kind deltas between two records"
+    )
+    diff_parser.add_argument("run_a", nargs="?", default=None, help="older record")
+    diff_parser.add_argument("run_b", nargs="?", default=None, help="newer record")
+    diff_parser.add_argument("--store", default=None, help="artifact store root")
+    diff_parser.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="fractional change that counts as a regression (default 0.2)",
+    )
+    diff_parser.add_argument(
+        "--warn", action="store_true",
+        help="emit ::warning annotations for direction-aware regressions",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "summarize":
         return summarize(args.path)
+    if args.command == "export":
+        from .export import export_chrome
+
+        try:
+            export_chrome(args.path, args.out, stream=sys.stdout)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return 0
+    if args.command == "runs":
+        if args.runs_command == "list":
+            return runs_list(args.store, kind=args.kind)
+        if args.runs_command == "show":
+            return runs_show(args.run, store_root=args.store)
+        if args.runs_command == "diff":
+            return runs_diff(
+                args.run_a,
+                args.run_b,
+                store_root=args.store,
+                threshold=args.threshold,
+                warn=args.warn,
+            )
     return 2

@@ -38,11 +38,13 @@ __all__ = [
     "carrier",
     "attach",
     "emit",
+    "add_collector",
+    "remove_collector",
 ]
 
 
 class _State:
-    __slots__ = ("enabled", "sink", "path", "_file", "lock")
+    __slots__ = ("enabled", "sink", "path", "_file", "lock", "collectors")
 
     def __init__(self) -> None:
         self.enabled = False
@@ -50,6 +52,10 @@ class _State:
         self.path: Optional[str] = None
         self._file = None
         self.lock = threading.Lock()
+        #: in-process observers fed every event in addition to the sink
+        #: (e.g. the RunRecord span roll-up).  A tuple so iteration in
+        #: :func:`emit` races safely against add/remove.
+        self.collectors: tuple = ()
 
 
 _state = _State()
@@ -104,10 +110,23 @@ def disable() -> None:
             _state._file = None
 
 
+def add_collector(fn: Callable[[Dict[str, Any]], None]) -> None:
+    """Register an in-process event observer (fed alongside the sink)."""
+    with _state.lock:
+        _state.collectors = _state.collectors + (fn,)
+
+
+def remove_collector(fn: Callable[[Dict[str, Any]], None]) -> None:
+    with _state.lock:
+        _state.collectors = tuple(c for c in _state.collectors if c is not fn)
+
+
 def emit(event: Dict[str, Any]) -> None:
     """Write one event dict to the active sink (no-op when disabled)."""
     if not _state.enabled:
         return
+    for collector in _state.collectors:
+        collector(event)
     sink = _state.sink
     if sink is not None:
         sink(event)

@@ -22,25 +22,37 @@ Over a socket: ``python -m repro.serve --store .repro-artifacts`` and
 :class:`SocketServeClient`.
 """
 
-from .client import ServeClient, ServeError, SocketServeClient
+from .client import (
+    DeadlineExceededError,
+    OverloadedError,
+    ServeClient,
+    ServeError,
+    ServeTimeoutError,
+    SocketServeClient,
+)
 from .models import ModelNotFound, ModelPool
 from .protocol import ProtocolError, decode_array, encode_array, robustness_cache_key
-from .queueing import Batch, BucketConfig, RequestQueue, WorkItem
+from .queueing import Batch, BucketConfig, QueueFull, RequestQueue, WorkItem
 from .server import RobustnessServer, is_coalescable, start_socket_server
-from .telemetry import ServerStats
+from .telemetry import RollingWindow, ServerStats
 
 __all__ = [
     "RobustnessServer",
     "ServeClient",
     "SocketServeClient",
     "ServeError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "ServeTimeoutError",
     "ModelPool",
     "ModelNotFound",
     "BucketConfig",
     "RequestQueue",
     "WorkItem",
     "Batch",
+    "QueueFull",
     "ServerStats",
+    "RollingWindow",
     "ProtocolError",
     "encode_array",
     "decode_array",

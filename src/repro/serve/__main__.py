@@ -46,6 +46,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="admission bound on queue depth (examples + jobs); excess work "
+        "is shed with an 'overloaded' error (default: unbounded)",
+    )
+    parser.add_argument(
         "--model-capacity", type=int, default=4, help="LRU bound on pinned checkpoints"
     )
     parser.add_argument(
@@ -79,6 +86,7 @@ async def _serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         workers=args.workers,
         model_capacity=args.model_capacity,
+        max_queue=args.max_queue,
     )
     server.start()
     try:

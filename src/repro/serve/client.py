@@ -4,9 +4,12 @@
 the shape used by tests and benches (no socket, same request lifecycle,
 including coalescing across concurrent client threads).
 :class:`SocketServeClient` speaks the newline-delimited JSON protocol to a
-``python -m repro.serve`` process.  Both expose the same four calls and
-return decoded result dicts (ndarray values restored), raising
-:class:`ServeError` on error responses.
+``python -m repro.serve`` process.  Both expose the same calls and return
+decoded result dicts (ndarray values restored), raising :class:`ServeError`
+on error responses — server-side SLO rejections carry a machine-readable
+``code`` and surface as the typed subclasses
+:class:`DeadlineExceededError` / :class:`OverloadedError`, so callers can
+retry-with-backoff on overload without string-matching error text.
 """
 
 from __future__ import annotations
@@ -21,16 +24,47 @@ import numpy as np
 
 from .protocol import decode_payload, encode_payload
 
-__all__ = ["ServeClient", "SocketServeClient", "ServeError"]
+__all__ = [
+    "ServeClient",
+    "SocketServeClient",
+    "ServeError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "ServeTimeoutError",
+]
 
 
 class ServeError(RuntimeError):
     """The server answered ``ok: false``."""
 
+    def __init__(self, message: str, code: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class DeadlineExceededError(ServeError):
+    """The request's ``deadline_ms`` expired before the server executed it."""
+
+
+class OverloadedError(ServeError):
+    """Admission control shed the request: the queue is at capacity."""
+
+
+class ServeTimeoutError(ServeError):
+    """The socket timed out waiting for the server (client-side deadline)."""
+
+
+_ERROR_TYPES = {
+    "deadline_exceeded": DeadlineExceededError,
+    "overloaded": OverloadedError,
+}
+
 
 def _check(response: Dict[str, Any]) -> Dict[str, Any]:
     if not response.get("ok"):
-        raise ServeError(response.get("error", "unknown server error"))
+        code = response.get("code")
+        error_type = _ERROR_TYPES.get(code, ServeError)
+        raise error_type(response.get("error", "unknown server error"), code=code)
     return decode_payload(response["result"])
 
 
@@ -45,32 +79,55 @@ class _RequestBuilder:
         with self._lock:
             return next(self._ids)
 
+    @staticmethod
+    def _with_deadline(
+        message: Dict[str, Any], deadline_ms: Optional[float]
+    ) -> Dict[str, Any]:
+        if deadline_ms is not None:
+            message["deadline_ms"] = float(deadline_ms)
+        return message
+
     def classify_request(
-        self, model: str, images: np.ndarray, return_logits: bool = False
+        self,
+        model: str,
+        images: np.ndarray,
+        return_logits: bool = False,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         return encode_payload(
-            {
-                "id": self._next_id(),
-                "kind": "classify",
-                "model": model,
-                "images": np.asarray(images),
-                "return_logits": bool(return_logits),
-            }
+            self._with_deadline(
+                {
+                    "id": self._next_id(),
+                    "kind": "classify",
+                    "model": model,
+                    "images": np.asarray(images),
+                    "return_logits": bool(return_logits),
+                },
+                deadline_ms,
+            )
         )
 
     def attack_request(
-        self, model: str, spec, images: np.ndarray, labels: np.ndarray
+        self,
+        model: str,
+        spec,
+        images: np.ndarray,
+        labels: np.ndarray,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         spec_dict = spec.as_dict() if hasattr(spec, "as_dict") else dict(spec)
         return encode_payload(
-            {
-                "id": self._next_id(),
-                "kind": "attack",
-                "model": model,
-                "spec": spec_dict,
-                "images": np.asarray(images),
-                "labels": np.asarray(labels),
-            }
+            self._with_deadline(
+                {
+                    "id": self._next_id(),
+                    "kind": "attack",
+                    "model": model,
+                    "spec": spec_dict,
+                    "images": np.asarray(images),
+                    "labels": np.asarray(labels),
+                },
+                deadline_ms,
+            )
         )
 
     def robustness_request(
@@ -80,6 +137,7 @@ class _RequestBuilder:
         labels: np.ndarray,
         suite: Optional[List] = None,
         options: Optional[Dict[str, Any]] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Dict[str, Any]:
         suite_dicts = None
         if suite is not None:
@@ -88,19 +146,25 @@ class _RequestBuilder:
                 for entry in suite
             ]
         return encode_payload(
-            {
-                "id": self._next_id(),
-                "kind": "robustness",
-                "model": model,
-                "images": np.asarray(images),
-                "labels": np.asarray(labels),
-                "suite": suite_dicts,
-                "options": dict(options or {}),
-            }
+            self._with_deadline(
+                {
+                    "id": self._next_id(),
+                    "kind": "robustness",
+                    "model": model,
+                    "images": np.asarray(images),
+                    "labels": np.asarray(labels),
+                    "suite": suite_dicts,
+                    "options": dict(options or {}),
+                },
+                deadline_ms,
+            )
         )
 
     def stats_request(self) -> Dict[str, Any]:
         return {"id": self._next_id(), "kind": "stats"}
+
+    def health_request(self) -> Dict[str, Any]:
+        return {"id": self._next_id(), "kind": "health"}
 
 
 class ServeClient(_RequestBuilder):
@@ -119,19 +183,28 @@ class ServeClient(_RequestBuilder):
     def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return _check(self.server.submit(request).result())
 
-    def classify(self, model: str, images, return_logits: bool = False):
-        return self._roundtrip(self.classify_request(model, images, return_logits))
-
-    def attack(self, model: str, spec, images, labels):
-        return self._roundtrip(self.attack_request(model, spec, images, labels))
-
-    def robustness(self, model: str, images, labels, suite=None, options=None):
+    def classify(self, model: str, images, return_logits: bool = False, deadline_ms=None):
         return self._roundtrip(
-            self.robustness_request(model, images, labels, suite, options)
+            self.classify_request(model, images, return_logits, deadline_ms=deadline_ms)
+        )
+
+    def attack(self, model: str, spec, images, labels, deadline_ms=None):
+        return self._roundtrip(
+            self.attack_request(model, spec, images, labels, deadline_ms=deadline_ms)
+        )
+
+    def robustness(self, model: str, images, labels, suite=None, options=None, deadline_ms=None):
+        return self._roundtrip(
+            self.robustness_request(
+                model, images, labels, suite, options, deadline_ms=deadline_ms
+            )
         )
 
     def stats(self) -> Dict[str, Any]:
         return self._roundtrip(self.stats_request())
+
+    def health(self) -> Dict[str, Any]:
+        return self._roundtrip(self.health_request())
 
 
 class SocketServeClient(_RequestBuilder):
@@ -141,11 +214,26 @@ class SocketServeClient(_RequestBuilder):
     connection, but this client sends one request at a time and matches the
     response by ``id``, so each instance is a simple synchronous channel —
     run several instances (one per thread) for concurrency.
+
+    ``timeout`` bounds every read (a stalled server surfaces as
+    :class:`ServeTimeoutError` instead of a hang); ``connect_timeout``
+    bounds only the initial connection (defaults to ``timeout``).
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 7341, timeout: float = 300.0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7341,
+        timeout: float = 300.0,
+        connect_timeout: Optional[float] = None,
+    ) -> None:
         super().__init__()
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.timeout = timeout
+        self._sock = socket.create_connection(
+            (host, port),
+            timeout=timeout if connect_timeout is None else connect_timeout,
+        )
+        self._sock.settimeout(timeout)
         self._file = self._sock.makefile("rwb")
         self._io_lock = threading.Lock()
 
@@ -163,26 +251,40 @@ class SocketServeClient(_RequestBuilder):
 
     def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
         with self._io_lock:
-            self._file.write(json.dumps(request).encode("utf-8") + b"\n")
-            self._file.flush()
-            while True:
-                line = self._file.readline()
-                if not line:
-                    raise ConnectionError("server closed the connection")
-                response = json.loads(line)
-                if response.get("id") == request["id"]:
-                    return _check(response)
+            try:
+                self._file.write(json.dumps(request).encode("utf-8") + b"\n")
+                self._file.flush()
+                while True:
+                    line = self._file.readline()
+                    if not line:
+                        raise ConnectionError("server closed the connection")
+                    response = json.loads(line)
+                    if response.get("id") == request["id"]:
+                        return _check(response)
+            except socket.timeout as error:
+                raise ServeTimeoutError(
+                    f"no response within {self.timeout}s", code="timeout"
+                ) from error
 
-    def classify(self, model: str, images, return_logits: bool = False):
-        return self._roundtrip(self.classify_request(model, images, return_logits))
-
-    def attack(self, model: str, spec, images, labels):
-        return self._roundtrip(self.attack_request(model, spec, images, labels))
-
-    def robustness(self, model: str, images, labels, suite=None, options=None):
+    def classify(self, model: str, images, return_logits: bool = False, deadline_ms=None):
         return self._roundtrip(
-            self.robustness_request(model, images, labels, suite, options)
+            self.classify_request(model, images, return_logits, deadline_ms=deadline_ms)
+        )
+
+    def attack(self, model: str, spec, images, labels, deadline_ms=None):
+        return self._roundtrip(
+            self.attack_request(model, spec, images, labels, deadline_ms=deadline_ms)
+        )
+
+    def robustness(self, model: str, images, labels, suite=None, options=None, deadline_ms=None):
+        return self._roundtrip(
+            self.robustness_request(
+                model, images, labels, suite, options, deadline_ms=deadline_ms
+            )
         )
 
     def stats(self) -> Dict[str, Any]:
         return self._roundtrip(self.stats_request())
+
+    def health(self) -> Dict[str, Any]:
+        return self._roundtrip(self.health_request())

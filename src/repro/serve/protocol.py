@@ -7,19 +7,30 @@ the byte-identity contract of the server extends to the wire.
 
 Request schema::
 
-    {"id": <any>, "kind": "classify" | "attack" | "robustness" | "stats",
-     "model": "<training-hash prefix or registered name>",   # not for stats
+    {"id": <any>,
+     "kind": "classify" | "attack" | "robustness" | "stats" | "health",
+     "model": "<training-hash prefix or registered name>",   # not stats/health
      "images": <array>, "labels": <array>,                   # kind-dependent
      "spec": {"name": ..., "params": {...}},                 # attack only
      "suite": [<spec>, ...] | null, "options": {...},        # robustness only
+     "deadline_ms": <number>,                                # optional SLO
      "trace": {"trace_id": ..., "span_id": ...}}             # optional carrier
 
 The optional ``trace`` field carries a :func:`repro.obs.trace.carrier` from
 the client: worker-side spans (``serve.batch`` / ``serve.job``) parent onto
 it, so a distributed trace stays one tree across the socket boundary.
 
+``deadline_ms`` is a server-side time budget measured from admission: work
+whose deadline expires before a worker reaches it is rejected (counted as
+``deadline_exceeded``) instead of occupying a batch slot.  The ``health``
+kind is answered synchronously from the submission path — never queued —
+so it keeps responding while the server is overloaded.
+
 Responses echo the ``id``: ``{"id": ..., "ok": true, "result": {...}}`` or
-``{"id": ..., "ok": false, "error": "..."}``.
+``{"id": ..., "ok": false, "error": "...", "code": "..."}`` — ``code`` is a
+machine-readable classifier present on SLO rejections
+(``"deadline_exceeded"``, ``"overloaded"``) so clients can branch without
+string-matching error text.
 """
 
 from __future__ import annotations

@@ -27,9 +27,13 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["BucketConfig", "WorkItem", "Batch", "RequestQueue"]
+__all__ = ["BucketConfig", "WorkItem", "Batch", "RequestQueue", "QueueFull"]
 
 DEFAULT_BUCKETS = (4, 8, 16, 32)
+
+
+class QueueFull(RuntimeError):
+    """Admission control rejected new work: the queue is at ``max_depth``."""
 
 
 class BucketConfig:
@@ -109,19 +113,40 @@ class RequestQueue:
     until a batch is carvable, a job is pending, or the timeout expires.
     """
 
-    def __init__(self, buckets: BucketConfig, max_wait: float = 0.005) -> None:
+    def __init__(
+        self,
+        buckets: BucketConfig,
+        max_wait: float = 0.005,
+        max_depth: Optional[int] = None,
+    ) -> None:
         self.buckets = buckets
         self.max_wait = float(max_wait)
+        #: admission bound on :attr:`depth` (examples + jobs); ``None`` is
+        #: unbounded.  New work that would push the depth past the bound
+        #: raises :class:`QueueFull` — size it above the largest single
+        #: request, since requests are admitted or rejected whole.
+        self.max_depth = int(max_depth) if max_depth is not None else None
         self._groups: "OrderedDict[Tuple[Any, ...], _Group]" = OrderedDict()
         self._jobs: Deque[Any] = deque()
         self._cond = threading.Condition()
         self._closed = False
 
+    def _depth_locked(self) -> int:
+        return sum(g.total for g in self._groups.values()) + len(self._jobs)
+
+    def _admit_locked(self, incoming: int) -> None:
+        if self._closed:
+            raise RuntimeError("queue is closed")
+        if self.max_depth is not None and self._depth_locked() + incoming > self.max_depth:
+            raise QueueFull(
+                f"queue depth {self._depth_locked()} + {incoming} exceeds "
+                f"max_depth {self.max_depth}"
+            )
+
     # -- submission side ---------------------------------------------------------
     def put_items(self, key: Tuple[Any, ...], items: List[WorkItem]) -> None:
         with self._cond:
-            if self._closed:
-                raise RuntimeError("queue is closed")
+            self._admit_locked(sum(item.count for item in items))
             group = self._groups.get(key)
             if group is None:
                 group = self._groups[key] = _Group()
@@ -130,10 +155,18 @@ class RequestQueue:
                 group.total += item.count
             self._cond.notify_all()
 
-    def put_job(self, job: Any) -> None:
+    def put_job(self, job: Any, force: bool = False) -> None:
+        """Enqueue whole-request work.
+
+        ``force=True`` bypasses admission control — used for the ``stats``
+        kind so the telemetry endpoint stays reachable under overload.
+        """
         with self._cond:
-            if self._closed:
-                raise RuntimeError("queue is closed")
+            if force:
+                if self._closed:
+                    raise RuntimeError("queue is closed")
+            else:
+                self._admit_locked(1)
             self._jobs.append(job)
             self._cond.notify_all()
 
@@ -146,7 +179,7 @@ class RequestQueue:
     def depth(self) -> int:
         """Examples + jobs currently waiting (telemetry)."""
         with self._cond:
-            return sum(g.total for g in self._groups.values()) + len(self._jobs)
+            return self._depth_locked()
 
     # -- worker side -------------------------------------------------------------
     def _carve(self, key: Tuple[Any, ...], group: _Group, limit: int) -> Batch:

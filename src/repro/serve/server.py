@@ -25,12 +25,26 @@ Request kinds:
   ``(checkpoint hash, suite, options, data digest)``.
 * ``stats`` — telemetry snapshot (queue, batches, pad waste, latency
   percentiles, per-model plan-cache counters).
+* ``health`` — SLO surface, resolved synchronously in :meth:`submit` (it
+  never touches the queue, so it answers even when the server is
+  overloaded): ok/degraded/overloaded from worker heartbeats, queue
+  utilization and the rolling error-rate window.
+
+SLO machinery: ``classify``/``attack``/``robustness`` requests may carry a
+``deadline_ms`` budget — work whose deadline expires while queued is
+rejected with a counted ``deadline_exceeded`` error instead of occupying a
+batch slot — and a ``max_queue`` bound sheds new work with an
+``overloaded`` error once the queue is at capacity.  When the server owns
+a store, each serve session persists a RunRecord on :meth:`stop` (see
+:mod:`repro.obs.records`).
 
 Byte-identity contract: coalescing, padding and request interleaving never
 change a request's results — every kernel in the stack is row-independent,
 so a request's rows compute identically inside any padded batch (the
 property tests in ``tests/serve`` assert bitwise equality against the
-offline engine).
+offline engine).  Dropping expired co-riders from a batch preserves it too:
+the survivors are re-padded to the smallest fitting bucket, which is the
+same row-independent computation the offline engine performs.
 """
 
 from __future__ import annotations
@@ -47,7 +61,7 @@ import numpy as np
 from ..attacks.engine import AttackSpec
 from ..evaluation.robustness import evaluate_robustness
 from ..nn import get_default_dtype
-from ..obs import trace as _trace
+from ..obs import records as _records, trace as _trace
 from .models import ModelPool
 from .protocol import (
     ProtocolError,
@@ -56,7 +70,7 @@ from .protocol import (
     robustness_cache_key,
     trace_carrier,
 )
-from .queueing import Batch, BucketConfig, RequestQueue, WorkItem
+from .queueing import Batch, BucketConfig, QueueFull, RequestQueue, WorkItem
 from .telemetry import ServerStats
 
 __all__ = ["RobustnessServer", "is_coalescable", "start_socket_server"]
@@ -101,6 +115,7 @@ class _PendingRequest:
         options: Optional[Dict[str, Any]] = None,
         return_logits: bool = False,
         trace_parent: Optional[Dict[str, str]] = None,
+        deadline_ms: Optional[float] = None,
     ) -> None:
         self.id = request_id
         self.kind = kind
@@ -113,6 +128,12 @@ class _PendingRequest:
         self.return_logits = return_logits
         self.future = future
         self.enqueued = time.monotonic()
+        self.deadline_ms = deadline_ms
+        #: absolute monotonic deadline; work still queued past it is
+        #: rejected instead of executed.
+        self.deadline = (
+            self.enqueued + deadline_ms / 1e3 if deadline_ms is not None else None
+        )
         #: span parent for worker-side spans: the submitting thread's open
         #: span (in-process callers) or the request's wire carrier.
         self.trace_parent = trace_parent if trace_parent is not None else _trace.carrier()
@@ -125,6 +146,16 @@ class _PendingRequest:
     @property
     def examples(self) -> int:
         return 0 if self.images is None else len(self.images)
+
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return self._done
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
 
     def expect_chunks(self, count: int) -> None:
         self._remaining = count
@@ -151,15 +182,27 @@ class _PendingRequest:
             self._done = True
         self._finish(result)
 
-    def fail(self, message: str) -> None:
+    def fail(self, message: str, code: Optional[str] = None) -> None:
+        """Resolve with an error response (idempotent across chunks).
+
+        ``code`` is a machine-readable discriminator (``deadline_exceeded``,
+        ``overloaded``) clients map to typed exceptions; the matching SLO
+        counters increment here, inside the done-guard, so a multi-chunk
+        request counts once no matter how many chunks observe the expiry.
+        """
         with self._lock:
             if self._done:
                 return
             self._done = True
+        if code == "deadline_exceeded":
+            self._stats.record_deadline_exceeded()
         self._stats.record_request(
             self.kind, time.monotonic() - self.enqueued, self.examples, error=True
         )
-        self.future.set_result({"id": self.id, "ok": False, "error": message})
+        response = {"id": self.id, "ok": False, "error": message}
+        if code is not None:
+            response["code"] = code
+        self.future.set_result(response)
 
     def _finish(self, result: Dict[str, Any]) -> None:
         self._stats.record_request(
@@ -198,6 +241,15 @@ class RobustnessServer:
         single-threaded), all share one queue, model pool and stats.
     model_capacity:
         LRU bound on concurrently-pinned checkpoints.
+    max_queue:
+        Admission-control bound on queue depth (examples + jobs); new
+        work past it is shed with an ``overloaded`` error.  ``None``
+        (default) is unbounded.
+    stall_after_s:
+        A worker whose last heartbeat is older than this counts as
+        stalled in the ``health`` report.
+    window_s:
+        Width of the rolling latency/error SLO window.
     """
 
     def __init__(
@@ -207,18 +259,26 @@ class RobustnessServer:
         max_wait_ms: float = 5.0,
         workers: int = 2,
         model_capacity: int = 4,
+        max_queue: Optional[int] = None,
+        stall_after_s: float = 5.0,
+        window_s: float = 60.0,
     ) -> None:
         if workers < 1:
             raise ValueError("at least one worker thread is required")
         self.store = store
         self.buckets = buckets if isinstance(buckets, BucketConfig) else BucketConfig(buckets)
-        self.queue = RequestQueue(self.buckets, max_wait=max_wait_ms / 1e3)
+        self.queue = RequestQueue(
+            self.buckets, max_wait=max_wait_ms / 1e3, max_depth=max_queue
+        )
         self.pool = ModelPool(store=store, capacity=model_capacity, buckets=self.buckets)
-        self.stats = ServerStats()
+        self.stats = ServerStats(window_s=window_s)
         self.workers = int(workers)
+        self.stall_after_s = float(stall_after_s)
+        self._heartbeats: Dict[int, float] = {}
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
         self._started = False
+        self._run_window: Optional[_records.RunWindow] = None
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> "RobustnessServer":
@@ -226,7 +286,13 @@ class RobustnessServer:
             return self
         self._started = True
         self._stop.clear()
+        if self.store is not None and self._run_window is None:
+            self._run_window = _records.RunWindow(
+                "serve", label=self.stats.name
+            ).open()
+        now = time.monotonic()
         for worker_id in range(self.workers):
+            self._heartbeats[worker_id] = now
             thread = threading.Thread(
                 target=self._worker_loop,
                 args=(worker_id,),
@@ -240,12 +306,28 @@ class RobustnessServer:
     def stop(self) -> None:
         if not self._started:
             return
+        # Health reflects the live session — capture it before the workers
+        # are told to wind down, for the session's RunRecord.
+        final_health = self._health_result() if self._run_window is not None else None
         self._stop.set()
         self.queue.close()
         for thread in self._threads:
             thread.join(timeout=5.0)
         self._threads.clear()
         self._started = False
+        window, self._run_window = self._run_window, None
+        if window is not None:
+            window.close()
+            record = window.build(
+                stats=self.stats.snapshot(),
+                health=final_health,
+                models=self.pool.stats(),
+                profile=self.pool.profiles(),
+            )
+            try:
+                _records.save_record(record, store=self.store)
+            except OSError:
+                pass  # a read-only store must not break shutdown
 
     def __enter__(self) -> "RobustnessServer":
         return self.start()
@@ -275,12 +357,24 @@ class RobustnessServer:
                     {"id": request_id, "ok": False, "error": str(error)}
                 )
                 return future
-            if request.kind == "classify" or (
-                request.kind == "attack" and is_coalescable(request.spec)
-            ):
-                self._enqueue_items(request)
-            else:
-                self.queue.put_job(_Job(request))
+            if request.kind == "health":
+                # Resolved inline so the health surface answers even when
+                # the queue is full and every worker is busy or stalled.
+                request.resolve(self._health_result())
+                return future
+            try:
+                if request.kind == "classify" or (
+                    request.kind == "attack" and is_coalescable(request.spec)
+                ):
+                    self._enqueue_items(request)
+                elif request.kind == "stats":
+                    # Telemetry stays reachable under overload.
+                    self.queue.put_job(_Job(request), force=True)
+                else:
+                    self.queue.put_job(_Job(request))
+            except QueueFull as error:
+                self.stats.record_shed(request.kind)
+                request.fail(str(error), code="overloaded")
             return future
 
     def handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
@@ -291,11 +385,18 @@ class RobustnessServer:
         if not isinstance(message, dict):
             raise ProtocolError("request must be a JSON object")
         kind = message.get("kind")
-        if kind not in ("classify", "attack", "robustness", "stats"):
+        if kind not in ("classify", "attack", "robustness", "stats", "health"):
             raise ProtocolError(f"unknown request kind {kind!r}")
         payload = decode_payload(message)
         wire_carrier = trace_carrier(message)
-        if kind == "stats":
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None:
+            if not isinstance(deadline_ms, (int, float)) or isinstance(
+                deadline_ms, bool
+            ) or not deadline_ms > 0:
+                raise ProtocolError("'deadline_ms' must be a positive number")
+            deadline_ms = float(deadline_ms)
+        if kind in ("stats", "health"):
             return _PendingRequest(
                 payload.get("id"), kind, None, None, None, future, self.stats,
                 trace_parent=wire_carrier,
@@ -345,6 +446,7 @@ class RobustnessServer:
             options=options,
             return_logits=bool(payload.get("return_logits", False)),
             trace_parent=wire_carrier,
+            deadline_ms=deadline_ms,
         )
 
     def _enqueue_items(self, request: _PendingRequest) -> None:
@@ -369,6 +471,7 @@ class RobustnessServer:
     # -- workers -----------------------------------------------------------------
     def _worker_loop(self, worker_id: int) -> None:
         while not self._stop.is_set():
+            self._heartbeats[worker_id] = time.monotonic()
             work = self.queue.next_work(timeout=0.05)
             if work is None:
                 continue
@@ -377,6 +480,7 @@ class RobustnessServer:
                 self._run_batch(worker_id, payload)
             else:
                 self._run_job(worker_id, payload)
+            self._heartbeats[worker_id] = time.monotonic()
 
     def _run_batch(self, worker_id: int, batch: Batch) -> None:
         model_id, kind, spec_json, example_shape, dtype_str = batch.key
@@ -389,23 +493,50 @@ class RobustnessServer:
             ):
                 self._run_batch_inner(worker_id, batch)
 
+    def _live_items(self, batch: Batch) -> List[WorkItem]:
+        """The batch items still worth executing: deadline-expired requests
+        are failed (counted once per request) and requests already resolved
+        (an earlier chunk expired) are skipped, so neither occupies a slot.
+        """
+        now = time.monotonic()
+        live: List[WorkItem] = []
+        for item in batch.items:
+            request = item.request
+            if request.expired(now):
+                request.fail(
+                    f"deadline_ms={request.deadline_ms:g} expired before execution",
+                    code="deadline_exceeded",
+                )
+            elif not request.done:
+                live.append(item)
+        return live
+
     def _run_batch_inner(self, worker_id: int, batch: Batch) -> None:
         model_id, kind, spec_json, example_shape, dtype_str = batch.key
+        items = self._live_items(batch)
+        if not items:
+            return
+        examples = sum(item.count for item in items)
+        # Survivors of a deadline cull re-fit to the smallest bucket — the
+        # identical padding computation the offline engine would perform.
+        pad_to = (
+            batch.pad_to if examples == batch.examples else self.buckets.fit(examples)
+        )
         now = time.monotonic()
         self.stats.record_batch(
-            batch.examples, batch.pad_to, [now - item.enqueued for item in batch.items]
+            examples, pad_to, [now - item.enqueued for item in items]
         )
         try:
             entry = self.pool.get(model_id)
         except Exception as error:
-            for item in batch.items:
+            for item in items:
                 item.request.fail(str(error))
             return
-        images = np.zeros((batch.pad_to,) + example_shape, dtype=np.dtype(dtype_str))
-        labels = np.zeros(batch.pad_to, dtype=np.int64)
+        images = np.zeros((pad_to,) + example_shape, dtype=np.dtype(dtype_str))
+        labels = np.zeros(pad_to, dtype=np.int64)
         offsets: List[Tuple[WorkItem, int]] = []
         cursor = 0
-        for item in batch.items:
+        for item in items:
             images[cursor : cursor + item.count] = item.images
             if item.labels is not None:
                 labels[cursor : cursor + item.count] = item.labels
@@ -441,11 +572,17 @@ class RobustnessServer:
                         },
                     )
         except Exception as error:
-            for item in batch.items:
+            for item in items:
                 item.request.fail(f"{type(error).__name__}: {error}")
 
     def _run_job(self, worker_id: int, job: _Job) -> None:
         request = job.request
+        if request.expired():
+            request.fail(
+                f"deadline_ms={request.deadline_ms:g} expired before execution",
+                code="deadline_exceeded",
+            )
+            return
         self.stats.record_job()
         with _trace.attach(request.trace_parent):
             with _trace.span(
@@ -529,6 +666,67 @@ class RobustnessServer:
             "queue_depth": self.queue.depth,
             "buckets": list(self.buckets.sizes),
             "workers": self.workers,
+        }
+
+    # -- health / SLOs -----------------------------------------------------------
+    #: rolling error rate at/above which the server reports ``degraded``.
+    DEGRADED_ERROR_RATE = 0.5
+    #: queue utilization at/above which the server reports ``degraded``.
+    DEGRADED_QUEUE_UTILIZATION = 0.8
+
+    def health(self) -> Dict[str, Any]:
+        """The SLO health report (also served as the ``health`` kind)."""
+        return self._health_result()
+
+    def _health_result(self) -> Dict[str, Any]:
+        now = time.monotonic()
+        ages = {
+            worker_id: now - beat for worker_id, beat in sorted(self._heartbeats.items())
+        }
+        stalled = [
+            worker_id for worker_id, age in ages.items() if age >= self.stall_after_s
+        ]
+        depth = self.queue.depth
+        max_depth = self.queue.max_depth
+        utilization = depth / max_depth if max_depth else 0.0
+        window = self.stats.window.snapshot()
+        queue_full = max_depth is not None and depth >= max_depth
+        all_stalled = self._started and len(stalled) == len(self._heartbeats) > 0
+        if all_stalled or queue_full:
+            status = "overloaded"
+        elif (
+            stalled
+            or window["error_rate"] >= self.DEGRADED_ERROR_RATE
+            or utilization >= self.DEGRADED_QUEUE_UTILIZATION > 0
+        ):
+            status = "degraded"
+        else:
+            status = "ok"
+        pool_stats = self.pool.stats()
+        return {
+            "status": status,
+            "started": self._started,
+            "workers": {
+                "configured": self.workers,
+                "stalled": stalled,
+                "stall_after_s": self.stall_after_s,
+                "heartbeat_age_s": {str(k): v for k, v in ages.items()},
+            },
+            "queue": {
+                "depth": depth,
+                "max_depth": max_depth,
+                "utilization": utilization,
+            },
+            "window": window,
+            "counters": {
+                "errors": self.stats.errors,
+                "shed": self.stats.shed,
+                "deadline_exceeded": self.stats.deadline_exceeded,
+            },
+            "pool": {
+                "models": len(pool_stats),
+                "allocations": self.pool.pool_allocations(),
+            },
         }
 
 

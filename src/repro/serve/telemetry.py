@@ -20,20 +20,89 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from typing import Dict, Optional
+from collections import deque
+from typing import Callable, Dict, Optional
 
 from ..obs.registry import Counter, Histogram, get_registry, percentile
 
-__all__ = ["ServerStats", "percentile"]
+__all__ = ["ServerStats", "RollingWindow", "percentile"]
 
 #: unique per-instance label so concurrent servers never share series.
 _instance_ids = itertools.count(1)
 
 
+class RollingWindow:
+    """Time-based ring buffer of request outcomes for SLO health checks.
+
+    Unlike the cumulative :class:`ServerStats` (whose reservoirs hold the
+    most recent *N observations* regardless of age), the window answers
+    "how is the server doing over the last ``window_s`` seconds" — stale
+    entries are evicted by timestamp on every record and snapshot, so an
+    idle server decays back to an empty (healthy) window instead of
+    reporting its last burst forever.  ``clock`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 60.0,
+        maxlen: int = 8192,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.window_s = float(window_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: (timestamp, latency_s, error) triples, oldest first.
+        self._entries: deque = deque(maxlen=maxlen)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window_s
+        entries = self._entries
+        while entries and entries[0][0] < cutoff:
+            entries.popleft()
+
+    def record(self, latency_s: float, error: bool = False) -> None:
+        now = self._clock()
+        with self._lock:
+            self._entries.append((now, float(latency_s), bool(error)))
+            self._evict(now)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._evict(self._clock())
+            return len(self._entries)
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            self._evict(self._clock())
+            entries = list(self._entries)
+        latencies = [entry[1] for entry in entries]
+        errors = sum(1 for entry in entries if entry[2])
+        count = len(entries)
+        return {
+            "window_s": self.window_s,
+            "requests": count,
+            "errors": errors,
+            "error_rate": errors / count if count else 0.0,
+            "requests_per_sec": count / self.window_s,
+            "p50_ms": percentile(latencies, 50) * 1e3,
+            "p95_ms": percentile(latencies, 95) * 1e3,
+            "p99_ms": percentile(latencies, 99) * 1e3,
+        }
+
+
 class ServerStats:
     """Counters + bounded latency reservoirs behind the ``stats`` endpoint."""
 
-    def __init__(self, reservoir: int = 4096, name: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        reservoir: int = 4096,
+        name: Optional[str] = None,
+        window_s: float = 60.0,
+    ) -> None:
         self._lock = threading.Lock()
         self._started = time.monotonic()
         self._reservoir = reservoir
@@ -51,6 +120,10 @@ class ServerStats:
         self._report_cache_misses = reg.counter(
             "serve.report_cache_misses", self._labels
         )
+        self._shed = reg.counter("serve.shed", self._labels)
+        self._deadline_exceeded = reg.counter(
+            "serve.deadline_exceeded", self._labels
+        )
         self._latencies: Dict[str, Histogram] = {}
         self._queue_times = reg.histogram(
             "serve.queue_seconds", self._labels, maxlen=reservoir
@@ -58,6 +131,12 @@ class ServerStats:
         self._batch_sizes = reg.histogram(
             "serve.batch_size", self._labels, maxlen=reservoir
         )
+        #: rolling SLO window, distinct from the cumulative series above.
+        self.window = RollingWindow(window_s=window_s)
+
+    @property
+    def name(self) -> str:
+        return self._labels["server"]
 
     # -- registry read-through (legacy attribute shapes) -------------------------
     @property
@@ -97,6 +176,14 @@ class ServerStats:
     def report_cache_misses(self) -> int:
         return self._report_cache_misses.value
 
+    @property
+    def shed(self) -> int:
+        return self._shed.value
+
+    @property
+    def deadline_exceeded(self) -> int:
+        return self._deadline_exceeded.value
+
     def _kind_series(self, kind: str) -> tuple:
         """(request counter, latency reservoir) for one request kind."""
         counter = self._requests.get(kind)
@@ -124,6 +211,8 @@ class ServerStats:
                 self._jobs,
                 self._report_cache_hits,
                 self._report_cache_misses,
+                self._shed,
+                self._deadline_exceeded,
                 self._queue_times,
                 self._batch_sizes,
                 *self._requests.values(),
@@ -132,6 +221,7 @@ class ServerStats:
                 metric.reset()
             self._requests = {}
             self._latencies = {}
+            self.window.reset()
 
     # -- recording ---------------------------------------------------------------
     def record_request(
@@ -144,6 +234,18 @@ class ServerStats:
         if error:
             self._errors.inc()
         reservoir.observe(latency)
+        # Health probes are meta-traffic: they must not dilute the SLO
+        # window they are reporting on.
+        if kind != "health":
+            self.window.record(latency, error=error)
+
+    def record_shed(self, kind: Optional[str] = None) -> None:
+        """One request rejected by admission control (queue at capacity)."""
+        self._shed.inc()
+
+    def record_deadline_exceeded(self) -> None:
+        """One request whose deadline expired before execution."""
+        self._deadline_exceeded.inc()
 
     def record_batch(self, examples: int, pad_to: int, queue_times) -> None:
         self._batches.inc()
@@ -202,6 +304,9 @@ class ServerStats:
                 sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0
             ),
             "jobs": self._jobs.value,
+            "shed": self._shed.value,
+            "deadline_exceeded": self._deadline_exceeded.value,
+            "window": self.window.snapshot(),
             "report_cache": {
                 "hits": self._report_cache_hits.value,
                 "misses": self._report_cache_misses.value,

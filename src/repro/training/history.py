@@ -23,6 +23,9 @@ class EpochRecord:
     learning_rate: float
     natural_accuracy: Optional[float] = None
     adversarial_accuracy: Optional[float] = None
+    #: wall-clock seconds of the training epoch (excluding eval hooks);
+    #: ``None`` for histories built before timing existed.
+    seconds: Optional[float] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
 
@@ -70,8 +73,9 @@ class TrainingHistory:
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict view used by the benches when printing series.
 
-        The ``compile`` key appears only for compiled-training runs, so
-        histories produced by eager runs keep their exact shape.
+        The ``compile`` and ``epoch_seconds`` keys appear only when the run
+        produced them (compiled training / timed epochs), so histories from
+        older runs keep their exact shape.
         """
         data = {
             "epoch": [r.epoch for r in self.records],
@@ -80,6 +84,8 @@ class TrainingHistory:
             "natural_accuracy": [r.natural_accuracy for r in self.records],
             "adversarial_accuracy": [r.adversarial_accuracy for r in self.records],
         }
+        if any(r.seconds is not None for r in self.records):
+            data["epoch_seconds"] = [r.seconds for r in self.records]
         if self.compile_stats is not None:
             data["compile"] = dict(self.compile_stats)
         return data

@@ -18,6 +18,7 @@ once, tracking every in-place weight update) when they declare a
 from __future__ import annotations
 
 import inspect
+import time
 from typing import Callable, Optional
 
 import numpy as np
@@ -26,7 +27,7 @@ from ..nn import Tensor, no_grad
 from ..nn.optim import Optimizer, SGD, StepLR, _Scheduler
 from ..data.loaders import DataLoader
 from ..models.base import ImageClassifier
-from ..obs import publish_dict as _publish_dict, trace as _trace
+from ..obs import publish_dict as _publish_dict, records as _records, trace as _trace
 from .adversarial import CrossEntropyLoss, LossStrategy
 from .history import EpochRecord, TrainingHistory
 
@@ -281,7 +282,31 @@ class Trainer:
         return total_loss / total_examples, total_correct / total_examples
 
     def fit(self, loader: DataLoader, epochs: int) -> TrainingHistory:
-        """Train for ``epochs`` epochs, recording history."""
+        """Train for ``epochs`` epochs, recording history.
+
+        Under ``REPRO_RUNS`` (see :mod:`repro.obs.records`) the whole fit is
+        bracketed by a :class:`~repro.obs.records.RunWindow` and persisted as
+        a ``train`` run record — per-epoch series, span roll-up, executor
+        profile and wall/CPU time — retrievable via
+        ``python -m repro.obs runs list``.
+        """
+        if not _records.enabled():
+            return self._fit(loader, epochs)
+        window = _records.RunWindow("train", label=type(self.loss_strategy).__name__)
+        with window:
+            history = self._fit(loader, epochs)
+        try:
+            _records.save_record(
+                window.build(
+                    history=history.as_dict(),
+                    profile=self.profile() or None,
+                )
+            )
+        except OSError:
+            pass  # recording must never fail the training run
+        return history
+
+    def _fit(self, loader: DataLoader, epochs: int) -> TrainingHistory:
         offer_compiled_eval = self.compile and any(
             hook is not None and _hook_accepts_compiled(hook)
             for hook in (self.eval_natural, self.eval_adversarial)
@@ -289,10 +314,12 @@ class Trainer:
         for epoch in range(1, epochs + 1):
             stats = self.compile_stats
             before = stats.snapshot() if stats is not None else None
+            epoch_start = time.perf_counter()
             with _trace.span(
                 "train.epoch", {"epoch": epoch} if _trace.enabled() else None
             ):
                 train_loss, train_accuracy = self.train_epoch(loader)
+            epoch_seconds = time.perf_counter() - epoch_start
             compiled_eval = self._compiled_eval_model() if offer_compiled_eval else None
             natural = self._run_eval_hook(self.eval_natural, compiled_eval)
             adversarial = self._run_eval_hook(self.eval_adversarial, compiled_eval)
@@ -303,6 +330,7 @@ class Trainer:
                 learning_rate=self.optimizer.lr,
                 natural_accuracy=natural,
                 adversarial_accuracy=adversarial,
+                seconds=epoch_seconds,
             )
             stats = self.compile_stats
             if stats is not None:

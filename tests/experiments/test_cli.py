@@ -52,8 +52,9 @@ def test_run_list_inspect_clear(tmp_path, spec_file, capsys):
     assert main(["--store", store, "inspect", spec.content_hash[:12]]) == 0
     assert spec.content_hash in capsys.readouterr().out
 
+    # 2 models + 2 reports + one grid RunRecord per invocation.
     assert main(["--store", store, "clear", "--yes"]) == 0
-    assert "removed 4 artifact(s)" in capsys.readouterr().out
+    assert "removed 6 artifact(s)" in capsys.readouterr().out
 
 
 def test_inspect_unknown_hash_fails(tmp_path, capsys):

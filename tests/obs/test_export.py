@@ -1,0 +1,127 @@
+"""Chrome Trace Event export: format, pid/tid mapping, CLI round trip."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import cli, trace
+from repro.obs.export import chrome_trace, export_chrome
+
+
+def span_event(name, ts, dur_ms, pid=100, thread="MainThread", **extra):
+    event = {
+        "event": "span", "name": name, "trace_id": "t1", "span_id": name,
+        "parent_id": None, "ts": ts, "dur_ms": dur_ms, "thread": thread, "pid": pid,
+    }
+    event.update(extra)
+    return event
+
+
+def sample_events():
+    return [
+        span_event("train.epoch", ts=10.0, dur_ms=2000.0),
+        span_event("serve.batch", ts=10.5, dur_ms=100.0, pid=101, thread="repro-serve-0"),
+        span_event("serve.batch", ts=10.6, dur_ms=50.0, pid=101, thread="repro-serve-1",
+                   attrs={"kind": "classify"}),
+        {"event": "metrics", "pid": 100, "snapshot": {}},  # ignored
+    ]
+
+
+class TestChromeTrace:
+    def test_complete_events_with_rebased_microseconds(self):
+        doc = chrome_trace(sample_events())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 3
+        by_name = {}
+        for event in xs:
+            by_name.setdefault(event["name"], event)
+        # train.epoch started at ts - dur = 8.0s, the earliest -> ts 0.
+        assert by_name["train.epoch"]["ts"] == 0.0
+        assert by_name["train.epoch"]["dur"] == 2_000_000.0
+        # serve.batch (pid 101, worker 0) started at 10.4s -> 2.4s after origin.
+        assert by_name["serve.batch"]["ts"] == 2_400_000.0
+        assert by_name["serve.batch"]["dur"] == 100_000.0
+
+    def test_category_is_first_dotted_segment(self):
+        doc = chrome_trace(sample_events())
+        cats = {e["name"]: e["cat"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert cats == {"train.epoch": "train", "serve.batch": "serve"}
+
+    def test_pid_tid_mapping_and_metadata(self):
+        doc = chrome_trace(sample_events())
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        serve = sorted(
+            (e for e in xs if e["pid"] == 101), key=lambda e: e["ts"]
+        )
+        assert [e["tid"] for e in serve] == [1, 2]  # one track per thread
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        process_names = {
+            e["pid"]: e["args"]["name"] for e in metas if e["name"] == "process_name"
+        }
+        assert process_names == {100: "repro pid 100", 101: "repro pid 101"}
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in metas
+            if e["name"] == "thread_name"
+        }
+        assert thread_names[(101, 1)] == "repro-serve-0"
+        assert thread_names[(101, 2)] == "repro-serve-1"
+
+    def test_args_carry_ids_and_attrs(self):
+        doc = chrome_trace(sample_events())
+        attrs_event = next(
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["args"].get("kind") == "classify"
+        )
+        assert attrs_event["args"]["trace_id"] == "t1"
+        assert attrs_event["args"]["span_id"] == "serve.batch"
+
+    def test_empty_trace(self):
+        assert chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+class TestExportChrome:
+    def write_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in sample_events():
+                handle.write(json.dumps(event) + "\n")
+            handle.write("{torn line\n")  # tolerated like the summarizer
+        return str(path)
+
+    def test_default_output_path_and_count(self, tmp_path):
+        path = self.write_trace(tmp_path)
+        count = export_chrome(path)
+        assert count == 3
+        out_path = str(tmp_path / "trace.chrome.json")
+        with open(out_path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc["displayTimeUnit"] == "ms"
+        assert sum(1 for e in doc["traceEvents"] if e["ph"] == "X") == 3
+
+    def test_cli_export_subcommand(self, tmp_path, capsys):
+        path = self.write_trace(tmp_path)
+        out = str(tmp_path / "custom.json")
+        assert cli.main(["export", path, "-o", out, "--format", "chrome"]) == 0
+        assert "wrote 3 span events" in capsys.readouterr().out
+        with open(out, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["traceEvents"]
+
+    def test_cli_export_missing_file(self, tmp_path):
+        assert cli.main(["export", str(tmp_path / "nope.jsonl")]) == 2
+
+
+def test_real_trace_round_trips(tmp_path):
+    """A genuinely recorded trace exports without loss of span count."""
+    trace_path = str(tmp_path / "live.jsonl")
+    trace.enable(path=trace_path)
+    with trace.span("outer", {"step": 1}):
+        with trace.span("outer.inner"):
+            pass
+    trace.disable()
+    count = export_chrome(trace_path)
+    assert count == 2
+    with open(str(tmp_path / "live.chrome.json"), "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert names == {"outer", "outer.inner"}

@@ -117,6 +117,49 @@ class TestRegressionGate:
                              strict=True, stream=io.StringIO()) == 0
 
 
+class TestMetricDirections:
+    def test_direction_table(self):
+        assert ledger.metric_direction("p99_ms") == "lower"
+        assert ledger.metric_direction("pad_waste_pct") == "lower"
+        assert ledger.metric_direction("snapshot.p50_ms") == "lower"  # dotted path
+        assert ledger.metric_direction("examples_per_sec") == "higher"
+        assert ledger.metric_direction("unknown_metric") == "higher"  # default
+
+    def seed(self, tmp_path, value):
+        history = str(tmp_path / "h.jsonl")
+        report = write_report(tmp_path / "BENCH_serve.json", {"p99_ms": value})
+        assert ledger.record([report], history_path=history, sha="seed", now=0.0,
+                             stream=io.StringIO()) == 0
+        return history
+
+    def test_best_is_minimum_for_latency(self, tmp_path):
+        history = self.seed(tmp_path, 4.0)
+        report = write_report(tmp_path / "BENCH_serve.json", {"p99_ms": 2.0})
+        assert ledger.record([report], history_path=history, sha="fast", now=1.0,
+                             strict=True, stream=io.StringIO()) == 0
+        best = ledger.best_values(ledger.read_history(history))
+        assert best[("BENCH_serve.json", "p99_ms")] == 2.0
+
+    def test_latency_rise_is_a_regression(self, tmp_path):
+        history = self.seed(tmp_path, 2.0)
+        report = write_report(tmp_path / "BENCH_serve.json", {"p99_ms": 3.0})  # +50%
+        out = io.StringIO()
+        assert ledger.record([report], history_path=history, sha="slow", now=1.0,
+                             stream=out) == 0  # soft by default
+        assert "::warning title=bench-regression::" in out.getvalue()
+        assert "above the best recorded" in out.getvalue()
+        assert ledger.record([report], history_path=history, sha="slow2", now=2.0,
+                             strict=True, stream=io.StringIO()) == 1
+
+    def test_latency_drop_passes(self, tmp_path):
+        history = self.seed(tmp_path, 2.0)
+        report = write_report(tmp_path / "BENCH_serve.json", {"p99_ms": 1.0})  # -50%
+        out = io.StringIO()
+        assert ledger.record([report], history_path=history, sha="fast", now=1.0,
+                             strict=True, stream=out) == 0
+        assert "::warning" not in out.getvalue()
+
+
 def test_cli_record_subcommand(tmp_path, capsys, monkeypatch):
     monkeypatch.chdir(tmp_path)
     report = write_report(tmp_path / "BENCH_train.json", {"train_speedup_compiled": 1.7})

@@ -1,0 +1,316 @@
+"""Serve SLO layer: rolling window, health endpoint, deadlines, shedding."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.compile import compile_model
+from repro.serve import (
+    BucketConfig,
+    DeadlineExceededError,
+    OverloadedError,
+    QueueFull,
+    RequestQueue,
+    RobustnessServer,
+    RollingWindow,
+    ServeClient,
+    ServeError,
+)
+
+BUCKETS = (4, 8, 16)
+
+
+# --------------------------------------------------------------------------- #
+# rolling window
+# --------------------------------------------------------------------------- #
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRollingWindow:
+    def test_evicts_by_timestamp(self):
+        clock = FakeClock()
+        window = RollingWindow(window_s=10.0, clock=clock)
+        window.record(0.010)
+        clock.advance(5.0)
+        window.record(0.020, error=True)
+        assert len(window) == 2
+        clock.advance(6.0)  # first entry is now 11s old
+        snapshot = window.snapshot()
+        assert snapshot["requests"] == 1
+        assert snapshot["errors"] == 1
+        assert snapshot["error_rate"] == 1.0
+        clock.advance(10.0)  # idle server decays to an empty, healthy window
+        assert window.snapshot()["requests"] == 0
+        assert window.snapshot()["error_rate"] == 0.0
+
+    def test_percentiles_over_live_entries_only(self):
+        clock = FakeClock()
+        window = RollingWindow(window_s=10.0, clock=clock)
+        window.record(1.0)  # will age out
+        clock.advance(11.0)
+        for latency in (0.010, 0.020, 0.030):
+            window.record(latency)
+        snapshot = window.snapshot()
+        assert snapshot["p99_ms"] == pytest.approx(30.0)
+        assert snapshot["p50_ms"] == pytest.approx(20.0)
+        assert snapshot["requests_per_sec"] == pytest.approx(0.3)
+
+    def test_reset(self):
+        window = RollingWindow(window_s=10.0, clock=FakeClock())
+        window.record(0.5)
+        window.reset()
+        assert len(window) == 0
+
+
+# --------------------------------------------------------------------------- #
+# queue admission control
+# --------------------------------------------------------------------------- #
+class TestAdmission:
+    def test_put_job_respects_max_depth(self):
+        queue = RequestQueue(BucketConfig(BUCKETS), max_depth=2)
+        queue.put_job(object())
+        queue.put_job(object())
+        with pytest.raises(QueueFull):
+            queue.put_job(object())
+
+    def test_force_bypasses_admission(self):
+        queue = RequestQueue(BucketConfig(BUCKETS), max_depth=1)
+        queue.put_job(object())
+        queue.put_job(object(), force=True)  # stats stays reachable
+        assert queue.depth == 2
+
+    def test_unbounded_by_default(self):
+        queue = RequestQueue(BucketConfig(BUCKETS))
+        for _ in range(64):
+            queue.put_job(object())
+        assert queue.depth == 64
+
+
+# --------------------------------------------------------------------------- #
+# health endpoint
+# --------------------------------------------------------------------------- #
+def make_server(**kwargs):
+    kwargs.setdefault("buckets", BUCKETS)
+    kwargs.setdefault("max_wait_ms", 2.0)
+    kwargs.setdefault("workers", 1)
+    return RobustnessServer(**kwargs)
+
+
+class TestHealth:
+    def test_ok_on_running_server(self, small_cnn):
+        small_cnn.eval()
+        with make_server() as server:
+            server.register("cnn", small_cnn)
+            health = ServeClient(server).health()
+        assert health["status"] == "ok"
+        assert health["workers"]["stalled"] == []
+        assert health["queue"]["depth"] == 0
+        assert health["counters"] == {"errors": 0, "shed": 0, "deadline_exceeded": 0}
+        assert set(health["window"]) >= {"error_rate", "p99_ms", "requests"}
+
+    def test_health_probes_do_not_dilute_window(self, small_cnn):
+        small_cnn.eval()
+        with make_server() as server:
+            server.register("cnn", small_cnn)
+            client = ServeClient(server)
+            for _ in range(3):
+                client.health()
+            assert server.stats.window.snapshot()["requests"] == 0
+
+    def test_degraded_when_one_worker_stalls(self):
+        server = make_server(workers=2, stall_after_s=5.0)
+        now = time.monotonic()
+        server._started = True
+        server._heartbeats = {0: now, 1: now - 60.0}
+        health = server.health()
+        assert health["status"] == "degraded"
+        assert health["workers"]["stalled"] == [1]
+
+    def test_overloaded_when_all_workers_stall(self):
+        server = make_server(workers=2, stall_after_s=5.0)
+        now = time.monotonic()
+        server._started = True
+        server._heartbeats = {0: now - 30.0, 1: now - 60.0}
+        assert server.health()["status"] == "overloaded"
+
+    def test_degraded_on_high_error_rate(self):
+        server = make_server()
+        for _ in range(4):
+            server.stats.window.record(0.01, error=True)
+        health = server.health()
+        assert health["window"]["error_rate"] == 1.0
+        assert health["status"] == "degraded"
+
+    def test_overloaded_when_queue_full_and_answers_inline(self):
+        server = make_server(max_queue=1)  # never started: nothing drains
+        server.queue.put_job(object())
+        health = server.handle({"id": 1, "kind": "health"})
+        assert health["ok"] is True
+        result = health["result"]
+        assert result["status"] == "overloaded"
+        assert result["queue"] == {"depth": 1, "max_depth": 1, "utilization": 1.0}
+
+
+# --------------------------------------------------------------------------- #
+# shedding
+# --------------------------------------------------------------------------- #
+class TestShedding:
+    def test_overflow_is_shed_with_typed_error(self, small_cnn, tiny_images):
+        small_cnn.eval()
+        server = make_server(max_queue=4)  # never started: queue only fills
+        server.register("cnn", small_cnn)
+        client = ServeClient(server)
+        first = server.submit(client.classify_request("cnn", tiny_images[:4]))
+        assert not first.done()  # admitted, waiting for a worker
+        with pytest.raises(OverloadedError) as excinfo:
+            client.classify("cnn", tiny_images[:2])
+        assert excinfo.value.code == "overloaded"
+        assert isinstance(excinfo.value, ServeError)
+        assert server.stats.shed == 1
+        assert server.health()["counters"]["shed"] == 1
+
+    def test_shed_requests_count_as_errors(self, small_cnn, tiny_images):
+        small_cnn.eval()
+        server = make_server(max_queue=2)
+        server.register("cnn", small_cnn)
+        client = ServeClient(server)
+        server.submit(client.classify_request("cnn", tiny_images[:2]))
+        with pytest.raises(OverloadedError):
+            client.classify("cnn", tiny_images[:2])
+        assert server.stats.errors == 1
+        assert server.stats.window.snapshot()["errors"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# deadlines
+# --------------------------------------------------------------------------- #
+class TestDeadlines:
+    def test_expired_request_rejected_not_executed(self, small_cnn, tiny_images):
+        small_cnn.eval()
+        server = make_server()
+        server.register("cnn", small_cnn)
+        client = ServeClient(server)
+        # Submit before any worker runs, with a deadline that expires while
+        # the request sits in the (not yet draining) queue — deterministic.
+        future = server.submit(
+            client.classify_request("cnn", tiny_images[:3], deadline_ms=1.0)
+        )
+        time.sleep(0.01)
+        with server:
+            response = future.result(timeout=5.0)
+        assert response["ok"] is False
+        assert response["code"] == "deadline_exceeded"
+        assert "deadline_ms=1" in response["error"]
+        assert server.stats.deadline_exceeded == 1
+
+    def test_multi_chunk_expiry_counted_once(self, small_cnn, tiny_dataset):
+        small_cnn.eval()
+        server = make_server()
+        server.register("cnn", small_cnn)
+        client = ServeClient(server)
+        images = tiny_dataset.x_test[:40]  # chunks into 16 + 16 + 8
+        future = server.submit(
+            client.classify_request("cnn", images, deadline_ms=1.0)
+        )
+        time.sleep(0.01)
+        with server:
+            response = future.result(timeout=5.0)
+        assert response["code"] == "deadline_exceeded"
+        assert server.stats.deadline_exceeded == 1
+
+    def test_deadline_job_path(self, small_cnn, tiny_images, tiny_labels):
+        from repro.attacks.engine import AttackSpec
+
+        small_cnn.eval()
+        server = make_server()
+        server.register("cnn", small_cnn)
+        client = ServeClient(server)
+        spec = AttackSpec("pgd", dict(eps=8 / 255, alpha=2 / 255, steps=2, seed=3))
+        future = server.submit(
+            client.attack_request("cnn", spec, tiny_images[:2], tiny_labels[:2],
+                                  deadline_ms=1.0)
+        )
+        time.sleep(0.01)
+        with server:
+            response = future.result(timeout=5.0)
+        assert response["code"] == "deadline_exceeded"
+
+    def test_typed_client_exception(self, small_cnn, tiny_images):
+        small_cnn.eval()
+        server = make_server()
+        server.register("cnn", small_cnn)
+        client = ServeClient(server)
+        future = server.submit(
+            client.classify_request("cnn", tiny_images[:3], deadline_ms=1.0)
+        )
+        time.sleep(0.01)
+        with server:
+            from repro.serve.client import _check
+
+            with pytest.raises(DeadlineExceededError):
+                _check(future.result(timeout=5.0))
+
+    def test_in_deadline_request_unaffected(self, small_cnn, tiny_images):
+        small_cnn.eval()
+        with make_server() as server:
+            server.register("cnn", small_cnn)
+            client = ServeClient(server)
+            out = client.classify("cnn", tiny_images[:3], deadline_ms=60_000.0)
+        assert out["predictions"].shape == (3,)
+
+    def test_survivors_byte_identical_after_cull(self, small_cnn, tiny_images):
+        """Dropping an expired co-rider re-pads survivors to the same bytes
+        the offline compiled engine produces for them alone."""
+        small_cnn.eval()
+        offline = compile_model(
+            small_cnn, np.zeros((BUCKETS[-1],) + tiny_images.shape[1:])
+        )
+        offline.warm(np.zeros((b,) + tiny_images.shape[1:]) for b in BUCKETS)
+
+        server = make_server()
+        server.register("cnn", small_cnn)
+        client = ServeClient(server)
+        doomed = server.submit(
+            client.classify_request("cnn", tiny_images[:2], deadline_ms=1.0)
+        )
+        survivor = server.submit(client.classify_request("cnn", tiny_images[2:5]))
+        time.sleep(0.01)
+        with server:
+            doomed_response = doomed.result(timeout=5.0)
+            survivor_response = survivor.result(timeout=5.0)
+        assert doomed_response["code"] == "deadline_exceeded"
+        assert survivor_response["ok"] is True
+
+        from repro.serve.protocol import decode_payload
+
+        served = decode_payload(survivor_response["result"])["predictions"]
+        # Offline comparator: the survivors' 3 rows padded to the smallest
+        # bucket (4) — exactly what the culled batch re-fits to.
+        padded = np.zeros((4,) + tiny_images.shape[1:], dtype=tiny_images.dtype)
+        padded[:3] = tiny_images[2:5]
+        expected = offline.predict(padded)[:3]
+        assert served.tobytes() == expected.tobytes()
+
+    def test_invalid_deadline_rejected(self, small_cnn, tiny_images):
+        small_cnn.eval()
+        server = make_server()
+        server.register("cnn", small_cnn)
+        client = ServeClient(server)
+        for bad in (0, -5, True, "soon"):
+            response = server.submit(
+                {"id": 9, "kind": "classify", "model": "cnn",
+                 "images": tiny_images[:2], "deadline_ms": bad}
+            ).result()
+            assert response["ok"] is False
+            assert "deadline_ms" in response["error"]
