@@ -17,6 +17,8 @@ are machine-bound and too noisy to gate on):
   per loss, ``bench-timings.json``)
 * ``speedup_compiled`` / ``speedup_early_exit`` (``bench-timings.json``)
 * ``examples_per_sec`` / ``speedup_vs_naive`` (``BENCH_serve.json``)
+* ``examples_per_sec`` / ``speedup_vs_numpy`` per kernel provider
+  (``BENCH_provider.json``, e.g. ``providers.threaded.speedup_vs_numpy``)
 
 and the lower-is-better serving SLO numbers (tail latency and pad waste,
 judged against the best = *lowest* ever recorded):
@@ -53,6 +55,7 @@ TRACKED_METRICS: Dict[str, str] = {
     "speedup_early_exit": "higher",
     "examples_per_sec": "higher",
     "speedup_vs_naive": "higher",
+    "speedup_vs_numpy": "higher",
     "p50_ms": "lower",
     "p99_ms": "lower",
     "pad_waste_pct": "lower",

@@ -1,0 +1,95 @@
+"""Optional Numba JIT provider — registered only when ``numba`` imports.
+
+The container image does not ship numba, so this module is imported behind
+a guard in the package ``__init__``; an ``ImportError`` here simply leaves
+the provider unregistered (``available_providers()`` then lists only
+``numpy`` and ``threaded``).
+
+Scope is deliberately narrow: scalar-constant elementwise chains
+(add/mul/div/neg, no masks) are compiled into a single fused opcode-loop
+kernel, turning an N-pass in-place chain into one pass over the buffer.
+Everything else — and any chain with relu/clip masks or array constants —
+is declined, exercising the same per-op fallback path as ``threaded``.
+Chain results are evaluated per element in the same operation order as the
+reference, so trajectories agree to reordered-reduction tolerance (the
+fused single pass can differ from the multi-pass reference only in
+intermediate rounding, ≤1e-9 on the parity suite's trajectories).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numba
+import numpy as np
+
+from .base import KernelProvider
+
+Step = Callable[[], None]
+
+_OPCODES = {"add": 0, "mul": 1, "div": 2, "neg": 3}
+
+
+@numba.njit(cache=False)
+def _apply_chain(flat, codes, consts):  # pragma: no cover - jitted
+    for i in range(flat.shape[0]):
+        value = flat[i]
+        for j in range(codes.shape[0]):
+            code = codes[j]
+            if code == 0:
+                value = value + consts[j]
+            elif code == 1:
+                value = value * consts[j]
+            elif code == 2:
+                value = value / consts[j]
+            else:
+                value = -value
+        flat[i] = value
+
+
+class NumbaProvider(KernelProvider):
+    """JIT provider for mask-free scalar elementwise chains."""
+
+    name = "numba"
+
+    def lookup(self, kind: str, ctx) -> Optional[Step]:
+        if kind != "ew":
+            return None
+        return self._ew(ctx)
+
+    def _ew(self, ctx) -> Optional[Step]:
+        out = ctx.out
+        x = ctx.x
+        if not out.flags.c_contiguous or not x.flags.c_contiguous:
+            return None
+        if out.dtype != x.dtype or out.dtype.kind != "f":
+            return None
+        codes = []
+        consts = []
+        for spec in ctx.steps:
+            kind = spec["op"]
+            if kind not in _OPCODES:
+                return None
+            if kind == "neg":
+                codes.append(_OPCODES[kind])
+                consts.append(0.0)
+                continue
+            const = spec["const_value"]
+            if isinstance(const, np.ndarray):
+                if const.ndim != 0:
+                    return None
+                const = const.item()
+            codes.append(_OPCODES[kind])
+            consts.append(float(const))
+        if not codes:
+            return None
+        code_arr = np.asarray(codes, dtype=np.int64)
+        const_arr = np.asarray(consts, dtype=out.dtype)
+        flat = out.reshape(-1)
+        x_flat = x.reshape(-1)
+
+        def step() -> None:
+            np.copyto(flat, x_flat)
+            _apply_chain(flat, code_arr, const_arr)
+
+        return step

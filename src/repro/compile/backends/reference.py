@@ -1,0 +1,222 @@
+"""Serial NumPy reference kernels — the baseline every provider falls back to.
+
+Each factory takes a *kernel context* (a plain namespace the plan binder
+fills with preallocated buffers, views, and static flags) and returns a
+zero-argument ``step()`` closure.  The bodies are the executor's original
+single-threaded ``out=`` kernels, moved here verbatim so alternative
+providers can be diffed against an unchanging reference: a plan built with
+``provider="numpy"`` must replay bit-for-bit like the pre-registry
+executor.
+
+Kernel-context contracts (all arrays preallocated by the binder):
+
+``conv2d``
+    ``x``, ``patches`` (strided patch view of the padded source),
+    ``interior`` (padded-interior view or ``None``), ``cols``/``cols6``
+    (im2col matrix + 6-D view), ``w_t``, ``out2d``, ``bias`` (or
+    ``None``), ``fuse_relu``, ``mask2d`` (or ``None``), ``n``.
+``affine`` / ``matmul``
+    operands, ``out``, ``fuse_relu``.
+``ew``
+    ``x``, ``out``, ``steps`` — resolved chain specs with ``op`` in
+    {add, mul, div, neg, relu, clip}, ``const_value`` arrays, and the
+    binder-allocated ``_mask`` / ``_scratch_mask`` buffers.
+``rbf_gram`` / ``hsic_trace``
+    the bound :class:`~repro.compile.kernels.RBFGram` /
+    :class:`~repro.compile.kernels.CenteredTrace` instance plus its
+    operands and output.
+``conv2d.bwd.input``
+    ``grad_mat``, ``w_mat``, ``refresh`` (live-weight repack or ``None``),
+    ``grad_cols``, ``gpad``, ``pairs`` (precomputed (col2im target view,
+    column view) pairs in scatter order), ``interior``, ``gx``, ``write``,
+    ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+Step = Callable[[], None]
+
+#: binary elementwise chain ops and their in-place ufuncs.
+EW_UFUNCS = {
+    "add": np.add,
+    "mul": np.multiply,
+    "div": np.divide,
+}
+
+
+def _conv2d(ctx) -> Step:
+    x = ctx.x
+    interior = ctx.interior
+    patches = ctx.patches
+    cols = ctx.cols
+    cols6 = ctx.cols6
+    w_t = ctx.w_t
+    out2d = ctx.out2d
+    bias = ctx.bias
+    fuse_relu = ctx.fuse_relu
+    mask2d = ctx.mask2d
+
+    def step() -> None:
+        if interior is not None:
+            interior[...] = x
+        cols6[...] = patches
+        np.matmul(cols, w_t, out=out2d)
+        if bias is not None:
+            np.add(out2d, bias, out=out2d)
+        if fuse_relu:
+            np.maximum(out2d, 0.0, out=out2d)
+            np.greater(out2d, 0.0, out=mask2d)
+
+    return step
+
+
+def _affine(ctx) -> Step:
+    x = ctx.x
+    weight_t = ctx.weight_t
+    bias = ctx.bias
+    out = ctx.out
+    fuse_relu = ctx.fuse_relu
+
+    def step() -> None:
+        np.matmul(x, weight_t, out=out)
+        np.add(out, bias, out=out)
+        if fuse_relu:
+            np.maximum(out, 0.0, out=out)
+
+    return step
+
+
+def _matmul(ctx) -> Step:
+    a = ctx.a
+    b = ctx.b
+    out = ctx.out
+    fuse_relu = ctx.fuse_relu
+
+    def step() -> None:
+        np.matmul(a, b, out=out)
+        if fuse_relu:
+            np.maximum(out, 0.0, out=out)
+
+    return step
+
+
+def _make_ew_binary(ufunc, out, const) -> Step:
+    return lambda: ufunc(out, const, out=out)
+
+
+def _make_ew_neg(out) -> Step:
+    return lambda: np.negative(out, out=out)
+
+
+def _make_ew_relu(out, mask) -> Step:
+    def op() -> None:
+        np.maximum(out, 0.0, out=out)
+        np.greater(out, 0.0, out=mask)
+
+    return op
+
+
+def _make_ew_clip(out, mask, scratch_mask, low, high) -> Step:
+    def op() -> None:
+        np.greater_equal(out, low, out=mask)
+        np.less_equal(out, high, out=scratch_mask)
+        np.logical_and(mask, scratch_mask, out=mask)
+        np.clip(out, low, high, out=out)
+
+    return op
+
+
+def build_ew_chain(out, steps) -> list:
+    """The in-place op chain for an elementwise spec list (shared helper)."""
+    ops = []
+    for spec in steps:
+        kind = spec["op"]
+        if kind in EW_UFUNCS:
+            ops.append(_make_ew_binary(EW_UFUNCS[kind], out, spec["const_value"]))
+        elif kind == "neg":
+            ops.append(_make_ew_neg(out))
+        elif kind == "relu":
+            ops.append(_make_ew_relu(out, spec["_mask"]))
+        elif kind == "clip":
+            ops.append(
+                _make_ew_clip(
+                    out, spec["_mask"], spec["_scratch_mask"], spec["low"], spec["high"]
+                )
+            )
+        else:  # pragma: no cover - binder validates kinds before lookup
+            raise KeyError(f"unknown elementwise op {kind!r}")
+    return ops
+
+
+def _ew(ctx) -> Step:
+    x = ctx.x
+    out = ctx.out
+    ops = build_ew_chain(out, ctx.steps)
+
+    def step() -> None:
+        np.copyto(out, x)
+        for op in ops:
+            op()
+
+    return step
+
+
+def _rbf_gram(ctx) -> Step:
+    rbf = ctx.rbf
+    x = ctx.x
+    out = ctx.out
+    return lambda: rbf.run(x, out)
+
+
+def _hsic_trace(ctx) -> Step:
+    trace = ctx.trace
+    kx = ctx.kx
+    ky = ctx.ky
+    out = ctx.out
+    return lambda: trace.run(kx, ky, out)
+
+
+def _conv2d_bwd_input(ctx) -> Step:
+    refresh = ctx.refresh
+    grad_mat = ctx.grad_mat
+    w_mat = ctx.w_mat
+    grad_cols = ctx.grad_cols
+    gpad = ctx.gpad
+    pairs = ctx.pairs
+    interior = ctx.interior
+    gx = ctx.gx
+    write = ctx.write
+
+    def step() -> None:
+        if refresh is not None:
+            refresh()
+        np.matmul(grad_mat, w_mat, out=grad_cols)
+        gpad.fill(0)
+        for target, column in pairs:
+            np.add(target, column, out=target)
+        if write:
+            np.copyto(gx, interior)
+        else:
+            np.add(gx, interior, out=gx)
+
+    return step
+
+
+FACTORIES: Dict[str, Callable] = {
+    "conv2d": _conv2d,
+    "affine": _affine,
+    "matmul": _matmul,
+    "ew": _ew,
+    "rbf_gram": _rbf_gram,
+    "hsic_trace": _hsic_trace,
+    "conv2d.bwd.input": _conv2d_bwd_input,
+}
+
+
+def build(kind: str, ctx) -> Step:
+    """The reference step for ``kind`` — every routed op has one."""
+    return FACTORIES[kind](ctx)

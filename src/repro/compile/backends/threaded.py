@@ -1,0 +1,364 @@
+"""Worker-pool provider: row-shard memory-bound kernels across cores.
+
+The provider keeps a persistent pool of daemon threads (the replay thread
+itself participates, so ``workers=N`` means N concurrent lanes) and, at
+*bind* time, pre-slices each routed kernel's preallocated buffers into
+per-shard views.  Replay then only dispatches the prebuilt task closures —
+no per-replay NumPy allocation, preserving the executor's zero
+steady-state allocation guarantee.
+
+Bitwise-parity discipline: only order-preserving, per-row-disjoint stages
+are sharded — im2col gather copies, the per-example col2im scatter,
+elementwise chains, and the RBF Gram's elementwise stages.  Reductions
+that would reorder float accumulation (the GEMMs, ``hsic_trace``'s
+centered trace, bias-gradient sums) are left whole: GEMM-dominated ops
+(``affine``, ``matmul``, ``hsic_trace``) are *declined* so they fall back
+to the reference kernels (BLAS already parallelises the matmuls), and the
+sharded kernels call ``np.matmul`` once on the replay thread.  As a
+result ``threaded`` replays are bitwise identical to ``numpy`` replays,
+which is what lets CI run the whole tier-1 suite under
+``REPRO_PROVIDER=threaded``.
+
+Ops below ``min_size`` elements (or with fewer than 2 rows, or on a
+single-core host where ``shards < 2``) are declined as well — per-op
+fallback is the common case, not an error path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .base import KernelProvider
+
+Step = Callable[[], None]
+
+#: below this many elements in the op's dominant buffer, sharding overhead
+#: beats the win — decline and fall back to the serial reference kernel.
+DEFAULT_MIN_SIZE = 1 << 15
+
+
+def _slices(n: int, shards: int) -> List[slice]:
+    """Split ``range(n)`` into up to ``shards`` contiguous balanced slices."""
+    shards = max(1, min(int(shards), int(n)))
+    base, extra = divmod(int(n), shards)
+    out: List[slice] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        out.append(slice(start, start + size))
+        start += size
+    return out
+
+
+class WorkerPool:
+    """Persistent fork-join pool: N-1 daemon threads + the caller.
+
+    ``run(tasks)`` publishes a task list under a generation counter;
+    workers claim tasks by index under the lock, the caller drains
+    alongside them, and the call returns once every task has finished.
+    The first exception raised by any task is re-raised on the caller's
+    thread after the barrier.  ``run`` itself performs no NumPy work and
+    no allocation beyond a couple of ints.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, int(workers))
+        self._cond = threading.Condition()
+        self._tasks: Optional[List[Step]] = None
+        self._next = 0
+        self._pending = 0
+        self._generation = 0
+        self._errors: List[BaseException] = []
+        self._threads: List[threading.Thread] = []
+        for _ in range(self.workers - 1):
+            thread = threading.Thread(
+                target=self._worker_loop, name="repro-kernel-worker", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _claim(self) -> Optional[Step]:
+        with self._cond:
+            tasks = self._tasks
+            if tasks is None or self._next >= len(tasks):
+                return None
+            index = self._next
+            self._next += 1
+            return tasks[index]
+
+    def _drain(self) -> None:
+        done = 0
+        while True:
+            task = self._claim()
+            if task is None:
+                break
+            try:
+                task()
+            except BaseException as error:  # noqa: BLE001 - forwarded to caller
+                with self._cond:
+                    self._errors.append(error)
+            done += 1
+        if done:
+            with self._cond:
+                self._pending -= done
+                if self._pending <= 0:
+                    self._cond.notify_all()
+
+    def _worker_loop(self) -> None:
+        seen = 0
+        while True:
+            with self._cond:
+                while self._generation == seen:
+                    self._cond.wait()
+                seen = self._generation
+            self._drain()
+
+    def run(self, tasks: List[Step]) -> None:
+        """Execute every task; block until done; re-raise the first error."""
+        if len(tasks) == 1:
+            tasks[0]()
+            return
+        with self._cond:
+            self._tasks = tasks
+            self._next = 0
+            self._pending = len(tasks)
+            self._errors = []
+            self._generation += 1
+            self._cond.notify_all()
+        self._drain()
+        with self._cond:
+            while self._pending > 0:
+                self._cond.wait()
+            self._tasks = None
+            errors = self._errors
+        if errors:
+            raise errors[0]
+
+
+class ThreadedProvider(KernelProvider):
+    """Row-sharding provider over a persistent :class:`WorkerPool`."""
+
+    name = "threaded"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        min_size: int = DEFAULT_MIN_SIZE,
+    ) -> None:
+        self.workers = int(workers) if workers else (os.cpu_count() or 1)
+        self.shards = int(shards) if shards is not None else self.workers
+        self.min_size = int(min_size)
+        self._pool: Optional[WorkerPool] = None
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The worker pool, spun up on first use (not at import/registration)."""
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers)
+        return self._pool
+
+    # -- dispatch ---------------------------------------------------------
+
+    def lookup(self, kind: str, ctx) -> Optional[Step]:
+        if self.shards < 2:
+            return None
+        handler = getattr(self, "_" + kind.replace(".", "_"), None)
+        if handler is None:
+            return None
+        return handler(ctx)
+
+    def _row_slices(self, rows: int, size: int) -> Optional[List[slice]]:
+        """Shard slices for an op, or ``None`` when it should fall back."""
+        if rows < 2 or size < self.min_size:
+            return None
+        slices = _slices(rows, self.shards)
+        if len(slices) < 2:
+            return None
+        return slices
+
+    # -- conv2d forward: shard im2col gather + bias/relu epilogue ---------
+
+    def _conv2d(self, ctx) -> Optional[Step]:
+        slices = self._row_slices(ctx.n, ctx.cols.size)
+        if slices is None:
+            return None
+        gather: List[Step] = []
+        for sl in slices:
+            cols_v = ctx.cols6[sl]
+            patch_v = ctx.patches[sl]
+            if ctx.interior is not None:
+                interior_v = ctx.interior[sl]
+                x_v = ctx.x[sl]
+
+                def task(iv=interior_v, xv=x_v, cv=cols_v, pv=patch_v) -> None:
+                    iv[...] = xv
+                    cv[...] = pv
+
+            else:
+
+                def task(cv=cols_v, pv=patch_v) -> None:
+                    cv[...] = pv
+
+            gather.append(task)
+
+        epilogue: List[Step] = []
+        if ctx.bias is not None or ctx.fuse_relu:
+            bias = ctx.bias
+            fuse_relu = ctx.fuse_relu
+            for sl in _slices(ctx.out2d.shape[0], self.shards):
+                block = ctx.out2d[sl]
+                mask_v = ctx.mask2d[sl] if ctx.mask2d is not None else None
+
+                def etask(block=block, mask_v=mask_v) -> None:
+                    if bias is not None:
+                        np.add(block, bias, out=block)
+                    if fuse_relu:
+                        np.maximum(block, 0.0, out=block)
+                        np.greater(block, 0.0, out=mask_v)
+
+                epilogue.append(etask)
+
+        pool = self.pool
+        cols = ctx.cols
+        w_t = ctx.w_t
+        out2d = ctx.out2d
+
+        def step() -> None:
+            pool.run(gather)
+            np.matmul(cols, w_t, out=out2d)
+            if epilogue:
+                pool.run(epilogue)
+
+        return step
+
+    # -- conv2d backward (input grad): shard the col2im scatter -----------
+
+    def _conv2d_bwd_input(self, ctx) -> Optional[Step]:
+        slices = self._row_slices(ctx.n, ctx.grad_cols.size)
+        if slices is None:
+            return None
+        tasks: List[Step] = []
+        write = ctx.write
+        for sl in slices:
+            gpad_v = ctx.gpad[sl]
+            pairs_v = [(target[sl], column[sl]) for target, column in ctx.pairs]
+            interior_v = ctx.interior[sl]
+            gx_v = ctx.gx[sl]
+
+            def task(
+                gpad_v=gpad_v, pairs_v=pairs_v, interior_v=interior_v, gx_v=gx_v
+            ) -> None:
+                gpad_v.fill(0)
+                for target, column in pairs_v:
+                    np.add(target, column, out=target)
+                if write:
+                    np.copyto(gx_v, interior_v)
+                else:
+                    np.add(gx_v, interior_v, out=gx_v)
+
+            tasks.append(task)
+
+        pool = self.pool
+        refresh = ctx.refresh
+        grad_mat = ctx.grad_mat
+        w_mat = ctx.w_mat
+        grad_cols = ctx.grad_cols
+
+        def step() -> None:
+            if refresh is not None:
+                refresh()
+            np.matmul(grad_mat, w_mat, out=grad_cols)
+            pool.run(tasks)
+
+        return step
+
+    # -- elementwise chains: shard rows through the whole chain -----------
+
+    def _ew(self, ctx) -> Optional[Step]:
+        out = ctx.out
+        if out.ndim < 1:
+            return None
+        slices = self._row_slices(out.shape[0], out.size)
+        if slices is None:
+            return None
+        tasks: List[Step] = []
+        for sl in slices:
+            out_v = out[sl]
+            x_v = ctx.x[sl]
+            chain: List[Step] = []
+            for spec in ctx.steps:
+                kind = spec["op"]
+                if kind in ("add", "mul", "div"):
+                    const = spec["const_value"]
+                    if (
+                        isinstance(const, np.ndarray)
+                        and const.ndim == out.ndim
+                        and const.ndim >= 1
+                        and const.shape[0] == out.shape[0]
+                    ):
+                        const = const[sl]
+                    ufunc = {"add": np.add, "mul": np.multiply, "div": np.divide}[kind]
+                    chain.append(lambda o=out_v, c=const, u=ufunc: u(o, c, out=o))
+                elif kind == "neg":
+                    chain.append(lambda o=out_v: np.negative(o, out=o))
+                elif kind == "relu":
+                    mask_v = spec["_mask"][sl]
+
+                    def relu_op(o=out_v, m=mask_v) -> None:
+                        np.maximum(o, 0.0, out=o)
+                        np.greater(o, 0.0, out=m)
+
+                    chain.append(relu_op)
+                elif kind == "clip":
+                    mask_v = spec["_mask"][sl]
+                    scratch_v = spec["_scratch_mask"][sl]
+                    low = spec["low"]
+                    high = spec["high"]
+
+                    def clip_op(
+                        o=out_v, m=mask_v, s=scratch_v, low=low, high=high
+                    ) -> None:
+                        np.greater_equal(o, low, out=m)
+                        np.less_equal(o, high, out=s)
+                        np.logical_and(m, s, out=m)
+                        np.clip(o, low, high, out=o)
+
+                    chain.append(clip_op)
+                else:
+                    return None
+
+            def task(o=out_v, xv=x_v, chain=chain) -> None:
+                np.copyto(o, xv)
+                for op in chain:
+                    op()
+
+            tasks.append(task)
+
+        pool = self.pool
+        return lambda: pool.run(tasks)
+
+    # -- RBF Gram: shard the elementwise stages via the kernel's hook -----
+
+    def _rbf_gram(self, ctx) -> Optional[Step]:
+        n = ctx.n
+        slices = self._row_slices(n, n * n)
+        if slices is None:
+            return None
+        pool = self.pool
+
+        def hook(fn: Callable[[slice], None], total: int) -> None:
+            if total != n:  # pragma: no cover - shapes are plan-static
+                fn(slice(0, total))
+                return
+            pool.run([(lambda fn=fn, sl=sl: fn(sl)) for sl in slices])
+
+        rbf = ctx.rbf
+        rbf.shard_hook = hook
+        x = ctx.x
+        out = ctx.out
+        return lambda: rbf.run(x, out)

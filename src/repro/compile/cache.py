@@ -55,9 +55,14 @@ class SignatureCache:
         build: Callable[[np.ndarray], object],
         capacity: int,
         name: str = "cache",
+        namespace: Optional[str] = None,
     ) -> None:
         self._build = build
         self.capacity = capacity
+        #: extra key component (the kernel-provider name): plans built by
+        #: different providers are distinct entries, so a provider switch
+        #: can never replay another provider's plan.
+        self.namespace = namespace
         self.entries: Dict[Key, Optional[object]] = {}
         self._misses: Dict[Key, int] = {}
         labels = {"cache": f"{name}-{next(_instance_ids)}"}
@@ -93,6 +98,10 @@ class SignatureCache:
     def key(sample: np.ndarray) -> Key:
         return (sample.shape, sample.dtype.str)
 
+    def _key(self, sample: np.ndarray):
+        base = (sample.shape, sample.dtype.str)
+        return base if self.namespace is None else base + (self.namespace,)
+
     @property
     def live_entries(self) -> int:
         """Number of cached entries holding a usable plan (failures excluded)."""
@@ -116,11 +125,11 @@ class SignatureCache:
 
     def get(self, sample: np.ndarray):
         """The cached entry for this signature, or ``None`` (never builds)."""
-        return self.entries.get(self.key(sample))
+        return self.entries.get(self._key(sample))
 
     def insert(self, sample: np.ndarray, entry) -> None:
         """Pre-seed the cache (a caller-built first plan skips the policy)."""
-        self.entries[self.key(sample)] = entry
+        self.entries[self._key(sample)] = entry
 
     def warm(self, sample: np.ndarray) -> bool:
         """Build this signature *now*, bypassing the second-sighting policy.
@@ -131,7 +140,7 @@ class SignatureCache:
         present), ``False`` when the build failed, the failure was already
         memoized, or the cache is at capacity.
         """
-        key = self.key(sample)
+        key = self._key(sample)
         if key in self.entries:
             return self.entries[key] is not None
         if self.live_entries >= self.capacity:
@@ -147,7 +156,7 @@ class SignatureCache:
         at capacity, or when the build failed (memoized — deterministic
         failures such as dropout never retry).
         """
-        key = self.key(sample)
+        key = self._key(sample)
         if key in self.entries:
             entry = self.entries[key]
             if entry is not None:
@@ -176,5 +185,5 @@ class SignatureCache:
         return entry
 
     def evict(self, sample: np.ndarray) -> None:
-        if self.entries.pop(self.key(sample), None) is not None:
+        if self.entries.pop(self._key(sample), None) is not None:
             self._evictions.inc()

@@ -48,12 +48,14 @@ cross-entropy and seeds the backward pass with the closed-form
 from __future__ import annotations
 
 from time import perf_counter as _perf_counter
+from types import SimpleNamespace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
 from ..obs.profiler import PROFILER as _PROFILER
+from .backends import get_provider, resolve_provider_name
 from .graph import CompileError, Graph, LEAF_OPS as _LEAF_OPS, Node
 from .passes import bn_scale_shift
 from .pool import BufferPool
@@ -111,6 +113,12 @@ class Plan:
     grad_aux:
         Aux names to include in the differentiation set; their accumulated
         gradients are read back through :meth:`aux_grad`.
+    provider:
+        Kernel-provider name (see :mod:`repro.compile.backends`).  ``None``
+        resolves through ``use_provider`` scopes and the ``REPRO_PROVIDER``
+        environment variable, defaulting to the serial ``numpy`` reference.
+        The binders keep all wiring; the provider only supplies ``step()``
+        bodies, falling back per op to the reference kernels.
     """
 
     def __init__(
@@ -121,12 +129,16 @@ class Plan:
         seed_ids: Sequence[int] = (),
         aux: Optional[Mapping[str, np.ndarray]] = None,
         grad_aux: Sequence[str] = (),
+        provider: Optional[str] = None,
     ) -> None:
         if grad not in ("input", "params", "both"):
             raise ValueError(f"unknown grad mode '{grad}'; use 'input', 'params' or 'both'")
         self.graph = graph
         self.grad_mode = grad
         self.pool = pool or BufferPool()
+        #: resolved kernel-provider name; joins cache keys and profiles.
+        self.provider_name = resolve_provider_name(provider)
+        self.provider = get_provider(self.provider_name)
         #: node id -> forward value (const arrays, bound buffers, or views).
         self.values: Dict[int, np.ndarray] = {}
         #: node id -> gradient accumulator (shared across backward programs).
@@ -196,9 +208,30 @@ class Plan:
         allocations, nbytes = self.pool.snapshot()
         return {
             "signature": self.signature,
+            "provider": self.provider_name,
             "ops": self._profile.as_dict(),
             "pool": {"allocations": allocations, "bytes": nbytes},
         }
+
+    # ------------------------------------------------------------------ #
+    # kernel-provider dispatch
+    # ------------------------------------------------------------------ #
+    def _kernel(self, node: Node, kind: str, ctx, suffix: str = "") -> Callable[[], None]:
+        """A provider-served step for ``kind`` over a bound kernel context.
+
+        Records which provider actually served the op in ``node.meta``
+        (``"_provider"`` forward, ``"_provider.bwd"`` backward) so profile
+        rows can be labelled ``kind@provider`` and parity tests can assert
+        per-op fallback.  Only non-default servings are recorded — plain
+        labels mean the serial reference ran.
+        """
+        step, served = self.provider.kernel(kind, ctx)
+        key = "_provider" + suffix
+        if served != "numpy":
+            node.meta[key] = served
+        else:
+            node.meta.pop(key, None)
+        return step
 
     # ------------------------------------------------------------------ #
     # binding
@@ -240,8 +273,10 @@ class Plan:
             step, out = binder(self, node)
             self.values[node.id] = out
             if step is not None:
+                served = node.meta.get("_provider")
+                label = f"{node.op}@{served}" if served else node.op
                 self._forward_steps.append(step)
-                self._forward_meta.append((node.op, out.nbytes))
+                self._forward_meta.append((label, out.nbytes))
 
         aux_grad_ids = tuple(graph.aux[name] for name in self._grad_aux)
         if self.grad_mode == "input":
@@ -314,8 +349,10 @@ class Plan:
                 raise CompileError(f"op '{node.op}' has no compiled backward kernel")
             step = binder(self, node)
             if step is not None:
+                served = node.meta.get("_provider.bwd")
+                label = node.op + ".bwd" + (f"@{served}" if served else "")
                 steps.append(step)
-                meta.append((node.op + ".bwd", self.values[node.id].nbytes))
+                meta.append((label, self.values[node.id].nbytes))
         return {
             "steps": steps,
             "meta": meta,
@@ -540,18 +577,20 @@ def _bind_conv2d(plan: Plan, node: Node):
     else:
         mask2d = None
 
-    def step() -> None:
-        if interior is not None:
-            interior[...] = x
-        cols6[...] = patches
-        np.matmul(cols, w_t, out=out2d)
-        if bias is not None:
-            np.add(out2d, bias, out=out2d)
-        if fuse_relu:
-            np.maximum(out2d, 0.0, out=out2d)
-            np.greater(out2d, 0.0, out=mask2d)
-
-    return step, out
+    ctx = SimpleNamespace(
+        x=x,
+        patches=patches,
+        interior=interior,
+        cols=cols,
+        cols6=cols6,
+        w_t=w_t,
+        out2d=out2d,
+        bias=bias,
+        fuse_relu=fuse_relu,
+        mask2d=mask2d,
+        n=n,
+    )
+    return plan._kernel(node, "conv2d", ctx), out
 
 
 def _bind_affine(plan: Plan, node: Node):
@@ -560,14 +599,8 @@ def _bind_affine(plan: Plan, node: Node):
     bias = plan.values[node.inputs[2]]
     fuse_relu = node.meta.get("fuse_relu", False)
     out = plan.pool.empty(node.shape, node.dtype)
-
-    def step() -> None:
-        np.matmul(x, weight_t, out=out)
-        np.add(out, bias, out=out)
-        if fuse_relu:
-            np.maximum(out, 0.0, out=out)
-
-    return step, out
+    ctx = SimpleNamespace(x=x, weight_t=weight_t, bias=bias, fuse_relu=fuse_relu, out=out)
+    return plan._kernel(node, "affine", ctx), out
 
 
 def _bind_matmul(plan: Plan, node: Node):
@@ -577,13 +610,8 @@ def _bind_matmul(plan: Plan, node: Node):
         raise CompileError("compiled matmul supports 2-D operands only")
     fuse_relu = node.meta.get("fuse_relu", False)
     out = plan.pool.empty(node.shape, node.dtype)
-
-    def step() -> None:
-        np.matmul(a, b, out=out)
-        if fuse_relu:
-            np.maximum(out, 0.0, out=out)
-
-    return step, out
+    ctx = SimpleNamespace(a=a, b=b, fuse_relu=fuse_relu, out=out)
+    return plan._kernel(node, "matmul", ctx), out
 
 
 def _bind_binary(ufunc):
@@ -839,57 +867,38 @@ def _bind_detach(plan: Plan, node: Node):
 def _bind_ew(plan: Plan, node: Node):
     x = plan.values[node.inputs[0]]
     out = plan.pool.empty(node.shape, node.dtype)
-    ops: List[Callable[[], None]] = []
+    # Resolve the chain to concrete arrays/masks here (wiring), then hand the
+    # provider a spec list; masks stay in the optimizer-pass step dicts too,
+    # because ``_back_ew`` reads them from there.
+    specs: List[dict] = []
     for step in node.meta["steps"]:
         kind = step["op"]
+        spec = {"op": kind}
         if kind in _EW_BINARY_UFUNC:
-            const = plan.values[step["const"]]
-            ops.append(_make_ew_binary(_EW_BINARY_UFUNC[kind], out, const))
+            spec["const_value"] = plan.values[step["const"]]
         elif kind == "neg":
-            ops.append(lambda out=out: np.negative(out, out=out))
+            pass
         elif kind == "relu":
             mask = plan.pool.empty(node.shape, bool)
             step["_mask"] = mask
-            ops.append(_make_ew_relu(out, mask))
+            spec["_mask"] = mask
         elif kind == "clip":
             mask = plan.pool.empty(node.shape, bool)
             scratch_mask = plan.pool.empty(node.shape, bool)
             step["_mask"] = mask
-            ops.append(_make_ew_clip(out, mask, scratch_mask, step["low"], step["high"]))
+            spec["_mask"] = mask
+            spec["_scratch_mask"] = scratch_mask
+            spec["low"] = step["low"]
+            spec["high"] = step["high"]
         else:  # pragma: no cover - the pass only emits the kinds above
             raise CompileError(f"unknown elementwise step '{kind}'")
+        specs.append(spec)
 
-    def run() -> None:
-        np.copyto(out, x)
-        for op in ops:
-            op()
-
-    return run, out
+    ctx = SimpleNamespace(x=x, out=out, steps=specs)
+    return plan._kernel(node, "ew", ctx), out
 
 
 _EW_BINARY_UFUNC = {"add": np.add, "mul": np.multiply, "div": np.divide}
-
-
-def _make_ew_binary(ufunc, out, const):
-    return lambda: ufunc(out, const, out=out)
-
-
-def _make_ew_relu(out, mask):
-    def run() -> None:
-        np.maximum(out, 0.0, out=out)
-        np.greater(out, 0.0, out=mask)
-
-    return run
-
-
-def _make_ew_clip(out, mask, scratch_mask, low, high):
-    def run() -> None:
-        np.greater_equal(out, low, out=mask)
-        np.less_equal(out, high, out=scratch_mask)
-        np.logical_and(mask, scratch_mask, out=mask)
-        np.clip(out, low, high, out=out)
-
-    return run
 
 
 # --------------------------------------------------------------------------- #
@@ -1292,7 +1301,8 @@ def _bind_rbf_gram(plan: Plan, node: Node):
     rbf = RBFGram(plan.pool, n, d, dtype, node.meta.get("sigma"), keep_mask=True)
     out = plan.pool.empty((n, n), dtype)
     node.meta["_rbf"] = rbf
-    return (lambda: rbf.run(x, out)), out
+    ctx = SimpleNamespace(rbf=rbf, x=x, out=out, n=n)
+    return plan._kernel(node, "rbf_gram", ctx), out
 
 
 def _back_rbf_gram(plan: Plan, node: Node):
@@ -1358,7 +1368,8 @@ def _bind_hsic_trace(plan: Plan, node: Node):
     trace = CenteredTrace(plan.pool, m, dtype)
     out = plan.pool.empty((), dtype)
     node.meta["_hsic"] = trace
-    return (lambda: trace.run(kx, ky, out)), out
+    ctx = SimpleNamespace(trace=trace, kx=kx, ky=ky, out=out, m=m)
+    return plan._kernel(node, "hsic_trace", ctx), out
 
 
 def _back_hsic_trace(plan: Plan, node: Node):
@@ -1617,21 +1628,27 @@ def _back_conv2d(plan: Plan, node: Node):
             def col_of(ki: int, kj: int):
                 return gc[:, :, :, :, ki, kj]
 
-        def input_step() -> None:
-            if refresh is not None:
-                refresh()
-            np.matmul(grad_mat, w_mat, out=grad_cols)
-            gpad.fill(0)
-            for ki in range(kernel):
-                for kj in range(kernel):
-                    slice_target = slice_of(gpad, ki, kj)
-                    np.add(slice_target, col_of(ki, kj), out=slice_target)
-            if write:
-                np.copyto(gx, interior)
-            else:
-                np.add(gx, interior, out=gx)
-
-        steps.append(input_step)
+        # Precompute the col2im (scatter target view, column view) pairs in
+        # the serial loop order; every view has batch as its leading axis in
+        # both layouts, so providers may shard them per example.
+        pairs = [
+            (slice_of(gpad, ki, kj), col_of(ki, kj))
+            for ki in range(kernel)
+            for kj in range(kernel)
+        ]
+        ctx = SimpleNamespace(
+            refresh=refresh,
+            grad_mat=grad_mat,
+            w_mat=w_mat,
+            grad_cols=grad_cols,
+            gpad=gpad,
+            pairs=pairs,
+            interior=interior,
+            gx=gx,
+            write=write,
+            n=n,
+        )
+        steps.append(plan._kernel(node, "conv2d.bwd.input", ctx, suffix=".bwd"))
 
     def run() -> None:
         gm_nhwc[...] = g_nhwc

@@ -22,6 +22,11 @@ class BufferPool:
 
     def __init__(self) -> None:
         self._buffers: List[np.ndarray] = []
+        # Registered buffer identities: a buffer rebound across named
+        # backward programs (or re-registered by an adapter) must not
+        # inflate the high-water counters.  The arena keeps a strong
+        # reference to every buffer, so ids stay valid for its lifetime.
+        self._seen: set = set()
         self.allocations = 0
         self.bytes_allocated = 0
 
@@ -38,6 +43,10 @@ class BufferPool:
         return buffer
 
     def _register(self, buffer: np.ndarray) -> None:
+        key = id(buffer)
+        if key in self._seen:
+            return
+        self._seen.add(key)
         self._buffers.append(buffer)
         self.allocations += 1
         self.bytes_allocated += buffer.nbytes

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..attacks.engine import AttackEngine, EngineResult, ForwardPassCounter
+from ..compile.backends import use_provider
 from ..core.ibrar import IBRAR
 from ..data.loaders import ArrayDataset, DataLoader
 from ..data.synthetic import SyntheticImageDataset, build_dataset
@@ -158,7 +159,11 @@ class ExperimentRunner:
             training_hash=spec.training_hash,
             content_hash=spec.content_hash,
         )
-        with annotation, ForwardPassCounter(model) as counter:
+        # Scope the spec's kernel provider over the whole fit: every plan the
+        # compiled trainer (or IB-RAR's internal trainer) builds resolves it
+        # from the thread-local scope, no constructor plumbing needed.
+        provider_scope = use_provider(spec.provider if spec.provider != "numpy" else None)
+        with annotation, provider_scope, ForwardPassCounter(model) as counter:
             if config is not None:
                 ibrar = IBRAR(
                     model,
@@ -249,7 +254,8 @@ class ExperimentRunner:
             cascade=spec.eval_cascade,
             compile=spec.eval_compile,
         )
-        return engine.run(model, images, labels, method_name=spec.label)
+        with use_provider(spec.provider if spec.provider != "numpy" else None):
+            return engine.run(model, images, labels, method_name=spec.label)
 
     # -- the end-to-end unit -----------------------------------------------------
     def run(self, spec: ExperimentSpec, force: bool = False) -> ExperimentResult:

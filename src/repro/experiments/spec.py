@@ -120,6 +120,14 @@ class ExperimentSpec:
         cache entries); when disabled it is omitted from the hashed
         payload, so every pre-existing spec keeps its training hash and
         cached checkpoints.
+    provider:
+        Kernel-provider name for compiled plans
+        (:mod:`repro.compile.backends`): ``"numpy"`` (default), ``"threaded"``,
+        or ``"numba"`` when available.  Applied through a ``use_provider``
+        scope around training and evaluation, so it only matters for specs
+        that compile.  Like ``train_compile``, it joins the hashed payloads
+        only when non-default, keeping every pre-existing spec hash (and
+        cached checkpoint/report) stable.
     name:
         Display label for tables; **excluded** from both content hashes.
     """
@@ -141,6 +149,7 @@ class ExperimentSpec:
     eval_cascade: bool = False
     eval_compile: bool = False
     train_compile: bool = False
+    provider: str = "numpy"
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -179,6 +188,7 @@ class ExperimentSpec:
         if isinstance(attacks, (AttackSpec, str, Mapping)):
             attacks = (attacks,)
         object.__setattr__(self, "attacks", tuple(coerce_spec(a) for a in attacks))
+        object.__setattr__(self, "provider", str(self.provider).lower() or "numpy")
         object.__setattr__(self, "name", str(self.name))
 
     # -- accessors ---------------------------------------------------------------
@@ -236,6 +246,11 @@ class ExperimentSpec:
         # exactly where it was.
         if self.train_compile:
             payload["train_compile"] = True
+        # Non-default kernel providers may reorder float reductions, so they
+        # separate checkpoint/report cache entries; the default is omitted so
+        # pre-existing hashes stay stable.
+        if self.provider != "numpy":
+            payload["provider"] = self.provider
         # The cached-Gram HSIC fast path (PR 4) changed the HSIC estimator's
         # floating-point evaluation order, i.e. the training trajectory of
         # every HSIC-regularized spec.  Version the estimator into those
@@ -283,7 +298,7 @@ class ExperimentSpec:
         # "dtype" and "hsic" are derived annotations that as_dict() emits
         # (ambient dtype; HSIC-estimator version) — accepted on input, never
         # stored as fields.
-        known = {"dataset", "model", "loss", "ibrar", "optimizer", "epochs", "batch_size", "seed", "dtype", "hsic", "train_compile", "eval", "name"}
+        known = {"dataset", "model", "loss", "ibrar", "optimizer", "epochs", "batch_size", "seed", "dtype", "hsic", "train_compile", "provider", "eval", "name"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ExperimentSpecError(
@@ -339,6 +354,7 @@ class ExperimentSpec:
             eval_cascade=eval_section.get("cascade", False),
             eval_compile=eval_section.get("compile", False),
             train_compile=data.get("train_compile", False),
+            provider=data.get("provider", "numpy"),
             name=data.get("name", ""),
         )
 

@@ -1,0 +1,219 @@
+"""Differential-parity suite for the kernel-provider backends.
+
+Every registered provider must reproduce the serial ``numpy`` reference
+provider's training trajectories exactly: the threaded provider only shards
+order-preserving, per-row-disjoint kernel stages (im2col gathers, elementwise
+chains, RBF distance stages) and keeps every GEMM whole, so its results are
+bit-for-bit identical — asserted here with ``np.array_equal``, not a
+tolerance.  The suite also locks down the per-op fallback contract (ops a
+provider declines run the reference kernel and stay unlabelled), the
+zero-steady-state-allocation guarantee per provider, provider-name
+resolution precedence, the spec-hash policy (``provider`` joins the
+training hash only when non-default), and the cache namespacing that keeps
+one provider's plans from replaying under another.
+
+The module-level fixture swaps in a ``ThreadedProvider`` forced to shard
+(``workers=2, shards=4, min_size=0``) so the threaded code paths are
+exercised even on single-core CI runners, where the default provider would
+decline every op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compile import compile_model, get_provider, resolve_provider_name, use_provider
+from repro.compile.backends import ThreadedProvider, register_provider
+from repro.compile.cache import SignatureCache
+from repro.compile.training import CompiledTrainer
+from repro.core.config import IBRARConfig
+from repro.core.losses import AdversarialMILoss
+from repro.data import ArrayDataset, DataLoader
+from repro.experiments.spec import ExperimentSpec
+from repro.models import SmallCNN, build_model
+from repro.nn.optim import SGD, StepLR
+from repro.training import Trainer
+from repro.training.adversarial import CrossEntropyLoss, PGDAdversarialLoss, TRADESLoss
+
+PROVIDERS = ("numpy", "threaded")
+
+LOSSES = {
+    "ce": lambda classes: CrossEntropyLoss(),
+    "trades": lambda classes: TRADESLoss(steps=2, seed=0),
+    "ibrar": lambda classes: AdversarialMILoss(
+        IBRARConfig(alpha=0.05, beta=0.01),
+        num_classes=classes,
+        adversarial_strategy=PGDAdversarialLoss(steps=2, seed=0),
+    ),
+}
+
+MODELS = {
+    "smallcnn": dict(
+        name="smallcnn",
+        kwargs=dict(num_classes=10, image_size=16, base_channels=4, hidden_dim=16),
+        classes=10,
+        image_size=16,
+        n_train=120,
+        batch_size=40,
+    ),
+    "resnet": dict(
+        name="resnet18",
+        kwargs=dict(num_classes=5, width_multiplier=0.0625),
+        classes=5,
+        image_size=8,
+        n_train=60,
+        batch_size=20,
+    ),
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def forced_threaded():
+    """Shard even on one core so the threaded kernels actually run."""
+    register_provider(ThreadedProvider(workers=2, shards=4, min_size=0))
+    yield
+    register_provider(ThreadedProvider())
+
+
+def _dataset(config):
+    from repro.data.synthetic import make_dataset
+
+    return make_dataset(
+        num_classes=config["classes"],
+        image_size=config["image_size"],
+        n_train=config["n_train"],
+        n_test=16,
+        seed=0,
+        name="parity",
+    )
+
+
+def _fit(config, dataset, loss_factory, compile, provider=None, epochs=2):
+    model = build_model(config["name"], seed=0, **config["kwargs"])
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9, weight_decay=1e-3)
+    trainer = Trainer(
+        model,
+        loss_factory(config["classes"]),
+        optimizer=optimizer,
+        scheduler=StepLR(optimizer),
+        compile=compile,
+        provider=provider,
+    )
+    loader = DataLoader(
+        ArrayDataset(dataset.x_train, dataset.y_train),
+        batch_size=config["batch_size"],
+        shuffle=True,
+        drop_last=True,
+        seed=0,
+    )
+    history = trainer.fit(loader, epochs=epochs)
+    return model, history, trainer
+
+
+@pytest.mark.parametrize("model_key", sorted(MODELS))
+@pytest.mark.parametrize("loss_key", sorted(LOSSES))
+def test_two_epoch_trajectory_parity_across_providers(model_key, loss_key):
+    config = MODELS[model_key]
+    dataset = _dataset(config)
+    factory = LOSSES[loss_key]
+    eager_model, eager_history, _ = _fit(config, dataset, factory, compile=False)
+    eager_state = eager_model.state_dict()
+
+    states = {}
+    for provider in PROVIDERS:
+        model, history, trainer = _fit(
+            config, dataset, factory, compile=True, provider=provider
+        )
+        stats = trainer.compile_stats
+        assert stats is not None and stats.compiled_batches >= 1, (
+            f"nothing actually compiled under provider={provider}"
+        )
+        assert np.allclose(
+            eager_history.train_loss, history.train_loss, rtol=0, atol=1e-12
+        ), f"loss trajectory drifted under provider={provider}"
+        states[provider] = model.state_dict()
+        for key, value in eager_state.items():
+            drift = float(np.max(np.abs(value - states[provider][key])))
+            assert drift <= 1e-12, f"{key} drifted by {drift:.3e} under {provider}"
+
+    # The threaded provider never reorders a reduction, so it is not merely
+    # close to the reference provider — it is the same bits.
+    for key, value in states["numpy"].items():
+        assert np.array_equal(value, states["threaded"][key]), key
+
+
+def test_threaded_serves_conv_and_falls_back_on_gemm_ops():
+    """Per-op fallback: served ops are labelled, declined ops run reference."""
+    model = SmallCNN(num_classes=10, image_size=16, base_channels=4, hidden_dim=16, seed=0)
+    model.eval()
+    sample = np.random.default_rng(0).random((8, 3, 16, 16))
+    compiled = compile_model(model, sample, provider="threaded")
+    compiled.warm([sample])
+    plans = [p for p in compiled._cache.entries.values() if p is not None]
+    assert plans, "warm() built no plan"
+    labels = [label for label, _ in plans[0]._forward_meta]
+    assert any(label == "conv2d@threaded" for label in labels), labels
+    # GEMM-dominated ops are declined by design: whole-matrix BLAS calls
+    # already use every core, so they stay on the reference kernels.
+    assert "affine" in labels and "affine@threaded" not in labels
+
+    reference = compile_model(model, sample, provider="numpy")
+    reference.warm([sample])
+    assert np.array_equal(compiled(sample), reference(sample))
+
+
+@pytest.mark.parametrize("provider", PROVIDERS)
+def test_warm_training_step_allocates_nothing(provider):
+    model = SmallCNN(num_classes=10, image_size=16, base_channels=4, hidden_dim=16, seed=0)
+    model.train()
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    trainer = CompiledTrainer(
+        model, optimizer, TRADESLoss(steps=2, seed=0), provider=provider
+    )
+    rng = np.random.default_rng(0)
+    images = rng.random((20, 3, 16, 16))
+    labels = rng.integers(0, 10, 20)
+    outcomes = [trainer.train_batch(images, labels) for _ in range(3)]
+    assert outcomes[0] is None and outcomes[-1] is not None
+    before = trainer.pool_allocations
+    assert trainer.train_batch(images, labels) is not None
+    assert trainer.pool_allocations - before == 0
+
+
+def test_resolution_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_PROVIDER", raising=False)
+    assert resolve_provider_name() == "numpy"
+    monkeypatch.setenv("REPRO_PROVIDER", "threaded")
+    assert resolve_provider_name() == "threaded"
+    with use_provider("numpy"):
+        # A scope (spec-driven) beats the environment ...
+        assert resolve_provider_name() == "numpy"
+        # ... and an explicit argument beats both.
+        assert resolve_provider_name("threaded") == "threaded"
+    assert resolve_provider_name() == "threaded"
+
+
+def test_unknown_provider_raises():
+    with pytest.raises(ValueError, match="unknown kernel provider"):
+        get_provider("gpu")
+
+
+def test_spec_provider_joins_hash_only_when_non_default():
+    base = ExperimentSpec(dataset="synthetic", model="smallcnn", epochs=1)
+    explicit_default = base.with_(provider="numpy")
+    threaded = base.with_(provider="threaded")
+    assert explicit_default.training_hash == base.training_hash
+    assert "provider" not in base.training_dict()
+    assert threaded.training_hash != base.training_hash
+    assert threaded.training_dict()["provider"] == "threaded"
+    round_trip = ExperimentSpec.from_dict(threaded.as_dict())
+    assert round_trip.provider == "threaded"
+    assert round_trip.training_hash == threaded.training_hash
+
+
+def test_cache_namespace_separates_providers():
+    cache_a = SignatureCache(lambda s: object(), capacity=4, namespace="numpy")
+    cache_b = SignatureCache(lambda s: object(), capacity=4, namespace="threaded")
+    sample = np.zeros((4, 3, 8, 8))
+    assert cache_a._key(sample) != cache_b._key(sample)
