@@ -63,10 +63,17 @@ class WorkerPool:
     The first exception raised by any task is re-raised on the caller's
     thread after the barrier.  ``run`` itself performs no NumPy work and
     no allocation beyond a couple of ints.
+
+    ``run`` is safe for concurrent callers: the whole publish/drain/wait
+    cycle holds a mutex, so callers serialize rather than corrupt each
+    other's task lists.  That matters because one provider instance (and
+    its pool) is registered globally and captured by every plan —
+    ``repro.serve`` replays plans from several worker threads at once.
     """
 
     def __init__(self, workers: int) -> None:
         self.workers = max(1, int(workers))
+        self._run_lock = threading.Lock()
         self._cond = threading.Condition()
         self._tasks: Optional[List[Step]] = None
         self._next = 0
@@ -122,19 +129,20 @@ class WorkerPool:
         if len(tasks) == 1:
             tasks[0]()
             return
-        with self._cond:
-            self._tasks = tasks
-            self._next = 0
-            self._pending = len(tasks)
-            self._errors = []
-            self._generation += 1
-            self._cond.notify_all()
-        self._drain()
-        with self._cond:
-            while self._pending > 0:
-                self._cond.wait()
-            self._tasks = None
-            errors = self._errors
+        with self._run_lock:
+            with self._cond:
+                self._tasks = tasks
+                self._next = 0
+                self._pending = len(tasks)
+                self._errors = []
+                self._generation += 1
+                self._cond.notify_all()
+            self._drain()
+            with self._cond:
+                while self._pending > 0:
+                    self._cond.wait()
+                self._tasks = None
+                errors = self._errors
         if errors:
             raise errors[0]
 
@@ -154,13 +162,22 @@ class ThreadedProvider(KernelProvider):
         self.shards = int(shards) if shards is not None else self.workers
         self.min_size = int(min_size)
         self._pool: Optional[WorkerPool] = None
+        self._pool_lock = threading.Lock()
 
     @property
     def pool(self) -> WorkerPool:
-        """The worker pool, spun up on first use (not at import/registration)."""
-        if self._pool is None:
-            self._pool = WorkerPool(self.workers)
-        return self._pool
+        """The worker pool, spun up on first use (not at import/registration).
+
+        Creation is locked: concurrent binders (serve workers compiling
+        views) must share one pool rather than each leak a thread set.
+        """
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = self._pool = WorkerPool(self.workers)
+        return pool
 
     # -- dispatch ---------------------------------------------------------
 
@@ -350,12 +367,19 @@ class ThreadedProvider(KernelProvider):
         if slices is None:
             return None
         pool = self.pool
+        # The kernel rebuilds its stage callbacks every replay, so the task
+        # list is prebuilt once over a cell holding the current stage fn —
+        # stages run sequentially, so rebinding between pool.run calls is
+        # safe and replay allocates nothing.
+        stage: List[Callable[[slice], None]] = [lambda sl: None]
+        tasks = [(lambda sl=sl: stage[0](sl)) for sl in slices]
 
         def hook(fn: Callable[[slice], None], total: int) -> None:
             if total != n:  # pragma: no cover - shapes are plan-static
                 fn(slice(0, total))
                 return
-            pool.run([(lambda fn=fn, sl=sl: fn(sl)) for sl in slices])
+            stage[0] = fn
+            pool.run(tasks)
 
         rbf = ctx.rbf
         rbf.shard_hook = hook

@@ -161,8 +161,11 @@ class ExperimentRunner:
         )
         # Scope the spec's kernel provider over the whole fit: every plan the
         # compiled trainer (or IB-RAR's internal trainer) builds resolves it
-        # from the thread-local scope, no constructor plumbing needed.
-        provider_scope = use_provider(spec.provider if spec.provider != "numpy" else None)
+        # from the thread-local scope, no constructor plumbing needed.  The
+        # default is pinned too — the thread-local scope outranks
+        # REPRO_PROVIDER, so the environment cannot select a non-reference
+        # provider for a run whose training_hash is the numpy hash.
+        provider_scope = use_provider(spec.provider)
         with annotation, provider_scope, ForwardPassCounter(model) as counter:
             if config is not None:
                 ibrar = IBRAR(
@@ -254,7 +257,9 @@ class ExperimentRunner:
             cascade=spec.eval_cascade,
             compile=spec.eval_compile,
         )
-        with use_provider(spec.provider if spec.provider != "numpy" else None):
+        # Pinned even at the default so REPRO_PROVIDER cannot skew a run
+        # whose hashes say "numpy" (see :meth:`train`).
+        with use_provider(spec.provider):
             return engine.run(model, images, labels, method_name=spec.label)
 
     # -- the end-to-end unit -----------------------------------------------------

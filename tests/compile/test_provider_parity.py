@@ -20,11 +20,15 @@ decline every op.
 
 from __future__ import annotations
 
+import threading
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
 from repro.compile import compile_model, get_provider, resolve_provider_name, use_provider
 from repro.compile.backends import ThreadedProvider, register_provider
+from repro.compile.backends.threaded import WorkerPool
 from repro.compile.cache import SignatureCache
 from repro.compile.training import CompiledTrainer
 from repro.core.config import IBRARConfig
@@ -179,6 +183,121 @@ def test_warm_training_step_allocates_nothing(provider):
     before = trainer.pool_allocations
     assert trainer.train_batch(images, labels) is not None
     assert trainer.pool_allocations - before == 0
+
+
+def test_worker_pool_serializes_concurrent_callers():
+    """One global pool is replayed from many serve threads: run() must not
+    return before every task *it* published has executed, even while other
+    callers publish concurrently (the serve default is workers=2)."""
+    import time
+
+    pool = WorkerPool(workers=3)
+    iterations, tasks_per_call, callers = 20, 8, 4
+    start_barrier = threading.Barrier(callers)
+    failures = []
+
+    def caller(slot: int) -> None:
+        try:
+            start_barrier.wait(timeout=10)
+            for _ in range(iterations):
+                done = [0]
+
+                def task(done=done) -> None:
+                    # Sleeping releases the GIL mid-task, holding the
+                    # publish window open so an unserialized racing run()
+                    # would overwrite this caller's task list.
+                    time.sleep(0.001)
+                    done[0] += 1
+
+                pool.run([task] * tasks_per_call)
+                # The contract under test: by the time run() returns, all
+                # of the caller's own tasks have executed exactly once.
+                if done[0] != tasks_per_call:
+                    raise AssertionError(
+                        f"caller {slot}: run() returned after {done[0]}/"
+                        f"{tasks_per_call} of its tasks"
+                    )
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            failures.append(error)
+
+    threads = [
+        threading.Thread(target=caller, args=(i,), daemon=True)
+        for i in range(callers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "WorkerPool.run deadlocked under concurrency"
+    assert not failures, failures
+
+
+def test_rbf_shard_hook_reuses_prebuilt_task_list():
+    """Replaying the sharded RBF Gram must not rebuild the task list."""
+    from repro.compile.kernels import RBFGram
+    from repro.compile.pool import BufferPool
+
+    n, dim = 8, 6
+    buffer_pool = BufferPool()
+    rbf = RBFGram(buffer_pool, n, dim, np.float64, sigma=1.0)
+    x = np.random.default_rng(0).random((n, dim))
+    out = buffer_pool.empty((n, n), np.float64)
+
+    class RecordingPool:
+        def __init__(self) -> None:
+            # Strong refs: freed per-replay lists would be reallocated at
+            # the same address, so identity must be checked on live objects.
+            self.task_lists = []
+
+        def run(self, tasks) -> None:
+            self.task_lists.append(tasks)
+            for task in tasks:
+                task()
+
+    provider = ThreadedProvider(workers=2, shards=2, min_size=0)
+    recording = RecordingPool()
+    provider._pool = recording
+    step = provider._rbf_gram(SimpleNamespace(n=n, rbf=rbf, x=x, out=out))
+    assert step is not None
+    step()
+    assert len(recording.task_lists) >= 2, "hook never sharded a stage"
+    step()
+    first = recording.task_lists[0]
+    assert all(tasks is first for tasks in recording.task_lists), (
+        "shard hook rebuilt its task list instead of reusing the bind-time one"
+    )
+
+    serial = BufferPool()
+    reference = RBFGram(serial, n, dim, np.float64, sigma=1.0)
+    expected = serial.empty((n, n), np.float64)
+    reference.run(x, expected)
+    assert np.array_equal(out, expected)
+
+
+def test_runner_pins_spec_provider_against_environment(monkeypatch, tmp_path):
+    """A numpy-hashed spec must train on numpy even when REPRO_PROVIDER says
+    otherwise — the environment selecting a provider the hash doesn't know
+    about would silently reuse checkpoints across different numerics."""
+    from repro.experiments.runner import ExperimentRunner
+
+    monkeypatch.setenv("REPRO_PROVIDER", "not-a-registered-provider")
+    spec = ExperimentSpec(
+        dataset="cifar10",
+        dataset_params={"n_train": 64, "n_test": 16, "image_size": 16, "seed": 0},
+        model="smallcnn",
+        model_params={"image_size": 16, "base_channels": 4, "hidden_dim": 16, "seed": 0},
+        loss="ce",
+        epochs=1,
+        batch_size=32,
+        seed=0,
+        train_compile=True,
+        name="env-pin",
+    )
+    assert "provider" not in spec.training_dict()
+    # Were the environment honored, plan construction would resolve (and
+    # fail loudly on) the bogus name; the pinned scope keeps it at numpy.
+    model, history, _ = ExperimentRunner(store=str(tmp_path)).train(spec)
+    assert history["compile"]["compiled_batches"] >= 1
 
 
 def test_resolution_precedence(monkeypatch):
