@@ -19,6 +19,9 @@ are machine-bound and too noisy to gate on):
 * ``examples_per_sec`` / ``speedup_vs_naive`` (``BENCH_serve.json``)
 * ``examples_per_sec`` / ``speedup_vs_numpy`` per kernel provider
   (``BENCH_provider.json``, e.g. ``providers.threaded.speedup_vs_numpy``)
+* ``compile_coverage`` — compiled / total training batches of the grid's
+  dropout-bearing compiled spec (``grid-timing.json``); a drop means batches
+  started falling back to the eager path
 
 and the lower-is-better serving SLO numbers (tail latency and pad waste,
 judged against the best = *lowest* ever recorded):
@@ -56,6 +59,7 @@ TRACKED_METRICS: Dict[str, str] = {
     "examples_per_sec": "higher",
     "speedup_vs_naive": "higher",
     "speedup_vs_numpy": "higher",
+    "compile_coverage": "higher",
     "p50_ms": "lower",
     "p99_ms": "lower",
     "pad_waste_pct": "lower",

@@ -18,10 +18,17 @@ forwards (batch-stat batch norm with in-place running updates) captured with
 optimizer kernels, and adapters building the paper's composite losses (CE,
 PGD-AT, TRADES, MART, IB-RAR) **fully in plan** — the fused softmax-CE seed
 plus softmax-KL, MART margin-weighting and RBF-Gram/HSIC-trace plan nodes
-over aliased aux inputs, zero eager graph nodes per compiled step.  One
+over aliased aux inputs, zero eager graph nodes per compiled step.  Dropout compiles in training
+mode as an ``rng_mask`` plan node: masks are counter-based (Philox over
+``seed x layer-id x step``, state in the module's ``rng_state`` buffer) and
+share the eager ``F.dropout`` mask-fill, so eager and compiled masks are
+bitwise identical and resume-exact; ``mi_on_adversarial=True`` replays the
+MI hidden forward on attack outputs inside the plan.  One
 ``capture_forward`` trace per batch signature serves every plan: the
 eval-semantics attack plan derives from the training capture through the
-:func:`~repro.compile.passes.lower_to_eval` pass.
+:func:`~repro.compile.passes.lower_to_eval` pass, and
+:mod:`repro.compile.trace_cache` serializes captures through the artifact
+store so grid workers share one trace per signature.
 
 Entry points:
 

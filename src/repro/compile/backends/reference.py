@@ -25,6 +25,10 @@ Kernel-context contracts (all arrays preallocated by the binder):
     the bound :class:`~repro.compile.kernels.RBFGram` /
     :class:`~repro.compile.kernels.CenteredTrace` instance plus its
     operands and output.
+``rng_mask``
+    ``rng`` (the bound :class:`~repro.compile.kernels.DropoutMask`,
+    which owns the pooled mask and refreshes it from the module's live
+    counter state), ``x``, ``out``.
 ``conv2d.bwd.input``
     ``grad_mat``, ``w_mat``, ``refresh`` (live-weight repack or ``None``),
     ``grad_cols``, ``gpad``, ``pairs`` (precomputed (col2im target view,
@@ -172,6 +176,13 @@ def _rbf_gram(ctx) -> Step:
     return lambda: rbf.run(x, out)
 
 
+def _rng_mask(ctx) -> Step:
+    rng = ctx.rng
+    x = ctx.x
+    out = ctx.out
+    return lambda: rng.run(x, out)
+
+
 def _hsic_trace(ctx) -> Step:
     trace = ctx.trace
     kx = ctx.kx
@@ -212,6 +223,7 @@ FACTORIES: Dict[str, Callable] = {
     "matmul": _matmul,
     "ew": _ew,
     "rbf_gram": _rbf_gram,
+    "rng_mask": _rng_mask,
     "hsic_trace": _hsic_trace,
     "conv2d.bwd.input": _conv2d_bwd_input,
 }

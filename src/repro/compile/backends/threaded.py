@@ -9,7 +9,9 @@ steady-state allocation guarantee.
 
 Bitwise-parity discipline: only order-preserving, per-row-disjoint stages
 are sharded — im2col gather copies, the per-example col2im scatter,
-elementwise chains, and the RBF Gram's elementwise stages.  Reductions
+elementwise chains, the ``rng_mask`` dropout multiply (its Philox mask
+draw stays whole on the replay thread: splitting the generator call would
+change the stream), and the RBF Gram's elementwise stages.  Reductions
 that would reorder float accumulation (the GEMMs, ``hsic_trace``'s
 centered trace, bias-gradient sums) are left whole: GEMM-dominated ops
 (``affine``, ``matmul``, ``hsic_trace``) are *declined* so they fall back
@@ -358,6 +360,35 @@ class ThreadedProvider(KernelProvider):
 
         pool = self.pool
         return lambda: pool.run(tasks)
+
+    # -- rng_mask (dropout): serial mask refresh, sharded apply -----------
+
+    def _rng_mask(self, ctx) -> Optional[Step]:
+        out = ctx.out
+        if out.ndim < 1:
+            return None
+        slices = self._row_slices(out.shape[0], out.size)
+        if slices is None:
+            return None
+        rng = ctx.rng
+        tasks: List[Step] = []
+        for sl in slices:
+            x_v = ctx.x[sl]
+            m_v = rng.mask[sl]
+            o_v = out[sl]
+            tasks.append(lambda xv=x_v, mv=m_v, ov=o_v: np.multiply(xv, mv, out=ov))
+
+        pool = self.pool
+
+        def step() -> None:
+            # The Philox draw fills the whole mask in one generator call on
+            # the replay thread (splitting it would change the stream); the
+            # multiply is per-row disjoint, so sharding it keeps bitwise
+            # parity with the serial reference.
+            rng.refresh()
+            pool.run(tasks)
+
+        return step
 
     # -- RBF Gram: shard the elementwise stages via the kernel's hook -----
 

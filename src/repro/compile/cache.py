@@ -127,6 +127,16 @@ class SignatureCache:
         """The cached entry for this signature, or ``None`` (never builds)."""
         return self.entries.get(self._key(sample))
 
+    def failed(self, sample: np.ndarray) -> bool:
+        """Whether this signature's build failed (a memoized ``None`` entry).
+
+        Distinguishes a *genuine* eager fallback from the policy's benign
+        first-sighting deferral, so fallback telemetry only counts batches
+        that will stay eager forever.
+        """
+        key = self._key(sample)
+        return key in self.entries and self.entries[key] is None
+
     def insert(self, sample: np.ndarray, entry) -> None:
         """Pre-seed the cache (a caller-built first plan skips the policy)."""
         self.entries[self._key(sample)] = entry
@@ -154,7 +164,7 @@ class SignatureCache:
 
         Returns ``None`` on the first sighting, when the live-entry count is
         at capacity, or when the build failed (memoized — deterministic
-        failures such as dropout never retry).
+        failures such as an untraceable forward never retry).
         """
         key = self._key(sample)
         if key in self.entries:

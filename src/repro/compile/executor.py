@@ -1350,6 +1350,46 @@ def _back_rbf_gram(plan: Plan, node: Node):
     return run
 
 
+def _bind_rng_mask(plan: Plan, node: Node):
+    """Counter-based dropout: multiply by a pooled, replayable mask.
+
+    The mask is a pure function of the owning module's live
+    ``[seed, layer_id, step]`` state buffer (``meta["state"]`` aliases it,
+    so in-place step advancement reaches the plan) and is refilled only
+    when that triple moves — repeated forwards within one optimizer step
+    (the TRADES anchor, the MI side forward) reuse one mask, exactly like
+    the eager path.  The mask arithmetic lives once, in
+    :class:`repro.compile.kernels.DropoutMask`, shared with eager
+    ``F.dropout``, so eager and compiled masks are bitwise identical.
+    """
+    from .kernels import DropoutMask
+
+    x = plan.values[node.inputs[0]]
+    dm = DropoutMask(plan.pool, node.shape, node.dtype, node.meta["p"], node.meta["state"])
+    out = plan.pool.empty(node.shape, node.dtype)
+    node.meta["_rng"] = dm
+    ctx = SimpleNamespace(rng=dm, x=x, out=out)
+    return plan._kernel(node, "rng_mask", ctx), out
+
+
+def _back_rng_mask(plan: Plan, node: Node):
+    x_id = node.inputs[0]
+    if x_id not in plan._diff:
+        return None
+    dm = node.meta["_rng"]
+    mask = dm.mask
+    g = plan.grads[node.id]
+    write, gx = plan._sink(x_id)
+    target = gx if write else plan.pool.empty(node.shape, node.dtype)
+
+    def run() -> None:
+        np.multiply(g, mask, out=target)
+        if not write:
+            np.add(gx, target, out=gx)
+
+    return run
+
+
 def _bind_hsic_trace(plan: Plan, node: Node):
     """Biased HSIC estimate via the one-sided-centered trace identity.
 
@@ -1484,6 +1524,7 @@ _FORWARD = {
     "mart_weighted_kl": _bind_mart_weighted_kl,
     "rbf_gram": _bind_rbf_gram,
     "hsic_trace": _bind_hsic_trace,
+    "rng_mask": _bind_rng_mask,
 }
 
 
@@ -2195,4 +2236,5 @@ _BACKWARD = {
     "mart_weighted_kl": _back_mart_weighted_kl,
     "rbf_gram": _back_rbf_gram,
     "hsic_trace": _back_hsic_trace,
+    "rng_mask": _back_rng_mask,
 }

@@ -260,8 +260,10 @@ def capture_forward(
     forward instead — batch-stat batch norms become replayable nodes that
     update the module's running buffers in place (the traced forward's own
     running-stat update is rolled back, so a replay reproduces the eager
-    sequence exactly) — and rejects active dropout, whose per-batch random
-    masks cannot be replayed.
+    sequence exactly) — and counter-based dropout traces into ``rng_mask``
+    nodes whose masks are a pure function of the module's live
+    ``(seed, layer_id, step)`` state (legacy generator-driven dropout is
+    still rejected: its masks consume hidden state and cannot be replayed).
 
     ``with_hidden=True`` traces ``module.forward_with_hidden`` and names
     each hidden representation in :attr:`Graph.outputs` (training plans
@@ -283,8 +285,18 @@ def capture_forward(
     bn_saved = []
     if training:
         for sub in module.modules():
-            if isinstance(sub, Dropout) and sub.training and sub.p > 0:
-                raise CompileError("cannot capture a training-mode dropout (random per-batch mask)")
+            if (
+                isinstance(sub, Dropout)
+                and sub.training
+                and sub.p > 0
+                and sub.rng is not None
+            ):
+                # Counter-based dropout traces into a replayable ``rng_mask``
+                # node; only the legacy stateful-generator path is uncapturable.
+                raise CompileError(
+                    "cannot capture a training-mode dropout driven by a "
+                    "stateful rng generator (use the counter-based scheme)"
+                )
             if isinstance(sub, BatchNorm2d):
                 bn_saved.append((sub, sub.running_mean.copy(), sub.running_var.copy()))
     x = Tensor(arr, requires_grad=True)

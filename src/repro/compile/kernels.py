@@ -27,11 +27,47 @@ from .pool import BufferPool
 __all__ = [
     "linf_step",
     "lookahead_point",
+    "DropoutMask",
     "MedianBandwidth",
     "RBFGram",
     "CenteredTrace",
     "GramCache",
 ]
+
+
+class DropoutMask:
+    """Pooled replay of the counter-based ``rng_mask`` plan node.
+
+    Holds the pooled mask plus the scratch buffers
+    :func:`repro.nn.rng.fill_dropout_mask` needs, and a live reference to
+    the owning module's ``[seed, layer_id, step, seeded]`` state buffer.
+    :meth:`refresh` re-reads the buffer and refills the mask only when the
+    ``(seed, layer_id, step)`` triple moved — several forwards of one
+    optimizer step (the TRADES anchor, the MI side forward) reuse one mask,
+    exactly like repeated eager applications at the same step.  Replays
+    allocate nothing; the mask is bitwise the eager mask because both sides
+    share ``fill_dropout_mask``.
+    """
+
+    def __init__(self, pool: BufferPool, shape, dtype, p: float, state: np.ndarray) -> None:
+        self.p = float(p)
+        self.state = state
+        self.mask = pool.empty(shape, dtype)
+        self._u = pool.empty(shape, np.float64)
+        self._b = pool.empty(shape, bool)
+        self._last = None
+
+    def refresh(self) -> None:
+        from ..nn.rng import fill_dropout_mask, state_key
+
+        key = state_key(self.state)
+        if key != self._last:
+            fill_dropout_mask(self.mask, self._u, self._b, self.p, *key)
+            self._last = key
+
+    def run(self, x: np.ndarray, out: np.ndarray) -> None:
+        self.refresh()
+        np.multiply(x, self.mask, out=out)
 
 
 def linf_step(

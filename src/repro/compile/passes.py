@@ -56,18 +56,25 @@ def lower_to_eval(graph: Graph) -> Tuple[Graph, bool]:
     one capture per signature serves both the training plan and the
     eval-semantics attack plan.
 
-    The only training/eval divergence a capturable graph can contain is
-    batch norm (training-mode dropout is rejected at capture time): each
+    A capturable graph can diverge from eval semantics in two ways.  Each
     batch-stat ``batch_norm2d`` node is rewritten to normalize with the
     module's **live running buffers** — exactly the statistics an eager
     attack sees after ``model.eval()``, re-read on every replay because the
-    training plan updates them in place.  ``changed=False`` means the graph
-    is mode-invariant: the training plan replays the eval forward bit for
-    bit, and a single fused input+param plan can serve both roles.
+    training plan updates them in place.  Each ``rng_mask`` (counter-based
+    dropout) node is stripped: eval-mode dropout is the identity, so its
+    consumers are rewired straight to the masked input.  ``changed=False``
+    means the graph is mode-invariant: the training plan replays the eval
+    forward bit for bit, and a single fused input+param plan can serve both
+    roles.
     """
     lowered = graph.copy()
     changed = False
+    rewired: Dict[int, int] = {}
     for node in lowered.nodes:
+        if node.op == "rng_mask":
+            rewired[node.id] = node.inputs[0]
+            changed = True
+            continue
         if node.op != "batch_norm2d" or not node.meta.get("training"):
             continue
         node.meta = {
@@ -77,6 +84,10 @@ def lower_to_eval(graph: Graph) -> Tuple[Graph, bool]:
             "eps": node.meta["eps"],
         }
         changed = True
+    if rewired:
+        for node in lowered.nodes:
+            node.inputs = tuple(_resolve(rewired, i) for i in node.inputs)
+        lowered.output_id = _resolve(rewired, lowered.output_id)
     # The attack plan neither exposes hidden representations nor carries
     # loss subgraphs; dropping the named outputs unprotects those nodes for
     # the fusion passes.

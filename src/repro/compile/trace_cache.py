@@ -1,0 +1,348 @@
+"""Shared capture-trace cache — serialize one graph, replay it in every worker.
+
+``run_grid`` fans out processes that train identical architectures; each one
+used to pay for its own :func:`~repro.compile.graph.capture_forward` trace per
+batch signature.  This module persists a captured :class:`Graph` through an
+ambient :class:`~repro.experiments.store.ArtifactStore` (manifest JSON plus an
+``.npz`` of snapshot arrays), keyed by the *plan signature* — model
+architecture and config, channel mask, batch shape/dtype, and capture flags —
+so the first worker to trace a signature publishes it and every later worker
+deserializes the shared trace instead of re-tracing.
+
+Live references survive the round trip *by name*: ``param`` nodes and the
+in-meta batch-norm running buffers / dropout counter state are stored as
+``{"__param__": name}`` / ``{"__buffer__": path}`` and re-resolved against the
+loading worker's own model, so a deserialized graph aliases that worker's live
+storage exactly like a fresh capture would.
+
+Anything the encoder cannot express (an exotic ``meta`` value, a snapshot that
+is not a plain array) raises :class:`TraceSerializeError` and the caller falls
+back to a fresh capture — the cache is an accelerator, never a correctness
+gate.  Corrupt or stale stored traces likewise degrade to a re-trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .graph import Graph, Node, capture_forward
+
+__all__ = [
+    "TraceSerializeError",
+    "use_trace_store",
+    "active_trace_store",
+    "trace_key",
+    "serialize_graph",
+    "deserialize_graph",
+    "load_or_capture",
+]
+
+#: bump when the manifest layout changes — old traces become key misses.
+TRACE_FORMAT = "graph-trace-v1"
+
+
+class TraceSerializeError(RuntimeError):
+    """A graph (or stored trace) cannot cross the serialization boundary."""
+
+
+# --------------------------------------------------------------------------- #
+# ambient store
+# --------------------------------------------------------------------------- #
+_store = None
+
+
+@contextmanager
+def use_trace_store(store):
+    """Route :func:`load_or_capture` through ``store`` for the dynamic extent.
+
+    ``store`` is duck-typed: anything with ``load_trace(key)`` /
+    ``save_trace(key, manifest, arrays)`` (the :class:`ArtifactStore`
+    surface).  ``None`` restores plain capture — handy in tests.
+    """
+    global _store
+    previous = _store
+    _store = store
+    try:
+        yield store
+    finally:
+        _store = previous
+
+
+def active_trace_store():
+    return _store
+
+
+# --------------------------------------------------------------------------- #
+# the cache key — everything that shapes the captured graph
+# --------------------------------------------------------------------------- #
+def _named_buffers(model) -> Iterator[Tuple[str, np.ndarray]]:
+    for path, module in model.named_modules():
+        prefix = f"{path}." if path else ""
+        for name, buf in module._buffers.items():
+            yield f"{prefix}{name}", buf
+
+
+def _module_config(model) -> List[List[Any]]:
+    """A structural digest of the module tree: class names + scalar config.
+
+    Scalar attributes (dropout ``p``, batch-norm ``eps``/``momentum``, conv
+    ``stride``/``padding``, the ``training`` flag) are exactly the values that
+    get baked into node ``meta`` at capture time, so two models that differ
+    only there must key to different traces.  Private attributes are skipped —
+    they hold caches and warn-once flags that drift during a run.
+    """
+    config: List[List[Any]] = []
+    for path, module in model.named_modules():
+        scalars = {
+            key: value
+            for key, value in sorted(vars(module).items())
+            if not key.startswith("_") and isinstance(value, (bool, int, float, str))
+        }
+        config.append([path, type(module).__name__, scalars])
+    return config
+
+
+def trace_key(model, sample: np.ndarray, training: bool, with_hidden: bool) -> str:
+    """The content address of a capture: sha256 over the plan signature."""
+    arr = np.asarray(sample)
+    mask = getattr(model, "channel_mask", None)
+    if mask is not None:
+        mask = np.ascontiguousarray(mask)
+        mask_digest = [list(mask.shape), mask.dtype.str, hashlib.sha256(mask.tobytes()).hexdigest()]
+    else:
+        mask_digest = None
+    payload = {
+        "format": TRACE_FORMAT,
+        "modules": _module_config(model),
+        "params": [
+            [name, list(p.shape), p.dtype.str] for name, p in model.named_parameters()
+        ],
+        "buffers": [
+            [path, list(b.shape), b.dtype.str] for path, b in _named_buffers(model)
+        ],
+        "channel_mask": mask_digest,
+        "sample": [list(arr.shape), arr.dtype.str],
+        "training": bool(training),
+        "with_hidden": bool(with_hidden),
+    }
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# serialization
+# --------------------------------------------------------------------------- #
+def _encode(value, params: Dict[int, str], buffers: Dict[int, str], arrays: Dict[str, np.ndarray]):
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"__float__": value.hex()}  # bit-exact through JSON
+    if isinstance(value, (np.bool_, np.integer, np.floating)):
+        return {"__scalar__": [value.dtype.str, _encode(value.item(), params, buffers, arrays)]}
+    if isinstance(value, np.dtype):
+        return {"__dtype__": value.str}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode(v, params, buffers, arrays) for v in value]}
+    if isinstance(value, list):
+        return {"__list__": [_encode(v, params, buffers, arrays) for v in value]}
+    if isinstance(value, dict):
+        if not all(isinstance(k, str) for k in value):
+            raise TraceSerializeError("meta dict with non-string keys")
+        return {"__dict__": {k: _encode(v, params, buffers, arrays) for k, v in value.items()}}
+    name = params.get(id(value))
+    if name is not None:
+        return {"__param__": name}
+    if isinstance(value, np.ndarray):
+        path = buffers.get(id(value))
+        if path is not None:
+            return {"__buffer__": path}  # live module storage, resolved by name
+        key = f"a{len(arrays)}"
+        arrays[key] = value
+        return {"__array__": key}
+    raise TraceSerializeError(f"cannot serialize meta value of type {type(value).__name__}")
+
+
+def _decode(value, params: Dict[str, Any], buffers: Dict[str, np.ndarray], arrays: Dict[str, np.ndarray]):
+    if not isinstance(value, dict):
+        return value
+    if len(value) != 1:
+        raise TraceSerializeError("malformed encoded value")
+    (tag, payload), = value.items()
+    if tag == "__float__":
+        return float.fromhex(payload)
+    if tag == "__scalar__":
+        dtype, raw = payload
+        return np.dtype(dtype).type(_decode(raw, params, buffers, arrays))
+    if tag == "__dtype__":
+        return np.dtype(payload)
+    if tag == "__tuple__":
+        return tuple(_decode(v, params, buffers, arrays) for v in payload)
+    if tag == "__list__":
+        return [_decode(v, params, buffers, arrays) for v in payload]
+    if tag == "__dict__":
+        return {k: _decode(v, params, buffers, arrays) for k, v in payload.items()}
+    if tag == "__param__":
+        try:
+            return params[payload]
+        except KeyError:
+            raise TraceSerializeError(f"model has no parameter '{payload}'") from None
+    if tag == "__buffer__":
+        try:
+            return buffers[payload]
+        except KeyError:
+            raise TraceSerializeError(f"model has no buffer '{payload}'") from None
+    if tag == "__array__":
+        try:
+            return arrays[payload]
+        except KeyError:
+            raise TraceSerializeError(f"stored trace is missing array '{payload}'") from None
+    raise TraceSerializeError(f"unknown encoding tag {tag!r}")
+
+
+def serialize_graph(graph: Graph, model) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Flatten a captured graph into ``(manifest, arrays)``.
+
+    ``manifest`` is JSON-safe; ``arrays`` holds const snapshots and any plain
+    ndarray meta values (batch statistics recorded at trace time).  Raises
+    :class:`TraceSerializeError` for graphs the format cannot express.
+    """
+    params = {id(p): name for name, p in model.named_parameters()}
+    buffers = {id(b): path for path, b in _named_buffers(model)}
+    arrays: Dict[str, np.ndarray] = {}
+    nodes = []
+    for node in graph.nodes:
+        record: Dict[str, Any] = {
+            "id": node.id,
+            "op": node.op,
+            "inputs": list(node.inputs),
+            "shape": list(node.shape),
+            "dtype": None if node.dtype is None else np.dtype(node.dtype).str,
+            "meta": {
+                key: _encode(value, params, buffers, arrays)
+                for key, value in node.meta.items()
+            },
+        }
+        if node.value is not None:
+            key = f"a{len(arrays)}"
+            arrays[key] = node.value
+            record["value"] = key
+        nodes.append(record)
+    manifest = {
+        "format": TRACE_FORMAT,
+        "nodes": nodes,
+        "input_id": graph.input_id,
+        "output_id": graph.output_id,
+        "outputs": dict(graph.outputs),
+        "aux": dict(graph.aux),
+    }
+    return manifest, arrays
+
+
+def deserialize_graph(manifest: Dict[str, Any], arrays: Dict[str, np.ndarray], model) -> Graph:
+    """Rebuild a :class:`Graph` against ``model``'s live parameters/buffers."""
+    if manifest.get("format") != TRACE_FORMAT:
+        raise TraceSerializeError(f"unsupported trace format {manifest.get('format')!r}")
+    params = dict(model.named_parameters())
+    buffers = dict(_named_buffers(model))
+    nodes: List[Node] = []
+    for record in manifest["nodes"]:
+        value = None
+        if record.get("value") is not None:
+            value = arrays[record["value"]]
+        meta = {
+            key: _decode(encoded, params, buffers, arrays)
+            for key, encoded in record["meta"].items()
+        }
+        nodes.append(
+            Node(
+                int(record["id"]),
+                record["op"],
+                tuple(int(i) for i in record["inputs"]),
+                meta,
+                tuple(int(s) for s in record["shape"]),
+                None if record["dtype"] is None else np.dtype(record["dtype"]),
+                value=value,
+            )
+        )
+    return Graph(
+        nodes,
+        int(manifest["input_id"]),
+        int(manifest["output_id"]),
+        {name: int(i) for name, i in manifest["outputs"].items()},
+        {name: int(i) for name, i in manifest["aux"].items()},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the capture front door
+# --------------------------------------------------------------------------- #
+def load_or_capture(
+    model,
+    sample: np.ndarray,
+    training: bool = False,
+    with_hidden: bool = False,
+    live_params: bool = False,
+) -> Tuple[Graph, Optional[bool]]:
+    """A captured graph, through the ambient trace store when one is active.
+
+    Returns ``(graph, hit)`` where ``hit`` is ``True`` for a deserialized
+    stored trace, ``False`` for a fresh capture that was published to the
+    store, and ``None`` when no store is active (or the trace could not be
+    shared).  Capture-time failures still raise
+    :class:`~repro.compile.graph.CompileError` exactly like a direct
+    :func:`capture_forward` call.
+    """
+    store = _store
+    if store is None:
+        graph = capture_forward(
+            model, sample, training=training, with_hidden=with_hidden, live_params=live_params
+        )
+        return graph, None
+    if training != bool(model.training) or _has_legacy_dropout(model, training):
+        # Let capture_forward raise its canonical CompileError — a stored
+        # trace must never paper over an invalid capture request.
+        graph = capture_forward(
+            model, sample, training=training, with_hidden=with_hidden, live_params=live_params
+        )
+        return graph, None
+    try:
+        key = trace_key(model, sample, training, with_hidden)
+    except Exception:
+        graph = capture_forward(
+            model, sample, training=training, with_hidden=with_hidden, live_params=live_params
+        )
+        return graph, None
+    # The key does not discriminate snapshot-vs-live parameter leaves, so keep
+    # the two capture flavors from aliasing by folding the flag in here.
+    key = hashlib.sha256(f"{key}:live={bool(live_params)}".encode("utf-8")).hexdigest()
+    loaded = store.load_trace(key)
+    if loaded is not None:
+        try:
+            return deserialize_graph(loaded[0], loaded[1], model), True
+        except Exception:
+            pass  # stale/corrupt trace: degrade to a fresh capture
+    graph = capture_forward(
+        model, sample, training=training, with_hidden=with_hidden, live_params=live_params
+    )
+    try:
+        manifest, arrays = serialize_graph(graph, model)
+        store.save_trace(key, manifest, arrays)
+    except Exception:
+        return graph, None  # unshareable graph — still perfectly usable locally
+    return graph, False
+
+
+def _has_legacy_dropout(model, training: bool) -> bool:
+    from ..nn.modules import Dropout
+
+    if not training:
+        return False
+    return any(
+        isinstance(sub, Dropout) and sub.training and sub.p > 0 and sub.rng is not None
+        for sub in model.modules()
+    )

@@ -30,8 +30,12 @@ per-parameter accumulators, and the optimizer applies them with its fused
 in-place :meth:`~repro.nn.optim.Optimizer.step_with_grads` kernels — which
 is what keeps the live-parameter plans valid across steps.
 
-Anything the adapters cannot express (unknown strategies,
-``mi_on_adversarial``, dropout-bearing models, ragged batch signatures on
+Counter-based dropout traces into ``rng_mask`` plan nodes (masks re-derived
+from the module's live ``(seed, layer_id, step)`` state every replay), and
+``mi_on_adversarial=True`` runs in plan: the MI hidden forward replays on a
+re-generated adversarial batch, reproducing the eager loss's second
+``generate()`` call exactly.  Anything the adapters cannot express (unknown
+strategies, legacy generator-driven dropout, ragged batch signatures on
 their first sighting) falls back to the eager path batch by batch; opting in
 is always safe.
 """
@@ -47,6 +51,8 @@ from ..nn.tensor import Tensor, get_default_dtype
 from ..nn import functional as F
 from ..obs import trace as _trace
 from ..obs.profiler import merge_snapshot as _merge_snapshot
+from ..obs.registry import get_registry
+from . import trace_cache
 from .backends import resolve_provider_name, use_provider
 from .cache import SignatureCache
 from .executor import Plan
@@ -77,6 +83,15 @@ class TrainingCompileStats:
     captures: int = 0
     compiled_forward_calls: int = 0
     compiled_forward_examples: int = 0
+    #: *genuine* eager fallbacks — batches that will stay eager forever
+    #: (unsupported strategy, memoized capture failure, replay failure).
+    #: The policy's benign first-sighting deferral is excluded, so a fully
+    #: compiled run asserts ``fallbacks == 0`` even though its first batch
+    #: per signature ran eagerly.
+    fallbacks: int = 0
+    #: shared-trace cache accounting (see :mod:`repro.compile.trace_cache`).
+    trace_hits: int = 0
+    trace_misses: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -87,6 +102,9 @@ class TrainingCompileStats:
             "captures": self.captures,
             "compiled_forward_calls": self.compiled_forward_calls,
             "compiled_forward_examples": self.compiled_forward_examples,
+            "fallbacks": self.fallbacks,
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
         }
 
     def snapshot(self) -> Tuple[int, int]:
@@ -105,6 +123,9 @@ class TrainingCompileStats:
             compiled_forward_examples=(
                 self.compiled_forward_examples + other.compiled_forward_examples
             ),
+            fallbacks=self.fallbacks + other.fallbacks,
+            trace_hits=self.trace_hits + other.trace_hits,
+            trace_misses=self.trace_misses + other.trace_misses,
         )
 
 
@@ -221,14 +242,21 @@ class _SignatureContext:
         self.one: Optional[np.ndarray] = None
         self.beta_seed: Optional[np.ndarray] = None
         self.arange: Optional[np.ndarray] = None
-        captured = capture_forward(
+        captured, trace_hit = trace_cache.load_or_capture(
             model,
             sample,
             training=True,
             with_hidden=adapter.needs_hidden_seeds,
             live_params=True,
         )
-        stats.captures += 1
+        if trace_hit is True:
+            stats.trace_hits += 1
+        else:
+            # A fresh capture_forward ran (store miss, no store, or an
+            # unshareable graph); only an actual store miss counts as one.
+            stats.captures += 1
+            if trace_hit is False:
+                stats.trace_misses += 1
         adapter.build(self, captured)
 
     def register(self, plan: Plan) -> Plan:
@@ -413,6 +441,11 @@ class _CEAdapter:
     def build(self, ctx: _SignatureContext, captured: Graph) -> None:
         ctx.train_a = ctx.register(Plan(_train_graph(captured), grad="params"))
 
+    def replay_generate(self, trainer, ctx, images, labels) -> np.ndarray:
+        # CE has no ``generate``; the eager MI wrapper falls back to the
+        # clean batch, and so does the compiled one.
+        return images
+
     def step(self, trainer: "CompiledTrainer", ctx, images, labels):
         plan = ctx.train_a
         logits = plan.forward(images)
@@ -449,7 +482,8 @@ class _PGDAdversarialAdapter:
             ctx.train_a = ctx.register(Plan(_train_graph(captured), grad="both"))
             ctx.attack = ctx.train_a
 
-    def step(self, trainer: "CompiledTrainer", ctx, images, labels):
+    def _generate(self, trainer, ctx, images, labels, random_start: bool) -> np.ndarray:
+        """One fresh CE-guided PGD generation — the eager ``generate()``."""
         s = self.strategy
         labels = np.asarray(labels, dtype=np.int64).reshape(-1)
         attack = ctx.attack
@@ -461,10 +495,24 @@ class _PGDAdversarialAdapter:
         adversarial = _pgd_loop(
             grad_step, images,
             eps=s.eps, alpha=s.alpha, steps=s.steps,
-            random_start=s.random_start, seed=s.seed,
+            random_start=random_start, seed=s.seed,
         )
         trainer.stats.attack_grad_calls += s.steps
         trainer.count_forwards(s.steps, s.steps * len(labels))
+        return adversarial
+
+    def replay_generate(self, trainer, ctx, images, labels) -> np.ndarray:
+        # The eager MI wrapper's second ``generate()`` builds a fresh attack
+        # with the same seed — identical draws, re-run against the current
+        # (post-base-step) running statistics, which the live-buffer attack
+        # plan reads automatically.
+        return self._generate(trainer, ctx, images, labels, self.strategy.random_start)
+
+    def step(self, trainer: "CompiledTrainer", ctx, images, labels):
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        adversarial = self._generate(
+            trainer, ctx, images, labels, self.strategy.random_start
+        )
         plan = ctx.train_a
         plan.forward(adversarial)
         trainer.count_forwards(1, len(labels))
@@ -525,14 +573,17 @@ class _TRADESAdapter:
         ctx.one = ctx.scalar(1.0, dtype)
         ctx.beta_seed = ctx.scalar(s.beta, dtype)
 
-    def step(self, trainer: "CompiledTrainer", ctx, images, labels):
+    def _generate(self, trainer, ctx, images, labels) -> np.ndarray:
+        """One fresh TRADES generation: training-mode anchor + KL-guided PGD.
+
+        The eager ``generate()`` anchors the KL on a training-mode clean
+        forward (running stats update once here, exactly like eager — and
+        the same-step dropout mask reapplies bitwise); the attack plan's
+        aux aliases that logits buffer, so no copy is taken.
+        """
         s = self.strategy
-        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
-        n = len(labels)
-        plan_a, plan_b, attack = ctx.train_a, ctx.train_b, ctx.attack
-        # generate(): the eager loss anchors the KL on a training-mode clean
-        # forward (running stats update once here, exactly like eager); the
-        # attack plan's aux aliases this buffer, so no copy is taken.
+        n = np.asarray(labels).reshape(-1).shape[0]
+        plan_a, attack = ctx.train_a, ctx.attack
         plan_a.forward(images)
         trainer.count_forwards(1, n)
         attack_kl = ctx.ids["attack_kl"]
@@ -549,6 +600,17 @@ class _TRADESAdapter:
         )
         trainer.stats.attack_grad_calls += s.steps
         trainer.count_forwards(s.steps, s.steps * n)
+        return adversarial
+
+    def replay_generate(self, trainer, ctx, images, labels) -> np.ndarray:
+        return self._generate(trainer, ctx, images, labels)
+
+    def step(self, trainer: "CompiledTrainer", ctx, images, labels):
+        s = self.strategy
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        n = len(labels)
+        plan_a, plan_b = ctx.train_a, ctx.train_b
+        adversarial = self._generate(trainer, ctx, images, labels)
         # Outer term order matches eager: clean forward, then adversarial.
         plan_a.forward(images)
         natural, ce_seed = plan_a.ce_loss_and_seed(labels)
@@ -614,10 +676,10 @@ class _MARTAdapter:
         ctx.one = ctx.scalar(1.0, dtype)
         ctx.arange = np.arange(n)
 
-    def step(self, trainer: "CompiledTrainer", ctx, images, labels):
+    def _generate(self, trainer, ctx, images, labels) -> np.ndarray:
+        """One fresh MART generation (CE-guided PGD, forced random start)."""
         s = self.strategy
         labels = np.asarray(labels, dtype=np.int64).reshape(-1)
-        n = len(labels)
         attack = ctx.attack
 
         def grad_step(adversarial: np.ndarray) -> np.ndarray:
@@ -630,7 +692,16 @@ class _MARTAdapter:
             random_start=True, seed=s.seed,
         )
         trainer.stats.attack_grad_calls += s.steps
-        trainer.count_forwards(s.steps, s.steps * n)
+        trainer.count_forwards(s.steps, s.steps * len(labels))
+        return adversarial
+
+    def replay_generate(self, trainer, ctx, images, labels) -> np.ndarray:
+        return self._generate(trainer, ctx, images, labels)
+
+    def step(self, trainer: "CompiledTrainer", ctx, images, labels):
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        n = len(labels)
+        adversarial = self._generate(trainer, ctx, images, labels)
         plan_a, plan_b = ctx.train_a, ctx.train_b
         plan_b.forward(adversarial)
         mask = plan_a.aux_values["true_mask"]
@@ -720,9 +791,13 @@ class _MILossAdapter:
     :class:`~repro.compile.kernels.GramCache` refreshes in place (together
     with the nHSIC normalizers) before each forward.  Eq. (1) shares one
     plan between the fused-CE seed and the side terms; Eq. (2) runs the
-    adversarial base through its own plans and a dedicated clean hidden
-    plan for the MI terms — matching the extra ``forward_with_hidden``
-    pass the eager loss performs.
+    adversarial base through its own plans and a dedicated hidden plan for
+    the MI terms — matching the extra ``forward_with_hidden`` pass the
+    eager loss performs.  With ``mi_on_adversarial=True`` that pass (and
+    the input Gram) sees a **re-generated** adversarial batch: the base
+    adapter's ``replay_generate`` reruns its attack with a fresh
+    same-seeded RNG against the post-base-step running statistics, exactly
+    like the eager wrapper's second ``generate()`` call.
     """
 
     needs_hidden_seeds = True
@@ -788,11 +863,15 @@ class _MILossAdapter:
             returned_logits = logits
         else:
             # Eq. (2): the adversarial base runs through its own adapter,
-            # then the MI terms get their dedicated clean hidden forward.
+            # then the MI terms get their dedicated hidden forward — on the
+            # clean batch, or (mi_on_adversarial) on a fresh re-generation.
             base_value, _ = self.base.step(trainer, ctx, images, labels)
+            mi_inputs = images
+            if self.strategy.config.mi_on_adversarial:
+                mi_inputs = self.base.replay_generate(trainer, ctx, images, labels)
             plan = ctx.train_mi
-            ctx.gram.update(images, labels)
-            plan.forward(images)
+            ctx.gram.update(mi_inputs, labels)
+            plan.forward(mi_inputs)
             trainer.count_forwards(1, len(labels))
             side_value, hsic_x, hsic_y = self._side_values(plan)
             plan.run_backward({ctx.ids["mi_side"]: ctx.one})
@@ -827,10 +906,17 @@ def build_adapter(strategy):
     )
 
     if type(strategy) in (MILoss, AdversarialMILoss):
-        if strategy.config.mi_on_adversarial:
-            return None
+        # The fused single-forward path mirrors the eager ``fused`` flag
+        # exactly: CE base (subclasses included) *and* clean MI inputs.
+        # ``mi_on_adversarial`` instead takes the non-fused route — the
+        # base through its own adapter (which must replay its generate),
+        # the MI terms on a re-generated batch.
         if isinstance(strategy.base_loss, CrossEntropyLoss):
-            return _MILossAdapter(strategy, None)
+            if not strategy.config.mi_on_adversarial:
+                return _MILossAdapter(strategy, None)
+            if type(strategy.base_loss) is not CrossEntropyLoss:
+                return None  # a CE subclass may override the eager base call
+            return _MILossAdapter(strategy, _CEAdapter())
         inner = build_adapter(strategy.base_loss)
         if inner is None:
             return None
@@ -888,6 +974,12 @@ class CompiledTrainer:
         )
         self._accums: Dict[int, np.ndarray] = {}
         self._mask_ref = getattr(model, "channel_mask", None)
+        self._fallback_counter = get_registry().counter("trainer.fallback")
+
+    def _fallback(self) -> None:
+        """Record a *genuine* eager fallback (a batch that stays eager forever)."""
+        self.stats.fallbacks += 1
+        self._fallback_counter.inc()
 
     def _build_context(self, sample: np.ndarray) -> _SignatureContext:
         # Every Plan the adapters build inside the context (training plan,
@@ -966,6 +1058,7 @@ class CompiledTrainer:
         """
         if self.adapter is None:
             self.stats.eager_batches += 1
+            self._fallback()  # no compiled path for this strategy/optimizer
             return None
         images = np.asarray(images, dtype=get_default_dtype())
         labels = np.asarray(labels, dtype=np.int64).reshape(-1)
@@ -975,6 +1068,8 @@ class CompiledTrainer:
         ctx = self._cache.lookup(images)
         if ctx is None:
             self.stats.eager_batches += 1
+            if self._cache.failed(images):
+                self._fallback()  # memoized capture failure, never retried
             return None
         self._zero_accumulators()
         counters_before = (
@@ -1006,6 +1101,7 @@ class CompiledTrainer:
             ) = counters_before
             self._cache.evict(images)
             self.stats.eager_batches += 1
+            self._fallback()
             return None
         grads = [self._accums.get(id(p)) for p in self.optimizer.parameters]
         self.optimizer.step_with_grads(grads)

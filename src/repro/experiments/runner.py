@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..attacks.engine import AttackEngine, EngineResult, ForwardPassCounter
 from ..compile.backends import use_provider
+from ..compile.trace_cache import use_trace_store
 from ..core.ibrar import IBRAR
 from ..data.loaders import ArrayDataset, DataLoader
 from ..data.synthetic import SyntheticImageDataset, build_dataset
@@ -166,7 +167,11 @@ class ExperimentRunner:
         # REPRO_PROVIDER, so the environment cannot select a non-reference
         # provider for a run whose training_hash is the numpy hash.
         provider_scope = use_provider(spec.provider)
-        with annotation, provider_scope, ForwardPassCounter(model) as counter:
+        # Route capture traces through the shared store: grid workers training
+        # the same architecture deserialize one published trace per plan
+        # signature instead of each re-tracing it (repro.compile.trace_cache).
+        trace_scope = use_trace_store(self.store)
+        with annotation, provider_scope, trace_scope, ForwardPassCounter(model) as counter:
             if config is not None:
                 ibrar = IBRAR(
                     model,

@@ -259,6 +259,13 @@ class ExperimentSpec:
         # keep their original hashes.
         if self.ibrar is not None or self.loss.name.startswith("ib-rar"):
             payload["hsic"] = "cached-gram-v2"
+        # Counter-based dropout (PR 10) replaced the stateful-generator masks
+        # with a pure function of (seed, layer id, step), changing every
+        # dropout-bearing spec's training trajectory.  Version the scheme into
+        # those hashes so stale generator-era checkpoints are recomputed;
+        # dropout-free specs keep their original hashes.
+        if self.model_kwargs.get("dropout"):
+            payload["dropout_rng"] = "counter-v1"
         return payload
 
     def eval_dict(self) -> Dict[str, Any]:
@@ -295,10 +302,10 @@ class ExperimentSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
-        # "dtype" and "hsic" are derived annotations that as_dict() emits
-        # (ambient dtype; HSIC-estimator version) — accepted on input, never
-        # stored as fields.
-        known = {"dataset", "model", "loss", "ibrar", "optimizer", "epochs", "batch_size", "seed", "dtype", "hsic", "train_compile", "provider", "eval", "name"}
+        # "dtype", "hsic" and "dropout_rng" are derived annotations that
+        # as_dict() emits (ambient dtype; HSIC-estimator and dropout-RNG
+        # scheme versions) — accepted on input, never stored as fields.
+        known = {"dataset", "model", "loss", "ibrar", "optimizer", "epochs", "batch_size", "seed", "dtype", "hsic", "dropout_rng", "train_compile", "provider", "eval", "name"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ExperimentSpecError(

@@ -8,6 +8,9 @@ Artifacts are addressed by the spec hashes defined in :mod:`.spec`:
   timing).
 * ``reports/<h[:2]>/<content_hash>/`` — one evaluation: ``experiment.json``
   (the full spec, the deterministic robustness report, and engine telemetry).
+* ``traces/<k[:2]>/<key>/`` — one serialized compile capture
+  (``trace.json`` + ``trace.npz``, see :mod:`repro.compile.trace_cache`),
+  shared by every grid worker whose plan signature matches.
 
 Writes are atomic: artifacts are assembled in a temporary directory and
 renamed into place, so parallel grid workers can share one store and a
@@ -46,6 +49,8 @@ TRAIN_RECORD_NAME = "train.json"
 REPORT_NAME = "experiment.json"
 SERVE_REPORT_NAME = "robustness.json"
 RUN_RECORD_NAME = "record.json"
+TRACE_MANIFEST_NAME = "trace.json"
+TRACE_ARRAYS_NAME = "trace.npz"
 
 
 def default_store_root() -> Path:
@@ -85,6 +90,9 @@ class ArtifactStore:
 
     def run_dir(self, run_id: str) -> Path:
         return self.root / "runs" / run_id[:2] / run_id
+
+    def trace_dir(self, key: str) -> Path:
+        return self.root / "traces" / key[:2] / key
 
     def _publish(self, build_dir: Path, final_dir: Path) -> Path:
         """Atomically move a fully assembled artifact directory into place."""
@@ -287,6 +295,42 @@ class ArtifactStore:
             self._quarantine(directory)
             return None
 
+    # -- captured compile traces ---------------------------------------------------
+    # Serialized capture_forward graphs (see :mod:`repro.compile.trace_cache`),
+    # keyed by the plan-signature digest.  Grid workers training the same
+    # architecture share one stored trace per signature: the first worker to
+    # capture it publishes ``trace.json`` + ``trace.npz``, every later worker
+    # deserializes instead of re-tracing.
+    def has_trace(self, key: str) -> bool:
+        return (self.trace_dir(key) / TRACE_MANIFEST_NAME).exists()
+
+    def save_trace(
+        self, key: str, manifest: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> Path:
+        """Persist one serialized capture trace under its signature digest."""
+        build_dir = self._build_dir()
+        _write_json(build_dir / TRACE_MANIFEST_NAME, manifest)
+        np.savez(build_dir / TRACE_ARRAYS_NAME, **arrays)
+        return self._publish(build_dir, self.trace_dir(key))
+
+    def load_trace(self, key: str) -> Optional[Tuple[Dict[str, Any], Dict[str, np.ndarray]]]:
+        """Load ``(manifest, arrays)`` for a trace, or ``None`` on miss/corruption."""
+        directory = self.trace_dir(key)
+        manifest_path = directory / TRACE_MANIFEST_NAME
+        if not manifest_path.exists():
+            return None
+        try:
+            manifest = _read_json(manifest_path)
+            arrays: Dict[str, np.ndarray] = {}
+            arrays_path = directory / TRACE_ARRAYS_NAME
+            if arrays_path.exists():
+                with np.load(arrays_path, allow_pickle=False) as data:
+                    arrays = {name: data[name] for name in data.files}
+            return manifest, arrays
+        except Exception:
+            self._quarantine(directory)
+            return None
+
     # -- run records (repro.obs observatory) -------------------------------------
     # One record per training run / grid invocation / serve session (see
     # :mod:`repro.obs.records`).  Content-addressed like everything else:
@@ -418,6 +462,7 @@ class ArtifactStore:
         count += sum(1 for _ in self._iter_artifacts("reports", REPORT_NAME))
         count += sum(1 for _ in self._iter_artifacts("serve", SERVE_REPORT_NAME))
         count += sum(1 for _ in self._iter_artifacts("runs", RUN_RECORD_NAME))
-        for kind in ("models", "reports", "serve", "runs", "tmp"):
+        count += sum(1 for _ in self._iter_artifacts("traces", TRACE_MANIFEST_NAME))
+        for kind in ("models", "reports", "serve", "runs", "traces", "tmp"):
             shutil.rmtree(self.root / kind, ignore_errors=True)
         return count

@@ -140,7 +140,10 @@ class VGG(ImageClassifier):
         self.fc1 = Linear(feature_dim, hidden_dim, rng=rng)
         self.fc2 = Linear(hidden_dim, hidden_dim, rng=rng)
         self.fc3 = Linear(hidden_dim, num_classes, rng=rng)
-        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+        # Counter-based dropout: masks derive from (seed, layer_id, step),
+        # so they are replayable under compile and exact across resume.
+        self.dropout1 = Dropout(dropout, seed=seed, layer_id=1) if dropout > 0 else None
+        self.dropout2 = Dropout(dropout, seed=seed, layer_id=2) if dropout > 0 else None
         self.hidden_dim = hidden_dim
 
     # -- ImageClassifier interface -------------------------------------------
@@ -171,12 +174,12 @@ class VGG(ImageClassifier):
             hidden[name] = h
         h = h.flatten(start_dim=1)
         h = self.fc1(h).relu()
-        if self.dropout is not None:
-            h = self.dropout(h)
+        if self.dropout1 is not None:
+            h = self.dropout1(h)
         hidden["fc1"] = h
         h = self.fc2(h).relu()
-        if self.dropout is not None:
-            h = self.dropout(h)
+        if self.dropout2 is not None:
+            h = self.dropout2(h)
         hidden["fc2"] = h
         logits = self.fc3(h)
         return logits, hidden

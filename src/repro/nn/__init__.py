@@ -9,7 +9,7 @@ surface mirrors a small subset of ``torch`` / ``torch.nn``:
 * optimizers and schedulers in :mod:`repro.nn.optim`
 """
 
-from . import functional, init, optim
+from . import functional, init, optim, rng
 from .modules import (
     AvgPool2d,
     BatchNorm2d,
@@ -24,6 +24,7 @@ from .modules import (
     Parameter,
     ReLU,
     Sequential,
+    advance_dropout_steps,
 )
 from .optim import SGD, Adam, CosineAnnealingLR, MultiStepLR, StepLR
 from .tensor import (
@@ -49,6 +50,7 @@ __all__ = [
     "functional",
     "init",
     "optim",
+    "rng",
     "Module",
     "Parameter",
     "Linear",
@@ -59,6 +61,7 @@ __all__ = [
     "AvgPool2d",
     "GlobalAvgPool2d",
     "Dropout",
+    "advance_dropout_steps",
     "Flatten",
     "Identity",
     "Sequential",

@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .rng import new_dropout_mask, state_key as rng_state_key
 from .tensor import Tensor, as_tensor, get_default_dtype, is_tracing
 
 __all__ = [
@@ -116,14 +117,52 @@ def mse_loss(prediction: Tensor, target: Tensor, reduction: str = "mean") -> Ten
     return sq
 
 
-def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
-    """Inverted dropout.  A no-op when ``training`` is false or ``p == 0``."""
+def dropout(
+    x: Tensor,
+    p: float,
+    training: bool,
+    rng: Optional[np.random.Generator] = None,
+    state: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Inverted dropout.  A no-op when ``training`` is false or ``p == 0``.
+
+    Two mask sources, mutually exclusive:
+
+    - ``state`` — a ``[seed, layer_id, step, seeded]`` uint64 buffer (see
+      :mod:`repro.nn.rng`): the mask is a pure function of that triple, so
+      eager, compiled, and resumed-from-checkpoint runs draw bitwise the
+      same mask.  Under capture this emits an ``rng_mask`` graph node.
+    - ``rng`` — a caller-owned stateful generator (legacy path; such
+      dropout cannot be captured into a training plan).
+
+    Passing neither in training mode raises: a silently unseeded mask is
+    exactly the nondeterminism bug this scheme exists to prevent.
+    """
     if not training or p <= 0.0:
         return x
-    rng = rng or np.random.default_rng()
-    keep = 1.0 - p
-    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
-    return x * Tensor(mask)
+    if rng is not None:
+        keep = 1.0 - p
+        mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+        return x * Tensor(mask)
+    if state is None:
+        raise ValueError(
+            "dropout in training mode needs a mask source: pass `state` "
+            "(counter-based, see repro.nn.rng.make_dropout_state) or a "
+            "seeded `rng` generator"
+        )
+    seed, layer_id, step = rng_state_key(state)
+    mask = new_dropout_mask(x.shape, x.data.dtype, p, seed, layer_id, step)
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    meta = None
+    if is_tracing():
+        # Live reference: the plan re-reads seed/layer/step every replay,
+        # so in-place step advancement reaches captured plans.
+        meta = {"p": float(p), "state": state}
+    return Tensor._make(out_data, (x,), backward, op="rng_mask", meta=meta)
 
 
 # --------------------------------------------------------------------------- #

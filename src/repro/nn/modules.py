@@ -9,6 +9,7 @@ Provides the subset of ``torch.nn`` the IB-RAR reproduction needs:
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -16,6 +17,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from .rng import STATE_SEEDED, STATE_STEP, make_dropout_state
 from .tensor import Tensor
 
 __all__ = [
@@ -29,6 +31,7 @@ __all__ = [
     "AvgPool2d",
     "GlobalAvgPool2d",
     "Dropout",
+    "advance_dropout_steps",
     "Flatten",
     "Identity",
     "Sequential",
@@ -285,16 +288,72 @@ class GlobalAvgPool2d(Module):
 
 
 class Dropout(Module):
-    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+    """Inverted dropout with counter-based (replayable) masks.
+
+    The default scheme derives every mask from ``(seed, layer_id, step)``
+    (see :mod:`repro.nn.rng`); the triple lives in a registered buffer, so
+    it rides through ``state_dict``/checkpoints and a resumed run draws
+    bitwise the same masks as an uninterrupted one.  All applications
+    within one optimizer step reuse one mask; call
+    :func:`advance_dropout_steps` (the trainer does) once per step.
+
+    Passing a stateful ``rng`` generator selects the legacy path instead:
+    masks consume generator state, are not checkpointed, and such modules
+    cannot be captured into a training plan.
+    """
+
+    def __init__(
+        self,
+        p: float = 0.5,
+        seed: Optional[int] = None,
+        layer_id: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
         super().__init__()
         self.p = p
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng
+        self._warned_unseeded = False
+        if rng is None:
+            self.register_buffer("rng_state", make_dropout_state(seed, layer_id))
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.dropout(x, self.p, training=self.training, rng=self.rng)
+        if self.rng is not None:
+            return F.dropout(x, self.p, training=self.training, rng=self.rng)
+        if (
+            self.training
+            and self.p > 0.0
+            and not self._warned_unseeded
+            and int(self.rng_state[STATE_SEEDED]) == 0
+        ):
+            self._warned_unseeded = True
+            warnings.warn(
+                "Dropout was constructed without a seed; masks derive from "
+                "seed 0 (deterministic, but probably not what the experiment "
+                "intended). Pass seed= to silence this.",
+                stacklevel=2,
+            )
+        return F.dropout(x, self.p, training=self.training, state=self.rng_state)
+
+    def advance_step(self, count: int = 1) -> None:
+        """Advance the mask step counter in place (no-op for legacy ``rng``)."""
+        if self.rng is None:
+            self.rng_state[STATE_STEP] += np.uint64(count)
 
     def __repr__(self) -> str:
         return f"Dropout(p={self.p})"
+
+
+def advance_dropout_steps(module: Module, count: int = 1) -> None:
+    """Advance every counter-based :class:`Dropout` under ``module`` by ``count``.
+
+    Trainers call this once per optimizer step so the next batch draws
+    fresh masks; duplicated submodules are advanced once.
+    """
+    seen = set()
+    for sub in module.modules():
+        if isinstance(sub, Dropout) and id(sub) not in seen:
+            seen.add(id(sub))
+            sub.advance_step(count)
 
 
 class Flatten(Module):

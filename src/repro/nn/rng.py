@@ -1,0 +1,115 @@
+"""Counter-based (Philox) deterministic dropout masks.
+
+A dropout mask here is a *pure function* of ``(seed, layer_id, step)``: each
+draw builds a fresh :class:`numpy.random.Generator` over a ``Philox`` bit
+generator keyed by the seed, with the layer id and the optimizer step in the
+counter block.  Replaying any ``(seed, layer_id, step)`` triple — eagerly,
+from a compiled plan, in another process, or after a checkpoint resume —
+fills the exact same mask bit for bit, with no generator state to carry,
+synchronize, or serialize.
+
+Both the eager :func:`repro.nn.functional.dropout` and the compiled
+``rng_mask`` kernel (:class:`repro.compile.kernels.DropoutMask`) go through
+:func:`fill_dropout_mask`; keeping a single implementation is what makes
+eager and compiled trajectories bitwise comparable.
+
+The per-module state lives in a 4-element ``uint64`` buffer
+``[seed, layer_id, step, seeded]`` registered on the owning
+:class:`~repro.nn.modules.Dropout` module, so it rides through
+``state_dict`` / checkpoints for free and advances *in place* — live plans
+alias the buffer and re-read it every replay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DROPOUT_STATE_SIZE",
+    "STATE_SEED",
+    "STATE_LAYER",
+    "STATE_STEP",
+    "STATE_SEEDED",
+    "make_dropout_state",
+    "state_key",
+    "philox_generator",
+    "fill_dropout_mask",
+    "new_dropout_mask",
+]
+
+#: indices into the per-module dropout state buffer.
+STATE_SEED, STATE_LAYER, STATE_STEP, STATE_SEEDED = 0, 1, 2, 3
+DROPOUT_STATE_SIZE = 4
+
+_MASK64 = (1 << 64) - 1
+
+
+def make_dropout_state(seed: Optional[int], layer_id: int) -> np.ndarray:
+    """A fresh ``[seed, layer_id, step, seeded]`` uint64 state buffer.
+
+    ``seed=None`` records a deterministic default (seed 0) but leaves the
+    ``seeded`` flag clear so the owning module can warn on first
+    training-mode use — determinism is preserved either way; the warning
+    exists because an implicit seed usually means the experiment seed was
+    never threaded through.
+    """
+    resolved = 0 if seed is None else int(seed)
+    return np.array(
+        [resolved & _MASK64, int(layer_id) & _MASK64, 0, 0 if seed is None else 1],
+        dtype=np.uint64,
+    )
+
+
+def state_key(state: np.ndarray) -> Tuple[int, int, int]:
+    """The ``(seed, layer_id, step)`` triple a state buffer currently encodes."""
+    return int(state[STATE_SEED]), int(state[STATE_LAYER]), int(state[STATE_STEP])
+
+
+def philox_generator(seed: int, layer_id: int, step: int) -> np.random.Generator:
+    """A fresh Philox generator positioned at the ``(seed, layer_id, step)`` block.
+
+    The 256-bit Philox counter is ``[0, 0, layer_id, step]``; distinct layers
+    and steps therefore index disjoint counter blocks of the same keyed
+    stream (each block spans 2^128 draws — no overlap is possible).
+    """
+    counter = np.array(
+        [0, 0, int(layer_id) & _MASK64, int(step) & _MASK64], dtype=np.uint64
+    )
+    return np.random.Generator(np.random.Philox(key=int(seed) & _MASK64, counter=counter))
+
+
+def fill_dropout_mask(
+    mask: np.ndarray,
+    u: np.ndarray,
+    b: np.ndarray,
+    p: float,
+    seed: int,
+    layer_id: int,
+    step: int,
+) -> None:
+    """Fill ``mask`` with the inverted-dropout mask for ``(seed, layer_id, step)``.
+
+    ``u`` is a float64 uniform scratch (``Generator.random(out=...)`` draws
+    float64 only), ``b`` a bool scratch, ``mask`` the output in the
+    activation dtype; all three are caller-owned, so compiled plans can pass
+    pooled buffers and keep replays allocation-free.  Kept entries hold
+    ``1 / keep`` (rounded once from the float64 quotient), dropped entries 0.
+    """
+    gen = philox_generator(seed, layer_id, step)
+    gen.random(out=u)
+    keep = 1.0 - float(p)
+    np.less(u, keep, out=b)
+    np.divide(b, keep, out=mask)
+
+
+def new_dropout_mask(
+    shape: Tuple[int, ...], dtype, p: float, seed: int, layer_id: int, step: int
+) -> np.ndarray:
+    """Allocate-and-fill convenience wrapper for the eager path."""
+    u = np.empty(shape, dtype=np.float64)
+    b = np.empty(shape, dtype=bool)
+    mask = np.empty(shape, dtype=dtype)
+    fill_dropout_mask(mask, u, b, p, seed, layer_id, step)
+    return mask

@@ -23,7 +23,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..nn import Tensor, no_grad
+from ..nn import Tensor, advance_dropout_steps, no_grad
 from ..nn.optim import Optimizer, SGD, StepLR, _Scheduler
 from ..data.loaders import DataLoader
 from ..models.base import ImageClassifier
@@ -278,6 +278,11 @@ class Trainer:
                     # the plain update — no live plans exist to protect.
                     self.optimizer.step()
                 loss_value = float(loss.item())
+            # Every batch is one optimizer step: advance the counter-based
+            # dropout state so the next batch draws fresh masks.  Both the
+            # compiled and the eager path read the same live buffers, so
+            # advancing here (once, after the step) keeps them in lockstep.
+            advance_dropout_steps(self.model)
             total_loss += loss_value * len(labels)
             total_correct += int((predictions == labels).sum())
             total_examples += len(labels)

@@ -1,0 +1,162 @@
+"""Serialized capture traces: round trip, live aliasing, store accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compile import trace_cache
+from repro.compile.graph import capture_forward
+from repro.compile.trace_cache import (
+    deserialize_graph,
+    load_or_capture,
+    serialize_graph,
+    trace_key,
+    use_trace_store,
+)
+from repro.experiments.store import ArtifactStore
+from repro.models import SmallCNN, build_model
+from repro.nn.modules import Parameter
+
+
+def tiny_model(seed: int = 0) -> SmallCNN:
+    return SmallCNN(num_classes=3, image_size=8, base_channels=2, hidden_dim=4, seed=seed)
+
+
+def dropout_vgg(seed: int = 7):
+    return build_model(
+        "vgg11", num_classes=10, image_size=32, width_multiplier=0.125,
+        dropout=0.5, seed=seed,
+    )
+
+
+def sample(shape=(2, 3, 8, 8), seed=0):
+    return np.random.default_rng(seed).random(shape)
+
+
+class TestRoundTrip:
+    def test_graph_survives_serialization(self):
+        model = tiny_model()
+        model.train()
+        graph = capture_forward(model, sample(), training=True, live_params=True)
+        manifest, arrays = serialize_graph(graph, model)
+        revived = deserialize_graph(manifest, arrays, model)
+        assert len(revived) == len(graph)
+        assert revived.input_id == graph.input_id
+        assert revived.output_id == graph.output_id
+        for original, copy in zip(graph.nodes, revived.nodes):
+            assert original.id == copy.id
+            assert original.op == copy.op
+            assert original.inputs == copy.inputs
+            assert original.shape == copy.shape
+            assert set(original.meta) == set(copy.meta)
+            if original.value is not None:
+                np.testing.assert_array_equal(original.value, copy.value)
+
+    def test_live_references_resolve_to_the_loading_model(self):
+        # Param and buffer references must alias the *loading* model's
+        # storage, not carry over snapshots of the saving model's.
+        saver = dropout_vgg()
+        saver.train()
+        graph = capture_forward(saver, sample((2, 3, 32, 32)), training=True, live_params=True)
+        manifest, arrays = serialize_graph(graph, saver)
+        loader = dropout_vgg(seed=11)  # different weights, same architecture
+        loader.train()
+        revived = deserialize_graph(manifest, arrays, loader)
+        loader_params = {id(p) for p in loader.parameters()}
+        for node in revived.nodes:
+            if node.op == "param":
+                parameter = node.meta["parameter"]
+                assert isinstance(parameter, Parameter)
+                assert id(parameter) in loader_params
+            if node.op == "rng_mask":
+                # The counter state aliases the loader's live dropout buffer.
+                assert any(
+                    node.meta["state"] is buf
+                    for _, buf in trace_cache._named_buffers(loader)
+                )
+
+    def test_manifest_is_json_safe(self):
+        import json
+
+        model = dropout_vgg()
+        model.train()
+        graph = capture_forward(model, sample((2, 3, 32, 32)), training=True, live_params=True)
+        manifest, _ = serialize_graph(graph, model)
+        json.dumps(manifest)  # must not raise
+
+
+class TestTraceKey:
+    def test_key_is_deterministic_across_equal_models(self):
+        a, b = tiny_model(), tiny_model()
+        a.train(), b.train()
+        x = sample()
+        assert trace_key(a, x, True, False) == trace_key(b, x, True, False)
+
+    def test_key_separates_shapes_flags_and_config(self):
+        model = tiny_model()
+        model.train()
+        x = sample()
+        base = trace_key(model, x, True, False)
+        assert trace_key(model, sample((4, 3, 8, 8)), True, False) != base
+        assert trace_key(model, x, True, True) != base
+
+    def test_key_separates_dropout_probability(self):
+        a = dropout_vgg()
+        b = build_model(
+            "vgg11", num_classes=10, image_size=32, width_multiplier=0.125,
+            dropout=0.25, seed=7,
+        )
+        a.train(), b.train()
+        x = sample((2, 3, 32, 32))
+        assert trace_key(a, x, True, False) != trace_key(b, x, True, False)
+
+
+class TestStoreIntegration:
+    def test_load_or_capture_publishes_then_hits(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = tiny_model()
+        model.train()
+        x = sample()
+        with use_trace_store(store):
+            first, hit_first = load_or_capture(model, x, training=True, live_params=True)
+            second, hit_second = load_or_capture(model, x, training=True, live_params=True)
+        assert hit_first is False  # fresh capture, published
+        assert hit_second is True  # deserialized from the store
+        assert len(first) == len(second)
+
+    def test_no_store_means_plain_capture(self):
+        model = tiny_model()
+        model.train()
+        graph, hit = load_or_capture(model, sample(), training=True, live_params=True)
+        assert hit is None
+        assert len(graph) > 0
+
+    def test_corrupt_trace_degrades_to_capture(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        model = tiny_model()
+        model.train()
+        x = sample()
+        with use_trace_store(store):
+            _, first = load_or_capture(model, x, training=True, live_params=True)
+            assert first is False
+            # Corrupt every stored manifest in place.
+            for manifest in (store.root / "traces").rglob("trace.json"):
+                manifest.write_text("{not json")
+            graph, hit = load_or_capture(model, x, training=True, live_params=True)
+        assert hit is not True  # corrupt artifact never serves as a hit
+        assert len(graph) > 0
+
+    def test_snapshot_capture_does_not_alias_live_key(self, tmp_path):
+        # live_params=False and live_params=True captures differ in leaf kind;
+        # the store must never serve one flavor for the other.
+        store = ArtifactStore(tmp_path)
+        model = tiny_model()
+        model.eval()
+        x = sample()
+        with use_trace_store(store):
+            snap, _ = load_or_capture(model, x, training=False, live_params=False)
+            live, hit = load_or_capture(model, x, training=False, live_params=True)
+        assert hit is not True or any(n.op == "param" for n in live.nodes)
+        assert not any(n.op == "param" for n in snap.nodes)
+        assert any(n.op == "param" for n in live.nodes)

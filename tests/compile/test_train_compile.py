@@ -260,9 +260,25 @@ class TestFallbacks:
         assert stats.compiled_batches == 0 and stats.eager_batches >= 1
         assert np.isfinite(history.final().train_loss)
 
-    def test_mi_on_adversarial_stays_eager(self):
+    def test_mi_on_adversarial_is_compiled(self):
+        # Since the in-plan MI lift, mi_on_adversarial=True no longer rejects
+        # capture: the MI hidden forward replays the base attack in plan.
         strategy = MILoss(
             IBRARConfig(alpha=0.1, beta=0.01, mi_on_adversarial=True), num_classes=10
+        )
+        assert build_adapter(strategy) is not None
+
+    def test_mi_on_adversarial_with_unsupported_base_stays_eager(self):
+        class CustomLoss:
+            name = "custom"
+
+            def __call__(self, model, images, labels):
+                return F.cross_entropy(model.forward(Tensor(images)), labels)
+
+        strategy = MILoss(
+            IBRARConfig(alpha=0.1, beta=0.01, mi_on_adversarial=True),
+            num_classes=10,
+            base_loss=CustomLoss(),
         )
         assert build_adapter(strategy) is None
 

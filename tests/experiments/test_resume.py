@@ -1,0 +1,117 @@
+"""Kill-and-resume exactness: dropout counter state must ride checkpoints.
+
+Before the counter-based scheme, dropout masks came from a stateful generator
+whose position was lost on checkpoint reload, so a resumed run silently
+diverged from an uninterrupted one.  The counter state (seed, layer id, step)
+is a registered buffer now: it rides ``save_checkpoint``/``load_checkpoint``
+with the rest of the state dict and a resumed trajectory is bitwise identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader, synthetic_cifar10
+from repro.models import build_model
+from repro.nn.optim import SGD
+from repro.nn.rng import STATE_STEP
+from repro.training import Trainer
+from repro.training.adversarial import CrossEntropyLoss
+from repro.utils.serialization import load_checkpoint, save_checkpoint
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_cifar10(n_train=32, n_test=8, image_size=32, seed=0)
+
+
+def make_model():
+    return build_model(
+        "vgg11", num_classes=10, image_size=32, width_multiplier=0.125,
+        dropout=0.5, seed=7,
+    )
+
+
+def train_one_epoch(model, dataset, compile=False):
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.0)
+    trainer = Trainer(model, CrossEntropyLoss(), optimizer=optimizer, compile=compile)
+    loader = DataLoader(
+        ArrayDataset(dataset.x_train, dataset.y_train),
+        batch_size=16,
+        shuffle=False,
+        drop_last=True,
+        seed=3,
+    )
+    trainer.fit(loader, epochs=1)
+
+
+def assert_states_equal(expected, actual):
+    assert set(expected) == set(actual)
+    for key, value in expected.items():
+        assert np.array_equal(value, actual[key]), key
+
+
+class TestDropoutResume:
+    def test_resumed_run_is_bitwise_identical(self, dataset, tmp_path):
+        # Straight: two epochs without interruption.
+        straight = make_model()
+        train_one_epoch(straight, dataset)
+        train_one_epoch(straight, dataset)
+
+        # Interrupted: one epoch, checkpoint, reload into a *fresh* process
+        # stand-in (a newly constructed model), one more epoch.
+        first = make_model()
+        train_one_epoch(first, dataset)
+        path = tmp_path / "checkpoint.npz"
+        save_checkpoint(first, path)
+        resumed = make_model()
+        state, _ = load_checkpoint(path)
+        resumed.load_state_dict(state)
+        train_one_epoch(resumed, dataset)
+
+        assert_states_equal(straight.state_dict(), resumed.state_dict())
+
+    def test_resume_into_compiled_training_is_bitwise_identical(self, dataset, tmp_path):
+        straight = make_model()
+        train_one_epoch(straight, dataset, compile=True)
+        train_one_epoch(straight, dataset, compile=True)
+
+        first = make_model()
+        train_one_epoch(first, dataset, compile=True)
+        path = tmp_path / "checkpoint.npz"
+        save_checkpoint(first, path)
+        resumed = make_model()
+        state, _ = load_checkpoint(path)
+        resumed.load_state_dict(state)
+        train_one_epoch(resumed, dataset, compile=True)
+
+        assert_states_equal(straight.state_dict(), resumed.state_dict())
+
+    def test_counter_state_rides_the_checkpoint(self, dataset, tmp_path):
+        model = make_model()
+        train_one_epoch(model, dataset)
+        saved = model.state_dict()
+        assert "dropout1.rng_state" in saved and "dropout2.rng_state" in saved
+        assert int(saved["dropout1.rng_state"][STATE_STEP]) > 0
+        path = tmp_path / "checkpoint.npz"
+        save_checkpoint(model, path)
+        revived = make_model()
+        state, _ = load_checkpoint(path)
+        revived.load_state_dict(state)
+        np.testing.assert_array_equal(
+            revived.state_dict()["dropout1.rng_state"], saved["dropout1.rng_state"]
+        )
+
+    def test_old_checkpoint_without_counter_state_still_loads(self, dataset, tmp_path):
+        # Pre-counter checkpoints have no rng_state keys; loading one must
+        # keep the fresh model's own counter state instead of raising.
+        model = make_model()
+        state = {
+            key: value
+            for key, value in model.state_dict().items()
+            if not key.endswith("rng_state")
+        }
+        revived = make_model()
+        revived.load_state_dict(state)  # must not raise
+        assert int(revived.state_dict()["dropout1.rng_state"][STATE_STEP]) == 0

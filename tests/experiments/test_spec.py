@@ -93,6 +93,26 @@ class TestHashing:
             assert changed.training_hash != spec.training_hash
             assert changed.content_hash != spec.content_hash
 
+    def test_dropout_rng_version_splits_dropout_hashes_only(self):
+        # The counter-based dropout scheme changed dropout trajectories, so
+        # the rng version joins the training hash — but only for specs that
+        # actually instantiate dropout layers.
+        plain = tiny_spec()
+        assert "dropout_rng" not in plain.training_dict()
+        dropped = tiny_spec(
+            model="vgg11",
+            model_params={"image_size": 32, "width_multiplier": 0.125, "dropout": 0.5, "seed": 0},
+            dataset_params={"n_train": 64, "n_test": 32, "image_size": 32, "seed": 0},
+        )
+        assert dropped.training_dict()["dropout_rng"] == "counter-v1"
+        zero = tiny_spec(
+            model="vgg11",
+            model_params={"image_size": 32, "width_multiplier": 0.125, "dropout": 0.0, "seed": 0},
+            dataset_params={"n_train": 64, "n_test": 32, "image_size": 32, "seed": 0},
+        )
+        assert "dropout_rng" not in zero.training_dict()
+        assert ExperimentSpec.from_dict(dropped.as_dict()) == dropped
+
 
 class TestValidation:
     def test_unknown_top_level_key_rejected(self):

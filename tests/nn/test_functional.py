@@ -279,3 +279,56 @@ class TestDropout:
     def test_zero_probability_is_identity(self):
         x = Tensor(np.ones((3, 3)))
         np.testing.assert_allclose(F.dropout(x, p=0.0, training=True).data, x.data)
+
+
+class TestCounterDropout:
+    """The counter-based scheme: masks are pure functions of (seed, layer, step)."""
+
+    def test_no_mask_source_in_training_raises(self):
+        x = Tensor(np.ones((3, 3)))
+        with pytest.raises(ValueError, match="mask source"):
+            F.dropout(x, p=0.5, training=True)
+
+    def test_mask_is_deterministic_per_state(self):
+        from repro.nn.rng import make_dropout_state
+
+        x = Tensor(np.ones((50, 50)))
+        state = make_dropout_state(seed=3, layer_id=1)
+        first = F.dropout(x, p=0.5, training=True, state=state).data
+        second = F.dropout(x, p=0.5, training=True, state=state).data
+        np.testing.assert_array_equal(first, second)  # same step -> same mask
+
+    def test_step_and_layer_vary_the_mask(self):
+        from repro.nn.rng import STATE_STEP, make_dropout_state
+
+        x = Tensor(np.ones((50, 50)))
+        state = make_dropout_state(seed=3, layer_id=1)
+        base = F.dropout(x, p=0.5, training=True, state=state).data
+        other_layer = make_dropout_state(seed=3, layer_id=2)
+        assert not np.array_equal(
+            base, F.dropout(x, p=0.5, training=True, state=other_layer).data
+        )
+        state[STATE_STEP] += np.uint64(1)
+        assert not np.array_equal(
+            base, F.dropout(x, p=0.5, training=True, state=state).data
+        )
+
+    def test_zeroes_and_scales(self):
+        from repro.nn.rng import make_dropout_state
+
+        x = Tensor(np.ones((100, 100)))
+        state = make_dropout_state(seed=0, layer_id=1)
+        out = F.dropout(x, p=0.5, training=True, state=state).data
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        nonzero = out[out != 0]
+        np.testing.assert_allclose(nonzero, np.full_like(nonzero, 2.0))
+
+    def test_backward_is_the_mask(self):
+        from repro.nn.rng import make_dropout_state
+
+        x = Tensor(np.ones((20, 20)), requires_grad=True)
+        state = make_dropout_state(seed=4, layer_id=1)
+        out = F.dropout(x, p=0.5, training=True, state=state)
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, out.data)  # grad == mask (x == 1)

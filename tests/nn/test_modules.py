@@ -126,6 +126,51 @@ class TestLayers:
         x = Tensor(np.ones((10, 10)))
         np.testing.assert_allclose(layer(x).data, x.data)
 
+    def test_dropout_counter_state_rides_state_dict(self):
+        from repro.nn.rng import STATE_STEP
+
+        layer = nn.Dropout(0.5, seed=9, layer_id=2)
+        layer.train()
+        layer(Tensor(np.ones((4, 4))))
+        layer.advance_step()
+        state = layer.state_dict()
+        assert int(state["rng_state"][STATE_STEP]) == 1
+        revived = nn.Dropout(0.5, seed=0, layer_id=2)
+        revived.load_state_dict(state)
+        np.testing.assert_array_equal(revived.rng_state, layer.rng_state)
+        # The buffer is restored in place — live plans keep their alias.
+        assert revived.rng_state is revived._buffers["rng_state"]
+
+    def test_dropout_same_step_reuses_one_mask(self):
+        layer = nn.Dropout(0.5, seed=9, layer_id=1)
+        layer.train()
+        x = Tensor(np.ones((30, 30)))
+        first = layer(x).data
+        second = layer(x).data  # same optimizer step: identical mask
+        np.testing.assert_array_equal(first, second)
+        layer.advance_step()
+        assert not np.array_equal(first, layer(x).data)
+
+    def test_unseeded_dropout_warns_once_in_training(self):
+        layer = nn.Dropout(0.5)  # no seed, no generator
+        layer.train()
+        x = Tensor(np.ones((8, 8)))
+        with pytest.warns(UserWarning, match="without a seed"):
+            layer(x)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            layer(x)  # warns only once
+
+    def test_advance_dropout_steps_walks_the_tree(self):
+        from repro.nn.rng import STATE_STEP
+
+        model = nn.Sequential(nn.Dropout(0.5, seed=1, layer_id=1), nn.ReLU())
+        nn.advance_dropout_steps(model)
+        nn.advance_dropout_steps(model, count=2)
+        assert int(model[0].rng_state[STATE_STEP]) == 3
+
     def test_sequential_iteration_and_indexing(self):
         model = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
         assert len(model) == 2
